@@ -1,0 +1,90 @@
+// starfishctl is the management client for a Starfish cluster — the
+// command-line replacement for the paper's Java GUI. It speaks the ASCII
+// management protocol of §3.1.1 to any daemon.
+//
+//	starfishctl -addr 127.0.0.1:7100 -admin starfish NODES
+//	starfishctl -addr 127.0.0.1:7100 -user alice SUBMIT 1 ring 3 sfs portable restart 0 <hexargs>
+//	starfishctl -addr 127.0.0.1:7100 -user alice STATUS 1
+//	starfishctl -addr 127.0.0.1:7100 -admin starfish      # interactive session
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"starfish/internal/mgmt"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7100", "daemon management address")
+		admin = flag.String("admin", "", "log in as administrator with this password")
+		user  = flag.String("user", "", "log in as this user")
+	)
+	flag.Parse()
+
+	c, err := mgmt.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	switch {
+	case *admin != "":
+		err = c.LoginAdmin(*admin)
+	case *user != "":
+		err = c.LoginUser(*user)
+	default:
+		log.Fatal("starfishctl: one of -admin or -user is required")
+	}
+	if err != nil {
+		log.Fatalf("starfishctl: login: %v", err)
+	}
+
+	if flag.NArg() > 0 {
+		run(c, strings.Join(flag.Args(), " "))
+		return
+	}
+
+	// Interactive session.
+	fmt.Println("starfishctl: connected; type commands (QUIT to exit)")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		run(c, line)
+		if strings.EqualFold(line, "QUIT") {
+			return
+		}
+	}
+}
+
+func run(c *mgmt.Client, line string) {
+	out, err := c.Do(line)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ERR %v\n", err)
+		if flag.NArg() > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if len(out) == 0 {
+		fmt.Println("OK")
+		return
+	}
+	for _, l := range out {
+		if l != "" {
+			fmt.Println(l)
+		}
+	}
+}

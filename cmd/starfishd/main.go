@@ -1,0 +1,96 @@
+// starfishd runs one Starfish daemon over real TCP: daemons on different
+// machines (or processes) form the Starfish group, host application
+// processes, and serve the management protocol. The first daemon creates
+// the cluster; the rest join through any existing daemon's group address.
+//
+//	# first node
+//	starfishd -node 1 -gcs 127.0.0.1:7001 -mgmt 127.0.0.1:7100 -store /tmp/sf
+//	# second node
+//	starfishd -node 2 -gcs 127.0.0.1:7002 -contact 127.0.0.1:7001 -store /tmp/sf
+//
+// Submit work with starfishctl against any daemon's -mgmt address. The
+// checkpoint store directory must be shared between the nodes (in a real
+// deployment, a network file system).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"starfish/internal/ckpt"
+	"starfish/internal/daemon"
+	"starfish/internal/mgmt"
+	"starfish/internal/svm"
+	"starfish/internal/vni"
+	"starfish/internal/wire"
+
+	// Register the built-in applications so SUBMIT can name them.
+	_ "starfish/internal/apps"
+)
+
+func main() {
+	var (
+		node    = flag.Uint("node", 1, "cluster-unique node id")
+		gcsAddr = flag.String("gcs", "127.0.0.1:7001", "group-communication listen address")
+		contact = flag.String("contact", "", "existing daemon's -gcs address (empty creates a cluster)")
+		mgmtAdr = flag.String("mgmt", "", "management listen address (empty disables)")
+		storeD  = flag.String("store", "", "shared checkpoint-store directory (required)")
+		archIdx = flag.Int("arch", 0, "simulated architecture index (0..5, Table 2)")
+		dataAdr = flag.String("data-host", "127.0.0.1", "host for application data-path listeners")
+		passwd  = flag.String("admin-password", "starfish", "management admin password")
+		verbose = flag.Bool("v", false, "log daemon diagnostics")
+	)
+	flag.Parse()
+	if *storeD == "" {
+		log.Fatal("starfishd: -store is required")
+	}
+	if *archIdx < 0 || *archIdx >= len(svm.Machines) {
+		log.Fatalf("starfishd: -arch must be 0..%d", len(svm.Machines)-1)
+	}
+	store, err := ckpt.NewStore(*storeD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var logf func(string, ...any)
+	if *verbose {
+		logf = log.Printf
+	}
+
+	host := *dataAdr
+	d, err := daemon.New(daemon.Config{
+		Node:      wire.NodeID(*node),
+		Transport: vni.NewTCP(),
+		GCSAddr:   *gcsAddr,
+		Contact:   *contact,
+		Store:     store,
+		Arch:      svm.Machines[*archIdx],
+		// Application processes bind ephemeral TCP ports; the addresses
+		// are exchanged through the lightweight group metadata.
+		DataAddr: func(wire.AppID, uint32, wire.Rank) string { return host + ":0" },
+		Logf:     logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("starfishd: node %d up, group %s, arch %s", d.Node(), d.GCSAddr(), svm.Machines[*archIdx])
+
+	if *mgmtAdr != "" {
+		l, err := net.Listen("tcp", *mgmtAdr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go mgmt.NewServer(d, *passwd).Serve(l)
+		log.Printf("starfishd: management service on %s", l.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "starfishd: %v, leaving cluster\n", s)
+	d.Leave()
+}

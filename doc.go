@@ -1,0 +1,11 @@
+// Package starfish is a from-scratch Go reproduction of "Starfish:
+// Fault-Tolerant Dynamic MPI Programs on Clusters of Workstations"
+// (Agbaria & Friedman, HPDC 1999).
+//
+// The system lives under internal/: see internal/core for the public
+// facade, DESIGN.md for the architecture and per-experiment index, and
+// EXPERIMENTS.md for the measured reproduction of every figure and table
+// in the paper's evaluation section. The benchmarks in bench_test.go
+// regenerate each figure; cmd/starfish-bench prints them as paper-style
+// tables.
+package starfish

@@ -1,0 +1,3 @@
+module starfish
+
+go 1.22

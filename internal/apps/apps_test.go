@@ -1,0 +1,235 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"starfish/internal/proc"
+	"starfish/internal/wire"
+)
+
+func TestRegisteredNames(t *testing.T) {
+	names := proc.RegisteredApps()
+	want := map[string]bool{RingName: true, JacobiName: true, PartitionName: true,
+		SizerName: true, PingPongName: true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing registrations: %v (have %v)", want, names)
+	}
+}
+
+func TestRingArgsRoundTrip(t *testing.T) {
+	a, err := DecodeRing(RingArgs(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != 42 {
+		t.Errorf("rounds = %d", a.Rounds)
+	}
+}
+
+func TestRingSnapshotRestore(t *testing.T) {
+	a := &Ring{Rounds: 10}
+	a.round, a.val = 4, 17
+	b, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Ring
+	if err := restored.Restore(nil, b); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Rounds != 10 || restored.round != 4 || restored.val != 17 {
+		t.Errorf("restored = %+v", restored)
+	}
+}
+
+func TestJacobiArgsValidation(t *testing.T) {
+	if _, err := DecodeJacobi(JacobiArgs(0, 5, 0, 0)); err == nil {
+		t.Error("zero-point grid accepted")
+	}
+	if _, err := DecodeJacobi([]byte{1}); err == nil {
+		t.Error("short args accepted")
+	}
+	a, err := DecodeJacobi(JacobiArgs(16, 3, 1.5, -0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N != 16 || a.Iters != 3 || a.Left != 1.5 || a.Right != -0.5 {
+		t.Errorf("args = %+v", a)
+	}
+}
+
+func TestBlockBounds(t *testing.T) {
+	// 10 points over 3 ranks: 4+3+3, contiguous, complete.
+	covered := 0
+	prevEnd := 0
+	for r := 0; r < 3; r++ {
+		lo, size := blockBounds(10, 3, wire.Rank(r))
+		if lo != prevEnd {
+			t.Errorf("rank %d starts at %d, want %d", r, lo, prevEnd)
+		}
+		prevEnd = lo + size
+		covered += size
+	}
+	if covered != 10 {
+		t.Errorf("covered %d points", covered)
+	}
+}
+
+func TestQuickBlockBoundsPartition(t *testing.T) {
+	prop := func(nRaw, ranksRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		ranks := int(ranksRaw%8) + 1
+		prevEnd, covered := 0, 0
+		for r := 0; r < ranks; r++ {
+			lo, size := blockBounds(n, ranks, wire.Rank(r))
+			if lo != prevEnd || size < 0 {
+				return false
+			}
+			prevEnd = lo + size
+			covered += size
+		}
+		return covered == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequentialJacobiConverges(t *testing.T) {
+	// With boundaries 1 and 0, the solution tends to the linear profile.
+	u := SequentialJacobi(9, 20000, 1, 0)
+	for i, v := range u {
+		want := 1 - float64(i+1)/10
+		if math.Abs(v-want) > 1e-3 {
+			t.Errorf("u[%d] = %f, want ~%f", i, v, want)
+		}
+	}
+}
+
+func TestJacobiSnapshotRestore(t *testing.T) {
+	a := &Jacobi{N: 8, Iters: 5, Left: 1, Right: 0}
+	a.iter = 2
+	a.lo, a.size = 3, 2
+	a.u = []float64{0.5, 0.25, 0.125, 0.0625}
+	b, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Jacobi
+	if err := r.Restore(nil, b); err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 8 || r.iter != 2 || r.lo != 3 || r.size != 2 || len(r.u) != 4 || r.u[1] != 0.25 {
+		t.Errorf("restored = %+v", r)
+	}
+}
+
+func TestPartitionArgsValidation(t *testing.T) {
+	if _, err := DecodePartition(PartitionArgs(0, 1)); err == nil {
+		t.Error("zero chunks accepted")
+	}
+	a, err := DecodePartition(PartitionArgs(10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NChunks != 10 || a.WorkPerChunk != 5 {
+		t.Errorf("args = %+v", a)
+	}
+}
+
+func TestPartitionAssignment(t *testing.T) {
+	a := &Partition{NChunks: 9}
+	a.alive = []wire.Rank{0, 1, 2}
+	// Round-robin: chunk c belongs to alive[c % 3].
+	for c := 0; c < 9; c++ {
+		owner := wire.Rank(c % 3)
+		for r := wire.Rank(0); r < 3; r++ {
+			if got := a.mine(c, r); got != (r == owner) {
+				t.Errorf("chunk %d rank %d: mine=%v", c, r, got)
+			}
+		}
+	}
+	// After rank 1 departs, chunks redistribute over {0, 2}.
+	a.alive = []wire.Rank{0, 2}
+	if !a.mine(0, 0) || !a.mine(1, 2) || !a.mine(2, 0) {
+		t.Error("repartitioned assignment wrong")
+	}
+}
+
+func TestPartitionSnapshotRestore(t *testing.T) {
+	a := &Partition{NChunks: 5, WorkPerChunk: 1}
+	a.processed = map[int]bool{1: true, 3: true}
+	a.sum = 99
+	b, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Partition{NChunks: 5, WorkPerChunk: 1}
+	ctx := &proc.Ctx{Rank: 0, Size: 2}
+	if err := r.Restore(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	if r.sum != 99 || !r.processed[1] || !r.processed[3] || r.processed[0] {
+		t.Errorf("restored = %+v", r)
+	}
+}
+
+func TestSizerArgs(t *testing.T) {
+	a, err := DecodeSizer(SizerArgsSleep(1024, 7, 3*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StateBytes != 1024 || a.Steps != 7 || a.StepSleep != 3*time.Millisecond {
+		t.Errorf("args = %+v", a)
+	}
+	if _, err := DecodeSizer([]byte{1}); err == nil {
+		t.Error("short args accepted")
+	}
+}
+
+func TestSizerRunsAndSnapshots(t *testing.T) {
+	a, _ := DecodeSizer(SizerArgsSleep(100, 3, 0))
+	if err := a.Init(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if done, err := a.Step(nil); err != nil || done {
+			t.Fatalf("step %d: done=%v err=%v", i, done, err)
+		}
+	}
+	b, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Sizer
+	if err := r.Restore(nil, b); err != nil {
+		t.Fatal(err)
+	}
+	if r.step != 2 || len(r.data) != 100 {
+		t.Errorf("restored = step %d, %d bytes", r.step, len(r.data))
+	}
+	if done, err := r.Step(nil); err != nil || !done {
+		t.Errorf("final step: done=%v err=%v", done, err)
+	}
+}
+
+func TestPingPongArgs(t *testing.T) {
+	a, err := DecodePingPong(PingPongArgs([]int{1, 64}, 10, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sizes) != 2 || a.Sizes[1] != 64 || a.Reps != 10 || !a.Report {
+		t.Errorf("args = %+v", a)
+	}
+	// Default reps.
+	a, _ = DecodePingPong(PingPongArgs(nil, 0, false))
+	if a.Reps != 100 {
+		t.Errorf("default reps = %d", a.Reps)
+	}
+}

@@ -1,0 +1,166 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"starfish/internal/proc"
+	"starfish/internal/wire"
+)
+
+// Partition is a trivially parallel workload: NChunks independent work
+// items are divided among the ranks by round-robin over the alive set.
+// When a node dies, the surviving processes receive a view-change upcall,
+// repartition the chunk space so the whole computation is still covered
+// with no duplicates (§3.2.1), and continue without interruption. Each
+// chunk costs WorkPerChunk "operations" (a deterministic arithmetic loop).
+//
+// A rank finishes when every chunk assigned to it under the final alive
+// set is processed; it fails if its processed set does not cover that
+// assignment.
+type Partition struct {
+	NChunks      int
+	WorkPerChunk int
+
+	mu          sync.Mutex
+	alive       []wire.Rank
+	processed   map[int]bool
+	sum         int64
+	cursor      int
+	announce    bool
+	Repartition int // repartition coordination casts observed
+}
+
+// PartitionArgs encodes submission arguments.
+func PartitionArgs(chunks, workPerChunk int) []byte {
+	w := wire.NewWriter(8)
+	w.U32(uint32(chunks)).U32(uint32(workPerChunk))
+	return w.Bytes()
+}
+
+// DecodePartition parses PartitionArgs.
+func DecodePartition(args []byte) (*Partition, error) {
+	r := wire.NewReader(args)
+	a := &Partition{NChunks: int(r.U32()), WorkPerChunk: int(r.U32())}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if a.NChunks <= 0 {
+		return nil, fmt.Errorf("partition: bad chunk count %d", a.NChunks)
+	}
+	return a, nil
+}
+
+// Init implements proc.App and registers the view-change upcall.
+func (a *Partition) Init(ctx *proc.Ctx) error {
+	a.processed = make(map[int]bool)
+	for r := 0; r < ctx.Size; r++ {
+		a.alive = append(a.alive, wire.Rank(r))
+	}
+	ctx.OnView(func(alive, departed []wire.Rank) {
+		a.mu.Lock()
+		a.alive = append([]wire.Rank(nil), alive...)
+		a.cursor = 0 // rescan: our share may have grown
+		a.announce = true
+		a.mu.Unlock()
+	})
+	ctx.OnCoordination(func(from wire.Rank, payload []byte) {
+		if string(payload) == "repartitioned" {
+			a.mu.Lock()
+			a.Repartition++
+			a.mu.Unlock()
+		}
+	})
+	return nil
+}
+
+// Restore implements proc.App.
+func (a *Partition) Restore(ctx *proc.Ctx, state []byte) error {
+	if err := a.Init(ctx); err != nil {
+		return err
+	}
+	r := wire.NewReader(state)
+	a.sum = r.I64()
+	n := r.U32()
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		a.processed[int(r.U32())] = true
+	}
+	return r.Err()
+}
+
+// Snapshot implements proc.App.
+func (a *Partition) Snapshot() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w := wire.NewWriter(16 + 4*len(a.processed))
+	w.I64(a.sum)
+	w.U32(uint32(len(a.processed)))
+	for c := 0; c < a.NChunks; c++ {
+		if a.processed[c] {
+			w.U32(uint32(c))
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// mine reports whether chunk c belongs to this rank under the current
+// alive set.
+func (a *Partition) mine(c int, rank wire.Rank) bool {
+	owner := a.alive[c%len(a.alive)]
+	return owner == rank
+}
+
+// Step implements proc.App: process the next unprocessed owned chunk.
+func (a *Partition) Step(ctx *proc.Ctx) (bool, error) {
+	a.mu.Lock()
+	if a.announce {
+		// Tell the other survivors we repartitioned — an application-
+		// level coordination message riding the daemons' reliable
+		// multicast (§2.2's coordination message type).
+		a.announce = false
+		a.mu.Unlock()
+		if err := ctx.Coordinate([]byte("repartitioned")); err != nil {
+			return false, err
+		}
+		a.mu.Lock()
+	}
+	// Find the next chunk this rank owns and has not processed.
+	c := -1
+	for ; a.cursor < a.NChunks; a.cursor++ {
+		if a.mine(a.cursor, ctx.Rank) && !a.processed[a.cursor] {
+			c = a.cursor
+			break
+		}
+	}
+	if c < 0 {
+		// Nothing left: verify coverage of the final assignment.
+		for i := 0; i < a.NChunks; i++ {
+			if a.mine(i, ctx.Rank) && !a.processed[i] {
+				a.mu.Unlock()
+				return true, fmt.Errorf("partition rank %d: chunk %d unprocessed", ctx.Rank, i)
+			}
+		}
+		a.mu.Unlock()
+		return true, nil
+	}
+	a.mu.Unlock()
+
+	// Deterministic "work".
+	v := int64(c)
+	for i := 0; i < a.WorkPerChunk; i++ {
+		v = (v*1103515245 + 12345) & 0x7fffffff
+	}
+
+	a.mu.Lock()
+	a.processed[c] = true
+	a.sum += v
+	a.mu.Unlock()
+	return false, nil
+}
+
+// Processed returns how many chunks this rank handled.
+func (a *Partition) Processed() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.processed)
+}

@@ -1,0 +1,94 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"starfish/internal/proc"
+	"starfish/internal/wire"
+)
+
+// Sizer is the checkpoint-size workload of figures 3 and 4: an application
+// whose in-memory state is a tunable byte array. Each step touches the
+// array (so the state is genuinely live data) and the application runs
+// until told how many steps to take. Checkpointing a Sizer measures the
+// cost of dumping StateBytes of application state through either encoder.
+type Sizer struct {
+	StateBytes int
+	Steps      int64
+	// StepSleep models per-step compute time without burning CPU (the
+	// benchmarks run many simulated nodes on few cores; a spinning
+	// workload would starve the runtime itself).
+	StepSleep time.Duration
+
+	step int64
+	data []byte
+}
+
+// SizerArgs encodes submission arguments.
+func SizerArgs(stateBytes int, steps int64) []byte {
+	return SizerArgsSleep(stateBytes, steps, time.Millisecond)
+}
+
+// SizerArgsSleep encodes submission arguments with an explicit per-step
+// compute time.
+func SizerArgsSleep(stateBytes int, steps int64, sleep time.Duration) []byte {
+	w := wire.NewWriter(24)
+	w.U32(uint32(stateBytes)).I64(steps).I64(int64(sleep))
+	return w.Bytes()
+}
+
+// DecodeSizer parses SizerArgs.
+func DecodeSizer(args []byte) (*Sizer, error) {
+	r := wire.NewReader(args)
+	a := &Sizer{StateBytes: int(r.U32()), Steps: r.I64(), StepSleep: time.Duration(r.I64())}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if a.StateBytes < 0 {
+		return nil, fmt.Errorf("sizer: negative state size")
+	}
+	return a, nil
+}
+
+// Init implements proc.App.
+func (a *Sizer) Init(*proc.Ctx) error {
+	a.data = make([]byte, a.StateBytes)
+	for i := range a.data {
+		a.data[i] = byte(i)
+	}
+	return nil
+}
+
+// Restore implements proc.App.
+func (a *Sizer) Restore(_ *proc.Ctx, state []byte) error {
+	r := wire.NewReader(state)
+	a.StateBytes = int(r.U32())
+	a.Steps = r.I64()
+	a.step = r.I64()
+	a.data = append([]byte(nil), r.Bytes32()...)
+	return r.Err()
+}
+
+// Snapshot implements proc.App.
+func (a *Sizer) Snapshot() ([]byte, error) {
+	w := wire.NewWriter(32 + len(a.data))
+	w.U32(uint32(a.StateBytes)).I64(a.Steps).I64(a.step).Bytes32(a.data)
+	return w.Bytes(), nil
+}
+
+// Step implements proc.App: touch a slice of the state and advance.
+func (a *Sizer) Step(*proc.Ctx) (bool, error) {
+	if a.step >= a.Steps {
+		return true, nil
+	}
+	stride := 4096
+	for i := int(a.step) % stride; i < len(a.data); i += stride {
+		a.data[i]++
+	}
+	if a.StepSleep > 0 {
+		time.Sleep(a.StepSleep)
+	}
+	a.step++
+	return a.step >= a.Steps, nil
+}

@@ -1,0 +1,232 @@
+// Package bus implements the object bus that connects the modules of a
+// Starfish application process, and the scheduler that orchestrates them.
+//
+// As described in §2.2 of the paper, all modules of an application process
+// (group handler, application module, checkpoint/restart module, MPI module,
+// VNI) communicate by posting events on an object bus, which invokes the
+// corresponding event handlers at each listening module. Using an object bus
+// decouples the modules completely and allows the same event to be delivered
+// to multiple listeners. Data messages do NOT travel on the bus — they use
+// the fast path (see internal/vni and internal/mpi).
+package bus
+
+import (
+	"fmt"
+	"sync"
+
+	"starfish/internal/wire"
+)
+
+// Topic identifies a class of events on the object bus.
+type Topic uint16
+
+// Bus topics. One topic per inter-module protocol in Figure 1.
+const (
+	// TopicLWView carries lightweight-group view changes from the group
+	// handler to listening modules (application, C/R, MPI).
+	TopicLWView Topic = iota + 1
+	// TopicCoordination carries coordination messages between application
+	// processes (delivered via the daemon and posted by the group handler).
+	TopicCoordination
+	// TopicCheckpoint carries checkpoint/restart protocol messages to and
+	// from the C/R module.
+	TopicCheckpoint
+	// TopicConfig carries configuration messages from the local daemon.
+	TopicConfig
+	// TopicOutbound carries messages that a module wants the group handler
+	// to forward to the daemon over the TCP connection.
+	TopicOutbound
+	// TopicCtl carries process-local control events (checkpoint due,
+	// suspend, resume, terminate).
+	TopicCtl
+
+	topicCount
+)
+
+// String returns a short topic name for diagnostics.
+func (t Topic) String() string {
+	switch t {
+	case TopicLWView:
+		return "lw-view"
+	case TopicCoordination:
+		return "coordination"
+	case TopicCheckpoint:
+		return "checkpoint"
+	case TopicConfig:
+		return "config"
+	case TopicOutbound:
+		return "outbound"
+	case TopicCtl:
+		return "ctl"
+	default:
+		return fmt.Sprintf("bus.Topic(%d)", uint16(t))
+	}
+}
+
+// Event is what modules post on the bus. Msg holds the wire message for
+// events that originate from or are destined to the network; Arg carries
+// arbitrary in-process protocol state (e.g. a view object).
+type Event struct {
+	Topic Topic
+	Msg   wire.Msg
+	Arg   any
+}
+
+// Handler is an event callback. Handlers run on the scheduler goroutine, so
+// within one process they never run concurrently with each other; they must
+// not block indefinitely.
+type Handler func(Event)
+
+// Bus is the object bus of a single application process. The zero value is
+// not usable; create with New. Posting is safe from any goroutine; dispatch
+// happens on a single scheduler goroutine so module handlers never race.
+type Bus struct {
+	mu       sync.Mutex
+	handlers [topicCount][]subscription
+	nextID   int
+
+	queue   chan Event
+	done    chan struct{}
+	stopped chan struct{}
+	started bool
+}
+
+type subscription struct {
+	id int
+	h  Handler
+}
+
+// New creates a bus whose scheduler queue holds up to queueLen pending
+// events. Posting blocks when the queue is full, providing backpressure.
+func New(queueLen int) *Bus {
+	if queueLen <= 0 {
+		queueLen = 256
+	}
+	return &Bus{
+		queue:   make(chan Event, queueLen),
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+}
+
+// Subscribe registers h for events on topic and returns a subscription id
+// usable with Unsubscribe. Handlers on the same topic are invoked in
+// subscription order.
+func (b *Bus) Subscribe(topic Topic, h Handler) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	id := b.nextID
+	b.handlers[topic] = append(b.handlers[topic], subscription{id: id, h: h})
+	return id
+}
+
+// Unsubscribe removes a previously registered handler. It is a no-op if the
+// id is unknown.
+func (b *Bus) Unsubscribe(topic Topic, id int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	subs := b.handlers[topic]
+	for i, s := range subs {
+		if s.id == id {
+			b.handlers[topic] = append(subs[:i:i], subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Start launches the scheduler goroutine. It must be called exactly once
+// before any Post.
+func (b *Bus) Start() {
+	b.mu.Lock()
+	if b.started {
+		b.mu.Unlock()
+		panic("bus: Start called twice")
+	}
+	b.started = true
+	b.mu.Unlock()
+	go b.run()
+}
+
+// Stop shuts the scheduler down after draining already-queued events.
+// Post after Stop returns false. Stop is idempotent.
+func (b *Bus) Stop() {
+	b.mu.Lock()
+	if !b.started {
+		b.started = true // prevent a later Start
+		close(b.done)    // make Post reject immediately
+		close(b.stopped) // no scheduler ever ran; nothing to wait for
+		b.mu.Unlock()
+		return
+	}
+	select {
+	case <-b.done:
+		b.mu.Unlock()
+		<-b.stopped
+		return
+	default:
+	}
+	close(b.done)
+	b.mu.Unlock()
+	<-b.stopped
+}
+
+// Post enqueues an event for asynchronous dispatch. It reports whether the
+// event was accepted (false after Stop). Post blocks if the queue is full.
+func (b *Bus) Post(e Event) bool {
+	select {
+	case <-b.done:
+		return false
+	default:
+	}
+	select {
+	case b.queue <- e:
+		return true
+	case <-b.done:
+		return false
+	}
+}
+
+// Do schedules fn to run on the scheduler goroutine, serialized with event
+// handlers. It reports whether fn was accepted.
+func (b *Bus) Do(fn func()) bool {
+	return b.Post(Event{Topic: TopicCtl, Arg: fn})
+}
+
+func (b *Bus) run() {
+	defer close(b.stopped)
+	for {
+		select {
+		case e := <-b.queue:
+			b.dispatch(e)
+		case <-b.done:
+			// Drain whatever was queued before the stop, then exit.
+			for {
+				select {
+				case e := <-b.queue:
+					b.dispatch(e)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (b *Bus) dispatch(e Event) {
+	if fn, ok := e.Arg.(func()); ok && e.Topic == TopicCtl {
+		fn()
+		return
+	}
+	b.mu.Lock()
+	subs := b.handlers[e.Topic]
+	// Copy under lock so handlers can subscribe/unsubscribe reentrantly.
+	hs := make([]Handler, len(subs))
+	for i, s := range subs {
+		hs[i] = s.h
+	}
+	b.mu.Unlock()
+	for _, h := range hs {
+		h(e)
+	}
+}

@@ -1,0 +1,196 @@
+package bus
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"starfish/internal/wire"
+)
+
+func startedBus(t *testing.T) *Bus {
+	t.Helper()
+	b := New(64)
+	b.Start()
+	t.Cleanup(b.Stop)
+	return b
+}
+
+// wait posts a marker closure and blocks until the scheduler runs it,
+// guaranteeing all previously posted events have been dispatched.
+func wait(t *testing.T, b *Bus) {
+	t.Helper()
+	done := make(chan struct{})
+	if !b.Do(func() { close(done) }) {
+		t.Fatal("bus rejected marker")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("scheduler did not drain")
+	}
+}
+
+func TestPostDispatchesToSubscriber(t *testing.T) {
+	b := startedBus(t)
+	var got []wire.Msg
+	b.Subscribe(TopicConfig, func(e Event) { got = append(got, e.Msg) })
+
+	b.Post(Event{Topic: TopicConfig, Msg: wire.Msg{Type: wire.TConfiguration, Seq: 1}})
+	b.Post(Event{Topic: TopicConfig, Msg: wire.Msg{Type: wire.TConfiguration, Seq: 2}})
+	wait(t, b)
+
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Errorf("got %v, want seq 1,2 in order", got)
+	}
+}
+
+func TestMultipleListenersSameTopic(t *testing.T) {
+	// The paper: "an object bus ... allows us to potentially post the same
+	// events to more than one module".
+	b := startedBus(t)
+	var order []int
+	b.Subscribe(TopicLWView, func(Event) { order = append(order, 1) })
+	b.Subscribe(TopicLWView, func(Event) { order = append(order, 2) })
+	b.Subscribe(TopicLWView, func(Event) { order = append(order, 3) })
+
+	b.Post(Event{Topic: TopicLWView})
+	wait(t, b)
+
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("listener order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestTopicsAreIsolated(t *testing.T) {
+	b := startedBus(t)
+	var cfg, ckpt atomic.Int32
+	b.Subscribe(TopicConfig, func(Event) { cfg.Add(1) })
+	b.Subscribe(TopicCheckpoint, func(Event) { ckpt.Add(1) })
+
+	b.Post(Event{Topic: TopicConfig})
+	b.Post(Event{Topic: TopicConfig})
+	b.Post(Event{Topic: TopicCheckpoint})
+	wait(t, b)
+
+	if cfg.Load() != 2 || ckpt.Load() != 1 {
+		t.Errorf("cfg=%d ckpt=%d, want 2,1", cfg.Load(), ckpt.Load())
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	b := startedBus(t)
+	var n atomic.Int32
+	id := b.Subscribe(TopicCtl, func(Event) { n.Add(1) })
+	b.Post(Event{Topic: TopicCtl})
+	wait(t, b)
+	b.Unsubscribe(TopicCtl, id)
+	b.Post(Event{Topic: TopicCtl})
+	wait(t, b)
+	if n.Load() != 1 {
+		t.Errorf("handler ran %d times, want 1", n.Load())
+	}
+	// Unsubscribing twice must be harmless.
+	b.Unsubscribe(TopicCtl, id)
+}
+
+func TestReentrantSubscribe(t *testing.T) {
+	b := startedBus(t)
+	var second atomic.Bool
+	b.Subscribe(TopicCoordination, func(Event) {
+		b.Subscribe(TopicCoordination, func(Event) { second.Store(true) })
+	})
+	b.Post(Event{Topic: TopicCoordination})
+	wait(t, b)
+	if second.Load() {
+		t.Error("handler subscribed during dispatch received the same event")
+	}
+	b.Post(Event{Topic: TopicCoordination})
+	wait(t, b)
+	if !second.Load() {
+		t.Error("handler subscribed during dispatch never received later events")
+	}
+}
+
+func TestHandlersAreSerialized(t *testing.T) {
+	// All handlers run on one scheduler goroutine, so unsynchronized module
+	// state must be safe. Hammer the bus from many posters and check the
+	// counter (deliberately unsynchronized) is consistent.
+	b := startedBus(t)
+	counter := 0
+	b.Subscribe(TopicCtl, func(Event) { counter++ })
+
+	const posters, per = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < posters; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Post(Event{Topic: TopicCtl})
+			}
+		}()
+	}
+	wg.Wait()
+	wait(t, b)
+	if counter != posters*per {
+		t.Errorf("counter = %d, want %d", counter, posters*per)
+	}
+}
+
+func TestStopDrainsQueue(t *testing.T) {
+	b := New(1024)
+	b.Start()
+	var n atomic.Int32
+	b.Subscribe(TopicCtl, func(Event) { n.Add(1) })
+	for i := 0; i < 100; i++ {
+		b.Post(Event{Topic: TopicCtl})
+	}
+	b.Stop()
+	if n.Load() != 100 {
+		t.Errorf("drained %d events, want 100", n.Load())
+	}
+	if b.Post(Event{Topic: TopicCtl}) {
+		t.Error("Post after Stop returned true")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	b := New(8)
+	b.Start()
+	b.Stop()
+	b.Stop() // must not panic or hang
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	b := New(8)
+	b.Stop() // must not hang
+	if b.Post(Event{Topic: TopicCtl}) {
+		t.Error("Post accepted on never-started, stopped bus")
+	}
+}
+
+func TestDoRunsOnScheduler(t *testing.T) {
+	b := startedBus(t)
+	var fromHandler, fromDo int
+	b.Subscribe(TopicCtl, func(Event) { fromHandler++ })
+	b.Post(Event{Topic: TopicCtl})
+	b.Do(func() { fromDo = fromHandler }) // must observe the handler's write
+	wait(t, b)
+	if fromDo != 1 {
+		t.Errorf("Do observed fromHandler=%d, want 1 (not serialized?)", fromDo)
+	}
+}
+
+func TestTopicString(t *testing.T) {
+	topics := []Topic{TopicLWView, TopicCoordination, TopicCheckpoint, TopicConfig, TopicOutbound, TopicCtl}
+	seen := map[string]bool{}
+	for _, tp := range topics {
+		s := tp.String()
+		if s == "" || seen[s] {
+			t.Errorf("Topic %d has empty or duplicate name %q", tp, s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,172 @@
+package ckpt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeltaIdenticalStates(t *testing.T) {
+	state := make([]byte, 3*DeltaBlockSize+100)
+	for i := range state {
+		state[i] = byte(i)
+	}
+	d := ComputeDelta(state, state)
+	if len(d.Blocks) != 0 {
+		t.Errorf("identical states produced %d changed blocks", len(d.Blocks))
+	}
+	out, err := d.Apply(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, state) {
+		t.Error("apply of empty delta changed state")
+	}
+}
+
+func TestDeltaSingleBlockChange(t *testing.T) {
+	base := make([]byte, 8*DeltaBlockSize)
+	next := append([]byte(nil), base...)
+	next[5*DeltaBlockSize+17] = 0xFF
+	d := ComputeDelta(base, next)
+	if len(d.Blocks) != 1 {
+		t.Fatalf("changed blocks = %d, want 1", len(d.Blocks))
+	}
+	if _, ok := d.Blocks[5]; !ok {
+		t.Errorf("wrong block: %v", d.Blocks)
+	}
+	out, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, next) {
+		t.Error("apply mismatch")
+	}
+	// Savings: the delta is far smaller than the full state.
+	if d.Size() >= len(next)/2 {
+		t.Errorf("delta size %d not small vs %d", d.Size(), len(next))
+	}
+}
+
+func TestDeltaGrowAndShrink(t *testing.T) {
+	base := make([]byte, 2*DeltaBlockSize)
+	grown := make([]byte, 3*DeltaBlockSize+7)
+	for i := range grown {
+		grown[i] = byte(i * 3)
+	}
+	d := ComputeDelta(base, grown)
+	out, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, grown) {
+		t.Error("grow mismatch")
+	}
+	// Shrink back.
+	d2 := ComputeDelta(grown, base)
+	out, err = d2.Apply(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, base) {
+		t.Error("shrink mismatch")
+	}
+}
+
+func TestDeltaWrongBase(t *testing.T) {
+	d := ComputeDelta(make([]byte, 100), make([]byte, 100))
+	if _, err := d.Apply(make([]byte, 99)); err == nil {
+		t.Error("wrong-length base accepted")
+	}
+}
+
+func TestDeltaEncodeDecode(t *testing.T) {
+	base := make([]byte, 2*DeltaBlockSize)
+	next := append([]byte(nil), base...)
+	next[0] = 1
+	next[DeltaBlockSize] = 2
+	d := ComputeDelta(base, next)
+	got, err := DecodeDelta(d.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := got.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, next) {
+		t.Error("decoded delta apply mismatch")
+	}
+	if _, err := DecodeDelta([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage delta decoded")
+	}
+}
+
+func TestDeltaChainReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	state := make([]byte, 5*DeltaBlockSize)
+	r.Read(state)
+	base := append([]byte(nil), state...)
+
+	var deltas []*Delta
+	var states [][]byte
+	for i := 0; i < 6; i++ {
+		next := append([]byte(nil), state...)
+		// Mutate a few random spots; occasionally grow.
+		for j := 0; j < 3; j++ {
+			next[r.Intn(len(next))] ^= 0x5A
+		}
+		if i == 3 {
+			next = append(next, make([]byte, DeltaBlockSize/2)...)
+		}
+		deltas = append(deltas, ComputeDelta(state, next))
+		states = append(states, next)
+		state = next
+	}
+	got, err := DeltaChain(base, deltas...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, states[len(states)-1]) {
+		t.Error("chain reconstruction mismatch")
+	}
+}
+
+func TestQuickDeltaRoundTrip(t *testing.T) {
+	prop := func(base, next []byte) bool {
+		d := ComputeDelta(base, next)
+		enc, err := DecodeDelta(d.Encode())
+		if err != nil {
+			return false
+		}
+		out, err := enc.Apply(base)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out, next)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeltaSparseChangesAreSmall(t *testing.T) {
+	// Property: changing k bytes touches at most k blocks, so the delta
+	// payload is bounded by k*(blocksize+8)+16.
+	prop := func(seed int64, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := int(kRaw%8) + 1
+		base := make([]byte, 16*DeltaBlockSize)
+		r.Read(base)
+		next := append([]byte(nil), base...)
+		for i := 0; i < k; i++ {
+			next[r.Intn(len(next))]++
+		}
+		d := ComputeDelta(base, next)
+		return len(d.Blocks) <= k && d.Size() <= k*(DeltaBlockSize+8)+16
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,227 @@
+package ckpt
+
+import (
+	"sort"
+
+	"starfish/internal/wire"
+)
+
+// Uncoordinated (independent) checkpointing: every process checkpoints on
+// its own schedule, and each data message carries the sender's current
+// checkpoint-interval index. Receivers record a dependency for every
+// receipt; dependencies are persisted in the next checkpoint's metadata.
+// At recovery, the rollback-dependency information determines the most
+// recent consistent recovery line [14,32]; in the worst case rollback
+// propagation cascades to the initial state (the domino effect), which
+// this implementation makes observable and the tests exercise.
+
+// IntervalID names one checkpoint interval of one rank: interval i is the
+// execution between checkpoint i and checkpoint i+1 (processes start in
+// interval 0; checkpoint 0 is the initial state).
+type IntervalID struct {
+	Rank  wire.Rank
+	Index uint64
+}
+
+// Dep records that a message sent by From's rank during From's interval was
+// received by To's rank during To's interval.
+type Dep struct {
+	From IntervalID
+	To   IntervalID
+}
+
+// RecoveryLine maps each rank to the checkpoint index it must restore.
+type RecoveryLine map[wire.Rank]uint64
+
+// Equal reports whether two lines are identical.
+func (l RecoveryLine) Equal(o RecoveryLine) bool {
+	if len(l) != len(o) {
+		return false
+	}
+	for r, n := range l {
+		if o[r] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Ranks returns the line's ranks in ascending order.
+func (l RecoveryLine) Ranks() []wire.Rank {
+	out := make([]wire.Rank, 0, len(l))
+	for r := range l {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ComputeRecoveryLine returns the most recent consistent recovery line
+// given each rank's latest checkpoint index and the set of recorded message
+// dependencies.
+//
+// A line {c_r} is consistent iff it contains no orphan message: a message
+// sent by rank p in interval i >= c_p (so the restored p never sends it)
+// but received by rank q before its restored checkpoint (dep.To.Index <
+// c_q, so the restored q remembers receiving it). The algorithm starts from
+// everyone's latest checkpoint and rolls receivers back until a fixpoint —
+// the standard rollback-propagation sweep. It terminates because indices
+// only decrease and are bounded by zero; reaching all-zeros is the domino
+// effect.
+func ComputeRecoveryLine(latest map[wire.Rank]uint64, deps []Dep) RecoveryLine {
+	line := make(RecoveryLine, len(latest))
+	for r, n := range latest {
+		line[r] = n
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range deps {
+			cp, okP := line[d.From.Rank]
+			cq, okQ := line[d.To.Rank]
+			if !okP || !okQ {
+				continue // dependency involving a rank outside the line
+			}
+			if d.From.Index >= cp && d.To.Index < cq {
+				// Orphan: roll the receiver back to the checkpoint
+				// preceding the receipt.
+				line[d.To.Rank] = d.To.Index
+				changed = true
+			}
+		}
+	}
+	return line
+}
+
+// RollbackDistance reports, per rank, how many checkpoints the line loses
+// relative to each rank's latest checkpoint — the rollback-propagation
+// metric of [1].
+func RollbackDistance(latest map[wire.Rank]uint64, line RecoveryLine) map[wire.Rank]uint64 {
+	out := make(map[wire.Rank]uint64, len(latest))
+	for r, n := range latest {
+		out[r] = n - line[r]
+	}
+	return out
+}
+
+// Meta is the metadata persisted with each checkpoint: the dependencies
+// recorded during the interval that the checkpoint closes.
+type Meta struct {
+	Rank wire.Rank
+	// Index is the checkpoint number (interval Index-1 is the one whose
+	// receipts Deps describes; checkpoint 0 has no deps).
+	Index uint64
+	// Deps are the message dependencies recorded since the previous
+	// checkpoint.
+	Deps []Dep
+	// SentCounts is the cumulative number of data messages this rank had
+	// sent to each peer at checkpoint time; restored senders continue
+	// their per-pair sequence numbers from here.
+	SentCounts map[wire.Rank]uint64
+	// RecvCounts is the cumulative number of data messages this rank had
+	// received from each peer at checkpoint time; peers use it at restart
+	// to decide which logged messages to replay, and the restored rank
+	// uses it to suppress duplicates.
+	RecvCounts map[wire.Rank]uint64
+	// SentLog is the encoded sender-side message log of the interval this
+	// checkpoint closes (uncoordinated protocol only). It is opaque to
+	// this package; internal/proc encodes and replays it.
+	SentLog []byte
+}
+
+// Encode serializes the metadata.
+func (m *Meta) Encode() []byte {
+	w := wire.NewWriter(32 + 20*len(m.Deps))
+	w.U32(uint32(m.Rank)).U64(m.Index)
+	w.U32(uint32(len(m.Deps)))
+	for _, d := range m.Deps {
+		w.U32(uint32(d.From.Rank)).U64(d.From.Index)
+		w.U32(uint32(d.To.Rank)).U64(d.To.Index)
+	}
+	writeCounts := func(counts map[wire.Rank]uint64) {
+		ranks := make([]wire.Rank, 0, len(counts))
+		for r := range counts {
+			ranks = append(ranks, r)
+		}
+		sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+		w.U32(uint32(len(ranks)))
+		for _, r := range ranks {
+			w.U32(uint32(r)).U64(counts[r])
+		}
+	}
+	writeCounts(m.SentCounts)
+	writeCounts(m.RecvCounts)
+	w.Bytes32(m.SentLog)
+	return w.Bytes()
+}
+
+// DecodeMeta parses metadata written by Encode.
+func DecodeMeta(b []byte) (*Meta, error) {
+	r := wire.NewReader(b)
+	m := &Meta{Rank: wire.Rank(r.U32()), Index: r.U64()}
+	nd := r.U32()
+	for i := uint32(0); i < nd && r.Err() == nil; i++ {
+		var d Dep
+		d.From.Rank = wire.Rank(r.U32())
+		d.From.Index = r.U64()
+		d.To.Rank = wire.Rank(r.U32())
+		d.To.Index = r.U64()
+		m.Deps = append(m.Deps, d)
+	}
+	readCounts := func() map[wire.Rank]uint64 {
+		nc := r.U32()
+		if nc == 0 || r.Err() != nil {
+			return nil
+		}
+		counts := make(map[wire.Rank]uint64, nc)
+		for i := uint32(0); i < nc && r.Err() == nil; i++ {
+			rank := wire.Rank(r.U32())
+			counts[rank] = r.U64()
+		}
+		return counts
+	}
+	m.SentCounts = readCounts()
+	m.RecvCounts = readCounts()
+	m.SentLog = append([]byte(nil), r.Bytes32()...)
+	if len(m.SentLog) == 0 {
+		m.SentLog = nil
+	}
+	if r.Err() != nil {
+		return nil, ErrBadImage
+	}
+	return m, nil
+}
+
+// GatherLine scans the store for app's checkpoints and computes the most
+// recent consistent recovery line from the persisted metadata. This is the
+// restart path of uncoordinated checkpointing: no commit record exists, so
+// the line must be derived from the dependency graph.
+func GatherLine(s *Store, app wire.AppID) (RecoveryLine, error) {
+	ranks, err := s.Ranks(app)
+	if err != nil {
+		return nil, err
+	}
+	if len(ranks) == 0 {
+		return nil, ErrNoCheckpoint
+	}
+	latest := make(map[wire.Rank]uint64, len(ranks))
+	var deps []Dep
+	for _, rank := range ranks {
+		ns, err := s.List(app, rank)
+		if err != nil {
+			return nil, err
+		}
+		if len(ns) == 0 {
+			latest[rank] = 0
+			continue
+		}
+		latest[rank] = ns[len(ns)-1]
+		for _, n := range ns {
+			_, meta, err := s.Get(app, rank, n)
+			if err != nil {
+				return nil, err
+			}
+			deps = append(deps, meta.Deps...)
+		}
+	}
+	return ComputeRecoveryLine(latest, deps), nil
+}

@@ -1,0 +1,247 @@
+package ckpt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"starfish/internal/wire"
+)
+
+func dep(fr wire.Rank, fi uint64, tr wire.Rank, ti uint64) Dep {
+	return Dep{From: IntervalID{Rank: fr, Index: fi}, To: IntervalID{Rank: tr, Index: ti}}
+}
+
+func TestRecoveryLineNoDeps(t *testing.T) {
+	latest := map[wire.Rank]uint64{0: 3, 1: 5, 2: 2}
+	line := ComputeRecoveryLine(latest, nil)
+	if !line.Equal(RecoveryLine{0: 3, 1: 5, 2: 2}) {
+		t.Errorf("line = %v", line)
+	}
+}
+
+func TestRecoveryLineConsistentDeps(t *testing.T) {
+	// Messages received before the receiver's latest checkpoint and sent
+	// before the sender's latest checkpoint are harmless.
+	latest := map[wire.Rank]uint64{0: 2, 1: 2}
+	deps := []Dep{dep(0, 0, 1, 0), dep(1, 1, 0, 1)}
+	line := ComputeRecoveryLine(latest, deps)
+	if !line.Equal(RecoveryLine{0: 2, 1: 2}) {
+		t.Errorf("line = %v", line)
+	}
+}
+
+func TestRecoveryLineSingleOrphan(t *testing.T) {
+	// Rank 0's latest checkpoint is 1; it sent a message in interval 1
+	// that rank 1 received in interval 1 and then checkpointed (ckpt 2).
+	// Restoring {0:1, 1:2} would orphan that receipt, so rank 1 must roll
+	// back to checkpoint 1.
+	latest := map[wire.Rank]uint64{0: 1, 1: 2}
+	deps := []Dep{dep(0, 1, 1, 1)}
+	line := ComputeRecoveryLine(latest, deps)
+	if !line.Equal(RecoveryLine{0: 1, 1: 1}) {
+		t.Errorf("line = %v, want {0:1 1:1}", line)
+	}
+}
+
+func TestRecoveryLineCascade(t *testing.T) {
+	// Rolling rank 1 back orphans a message it sent to rank 2, which
+	// cascades.
+	latest := map[wire.Rank]uint64{0: 1, 1: 3, 2: 3}
+	deps := []Dep{
+		dep(0, 1, 1, 2), // forces 1 -> 2
+		dep(1, 2, 2, 2), // with c1=2, this forces 2 -> 2
+	}
+	line := ComputeRecoveryLine(latest, deps)
+	if !line.Equal(RecoveryLine{0: 1, 1: 2, 2: 2}) {
+		t.Errorf("line = %v, want {0:1 1:2 2:2}", line)
+	}
+}
+
+func TestDominoEffect(t *testing.T) {
+	// The classic staggered ping-pong: rank 0 sends in its interval i and
+	// rank 1 receives in its interval i, then rank 1 checkpoints and
+	// replies from interval i+1 — which rank 0 receives while still in
+	// interval i, before its own next checkpoint. Every candidate line is
+	// crossed by some message, so any rollback cascades to the initial
+	// state.
+	latest := map[wire.Rank]uint64{0: 3, 1: 4}
+	var deps []Dep
+	for i := uint64(0); i < 4; i++ {
+		deps = append(deps, dep(0, i, 1, i))
+		if i > 0 {
+			deps = append(deps, dep(1, i, 0, i-1))
+		}
+	}
+	line := ComputeRecoveryLine(latest, deps)
+	if !line.Equal(RecoveryLine{0: 0, 1: 0}) {
+		t.Errorf("line = %v, want the initial state (domino effect)", line)
+	}
+	dist := RollbackDistance(latest, line)
+	if dist[0] != 3 || dist[1] != 4 {
+		t.Errorf("rollback distance = %v", dist)
+	}
+}
+
+func TestRecoveryLineIgnoresForeignRanks(t *testing.T) {
+	latest := map[wire.Rank]uint64{0: 2}
+	deps := []Dep{dep(9, 1, 0, 1), dep(0, 1, 9, 1)} // rank 9 not recovering
+	line := ComputeRecoveryLine(latest, deps)
+	if !line.Equal(RecoveryLine{0: 2}) {
+		t.Errorf("line = %v", line)
+	}
+}
+
+func TestQuickRecoveryLineProperties(t *testing.T) {
+	// Properties: (1) the line never exceeds latest; (2) the line is
+	// consistent (no orphan dep remains); (3) recomputing from the line
+	// is a fixpoint.
+	type rawDep struct {
+		FR, TR uint8
+		FI, TI uint8
+	}
+	prop := func(latestRaw [4]uint8, rawDeps []rawDep) bool {
+		latest := map[wire.Rank]uint64{}
+		for r, n := range latestRaw {
+			latest[wire.Rank(r)] = uint64(n % 8)
+		}
+		deps := make([]Dep, 0, len(rawDeps))
+		for _, d := range rawDeps {
+			deps = append(deps, dep(
+				wire.Rank(d.FR%4), uint64(d.FI%8),
+				wire.Rank(d.TR%4), uint64(d.TI%8)))
+		}
+		line := ComputeRecoveryLine(latest, deps)
+		for r, n := range line {
+			if n > latest[r] {
+				return false
+			}
+		}
+		for _, d := range deps {
+			if d.From.Index >= line[d.From.Rank] && d.To.Index < line[d.To.Rank] {
+				return false // orphan survived
+			}
+		}
+		again := ComputeRecoveryLine(map[wire.Rank]uint64(line), deps)
+		return again.Equal(line)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStorePutGetList(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := []byte("image-bytes")
+	meta := &Meta{Rank: 1, Index: 2, Deps: []Dep{dep(0, 1, 1, 1)}}
+	if err := s.Put(7, 1, 2, img, meta); err != nil {
+		t.Fatal(err)
+	}
+	gotImg, gotMeta, err := s.Get(7, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotImg) != "image-bytes" || gotMeta.Index != 2 || len(gotMeta.Deps) != 1 {
+		t.Errorf("got %q %+v", gotImg, gotMeta)
+	}
+	if _, _, err := s.Get(7, 1, 99); err == nil {
+		t.Error("missing checkpoint loaded")
+	}
+
+	s.Put(7, 1, 3, img, nil)
+	s.Put(7, 0, 1, img, nil)
+	ns, _ := s.List(7, 1)
+	if len(ns) != 2 || ns[0] != 2 || ns[1] != 3 {
+		t.Errorf("List = %v", ns)
+	}
+	ranks, _ := s.Ranks(7)
+	if len(ranks) != 2 || ranks[0] != 0 || ranks[1] != 1 {
+		t.Errorf("Ranks = %v", ranks)
+	}
+}
+
+func TestStoreCommitLine(t *testing.T) {
+	s, _ := NewStore(t.TempDir())
+	if _, err := s.CommittedLine(3); err == nil {
+		t.Error("uncommitted app returned a line")
+	}
+	line := RecoveryLine{0: 4, 1: 4, 2: 4}
+	if err := s.CommitLine(3, line); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.CommittedLine(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(line) {
+		t.Errorf("line = %v", got)
+	}
+	// Overwrite with a newer line.
+	line2 := RecoveryLine{0: 5, 1: 5, 2: 5}
+	s.CommitLine(3, line2)
+	got, _ = s.CommittedLine(3)
+	if !got.Equal(line2) {
+		t.Errorf("line after recommit = %v", got)
+	}
+}
+
+func TestStoreGC(t *testing.T) {
+	s, _ := NewStore(t.TempDir())
+	for n := uint64(0); n < 5; n++ {
+		s.Put(1, 0, n, []byte{byte(n)}, nil)
+	}
+	if err := s.GC(1, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	ns, _ := s.List(1, 0)
+	if len(ns) != 2 || ns[0] != 3 || ns[1] != 4 {
+		t.Errorf("after GC: %v", ns)
+	}
+	// GC of a rank with no checkpoints is a no-op.
+	if err := s.GC(1, 9, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreDropApp(t *testing.T) {
+	s, _ := NewStore(t.TempDir())
+	s.Put(5, 0, 1, []byte("x"), nil)
+	s.CommitLine(5, RecoveryLine{0: 1})
+	if err := s.DropApp(5); err != nil {
+		t.Fatal(err)
+	}
+	if ranks, _ := s.Ranks(5); ranks != nil {
+		t.Errorf("ranks after drop = %v", ranks)
+	}
+}
+
+func TestGatherLineUncoordinated(t *testing.T) {
+	s, _ := NewStore(t.TempDir())
+	app := wire.AppID(9)
+	// Rank 0: ckpts 0,1 — latest 1. Rank 1: ckpts 0,1,2 — latest 2, but
+	// ckpt 2's interval received from rank 0's interval 1 (>= rank 0's
+	// latest), so rank 1 must restore ckpt 1.
+	s.Put(app, 0, 0, []byte("a0"), &Meta{Rank: 0, Index: 0})
+	s.Put(app, 0, 1, []byte("a1"), &Meta{Rank: 0, Index: 1})
+	s.Put(app, 1, 0, []byte("b0"), &Meta{Rank: 1, Index: 0})
+	s.Put(app, 1, 1, []byte("b1"), &Meta{Rank: 1, Index: 1})
+	s.Put(app, 1, 2, []byte("b2"), &Meta{Rank: 1, Index: 2,
+		Deps: []Dep{dep(0, 1, 1, 1)}})
+
+	line, err := GatherLine(s, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !line.Equal(RecoveryLine{0: 1, 1: 1}) {
+		t.Errorf("line = %v, want {0:1 1:1}", line)
+	}
+}
+
+func TestGatherLineEmpty(t *testing.T) {
+	s, _ := NewStore(t.TempDir())
+	if _, err := GatherLine(s, 42); err == nil {
+		t.Error("GatherLine on empty app succeeded")
+	}
+}

@@ -1,0 +1,237 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"starfish/internal/wire"
+)
+
+// Store is the on-disk checkpoint repository of one node (in the simulated
+// cluster all nodes may share a directory, which models the shared/parallel
+// file system such clusters typically checkpoint to).
+//
+// Layout:
+//
+//	<dir>/app-<id>/rank-<r>/ckpt-<n>.img    checkpoint image
+//	<dir>/app-<id>/rank-<r>/ckpt-<n>.meta   interval metadata (deps)
+//	<dir>/app-<id>/COMMIT                   last committed recovery line
+//
+// Writes are atomic (temp file + rename), so a crash mid-checkpoint never
+// corrupts a previous checkpoint.
+type Store struct {
+	dir string
+}
+
+// ErrNoCheckpoint is returned when a requested checkpoint does not exist.
+var ErrNoCheckpoint = errors.New("ckpt: no such checkpoint")
+
+// NewStore creates (if needed) and opens a store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) rankDir(app wire.AppID, rank wire.Rank) string {
+	return filepath.Join(s.dir, fmt.Sprintf("app-%d", app), fmt.Sprintf("rank-%d", rank))
+}
+
+func (s *Store) imgPath(app wire.AppID, rank wire.Rank, n uint64) string {
+	return filepath.Join(s.rankDir(app, rank), fmt.Sprintf("ckpt-%d.img", n))
+}
+
+func (s *Store) metaPath(app wire.AppID, rank wire.Rank, n uint64) string {
+	return filepath.Join(s.rankDir(app, rank), fmt.Sprintf("ckpt-%d.meta", n))
+}
+
+// atomicWrite writes data to path via a uniquely named temporary file and
+// rename, so concurrent writers (e.g. two incarnations racing during a
+// partition) cannot trample each other's staging file — last rename wins.
+func atomicWrite(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Put stores checkpoint n of (app, rank): the encoded image and its
+// interval metadata.
+func (s *Store) Put(app wire.AppID, rank wire.Rank, n uint64, img []byte, meta *Meta) error {
+	if err := os.MkdirAll(s.rankDir(app, rank), 0o755); err != nil {
+		return err
+	}
+	if err := atomicWrite(s.imgPath(app, rank, n), img); err != nil {
+		return err
+	}
+	var mb []byte
+	if meta != nil {
+		mb = meta.Encode()
+	} else {
+		mb = (&Meta{Rank: rank, Index: n}).Encode()
+	}
+	return atomicWrite(s.metaPath(app, rank, n), mb)
+}
+
+// Get loads checkpoint n of (app, rank).
+func (s *Store) Get(app wire.AppID, rank wire.Rank, n uint64) ([]byte, *Meta, error) {
+	img, err := os.ReadFile(s.imgPath(app, rank, n))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("%w: app %d rank %d #%d", ErrNoCheckpoint, app, rank, n)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	mb, err := os.ReadFile(s.metaPath(app, rank, n))
+	if err != nil {
+		return nil, nil, err
+	}
+	meta, err := DecodeMeta(mb)
+	if err != nil {
+		return nil, nil, err
+	}
+	return img, meta, nil
+}
+
+// List returns the checkpoint indices available for (app, rank), ascending.
+func (s *Store) List(app wire.AppID, rank wire.Rank) ([]uint64, error) {
+	entries, err := os.ReadDir(s.rankDir(app, rank))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".img") {
+			continue
+		}
+		n, err := strconv.ParseUint(name[len("ckpt-"):len(name)-len(".img")], 10, 64)
+		if err == nil {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Ranks returns the ranks that have at least one checkpoint for app.
+func (s *Store) Ranks(app wire.AppID) ([]wire.Rank, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, fmt.Sprintf("app-%d", app)))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []wire.Rank
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "rank-") {
+			continue
+		}
+		r, err := strconv.ParseInt(name[len("rank-"):], 10, 32)
+		if err == nil {
+			out = append(out, wire.Rank(r))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// CommitLine atomically records a committed recovery line for app. For
+// coordinated protocols this is written by the checkpoint coordinator after
+// every participant acked; restart reads it back.
+func (s *Store) CommitLine(app wire.AppID, line RecoveryLine) error {
+	dir := filepath.Join(s.dir, fmt.Sprintf("app-%d", app))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ranks := make([]wire.Rank, 0, len(line))
+	for r := range line {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	w := wire.NewWriter(8 * len(line))
+	w.U32(uint32(len(line)))
+	for _, r := range ranks {
+		w.U32(uint32(r)).U64(line[r])
+	}
+	return atomicWrite(filepath.Join(dir, "COMMIT"), w.Bytes())
+}
+
+// CommittedLine reads back the last committed recovery line for app, or
+// ErrNoCheckpoint if none was ever committed.
+func (s *Store) CommittedLine(app wire.AppID) (RecoveryLine, error) {
+	b, err := os.ReadFile(filepath.Join(s.dir, fmt.Sprintf("app-%d", app), "COMMIT"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: app %d has no committed line", ErrNoCheckpoint, app)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(b)
+	n := r.U32()
+	line := make(RecoveryLine, n)
+	for i := uint32(0); i < n; i++ {
+		rank := wire.Rank(r.U32())
+		line[rank] = r.U64()
+	}
+	if r.Err() != nil {
+		return nil, ErrBadImage
+	}
+	return line, nil
+}
+
+// GC removes checkpoints of (app, rank) older than keepFrom. Committed
+// recovery lines make earlier checkpoints garbage (coordinated protocols);
+// uncoordinated protocols may only collect below the computed line.
+func (s *Store) GC(app wire.AppID, rank wire.Rank, keepFrom uint64) error {
+	ns, err := s.List(app, rank)
+	if err != nil {
+		return err
+	}
+	for _, n := range ns {
+		if n >= keepFrom {
+			continue
+		}
+		if err := os.Remove(s.imgPath(app, rank, n)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+		if err := os.Remove(s.metaPath(app, rank, n)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropApp removes every stored checkpoint of app (application deleted).
+func (s *Store) DropApp(app wire.AppID) error {
+	return os.RemoveAll(filepath.Join(s.dir, fmt.Sprintf("app-%d", app)))
+}

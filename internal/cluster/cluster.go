@@ -1,0 +1,280 @@
+// Package cluster provides the simulated cluster of workstations the
+// reproduction runs on: N nodes, each with a Starfish daemon, a simulated
+// architecture, and a shared in-process network. It is the substitute for
+// the paper's physical testbed and supplies the failure-injection surface
+// (node crashes, graceful leaves, node additions) that the fault-tolerance
+// experiments exercise.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"starfish/internal/ckpt"
+	"starfish/internal/daemon"
+	"starfish/internal/proc"
+	"starfish/internal/svm"
+	"starfish/internal/vni"
+	"starfish/internal/wire"
+)
+
+// Options tunes a simulated cluster.
+type Options struct {
+	// Nodes is the initial node count (ids 1..Nodes).
+	Nodes int
+	// StoreDir is the shared checkpoint-store directory.
+	StoreDir string
+	// Archs assigns simulated architectures round-robin; nil uses
+	// svm.Machines (a heterogeneous cluster).
+	Archs []svm.Arch
+	// HeartbeatEvery/FailAfter tune the failure detector (defaults:
+	// 5ms / 150ms). The default detection budget is deliberately
+	// generous: simulated nodes share the host's cores, and a
+	// compute-bound application must not starve heartbeats into false
+	// suspicions (the gcs quorum rule contains the damage if it still
+	// happens, but detection latency is the cheaper defence).
+	HeartbeatEvery time.Duration
+	FailAfter      time.Duration
+	// Logf receives daemon diagnostics.
+	Logf func(string, ...any)
+}
+
+// Cluster is a simulated Starfish cluster.
+type Cluster struct {
+	opts  Options
+	fn    *vni.Fastnet
+	store *ckpt.Store
+
+	mu      sync.Mutex
+	daemons map[wire.NodeID]*daemon.Daemon
+	nextID  wire.NodeID
+}
+
+// ErrNodeUnknown is returned for operations on nodes not in the cluster.
+var ErrNodeUnknown = errors.New("cluster: unknown node")
+
+// New builds and starts a cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 1
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = 5 * time.Millisecond
+	}
+	if opts.FailAfter <= 0 {
+		opts.FailAfter = 30 * opts.HeartbeatEvery
+	}
+	if opts.Archs == nil {
+		opts.Archs = svm.Machines
+	}
+	store, err := ckpt.NewStore(opts.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		opts:    opts,
+		fn:      vni.NewFastnet(0),
+		store:   store,
+		daemons: make(map[wire.NodeID]*daemon.Daemon),
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		if _, err := c.AddNode(); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// gcsAddr names a node's group-communication address on the fastnet.
+func gcsAddr(id wire.NodeID) string { return fmt.Sprintf("gcs-node%d", id) }
+
+// AddNode starts a new node (daemon) and joins it to the cluster,
+// returning its id. This is the dynamic-growth path of §3.1.2.
+func (c *Cluster) AddNode() (wire.NodeID, error) {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	contact := ""
+	if len(c.daemons) > 0 {
+		// Join through any live daemon (lowest id for determinism).
+		ids := c.nodeIDsLocked()
+		contact = gcsAddr(ids[0])
+	}
+	arch := c.opts.Archs[int(id-1)%len(c.opts.Archs)]
+	c.mu.Unlock()
+
+	d, err := daemon.New(daemon.Config{
+		Node:           id,
+		Transport:      c.fn,
+		GCSAddr:        gcsAddr(id),
+		Contact:        contact,
+		Store:          c.store,
+		Arch:           arch,
+		HeartbeatEvery: c.opts.HeartbeatEvery,
+		FailAfter:      c.opts.FailAfter,
+		Logf:           c.opts.Logf,
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.daemons[id] = d
+	c.mu.Unlock()
+	return id, nil
+}
+
+func (c *Cluster) nodeIDsLocked() []wire.NodeID {
+	ids := make([]wire.NodeID, 0, len(c.daemons))
+	for id := range c.daemons {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Nodes returns the live node ids, sorted.
+func (c *Cluster) Nodes() []wire.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodeIDsLocked()
+}
+
+// Daemon returns the daemon of a node.
+func (c *Cluster) Daemon(id wire.NodeID) (*daemon.Daemon, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.daemons[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNodeUnknown, id)
+	}
+	return d, nil
+}
+
+// AnyDaemon returns the lowest-id live daemon (the usual client contact).
+func (c *Cluster) AnyDaemon() *daemon.Daemon {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := c.nodeIDsLocked()
+	if len(ids) == 0 {
+		return nil
+	}
+	return c.daemons[ids[0]]
+}
+
+// Store returns the shared checkpoint store.
+func (c *Cluster) Store() *ckpt.Store { return c.store }
+
+// Transport returns the cluster's shared network.
+func (c *Cluster) Transport() *vni.Fastnet { return c.fn }
+
+// Crash kills a node abruptly: its network presence vanishes and its
+// daemon (with all hosted application processes) dies. Remote failure
+// detectors notice via missed heartbeats — nothing is announced.
+func (c *Cluster) Crash(id wire.NodeID) error {
+	c.mu.Lock()
+	d, ok := c.daemons[id]
+	delete(c.daemons, id)
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNodeUnknown, id)
+	}
+	// Sever the daemon's group-communication link first so peers see the
+	// crash even while the local teardown is in progress.
+	c.fn.Crash(gcsAddr(id))
+	d.Close()
+	return nil
+}
+
+// Leave removes a node gracefully (administrative removal, §3.1.1).
+func (c *Cluster) Leave(id wire.NodeID) error {
+	c.mu.Lock()
+	d, ok := c.daemons[id]
+	delete(c.daemons, id)
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNodeUnknown, id)
+	}
+	d.Leave()
+	return nil
+}
+
+// Shutdown stops every daemon.
+func (c *Cluster) Shutdown() {
+	c.mu.Lock()
+	ds := make([]*daemon.Daemon, 0, len(c.daemons))
+	for _, d := range c.daemons {
+		ds = append(ds, d)
+	}
+	c.daemons = map[wire.NodeID]*daemon.Daemon{}
+	c.mu.Unlock()
+	for _, d := range ds {
+		d.Close()
+	}
+}
+
+// Submit launches an application through the contact daemon.
+func (c *Cluster) Submit(spec proc.AppSpec) error {
+	d := c.AnyDaemon()
+	if d == nil {
+		return errors.New("cluster: no live daemons")
+	}
+	return d.Submit(spec)
+}
+
+// WaitApp polls until the application reaches a terminal state (Done or
+// Failed) or the timeout expires.
+func (c *Cluster) WaitApp(app wire.AppID, timeout time.Duration) (daemon.AppInfo, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		d := c.AnyDaemon()
+		if d == nil {
+			return daemon.AppInfo{}, errors.New("cluster: no live daemons")
+		}
+		info, ok := d.AppInfo(app)
+		if ok && (info.Status == daemon.StatusDone || info.Status == daemon.StatusFailed) {
+			return info, nil
+		}
+		if time.Now().After(deadline) {
+			return info, fmt.Errorf("cluster: app %d not terminal after %v (status %v)",
+				app, timeout, info.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// WaitStatus polls until the application reports the wanted status.
+func (c *Cluster) WaitStatus(app wire.AppID, want daemon.AppStatus, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		d := c.AnyDaemon()
+		if d == nil {
+			return errors.New("cluster: no live daemons")
+		}
+		if info, ok := d.AppInfo(app); ok && info.Status == want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			info, _ := d.AppInfo(app)
+			return fmt.Errorf("cluster: app %d stuck at %v, want %v", app, info.Status, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// WaitCommittedLine polls the shared store for a committed recovery line.
+func (c *Cluster) WaitCommittedLine(app wire.AppID, timeout time.Duration) (ckpt.RecoveryLine, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		if line, err := c.store.CommittedLine(app); err == nil {
+			return line, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: no committed line for app %d after %v", app, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"starfish/internal/apps"
+	"starfish/internal/daemon"
+	"starfish/internal/mgmt"
+	"starfish/internal/wire"
+)
+
+func newEnv(t *testing.T, nodes int) *Starfish {
+	t.Helper()
+	s, err := New(Options{Nodes: nodes, StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	if err := s.WaitView(nodes, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunJobEndToEnd(t *testing.T) {
+	s := newEnv(t, 3)
+	st, err := s.Run(Job{
+		ID: 1, Name: apps.RingName, Args: apps.RingArgs(40), Ranks: 3,
+	}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != StatusDone {
+		t.Fatalf("status = %v (%s)", st.Status, st.Failure)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	s := newEnv(t, 1)
+	if err := s.Submit(Job{ID: 2, Name: apps.RingName}); err == nil {
+		t.Error("zero-rank job accepted")
+	}
+	if err := s.Submit(Job{ID: 2, Ranks: 1}); err == nil {
+		t.Error("nameless job accepted")
+	}
+}
+
+func TestJobDefaults(t *testing.T) {
+	j := Job{ID: 3, Name: "x", Ranks: 2}
+	spec := j.spec()
+	if spec.Protocol != StopAndSync || spec.Encoder != Portable || spec.Policy != PolicyRestart {
+		t.Errorf("defaults = %v %v %v", spec.Protocol, spec.Encoder, spec.Policy)
+	}
+}
+
+func TestCheckpointCrashRestartThroughFacade(t *testing.T) {
+	s := newEnv(t, 3)
+	job := Job{
+		ID: 4, Name: apps.RingName, Args: apps.RingArgs(300000), Ranks: 3,
+		CheckpointEverySteps: 2000, Policy: PolicyRestart,
+	}
+	if err := s.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cluster().WaitCommittedLine(4, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Wait(4, 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != StatusDone {
+		t.Fatalf("status = %v (%s)", st.Status, st.Failure)
+	}
+	if st.Gen < 2 {
+		t.Errorf("gen = %d, want >= 2", st.Gen)
+	}
+	if line, err := s.CommittedLine(4); err != nil || len(line) != 3 {
+		t.Errorf("committed line = %v, %v", line, err)
+	}
+}
+
+func TestManagementServiceThroughFacade(t *testing.T) {
+	s := newEnv(t, 2)
+	addr, err := s.ServeManagement("127.0.0.1:0", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ServeManagement("127.0.0.1:0", "pw"); err == nil {
+		t.Error("second management service accepted")
+	}
+	c, err := mgmt.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.LoginAdmin("pw"); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := c.Do("NODES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 {
+		t.Errorf("NODES = %v", lines)
+	}
+}
+
+func TestAddNodeAndMigrateFacade(t *testing.T) {
+	s := newEnv(t, 2)
+	job := Job{
+		ID: 5, Name: apps.RingName, Args: apps.RingArgs(5000), Ranks: 2,
+		CheckpointEverySteps: 50,
+	}
+	if err := s.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cluster().WaitCommittedLine(5, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Suspend(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cluster().WaitStatus(5, daemon.StatusSuspended, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WaitView(3, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Migrate(5); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Wait(5, 40*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != StatusDone {
+		t.Fatalf("status = %v (%s)", st.Status, st.Failure)
+	}
+	_ = id
+}
+
+func TestStatusUnknownApp(t *testing.T) {
+	s := newEnv(t, 1)
+	if _, ok := s.Status(wire.AppID(99)); ok {
+		t.Error("unknown app reported status")
+	}
+}

@@ -1,0 +1,679 @@
+package daemon
+
+import (
+	"fmt"
+	"sort"
+
+	"starfish/internal/ckpt"
+	"starfish/internal/gcs"
+	"starfish/internal/lwg"
+	"starfish/internal/proc"
+	"starfish/internal/wire"
+)
+
+// ---- public API (used by the management module and the cluster harness) ----
+
+// Submit launches an application on the cluster. The spec is replicated to
+// every daemon, which derive the same placement and spawn their share of
+// the processes.
+func (d *Daemon) Submit(spec proc.AppSpec) error {
+	if spec.Ranks <= 0 {
+		return fmt.Errorf("daemon: spec needs at least one rank")
+	}
+	return d.castCmd(&Cmd{Kind: CmdSubmit, App: spec.ID, Spec: &spec})
+}
+
+// Suspend pauses an application at its next safe points.
+func (d *Daemon) Suspend(app wire.AppID) error {
+	return d.castCmd(&Cmd{Kind: CmdSuspend, App: app})
+}
+
+// Resume continues a suspended application.
+func (d *Daemon) Resume(app wire.AppID) error {
+	return d.castCmd(&Cmd{Kind: CmdResume, App: app})
+}
+
+// Delete terminates an application and removes its replicated state.
+func (d *Daemon) Delete(app wire.AppID) error {
+	return d.castCmd(&Cmd{Kind: CmdDelete, App: app})
+}
+
+// Checkpoint triggers a checkpoint round of the application's protocol
+// (system-initiated checkpointing).
+func (d *Daemon) Checkpoint(app wire.AppID) error {
+	return d.castCmd(&Cmd{Kind: CmdCheckpoint, App: app})
+}
+
+// Migrate restarts the application from its most recent recovery line with
+// a freshly computed placement — this is how Starfish moves processes to
+// better or newly added nodes (§3.2.1).
+func (d *Daemon) Migrate(app wire.AppID) error {
+	line, err := d.recoveryLine(app)
+	if err != nil {
+		return err
+	}
+	return d.castCmd(&Cmd{Kind: CmdRestart, App: app, Line: line})
+}
+
+// SetNodeEnabled includes or excludes a node from future placements.
+func (d *Daemon) SetNodeEnabled(node wire.NodeID, enabled bool) error {
+	return d.castCmd(&Cmd{Kind: CmdSetNodeEnabled, Node: node, Flag: enabled})
+}
+
+// SetParam replicates a named cluster parameter.
+func (d *Daemon) SetParam(key, value string) error {
+	return d.castCmd(&Cmd{Kind: CmdSetParam, Key: key, Value: value})
+}
+
+// Param reads a replicated cluster parameter.
+func (d *Daemon) Param(key string) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.params[key]
+}
+
+// AppInfo is a snapshot of an application's replicated state.
+type AppInfo struct {
+	Spec      proc.AppSpec
+	Status    AppStatus
+	Gen       uint32
+	Placement map[wire.Rank]wire.NodeID
+	DoneRanks int
+	Failure   string
+}
+
+// AppInfo returns the state of one application (ok=false if unknown).
+func (d *Daemon) AppInfo(app wire.AppID) (AppInfo, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, ok := d.apps[app]
+	if !ok {
+		return AppInfo{}, false
+	}
+	info := AppInfo{
+		Spec: st.spec, Status: st.status, Gen: st.gen,
+		Placement: make(map[wire.Rank]wire.NodeID, len(st.placement)),
+		DoneRanks: len(st.done), Failure: st.failure,
+	}
+	for r, n := range st.placement {
+		info.Placement[r] = n
+	}
+	return info, true
+}
+
+// Apps lists known application ids, sorted.
+func (d *Daemon) Apps() []wire.AppID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]wire.AppID, 0, len(d.apps))
+	for id := range d.apps {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// View returns the daemon's current main-group view.
+func (d *Daemon) View() gcs.View {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.view.Clone()
+}
+
+// recoveryLine determines the line an application would restart from right
+// now: the committed line for coordinated protocols, the computed line for
+// the independent protocol, all-zeros (fresh restart) if no checkpoints
+// exist.
+func (d *Daemon) recoveryLine(app wire.AppID) (ckpt.RecoveryLine, error) {
+	d.mu.Lock()
+	st, ok := d.apps[app]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("daemon: unknown app %d", app)
+	}
+	zero := make(ckpt.RecoveryLine, st.spec.Ranks)
+	for r := 0; r < st.spec.Ranks; r++ {
+		zero[wire.Rank(r)] = 0
+	}
+	if st.spec.Protocol.Coordinated() {
+		line, err := d.cfg.Store.CommittedLine(app)
+		if err != nil {
+			return zero, nil
+		}
+		return line, nil
+	}
+	line, err := ckpt.GatherLine(d.cfg.Store, app)
+	if err != nil {
+		return zero, nil
+	}
+	// Ranks with no checkpoints restart from scratch.
+	for r := 0; r < st.spec.Ranks; r++ {
+		if _, ok := line[wire.Rank(r)]; !ok {
+			line[wire.Rank(r)] = 0
+		}
+	}
+	return line, nil
+}
+
+// ---- replicated command application (total order ⇒ identical everywhere) ----
+
+func (d *Daemon) applyCmd(c *Cmd) {
+	switch c.Kind {
+	case CmdSubmit:
+		d.applySubmit(c)
+	case CmdDelete:
+		d.applyDelete(c)
+	case CmdSuspend, CmdResume:
+		kind := proc.CfgSuspend
+		status := StatusSuspended
+		if c.Kind == CmdResume {
+			kind = proc.CfgResume
+			status = StatusRunning
+		}
+		d.mu.Lock()
+		st := d.apps[c.App]
+		if st != nil && (st.status == StatusRunning || st.status == StatusSuspended) {
+			st.status = status
+		}
+		eps := d.localEndpointsLocked(c.App)
+		d.mu.Unlock()
+		for _, ep := range eps {
+			ep.link.Send(wire.Msg{Type: wire.TConfiguration, Kind: kind, App: c.App})
+		}
+	case CmdCheckpoint:
+		d.mu.Lock()
+		st := d.apps[c.App]
+		var eps []*endpoint
+		if st != nil {
+			if st.spec.Protocol == ckpt.Independent {
+				eps = d.localEndpointsLocked(c.App) // everyone checkpoints
+			} else if ep, ok := d.local[c.App][0]; ok {
+				eps = []*endpoint{ep} // rank 0 initiates the round
+			}
+		}
+		d.mu.Unlock()
+		for _, ep := range eps {
+			ep.link.Send(wire.Msg{Type: wire.TConfiguration, Kind: proc.CfgCkptNow, App: c.App})
+		}
+	case CmdRankDone:
+		d.applyRankDone(c)
+	case CmdRestart:
+		d.applyRestart(c)
+	case CmdSetNodeEnabled:
+		d.mu.Lock()
+		if c.Flag {
+			delete(d.disabled, c.Node)
+		} else {
+			d.disabled[c.Node] = true
+		}
+		d.mu.Unlock()
+	case CmdSetParam:
+		d.mu.Lock()
+		d.params[c.Key] = c.Value
+		d.mu.Unlock()
+	}
+}
+
+func (d *Daemon) applySubmit(c *Cmd) {
+	if c.Spec == nil {
+		return
+	}
+	d.mu.Lock()
+	if _, dup := d.apps[c.App]; dup {
+		d.mu.Unlock()
+		d.logf("duplicate submit of app %d ignored", c.App)
+		return
+	}
+	st := &appState{
+		spec:   *c.Spec,
+		status: StatusLaunching,
+		gen:    1,
+		done:   make(map[wire.Rank]bool),
+		addrs:  make(map[wire.Rank]string),
+	}
+	st.placement = placeRanks(st.spec.Ranks, d.eligibleNodesLocked())
+	d.apps[c.App] = st
+	if st.placement == nil {
+		st.status = StatusFailed
+		st.failure = ErrNoNodes.Error()
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Unlock()
+	d.spawnLocal(c.App)
+}
+
+func (d *Daemon) applyDelete(c *Cmd) {
+	d.mu.Lock()
+	delete(d.apps, c.App)
+	eps := d.localEndpointsLocked(c.App)
+	delete(d.local, c.App)
+	d.mu.Unlock()
+	for _, ep := range eps {
+		ep.link.Send(wire.Msg{Type: wire.TConfiguration, Kind: proc.CfgAbort, App: c.App})
+		ep.link.Close()
+	}
+	if d.leader() {
+		d.castLW(&lwg.Op{Kind: lwg.OpDissolve, App: c.App})
+		d.cfg.Store.DropApp(c.App)
+	}
+}
+
+func (d *Daemon) applyRankDone(c *Cmd) {
+	d.mu.Lock()
+	st := d.apps[c.App]
+	if st == nil || c.Gen != st.gen || st.status == StatusDone || st.status == StatusFailed {
+		d.mu.Unlock()
+		return
+	}
+	if c.Err != "" && c.Err != proc.ErrAborted.Error() {
+		st.failure = c.Err
+		st.status = StatusFailed
+		eps := d.localEndpointsLocked(c.App)
+		delete(d.local, c.App)
+		d.mu.Unlock()
+		// A genuine application error: tear everything down.
+		for _, ep := range eps {
+			ep.link.Send(wire.Msg{Type: wire.TConfiguration, Kind: proc.CfgAbort, App: c.App})
+			ep.link.Close()
+		}
+		return
+	}
+	st.done[c.Rank] = true
+	d.mu.Unlock()
+	d.checkComplete(c.App)
+}
+
+// checkComplete marks an application done once every non-lost rank has
+// finished, tearing down local endpoints and dissolving the group.
+func (d *Daemon) checkComplete(app wire.AppID) {
+	d.mu.Lock()
+	st := d.apps[app]
+	if st == nil || st.status == StatusDone || st.status == StatusFailed {
+		d.mu.Unlock()
+		return
+	}
+	for r := 0; r < st.spec.Ranks; r++ {
+		if !st.done[wire.Rank(r)] && !st.lost[wire.Rank(r)] {
+			d.mu.Unlock()
+			return
+		}
+	}
+	st.status = StatusDone
+	eps := d.localEndpointsLocked(app)
+	delete(d.local, app)
+	d.mu.Unlock()
+	// All ranks finished: tear down local endpoints (processes exit their
+	// serve loop when the link closes) and dissolve the group.
+	for _, ep := range eps {
+		ep.link.Close()
+	}
+	if d.leader() {
+		d.castLW(&lwg.Op{Kind: lwg.OpDissolve, App: app})
+	}
+}
+
+func (d *Daemon) applyRestart(c *Cmd) {
+	d.mu.Lock()
+	st := d.apps[c.App]
+	if st == nil || st.status == StatusDone || st.status == StatusFailed {
+		// Completed apps are not restarted (a migrate command can race
+		// with completion).
+		d.mu.Unlock()
+		return
+	}
+	st.gen++
+	st.status = StatusRestarting
+	st.line = c.Line
+	st.started = false
+	st.done = make(map[wire.Rank]bool)
+	st.addrs = make(map[wire.Rank]string)
+	st.placement = placeRanks(st.spec.Ranks, d.eligibleNodesLocked())
+	oldEps := d.localEndpointsLocked(c.App)
+	delete(d.local, c.App)
+	noNodes := st.placement == nil
+	if noNodes {
+		st.status = StatusFailed
+		st.failure = ErrNoNodes.Error()
+	}
+	d.mu.Unlock()
+
+	// Abort the previous incarnation's local processes.
+	for _, ep := range oldEps {
+		ep.link.Send(wire.Msg{Type: wire.TConfiguration, Kind: proc.CfgAbort, App: c.App})
+		ep.link.Close()
+	}
+	if noNodes {
+		return
+	}
+	d.spawnLocal(c.App)
+}
+
+// ---- spawning and start coordination ----
+
+// spawnLocal creates this daemon's share of an application's processes for
+// the current generation and announces them to the lightweight group.
+func (d *Daemon) spawnLocal(app wire.AppID) {
+	d.mu.Lock()
+	st := d.apps[app]
+	if st == nil {
+		d.mu.Unlock()
+		return
+	}
+	gen := st.gen
+	spec := st.spec
+	var myRanks []wire.Rank
+	for r, node := range st.placement {
+		if node == d.cfg.Node {
+			myRanks = append(myRanks, r)
+		}
+	}
+	sort.Slice(myRanks, func(i, j int) bool { return myRanks[i] < myRanks[j] })
+	d.mu.Unlock()
+
+	meta := lwMeta{Gen: gen, Addrs: make(map[wire.Rank]string, len(myRanks))}
+	if len(myRanks) > 0 {
+		eps := make(map[wire.Rank]*endpoint, len(myRanks))
+		for _, rank := range myRanks {
+			pside, dside := proc.NewChanLink(0)
+			p, err := proc.New(proc.Config{
+				Spec:       spec,
+				Rank:       rank,
+				Arch:       d.cfg.Arch,
+				Store:      d.cfg.Store,
+				Link:       pside,
+				Transport:  d.cfg.Transport,
+				ListenAddr: d.cfg.DataAddr(app, gen, rank),
+				Logf:       d.cfg.Logf,
+			})
+			if err != nil {
+				d.logf("spawn app %d rank %d: %v", app, rank, err)
+				continue
+			}
+			ep := &endpoint{rank: rank, gen: gen, link: dside, p: p}
+			eps[rank] = ep
+			meta.Addrs[rank] = p.Addr()
+			go d.pumpEndpoint(app, ep)
+			p.Start()
+		}
+		d.mu.Lock()
+		d.local[app] = eps
+		d.mu.Unlock()
+	}
+	// Join the lightweight group (even with zero local ranks a daemon may
+	// skip joining; only hosting daemons are members).
+	if len(myRanks) > 0 {
+		if err := d.castLW(&lwg.Op{
+			Kind: lwg.OpJoin, App: app, Node: d.cfg.Node, Meta: encodeLWMeta(&meta),
+		}); err != nil {
+			d.logf("lw join app %d: %v", app, err)
+		}
+	} else {
+		// Not hosting this generation: leave the group if we were in it.
+		d.castLW(&lwg.Op{Kind: lwg.OpLeave, App: app, Node: d.cfg.Node})
+	}
+}
+
+// pumpEndpoint forwards one local process's messages into the daemon loop.
+func (d *Daemon) pumpEndpoint(app wire.AppID, ep *endpoint) {
+	for {
+		select {
+		case m := <-ep.link.Recv():
+			select {
+			case d.inbox <- inboxMsg{app: app, rank: ep.rank, gen: ep.gen, m: m}:
+			case <-d.stop:
+				return
+			}
+		case <-ep.link.Done():
+			return
+		case <-d.stop:
+			return
+		}
+	}
+}
+
+// handleProcessMsg routes one message from a local application process.
+func (d *Daemon) handleProcessMsg(im inboxMsg) {
+	switch im.m.Type {
+	case wire.TConfiguration:
+		if im.m.Kind == proc.CfgDone {
+			d.castCmd(&Cmd{
+				Kind: CmdRankDone, App: im.app, Rank: im.rank, Gen: im.gen,
+				Err: string(im.m.Payload),
+			})
+		}
+	case wire.TCheckpoint, wire.TCoordination:
+		// Relay through the lightweight group: reliable, ordered, scoped
+		// to the daemons hosting this application. The message itself is
+		// opaque to us.
+		d.castLW(&lwg.Op{Kind: lwg.OpCast, App: im.app, Node: d.cfg.Node,
+			Payload: encodeRelay(&im.m)})
+	}
+}
+
+// applyLWOp feeds a lightweight-group operation through the membership
+// module and routes the resulting notifications.
+func (d *Daemon) applyLWOp(op lwg.Op, from wire.NodeID) {
+	notes := d.lwm.HandleOp(op, from)
+	for _, n := range notes {
+		d.handleLWNotification(n)
+	}
+	// Joins can complete an app's address map even if we produce no local
+	// notification payload changes.
+	if op.Kind == lwg.OpJoin {
+		d.maybeStart(op.App)
+	}
+}
+
+func (d *Daemon) handleLWNotification(n lwg.Notification) {
+	switch n.Kind {
+	case lwg.NCast:
+		m, err := decodeRelay(n.Payload)
+		if err != nil {
+			d.logf("bad relay payload: %v", err)
+			return
+		}
+		d.mu.Lock()
+		eps := d.localEndpointsLocked(n.App)
+		d.mu.Unlock()
+		for _, ep := range eps {
+			ep.link.Send(m)
+		}
+	case lwg.NView:
+		// Lightweight membership changes reach processes via the
+		// endpoint modules; crash-driven shrinks are handled in
+		// handleMainView (which has the policy context).
+	}
+}
+
+// maybeStart issues CfgStart to local processes once every rank's data
+// address is known for the current generation.
+func (d *Daemon) maybeStart(app wire.AppID) {
+	d.mu.Lock()
+	st := d.apps[app]
+	if st == nil || st.started {
+		d.mu.Unlock()
+		return
+	}
+	// Collect addresses from all members' join metadata.
+	addrs := make(map[wire.Rank]string, st.spec.Ranks)
+	for _, member := range d.lwm.Members(app) {
+		metaBytes := d.lwm.MemberMeta(app, member)
+		if len(metaBytes) == 0 {
+			continue
+		}
+		meta, err := decodeLWMeta(metaBytes)
+		if err != nil || meta.Gen != st.gen {
+			continue
+		}
+		for r, a := range meta.Addrs {
+			addrs[r] = a
+		}
+	}
+	if len(addrs) < st.spec.Ranks {
+		d.mu.Unlock()
+		return // not all ranks announced yet
+	}
+	st.started = true
+	st.addrs = addrs
+	if st.status == StatusLaunching || st.status == StatusRestarting {
+		st.status = StatusRunning
+	}
+	line := st.line
+	gen := st.gen
+	size := st.spec.Ranks
+	eps := d.localEndpointsLocked(app)
+	d.mu.Unlock()
+
+	var next uint64 = 1
+	for _, idx := range line {
+		if idx >= next {
+			next = idx + 1
+		}
+	}
+	for _, ep := range eps {
+		si := proc.StartInfo{
+			Gen: gen, Size: size, Addrs: addrs, NextCkptIndex: next,
+		}
+		if line != nil {
+			si.Restore = true
+			si.RestoreIndex = line[ep.rank]
+			si.Line = map[wire.Rank]uint64(line)
+		}
+		ep.link.Send(wire.Msg{
+			Type: wire.TConfiguration, Kind: proc.CfgStart, App: app,
+			Payload: si.Encode(),
+		})
+	}
+}
+
+func (d *Daemon) localEndpointsLocked(app wire.AppID) []*endpoint {
+	eps := d.local[app]
+	out := make([]*endpoint, 0, len(eps))
+	for _, ep := range eps {
+		out = append(out, ep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].rank < out[j].rank })
+	return out
+}
+
+// ---- failure handling (§3.2.2) ----
+
+// handleMainView reacts to a Starfish-group view change: reconcile
+// lightweight groups, then apply each affected application's
+// fault-tolerance policy.
+func (d *Daemon) handleMainView(v gcs.View) {
+	d.mu.Lock()
+	d.view = v
+	affected := map[wire.AppID][]wire.NodeID{}
+	for _, app := range d.lwm.Groups() {
+		var gone []wire.NodeID
+		for _, member := range d.lwm.Members(app) {
+			if !v.Contains(member) {
+				gone = append(gone, member)
+			}
+		}
+		if len(gone) > 0 {
+			affected[app] = gone
+		}
+	}
+	d.mu.Unlock()
+
+	// Update lightweight membership (deterministic at every daemon).
+	d.lwm.HandleMainView(v.Members)
+
+	for app, gone := range affected {
+		d.applyFailurePolicy(app, gone)
+	}
+}
+
+// applyFailurePolicy handles the loss of nodes hosting an application.
+func (d *Daemon) applyFailurePolicy(app wire.AppID, gone []wire.NodeID) {
+	d.mu.Lock()
+	st := d.apps[app]
+	if st == nil || st.status == StatusDone || st.status == StatusFailed {
+		d.mu.Unlock()
+		return
+	}
+	// Which ranks died with those nodes?
+	var lost []wire.Rank
+	for r, node := range st.placement {
+		for _, g := range gone {
+			if node == g {
+				lost = append(lost, r)
+			}
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	policy := st.spec.Policy
+	size := st.spec.Ranks
+	placement := st.placement
+	d.mu.Unlock()
+	if len(lost) == 0 {
+		return
+	}
+	d.logf("app %d lost ranks %v (nodes %v); policy %v", app, lost, gone, policy)
+
+	switch policy {
+	case proc.PolicyKill:
+		d.mu.Lock()
+		st.status = StatusFailed
+		st.failure = fmt.Sprintf("node failure killed ranks %v", lost)
+		eps := d.localEndpointsLocked(app)
+		delete(d.local, app)
+		d.mu.Unlock()
+		for _, ep := range eps {
+			ep.link.Send(wire.Msg{Type: wire.TConfiguration, Kind: proc.CfgAbort, App: app})
+			ep.link.Close()
+		}
+	case proc.PolicyNotify:
+		// Tell surviving local processes which ranks are gone; they
+		// repartition and continue (§3.2.2's second mechanism).
+		var alive []wire.Rank
+		lostSet := map[wire.Rank]bool{}
+		d.mu.Lock()
+		if st.lost == nil {
+			st.lost = make(map[wire.Rank]bool)
+		}
+		for _, r := range lost {
+			st.lost[r] = true
+		}
+		d.mu.Unlock()
+		for _, r := range lost {
+			lostSet[r] = true
+		}
+		for r := 0; r < size; r++ {
+			if !lostSet[wire.Rank(r)] {
+				alive = append(alive, wire.Rank(r))
+			}
+		}
+		info := proc.LWViewInfo{Alive: alive, Departed: lost}
+		d.mu.Lock()
+		eps := d.localEndpointsLocked(app)
+		d.mu.Unlock()
+		for _, ep := range eps {
+			ep.link.Send(wire.Msg{
+				Type: wire.TLWMembership, Kind: proc.LWViewKind, App: app,
+				Payload: info.Encode(),
+			})
+		}
+		// The lost ranks will never report; completion may already be
+		// satisfied by the survivors.
+		d.checkComplete(app)
+	case proc.PolicyRestart:
+		// The leader computes the recovery line and replicates the
+		// restart decision. Everyone else waits for the command.
+		if !d.leader() {
+			return
+		}
+		line, err := d.recoveryLine(app)
+		if err != nil {
+			d.logf("recovery line for app %d: %v", app, err)
+			return
+		}
+		d.logf("restarting app %d from line %v (placement was %v)", app, line, placement)
+		if err := d.castCmd(&Cmd{Kind: CmdRestart, App: app, Line: line}); err != nil {
+			d.logf("restart cast: %v", err)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package daemon implements the Starfish daemon (§2.1): the per-node
+// service whose instances form the Starfish group, spawn and track
+// application processes, manage the replicated cluster configuration,
+// relay coordination and checkpoint/restart messages through lightweight
+// groups, and drive the fault-tolerance policies of §3.2.2.
+//
+// A daemon is composed of the four modules of Figure 1: the group
+// communication system (internal/gcs, the Ensemble stand-in), a management
+// module (the replicated command state machine plus the management
+// protocol front end in internal/mgmt), the lightweight membership module
+// (internal/lwg), and one lightweight endpoint module per local
+// application process.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"starfish/internal/ckpt"
+	"starfish/internal/gcs"
+	"starfish/internal/lwg"
+	"starfish/internal/proc"
+	"starfish/internal/svm"
+	"starfish/internal/vni"
+	"starfish/internal/wire"
+)
+
+// AppStatus describes an application's lifecycle state.
+type AppStatus uint8
+
+// Application states.
+const (
+	StatusLaunching AppStatus = iota + 1
+	StatusRunning
+	StatusSuspended
+	StatusDone
+	StatusFailed
+	StatusRestarting
+)
+
+func (s AppStatus) String() string {
+	switch s {
+	case StatusLaunching:
+		return "launching"
+	case StatusRunning:
+		return "running"
+	case StatusSuspended:
+		return "suspended"
+	case StatusDone:
+		return "done"
+	case StatusFailed:
+		return "failed"
+	case StatusRestarting:
+		return "restarting"
+	default:
+		return fmt.Sprintf("daemon.AppStatus(%d)", uint8(s))
+	}
+}
+
+// Config assembles one daemon.
+type Config struct {
+	// Node is this daemon's cluster-unique id.
+	Node wire.NodeID
+	// Transport carries both group communication and application data.
+	Transport vni.Transport
+	// GCSAddr is the daemon's group-communication listen address.
+	GCSAddr string
+	// Contact is any existing daemon's GCSAddr; empty creates a new
+	// cluster.
+	Contact string
+	// Store is the checkpoint store (a shared file system in the
+	// simulated cluster).
+	Store *ckpt.Store
+	// Arch is the node's simulated architecture (heterogeneous clusters).
+	Arch svm.Arch
+	// DataAddr names the data-path listen address for a local process;
+	// nil uses a deterministic fastnet-style name.
+	DataAddr func(app wire.AppID, gen uint32, rank wire.Rank) string
+	// HeartbeatEvery/FailAfter tune the failure detector.
+	HeartbeatEvery time.Duration
+	FailAfter      time.Duration
+	// Logf receives diagnostics when non-nil.
+	Logf func(string, ...any)
+}
+
+// appState is the replicated per-application state; every daemon holds an
+// identical copy, updated only by totally ordered commands and views.
+type appState struct {
+	spec      proc.AppSpec
+	status    AppStatus
+	gen       uint32
+	placement map[wire.Rank]wire.NodeID
+	// addrs collects rank data addresses from lightweight joins of the
+	// current generation.
+	addrs map[wire.Rank]string
+	// line is the recovery line the current generation restores from
+	// (nil for a fresh launch).
+	line ckpt.RecoveryLine
+	// started records that CfgStart was issued for the current gen.
+	started bool
+	// done tracks finished ranks of the current gen.
+	done map[wire.Rank]bool
+	// lost tracks ranks abandoned under PolicyNotify (their nodes died
+	// and the survivors repartitioned); they no longer count toward
+	// completion.
+	lost map[wire.Rank]bool
+	// failure holds the first rank error, if any.
+	failure string
+}
+
+// endpoint is a lightweight endpoint module: the daemon-side handle of one
+// local application process.
+type endpoint struct {
+	rank wire.Rank
+	gen  uint32
+	link *proc.ChanLink
+	p    *proc.Process
+}
+
+// inboxMsg is a message from a local process entering the daemon loop.
+type inboxMsg struct {
+	app  wire.AppID
+	rank wire.Rank
+	gen  uint32
+	m    wire.Msg
+}
+
+// Daemon is one Starfish daemon.
+type Daemon struct {
+	cfg Config
+	ep  *gcs.Endpoint
+	lwm *lwg.Manager
+
+	mu   sync.Mutex
+	view gcs.View
+	apps map[wire.AppID]*appState
+	// disabled nodes are excluded from new placements.
+	disabled map[wire.NodeID]bool
+	params   map[string]string
+	// local endpoints per app.
+	local map[wire.AppID]map[wire.Rank]*endpoint
+
+	inbox chan inboxMsg
+	stop  chan struct{}
+	dead  chan struct{}
+}
+
+// New creates a daemon and joins (or creates) the cluster.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.DataAddr == nil {
+		node := cfg.Node
+		cfg.DataAddr = func(app wire.AppID, gen uint32, rank wire.Rank) string {
+			return fmt.Sprintf("data-n%d-a%d-g%d-r%d", node, app, gen, rank)
+		}
+	}
+	ep, err := gcs.Join(gcs.Config{
+		Node:           cfg.Node,
+		Transport:      cfg.Transport,
+		Addr:           cfg.GCSAddr,
+		Contact:        cfg.Contact,
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		FailAfter:      cfg.FailAfter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:      cfg,
+		ep:       ep,
+		lwm:      lwg.NewManager(cfg.Node),
+		apps:     make(map[wire.AppID]*appState),
+		disabled: make(map[wire.NodeID]bool),
+		params:   make(map[string]string),
+		local:    make(map[wire.AppID]map[wire.Rank]*endpoint),
+		inbox:    make(chan inboxMsg, 1024),
+		stop:     make(chan struct{}),
+		dead:     make(chan struct{}),
+	}
+	go d.run()
+	return d, nil
+}
+
+// Node returns this daemon's id.
+func (d *Daemon) Node() wire.NodeID { return d.cfg.Node }
+
+// GCSAddr returns the daemon's group-communication address (the contact
+// address new nodes join through).
+func (d *Daemon) GCSAddr() string { return d.ep.Addr() }
+
+// Close shuts the daemon down without leaving the group gracefully — the
+// failure detector will notice (this is how tests crash a node). Local
+// processes are aborted.
+func (d *Daemon) Close() {
+	select {
+	case <-d.stop:
+	default:
+		close(d.stop)
+	}
+	<-d.dead
+}
+
+// Leave departs the cluster gracefully and shuts down.
+func (d *Daemon) Leave() {
+	d.ep.Leave()
+	d.Close()
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(fmt.Sprintf("[daemon %d] ", d.cfg.Node)+format, args...)
+	}
+}
+
+// run is the daemon's event loop: it serializes group events, local
+// process traffic and shutdown.
+func (d *Daemon) run() {
+	defer func() {
+		d.mu.Lock()
+		eps := d.allEndpointsLocked()
+		d.mu.Unlock()
+		for _, ep := range eps {
+			ep.link.Send(wire.Msg{Type: wire.TConfiguration, Kind: proc.CfgAbort})
+			ep.link.Close()
+		}
+		d.ep.Close()
+		close(d.dead)
+	}()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case ev, ok := <-d.ep.Events():
+			if !ok {
+				return
+			}
+			d.handleGCS(ev)
+		case im := <-d.inbox:
+			d.handleProcessMsg(im)
+		}
+	}
+}
+
+func (d *Daemon) allEndpointsLocked() []*endpoint {
+	var out []*endpoint
+	for _, eps := range d.local {
+		for _, ep := range eps {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+// cast multicasts an envelope on the main group.
+func (d *Daemon) cast(tag uint8, payload []byte) error {
+	return d.ep.Cast(envelope(tag, payload))
+}
+
+// castCmd multicasts a replicated command.
+func (d *Daemon) castCmd(c *Cmd) error { return d.cast(envCmd, encodeCmd(c)) }
+
+// castLW multicasts a lightweight-group operation.
+func (d *Daemon) castLW(op *lwg.Op) error { return d.cast(envLWG, op.Encode()) }
+
+// handleGCS dispatches one group event.
+func (d *Daemon) handleGCS(ev gcs.Event) {
+	switch ev.Kind {
+	case gcs.EView:
+		d.handleMainView(ev.View)
+	case gcs.ECast:
+		if len(ev.Payload) == 0 {
+			return
+		}
+		tag, body := ev.Payload[0], ev.Payload[1:]
+		switch tag {
+		case envLWG:
+			op, err := lwg.DecodeOp(body)
+			if err != nil {
+				d.logf("bad lwg op: %v", err)
+				return
+			}
+			d.applyLWOp(op, ev.From)
+		case envCmd:
+			cmd, err := decodeCmd(body)
+			if err != nil {
+				d.logf("bad command: %v", err)
+				return
+			}
+			d.applyCmd(&cmd)
+		}
+	}
+}
+
+// leader reports whether this daemon is the current view's leader (lowest
+// id) — the one that makes non-deterministic decisions (recovery lines)
+// and turns them into deterministic commands.
+func (d *Daemon) leader() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.view.Members) > 0 && d.view.Members[0] == d.cfg.Node
+}
+
+// eligibleNodes returns the enabled members of the current view, sorted.
+func (d *Daemon) eligibleNodesLocked() []wire.NodeID {
+	var out []wire.NodeID
+	for _, n := range d.view.Members {
+		if !d.disabled[n] {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// placeRanks distributes ranks round-robin over the given nodes. Every
+// daemon computes the same placement from the same replicated inputs.
+func placeRanks(ranks int, nodes []wire.NodeID) map[wire.Rank]wire.NodeID {
+	if len(nodes) == 0 {
+		return nil
+	}
+	out := make(map[wire.Rank]wire.NodeID, ranks)
+	for r := 0; r < ranks; r++ {
+		out[wire.Rank(r)] = nodes[r%len(nodes)]
+	}
+	return out
+}
+
+// ErrNoNodes is returned when an application cannot be placed.
+var ErrNoNodes = errors.New("daemon: no eligible nodes")

@@ -1,0 +1,230 @@
+package gcs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"starfish/internal/vni"
+	"starfish/internal/wire"
+)
+
+func TestSequentialCrashesDownToQuorum(t *testing.T) {
+	fn, eps := testGroup(t, 5)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3, 4, 5)
+	}
+	// Crash 4 then 5: each removal keeps a majority of the then-current
+	// view (4/5, then 3/4).
+	fn.Crash("node4")
+	go eps[3].Close()
+	for _, ep := range []*Endpoint{eps[0], eps[1], eps[2], eps[4]} {
+		waitForView(t, ep, 1, 2, 3, 5)
+	}
+	fn.Crash("node5")
+	go eps[4].Close()
+	for _, ep := range eps[:3] {
+		waitForView(t, ep, 1, 2, 3)
+	}
+	// The group still sequences casts.
+	if err := eps[2].Cast([]byte("post-crashes")); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range eps[:3] {
+		e := nextEvent(t, ep)
+		if e.Kind != ECast || string(e.Payload) != "post-crashes" {
+			t.Errorf("node %d: %+v", ep.Node(), e)
+		}
+	}
+}
+
+func TestQuorumHoldsBackMinorityCoordinator(t *testing.T) {
+	// In a 4-member group, the coordinator loses contact with 2 members
+	// at once (they crash). 2 of 4 is not a strict majority, so no view
+	// may be installed while both are suspected... but these members are
+	// genuinely dead, so the group must NOT be stuck forever either —
+	// quorum rules trade availability for safety only while the suspicion
+	// set is too large. Here we verify the safe half: with half the view
+	// gone, the survivors install no new view (they wait).
+	fn, eps := testGroup(t, 4)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3, 4)
+	}
+	fn.Crash("node3")
+	fn.Crash("node4")
+	go eps[2].Close()
+	go eps[3].Close()
+
+	// Give the failure detector ample time; no view with fewer members
+	// than quorum may appear.
+	timeout := time.After(300 * time.Millisecond)
+	for {
+		select {
+		case e := <-eps[0].Events():
+			if e.Kind == EView && len(e.View.Members) < 3 {
+				t.Fatalf("minority view installed: %v", e.View)
+			}
+		case <-timeout:
+			return // held back, as required
+		}
+	}
+}
+
+func TestJoinAfterCrashReusesGroup(t *testing.T) {
+	fn, eps := testGroup(t, 3)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3)
+	}
+	fn.Crash("node3")
+	go eps[2].Close()
+	for _, ep := range eps[:2] {
+		waitForView(t, ep, 1, 2)
+	}
+	// A new node (fresh id) joins the surviving group.
+	ep4, err := Join(Config{
+		Node: 4, Transport: fn, Addr: "node4b", Contact: "node1",
+		HeartbeatEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep4.Close()
+	for _, ep := range []*Endpoint{eps[0], eps[1], ep4} {
+		waitForView(t, ep, 1, 2, 4)
+	}
+	if err := ep4.Cast([]byte("newcomer")); err != nil {
+		t.Fatal(err)
+	}
+	e := nextEvent(t, eps[0])
+	if e.Kind != ECast || e.From != 4 {
+		t.Errorf("%+v", e)
+	}
+}
+
+func TestChurnManyCastsAcrossViewChanges(t *testing.T) {
+	// Casts issued continuously while members leave must keep total order
+	// among the survivors.
+	_, eps := testGroup(t, 4)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3, 4)
+	}
+	stop := make(chan struct{})
+	go func() {
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			eps[1].Cast([]byte(fmt.Sprintf("m%d", i)))
+			i++
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	eps[3].Leave()
+	time.Sleep(10 * time.Millisecond)
+	eps[2].Leave()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+
+	// Drain both survivors; their cast sequences must be identical.
+	collect := func(ep *Endpoint) []string {
+		var out []string
+		for {
+			select {
+			case e := <-ep.Events():
+				if e.Kind == ECast {
+					out = append(out, string(e.Payload))
+				}
+			case <-time.After(200 * time.Millisecond):
+				return out
+			}
+		}
+	}
+	s0 := collect(eps[0])
+	s1 := collect(eps[1])
+	n := min(len(s0), len(s1))
+	for i := 0; i < n; i++ {
+		if s0[i] != s1[i] {
+			t.Fatalf("divergence at %d: %q vs %q", i, s0[i], s1[i])
+		}
+	}
+	if n == 0 {
+		t.Fatal("no casts delivered")
+	}
+}
+
+func TestHasQuorum(t *testing.T) {
+	cases := []struct {
+		remaining, total int
+		want             bool
+	}{
+		{1, 1, true}, {1, 2, true}, {0, 2, false},
+		{2, 3, true}, {1, 3, false},
+		{3, 4, true}, {2, 4, false},
+		{3, 5, true}, {2, 5, false},
+	}
+	for _, c := range cases {
+		if got := hasQuorum(c.remaining, c.total); got != c.want {
+			t.Errorf("hasQuorum(%d, %d) = %v, want %v", c.remaining, c.total, got, c.want)
+		}
+	}
+}
+
+func TestStateTransferReflectsLatestState(t *testing.T) {
+	// The coordinator's StateProvider is consulted at join time, so a
+	// joiner sees state that includes all casts sequenced before its
+	// view.
+	fn := vni.NewFastnet(0)
+	state := []byte("v1")
+	a, err := Join(Config{
+		Node: 1, Transport: fn, Addr: "st1",
+		HeartbeatEvery: 5 * time.Millisecond,
+		StateProvider:  func() []byte { return state },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	nextEvent(t, a)
+	state = []byte("v2") // coordinator state evolves
+
+	b, err := Join(Config{
+		Node: 2, Transport: fn, Addr: "st2", Contact: "st1",
+		HeartbeatEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	e := nextEvent(t, b)
+	if string(e.State) != "v2" {
+		t.Errorf("joiner state = %q, want v2", e.State)
+	}
+}
+
+func TestSendAfterViewShrink(t *testing.T) {
+	_, eps := testGroup(t, 3)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3)
+	}
+	eps[2].Leave()
+	waitForView(t, eps[0], 1, 2)
+	// Point-to-point to the departed member fails cleanly.
+	if err := eps[0].Send(wire.NodeID(3), []byte("x")); err != ErrNoMember {
+		t.Errorf("Send to departed member: %v, want ErrNoMember", err)
+	}
+	// Point-to-point among survivors still works.
+	if err := eps[0].Send(2, []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	e := nextEvent(t, eps[1])
+	for e.Kind != ESend {
+		e = nextEvent(t, eps[1])
+	}
+	if string(e.Payload) != "alive" {
+		t.Errorf("payload = %q", e.Payload)
+	}
+}

@@ -1,0 +1,433 @@
+package gcs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"starfish/internal/vni"
+	"starfish/internal/wire"
+)
+
+// testGroup spins up n endpoints on one fastnet, joined through endpoint 1.
+func testGroup(t *testing.T, n int) (*vni.Fastnet, []*Endpoint) {
+	t.Helper()
+	fn := vni.NewFastnet(0)
+	eps := make([]*Endpoint, n)
+	for i := 0; i < n; i++ {
+		cfg := Config{
+			Node:           wire.NodeID(i + 1),
+			Transport:      fn,
+			Addr:           fmt.Sprintf("node%d", i+1),
+			HeartbeatEvery: 5 * time.Millisecond,
+		}
+		if i > 0 {
+			cfg.Contact = "node1"
+		}
+		ep, err := Join(cfg)
+		if err != nil {
+			t.Fatalf("Join node%d: %v", i+1, err)
+		}
+		eps[i] = ep
+		t.Cleanup(ep.Close)
+	}
+	return fn, eps
+}
+
+// nextEvent waits for the next event with a deadline.
+func nextEvent(t *testing.T, ep *Endpoint) Event {
+	t.Helper()
+	select {
+	case e, ok := <-ep.Events():
+		if !ok {
+			t.Fatalf("node %d: events channel closed", ep.Node())
+		}
+		return e
+	case <-time.After(10 * time.Second):
+		t.Fatalf("node %d: timed out waiting for event", ep.Node())
+		panic("unreachable")
+	}
+}
+
+// waitForView drains events until a view with exactly the given members
+// arrives, returning it (and any casts seen along the way).
+func waitForView(t *testing.T, ep *Endpoint, members ...wire.NodeID) (View, []Event) {
+	t.Helper()
+	var casts []Event
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case e, ok := <-ep.Events():
+			if !ok {
+				t.Fatalf("node %d: events closed while waiting for view %v", ep.Node(), members)
+			}
+			if e.Kind == ECast {
+				casts = append(casts, e)
+				continue
+			}
+			if e.Kind == EView && sameMembers(e.View.Members, members) {
+				return e.View, casts
+			}
+		case <-deadline:
+			t.Fatalf("node %d: no view with members %v", ep.Node(), members)
+		}
+	}
+}
+
+func sameMembers(a, b []wire.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSingletonGroup(t *testing.T) {
+	_, eps := testGroup(t, 1)
+	e := nextEvent(t, eps[0])
+	if e.Kind != EView {
+		t.Fatalf("first event = %v, want EView", e.Kind)
+	}
+	if len(e.View.Members) != 1 || e.View.Members[0] != 1 || e.View.Coord != 1 {
+		t.Errorf("view = %v", e.View)
+	}
+}
+
+func TestJoinGrowsView(t *testing.T) {
+	_, eps := testGroup(t, 3)
+	for i, ep := range eps {
+		v, _ := waitForView(t, ep, 1, 2, 3)
+		if v.Coord != 1 {
+			t.Errorf("node %d: coord = %d, want 1", i+1, v.Coord)
+		}
+		if v.Addrs[2] != "node2" {
+			t.Errorf("node %d: addr map %v", i+1, v.Addrs)
+		}
+	}
+}
+
+func TestCastReachesAllIncludingSender(t *testing.T) {
+	_, eps := testGroup(t, 3)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3)
+	}
+	if err := eps[1].Cast([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	for i, ep := range eps {
+		e := nextEvent(t, ep)
+		if e.Kind != ECast || string(e.Payload) != "hello" || e.From != 2 {
+			t.Errorf("node %d: got %+v", i+1, e)
+		}
+	}
+}
+
+func TestTotalOrderAcrossSenders(t *testing.T) {
+	_, eps := testGroup(t, 4)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3, 4)
+	}
+	const perSender = 25
+	for s, ep := range eps {
+		go func(s int, ep *Endpoint) {
+			for i := 0; i < perSender; i++ {
+				ep.Cast([]byte(fmt.Sprintf("%d:%d", s, i)))
+			}
+		}(s, ep)
+	}
+	total := perSender * len(eps)
+	sequences := make([][]string, len(eps))
+	for i, ep := range eps {
+		for len(sequences[i]) < total {
+			e := nextEvent(t, ep)
+			if e.Kind == ECast {
+				sequences[i] = append(sequences[i], string(e.Payload))
+			}
+		}
+	}
+	for i := 1; i < len(sequences); i++ {
+		for j := range sequences[0] {
+			if sequences[i][j] != sequences[0][j] {
+				t.Fatalf("total order violated at position %d: node1 saw %q, node%d saw %q",
+					j, sequences[0][j], i+1, sequences[i][j])
+			}
+		}
+	}
+}
+
+func TestPerSenderFIFO(t *testing.T) {
+	_, eps := testGroup(t, 2)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := eps[1].Cast([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		e := nextEvent(t, eps[0])
+		if e.Kind != ECast || e.Payload[0] != byte(i) {
+			t.Fatalf("position %d: got %+v", i, e)
+		}
+	}
+}
+
+func TestPointToPointSend(t *testing.T) {
+	_, eps := testGroup(t, 3)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3)
+	}
+	if err := eps[0].Send(3, []byte("direct")); err != nil {
+		t.Fatal(err)
+	}
+	e := nextEvent(t, eps[2])
+	if e.Kind != ESend || e.From != 1 || string(e.Payload) != "direct" {
+		t.Errorf("got %+v", e)
+	}
+	if err := eps[0].Send(99, nil); err != ErrNoMember {
+		t.Errorf("Send to non-member: %v, want ErrNoMember", err)
+	}
+}
+
+func TestMemberCrashTriggersViewChange(t *testing.T) {
+	fn, eps := testGroup(t, 3)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3)
+	}
+	// Crash node 3 (not the coordinator).
+	fn.Crash("node3")
+	go eps[2].Close()
+
+	for _, ep := range eps[:2] {
+		v, _ := waitForView(t, ep, 1, 2)
+		if v.Coord != 1 {
+			t.Errorf("coord = %d, want 1", v.Coord)
+		}
+	}
+	// Group still works.
+	if err := eps[0].Cast([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range eps[:2] {
+		e := nextEvent(t, ep)
+		if e.Kind != ECast || string(e.Payload) != "after" {
+			t.Errorf("post-crash cast: %+v", e)
+		}
+	}
+}
+
+func TestCoordinatorCrashFailover(t *testing.T) {
+	fn, eps := testGroup(t, 3)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3)
+	}
+	// Crash the coordinator (node 1). Node 2 must take over.
+	fn.Crash("node1")
+	go eps[0].Close()
+
+	for _, ep := range eps[1:] {
+		v, _ := waitForView(t, ep, 2, 3)
+		if v.Coord != 2 {
+			t.Errorf("node %d: new coord = %d, want 2", ep.Node(), v.Coord)
+		}
+	}
+	// The group must still sequence casts.
+	if err := eps[2].Cast([]byte("survived")); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range eps[1:] {
+		e := nextEvent(t, ep)
+		if e.Kind != ECast || string(e.Payload) != "survived" {
+			t.Errorf("node %d: %+v", ep.Node(), e)
+		}
+	}
+}
+
+func TestCastDuringCoordinatorFailure(t *testing.T) {
+	// A cast issued while the coordinator is dead must still be delivered
+	// exactly once after failover (pending-cast retransmission + dedup).
+	fn, eps := testGroup(t, 3)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3)
+	}
+	fn.Crash("node1")
+	go eps[0].Close()
+	// Issue immediately, before the failure detector has fired.
+	if err := eps[2].Cast([]byte("limbo")); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range eps[1:] {
+		_, casts := waitForView(t, ep, 2, 3)
+		// The cast may arrive before or after the view.
+		got := len(casts)
+		for got == 0 {
+			e := nextEvent(t, ep)
+			if e.Kind == ECast {
+				casts = append(casts, e)
+				got++
+			}
+		}
+		if string(casts[0].Payload) != "limbo" {
+			t.Errorf("node %d: got %q", ep.Node(), casts[0].Payload)
+		}
+		// Exactly once: no duplicate should follow. Send a sentinel and
+		// make sure the very next cast is the sentinel.
+		ep2 := ep
+		if err := ep2.Cast([]byte("sentinel")); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			e := nextEvent(t, ep2)
+			if e.Kind != ECast {
+				continue
+			}
+			if string(e.Payload) == "limbo" {
+				t.Fatalf("node %d: duplicate delivery of pending cast", ep2.Node())
+			}
+			if string(e.Payload) == "sentinel" {
+				break
+			}
+		}
+	}
+}
+
+func TestLeaveShrinksView(t *testing.T) {
+	_, eps := testGroup(t, 3)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3)
+	}
+	if err := eps[2].Leave(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range eps[:2] {
+		waitForView(t, ep, 1, 2)
+	}
+}
+
+func TestCoordinatorLeaveHandsOver(t *testing.T) {
+	_, eps := testGroup(t, 3)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3)
+	}
+	if err := eps[0].Leave(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range eps[1:] {
+		v, _ := waitForView(t, ep, 2, 3)
+		if v.Coord != 2 {
+			t.Errorf("coord after handover = %d, want 2", v.Coord)
+		}
+	}
+	if err := eps[1].Cast([]byte("go on")); err != nil {
+		t.Fatal(err)
+	}
+	e := nextEvent(t, eps[2])
+	if e.Kind != ECast || string(e.Payload) != "go on" {
+		t.Errorf("%+v", e)
+	}
+}
+
+func TestStateTransferToJoiner(t *testing.T) {
+	fn := vni.NewFastnet(0)
+	state := []byte("replicated-config-v17")
+	a, err := Join(Config{
+		Node: 1, Transport: fn, Addr: "node1",
+		HeartbeatEvery: 5 * time.Millisecond,
+		StateProvider:  func() []byte { return state },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	nextEvent(t, a) // own first view
+
+	b, err := Join(Config{
+		Node: 2, Transport: fn, Addr: "node2", Contact: "node1",
+		HeartbeatEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	e := nextEvent(t, b)
+	if e.Kind != EView {
+		t.Fatalf("first joiner event = %v", e.Kind)
+	}
+	if string(e.State) != string(state) {
+		t.Errorf("state transfer = %q, want %q", e.State, state)
+	}
+}
+
+func TestJoinBadContact(t *testing.T) {
+	fn := vni.NewFastnet(0)
+	_, err := Join(Config{
+		Node: 1, Transport: fn, Addr: "n1", Contact: "missing",
+		HeartbeatEvery: time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("Join with dead contact succeeded")
+	}
+}
+
+func TestViewAccessor(t *testing.T) {
+	_, eps := testGroup(t, 2)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2)
+	}
+	v := eps[0].View()
+	if !sameMembers(v.Members, []wire.NodeID{1, 2}) {
+		t.Errorf("View() = %v", v)
+	}
+	if !v.Contains(2) || v.Contains(9) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestCloseIsIdempotentAndEndsEvents(t *testing.T) {
+	_, eps := testGroup(t, 1)
+	nextEvent(t, eps[0])
+	eps[0].Close()
+	eps[0].Close()
+	if _, ok := <-eps[0].Events(); ok {
+		// Draining any residue is fine, but the channel must close.
+		for range eps[0].Events() {
+		}
+	}
+	if err := eps[0].Cast(nil); err != ErrLeft {
+		t.Errorf("Cast after Close: %v, want ErrLeft", err)
+	}
+}
+
+func TestViewEncodeDecodeRoundTrip(t *testing.T) {
+	v := View{
+		ID:      7,
+		Coord:   3,
+		Members: []wire.NodeID{3, 5, 9},
+		Addrs:   map[wire.NodeID]string{3: "a", 5: "b", 9: "c"},
+	}
+	got, err := decodeView(encodeView(&v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 7 || got.Coord != 3 || !sameMembers(got.Members, v.Members) || got.Addrs[5] != "b" {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestSeqMsgRoundTrip(t *testing.T) {
+	m := seqMsg{Seq: 42, Kind: dCast, Sender: 3, SenderSeq: 17, Payload: []byte("p")}
+	got, err := decodeSeqMsg(encodeSeqMsg(&m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 42 || got.Kind != dCast || got.Sender != 3 || got.SenderSeq != 17 || string(got.Payload) != "p" {
+		t.Errorf("round trip = %+v", got)
+	}
+}

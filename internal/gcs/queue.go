@@ -1,0 +1,57 @@
+package gcs
+
+import "sync"
+
+// equeue is an unbounded FIFO of Events with a channel face. The engine
+// goroutine must never block on a slow consumer (that could deadlock the
+// protocol), so deliveries go through this queue and a pump goroutine.
+type equeue struct {
+	mu     sync.Mutex
+	cv     *sync.Cond
+	items  []Event
+	closed bool
+	out    chan Event
+}
+
+func newEqueue() *equeue {
+	q := &equeue{out: make(chan Event, 64)}
+	q.cv = sync.NewCond(&q.mu)
+	go q.pump()
+	return q
+}
+
+// push enqueues an event. Pushes after close are dropped.
+func (q *equeue) push(e Event) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, e)
+		q.cv.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// close marks the queue finished; the out channel closes once drained.
+func (q *equeue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cv.Signal()
+	q.mu.Unlock()
+}
+
+func (q *equeue) pump() {
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 && !q.closed {
+			q.cv.Wait()
+		}
+		if len(q.items) == 0 && q.closed {
+			q.mu.Unlock()
+			close(q.out)
+			return
+		}
+		e := q.items[0]
+		q.items = q.items[1:]
+		q.mu.Unlock()
+		q.out <- e
+	}
+}

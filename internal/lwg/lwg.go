@@ -1,0 +1,298 @@
+// Package lwg implements Starfish's lightweight groups (§2.1, figure 2).
+//
+// Every application running on the cluster is associated with a lightweight
+// process group whose members are the daemons hosting that application's
+// processes. Rather than paying for a full process group per application,
+// lightweight groups derive their membership from the single main Starfish
+// group: join/leave operations and scoped casts travel as totally ordered
+// multicasts on the main group, and every daemon runs the same deterministic
+// state machine over that stream. Because the stream is totally ordered,
+// all daemons agree on every lightweight view without extra agreement
+// rounds — this is the efficiency argument of [19] realized over one group.
+//
+// The Manager is a pure state machine: the daemon feeds it decoded
+// operations (plus main-group view changes) and routes the notifications it
+// returns to local application processes. Only notifications relevant to
+// groups this node belongs to are produced, which mirrors the paper's point
+// that lightweight events do not disturb unrelated nodes.
+package lwg
+
+import (
+	"fmt"
+	"sort"
+
+	"starfish/internal/wire"
+)
+
+// OpKind discriminates lightweight-group operations.
+type OpKind uint8
+
+// Operations carried (encoded) inside main-group casts.
+const (
+	// OpJoin adds a node (with metadata, e.g. its rank placement) to an
+	// application's lightweight group.
+	OpJoin OpKind = iota + 1
+	// OpLeave removes a node from an application's lightweight group.
+	OpLeave
+	// OpCast is a scoped multicast delivered only to the group's members.
+	OpCast
+	// OpDissolve removes the whole group (application terminated).
+	OpDissolve
+)
+
+// Op is one lightweight-group operation.
+type Op struct {
+	Kind OpKind
+	App  wire.AppID
+	Node wire.NodeID
+	// Meta is opaque per-member metadata carried with OpJoin; Starfish
+	// daemons store the ranks placed on the node here.
+	Meta []byte
+	// Payload is the scoped-cast body for OpCast.
+	Payload []byte
+}
+
+// Encode serializes the operation for transport inside a main-group cast.
+func (o *Op) Encode() []byte {
+	w := wire.NewWriter(16 + len(o.Meta) + len(o.Payload))
+	w.U8(uint8(o.Kind)).U32(uint32(o.App)).U32(uint32(o.Node))
+	w.Bytes32(o.Meta).Bytes32(o.Payload)
+	return w.Bytes()
+}
+
+// DecodeOp parses an operation encoded by Encode.
+func DecodeOp(b []byte) (Op, error) {
+	r := wire.NewReader(b)
+	o := Op{
+		Kind: OpKind(r.U8()),
+		App:  wire.AppID(r.U32()),
+		Node: wire.NodeID(r.U32()),
+	}
+	o.Meta = append([]byte(nil), r.Bytes32()...)
+	o.Payload = append([]byte(nil), r.Bytes32()...)
+	if r.Err() != nil {
+		return Op{}, r.Err()
+	}
+	if o.Kind < OpJoin || o.Kind > OpDissolve {
+		return Op{}, fmt.Errorf("lwg: bad op kind %d", o.Kind)
+	}
+	return o, nil
+}
+
+// View is a lightweight-group view: the member daemons of one application's
+// group, plus their metadata, at a given epoch.
+type View struct {
+	App     wire.AppID
+	ID      uint64
+	Members []wire.NodeID
+	// Meta maps each member to the metadata it joined with.
+	Meta map[wire.NodeID][]byte
+	// Departed lists members removed relative to the previous view,
+	// so listeners can tell crash-driven shrinks from grows.
+	Departed []wire.NodeID
+}
+
+// Contains reports whether node is a member of the view.
+func (v *View) Contains(node wire.NodeID) bool {
+	for _, m := range v.Members {
+		if m == node {
+			return true
+		}
+	}
+	return false
+}
+
+// NotifyKind discriminates Manager notifications.
+type NotifyKind uint8
+
+// Notification kinds.
+const (
+	// NView reports a lightweight view change for a group this node
+	// belongs to (or just left).
+	NView NotifyKind = iota + 1
+	// NCast delivers a scoped multicast for a group this node belongs to.
+	NCast
+)
+
+// Notification is the Manager's output: the daemon routes NView/NCast to
+// the local processes of the named application.
+type Notification struct {
+	Kind    NotifyKind
+	View    View // for NView
+	From    wire.NodeID
+	App     wire.AppID
+	Payload []byte // for NCast
+}
+
+type group struct {
+	viewID  uint64
+	members map[wire.NodeID][]byte // member -> meta
+}
+
+// Manager is the lightweight membership module of one daemon. It is a
+// deterministic state machine over the totally ordered operation stream;
+// it is NOT safe for concurrent use (drive it from one goroutine, e.g. the
+// daemon's event loop).
+type Manager struct {
+	self   wire.NodeID
+	groups map[wire.AppID]*group
+}
+
+// NewManager creates the module for the daemon running on node self.
+func NewManager(self wire.NodeID) *Manager {
+	return &Manager{self: self, groups: make(map[wire.AppID]*group)}
+}
+
+// Groups returns the ids of all known lightweight groups, sorted.
+func (m *Manager) Groups() []wire.AppID {
+	out := make([]wire.AppID, 0, len(m.groups))
+	for id := range m.groups {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Members returns the current member set of app's group (nil if unknown).
+func (m *Manager) Members(app wire.AppID) []wire.NodeID {
+	g := m.groups[app]
+	if g == nil {
+		return nil
+	}
+	return sortedMembers(g)
+}
+
+// MemberMeta returns the metadata node joined app's group with.
+func (m *Manager) MemberMeta(app wire.AppID, node wire.NodeID) []byte {
+	g := m.groups[app]
+	if g == nil {
+		return nil
+	}
+	return g.members[node]
+}
+
+// IsLocalMember reports whether this node belongs to app's group.
+func (m *Manager) IsLocalMember(app wire.AppID) bool {
+	g := m.groups[app]
+	return g != nil && g.members[m.self] != nil
+}
+
+func sortedMembers(g *group) []wire.NodeID {
+	ms := make([]wire.NodeID, 0, len(g.members))
+	for n := range g.members {
+		ms = append(ms, n)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	return ms
+}
+
+func (m *Manager) viewNotification(app wire.AppID, g *group, departed []wire.NodeID) Notification {
+	v := View{App: app, ID: g.viewID, Members: sortedMembers(g), Meta: map[wire.NodeID][]byte{}, Departed: departed}
+	for n, meta := range g.members {
+		v.Meta[n] = meta
+	}
+	return Notification{Kind: NView, App: app, View: v}
+}
+
+// HandleOp applies one decoded operation from the totally ordered stream
+// and returns notifications for local delivery. `from` is the main-group
+// sender of the cast carrying the op.
+func (m *Manager) HandleOp(op Op, from wire.NodeID) []Notification {
+	switch op.Kind {
+	case OpJoin:
+		g := m.groups[op.App]
+		if g == nil {
+			g = &group{members: map[wire.NodeID][]byte{}}
+			m.groups[op.App] = g
+		}
+		meta := op.Meta
+		if meta == nil {
+			meta = []byte{}
+		}
+		g.members[op.Node] = meta
+		g.viewID++
+		if g.members[m.self] != nil {
+			return []Notification{m.viewNotification(op.App, g, nil)}
+		}
+	case OpLeave:
+		g := m.groups[op.App]
+		if g == nil || g.members[op.Node] == nil {
+			return nil
+		}
+		wasMember := g.members[m.self] != nil
+		delete(g.members, op.Node)
+		g.viewID++
+		if len(g.members) == 0 {
+			delete(m.groups, op.App)
+		}
+		if wasMember {
+			return []Notification{m.viewNotification(op.App, &group{
+				viewID:  g.viewID,
+				members: g.members,
+			}, []wire.NodeID{op.Node})}
+		}
+	case OpCast:
+		// Receiver-side scoping: only members of the group deliver.
+		if m.IsLocalMember(op.App) {
+			return []Notification{{Kind: NCast, App: op.App, From: from, Payload: op.Payload}}
+		}
+	case OpDissolve:
+		g := m.groups[op.App]
+		if g == nil {
+			return nil
+		}
+		wasMember := g.members[m.self] != nil
+		members := sortedMembers(g)
+		viewID := g.viewID + 1
+		delete(m.groups, op.App)
+		if wasMember {
+			return []Notification{{Kind: NView, App: op.App, View: View{
+				App: op.App, ID: viewID, Members: nil,
+				Meta: map[wire.NodeID][]byte{}, Departed: members,
+			}}}
+		}
+	}
+	return nil
+}
+
+// HandleMainView reconciles all lightweight groups with a new main-group
+// view: members that crashed out of the Starfish group are removed from
+// every lightweight group they belonged to. This is the translation of
+// main-group membership events into lightweight membership events (§2.1).
+func (m *Manager) HandleMainView(members []wire.NodeID) []Notification {
+	alive := map[wire.NodeID]bool{}
+	for _, n := range members {
+		alive[n] = true
+	}
+	var out []Notification
+	apps := make([]wire.AppID, 0, len(m.groups))
+	for app := range m.groups {
+		apps = append(apps, app)
+	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i] < apps[j] })
+	for _, app := range apps {
+		g := m.groups[app]
+		var departed []wire.NodeID
+		for n := range g.members {
+			if !alive[n] {
+				departed = append(departed, n)
+			}
+		}
+		if len(departed) == 0 {
+			continue
+		}
+		sort.Slice(departed, func(i, j int) bool { return departed[i] < departed[j] })
+		wasMember := g.members[m.self] != nil
+		for _, n := range departed {
+			delete(g.members, n)
+		}
+		g.viewID++
+		if len(g.members) == 0 {
+			delete(m.groups, app)
+		}
+		if wasMember && g.members[m.self] != nil {
+			out = append(out, m.viewNotification(app, g, departed))
+		}
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package lwg
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"starfish/internal/wire"
+)
+
+func TestOpEncodeDecode(t *testing.T) {
+	op := Op{Kind: OpJoin, App: 7, Node: 3, Meta: []byte("ranks:0,1"), Payload: nil}
+	got, err := DecodeOp(op.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != OpJoin || got.App != 7 || got.Node != 3 || string(got.Meta) != "ranks:0,1" {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestDecodeOpErrors(t *testing.T) {
+	if _, err := DecodeOp(nil); err == nil {
+		t.Error("DecodeOp(nil) succeeded")
+	}
+	bad := Op{Kind: 0, App: 1}
+	if _, err := DecodeOp(bad.Encode()); err == nil {
+		t.Error("DecodeOp with kind 0 succeeded")
+	}
+}
+
+func TestJoinProducesViewOnlyForMembers(t *testing.T) {
+	// Three daemons replay the same op stream; only members of the group
+	// should get view notifications (the paper: changes that affect only
+	// lightweight groups are reported in the lightweight group only).
+	m1 := NewManager(1)
+	m2 := NewManager(2)
+	m3 := NewManager(3)
+	ops := []Op{
+		{Kind: OpJoin, App: 10, Node: 1, Meta: []byte("r0")},
+		{Kind: OpJoin, App: 10, Node: 2, Meta: []byte("r1")},
+	}
+	var n1, n2, n3 []Notification
+	for _, op := range ops {
+		n1 = append(n1, m1.HandleOp(op, op.Node)...)
+		n2 = append(n2, m2.HandleOp(op, op.Node)...)
+		n3 = append(n3, m3.HandleOp(op, op.Node)...)
+	}
+	if len(n1) != 2 { // node1 is a member from op 1
+		t.Errorf("node1 notifications = %d, want 2", len(n1))
+	}
+	if len(n2) != 1 { // node2 becomes a member at op 2
+		t.Errorf("node2 notifications = %d, want 1", len(n2))
+	}
+	if len(n3) != 0 { // node3 never joins app 10
+		t.Errorf("node3 notifications = %d, want 0", len(n3))
+	}
+	v := n2[0].View
+	if !v.Contains(1) || !v.Contains(2) || v.Contains(3) {
+		t.Errorf("view members = %v", v.Members)
+	}
+	if string(v.Meta[1]) != "r0" || string(v.Meta[2]) != "r1" {
+		t.Errorf("view meta = %v", v.Meta)
+	}
+}
+
+func TestDeterministicAcrossReplicas(t *testing.T) {
+	// Same op stream => same membership at every replica.
+	ops := []Op{
+		{Kind: OpJoin, App: 1, Node: 1},
+		{Kind: OpJoin, App: 1, Node: 2},
+		{Kind: OpJoin, App: 2, Node: 2},
+		{Kind: OpLeave, App: 1, Node: 1},
+		{Kind: OpJoin, App: 2, Node: 3},
+	}
+	ms := []*Manager{NewManager(1), NewManager(2), NewManager(3)}
+	for _, op := range ops {
+		for _, m := range ms {
+			m.HandleOp(op, op.Node)
+		}
+	}
+	for _, m := range ms[1:] {
+		for _, app := range []wire.AppID{1, 2} {
+			a, b := ms[0].Members(app), m.Members(app)
+			if len(a) != len(b) {
+				t.Fatalf("app %d: replica disagreement %v vs %v", app, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("app %d: replica disagreement %v vs %v", app, a, b)
+				}
+			}
+		}
+	}
+	if got := ms[0].Members(1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("app1 members = %v, want [2]", got)
+	}
+	if got := ms[0].Members(2); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("app2 members = %v, want [2 3]", got)
+	}
+}
+
+func TestScopedCastDeliveredOnlyToMembers(t *testing.T) {
+	member := NewManager(1)
+	outsider := NewManager(9)
+	join := Op{Kind: OpJoin, App: 5, Node: 1}
+	member.HandleOp(join, 1)
+	outsider.HandleOp(join, 1)
+
+	cast := Op{Kind: OpCast, App: 5, Payload: []byte("repartition")}
+	got := member.HandleOp(cast, 1)
+	if len(got) != 1 || got[0].Kind != NCast || string(got[0].Payload) != "repartition" || got[0].From != 1 {
+		t.Errorf("member notifications = %+v", got)
+	}
+	if n := outsider.HandleOp(cast, 1); len(n) != 0 {
+		t.Errorf("outsider received scoped cast: %+v", n)
+	}
+	// Cast to a nonexistent group is silently scoped away.
+	if n := member.HandleOp(Op{Kind: OpCast, App: 99}, 1); len(n) != 0 {
+		t.Errorf("cast to unknown group delivered: %+v", n)
+	}
+}
+
+func TestLeaveNotifiesRemainingMembers(t *testing.T) {
+	m := NewManager(1)
+	m.HandleOp(Op{Kind: OpJoin, App: 3, Node: 1}, 1)
+	m.HandleOp(Op{Kind: OpJoin, App: 3, Node: 2}, 2)
+	ns := m.HandleOp(Op{Kind: OpLeave, App: 3, Node: 2}, 2)
+	if len(ns) != 1 || ns[0].Kind != NView {
+		t.Fatalf("notifications = %+v", ns)
+	}
+	v := ns[0].View
+	if len(v.Members) != 1 || v.Members[0] != 1 {
+		t.Errorf("members after leave = %v", v.Members)
+	}
+	if len(v.Departed) != 1 || v.Departed[0] != 2 {
+		t.Errorf("departed = %v", v.Departed)
+	}
+	// Leaving an unknown member is a no-op.
+	if ns := m.HandleOp(Op{Kind: OpLeave, App: 3, Node: 42}, 42); len(ns) != 0 {
+		t.Errorf("unknown leave notified: %+v", ns)
+	}
+}
+
+func TestDissolve(t *testing.T) {
+	m := NewManager(1)
+	m.HandleOp(Op{Kind: OpJoin, App: 3, Node: 1}, 1)
+	m.HandleOp(Op{Kind: OpJoin, App: 3, Node: 2}, 2)
+	ns := m.HandleOp(Op{Kind: OpDissolve, App: 3}, 1)
+	if len(ns) != 1 || ns[0].Kind != NView || len(ns[0].View.Members) != 0 {
+		t.Fatalf("dissolve notifications = %+v", ns)
+	}
+	if len(ns[0].View.Departed) != 2 {
+		t.Errorf("departed = %v", ns[0].View.Departed)
+	}
+	if m.Members(3) != nil {
+		t.Error("group survived dissolve")
+	}
+	if ns := m.HandleOp(Op{Kind: OpDissolve, App: 3}, 1); len(ns) != 0 {
+		t.Error("double dissolve notified")
+	}
+}
+
+func TestMainViewRemovesCrashedNodes(t *testing.T) {
+	// Node 2 crashes out of the Starfish group: it must leave every
+	// lightweight group it was in, and only co-members get notified.
+	m1 := NewManager(1)
+	m3 := NewManager(3)
+	ops := []Op{
+		{Kind: OpJoin, App: 1, Node: 1},
+		{Kind: OpJoin, App: 1, Node: 2},
+		{Kind: OpJoin, App: 2, Node: 2},
+		{Kind: OpJoin, App: 2, Node: 3},
+		{Kind: OpJoin, App: 3, Node: 3},
+	}
+	for _, op := range ops {
+		m1.HandleOp(op, op.Node)
+		m3.HandleOp(op, op.Node)
+	}
+	// Main view now {1,3}: node 2 crashed.
+	n1 := m1.HandleMainView([]wire.NodeID{1, 3})
+	n3 := m3.HandleMainView([]wire.NodeID{1, 3})
+
+	if len(n1) != 1 || n1[0].App != 1 {
+		t.Fatalf("node1 notifications = %+v", n1)
+	}
+	if got := n1[0].View.Departed; len(got) != 1 || got[0] != 2 {
+		t.Errorf("node1 departed = %v", got)
+	}
+	if len(n3) != 1 || n3[0].App != 2 {
+		t.Fatalf("node3 notifications = %+v", n3)
+	}
+	// App 3 (only node 3) unaffected.
+	if got := m3.Members(3); len(got) != 1 || got[0] != 3 {
+		t.Errorf("app3 members = %v", got)
+	}
+	// App 1 now only node 1; app 2 only node 3.
+	if got := m1.Members(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("app1 members = %v", got)
+	}
+}
+
+func TestMainViewCrashOfSoleMemberDeletesGroup(t *testing.T) {
+	m := NewManager(1)
+	m.HandleOp(Op{Kind: OpJoin, App: 9, Node: 2}, 2)
+	ns := m.HandleMainView([]wire.NodeID{1})
+	if len(ns) != 0 {
+		t.Errorf("non-member notified of remote group death: %+v", ns)
+	}
+	if m.Members(9) != nil {
+		t.Error("empty group retained")
+	}
+	if len(m.Groups()) != 0 {
+		t.Errorf("groups = %v", m.Groups())
+	}
+}
+
+func TestViewIDMonotonicallyIncreases(t *testing.T) {
+	m := NewManager(1)
+	var last uint64
+	step := func(op Op) {
+		for _, n := range m.HandleOp(op, op.Node) {
+			if n.Kind == NView {
+				if n.View.ID <= last {
+					t.Fatalf("view id went from %d to %d", last, n.View.ID)
+				}
+				last = n.View.ID
+			}
+		}
+	}
+	step(Op{Kind: OpJoin, App: 1, Node: 1})
+	step(Op{Kind: OpJoin, App: 1, Node: 2})
+	step(Op{Kind: OpLeave, App: 1, Node: 2})
+	step(Op{Kind: OpJoin, App: 1, Node: 3})
+}
+
+func TestQuickOpRoundTrip(t *testing.T) {
+	prop := func(kind uint8, app uint32, node uint32, meta, payload []byte) bool {
+		k := OpKind(kind%4) + OpJoin
+		op := Op{Kind: k, App: wire.AppID(app), Node: wire.NodeID(node), Meta: meta, Payload: payload}
+		got, err := DecodeOp(op.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Kind == k && got.App == op.App && got.Node == op.Node &&
+			bytes.Equal(got.Meta, meta) && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReplicaAgreement(t *testing.T) {
+	// Property: replaying any op stream leaves all replicas with identical
+	// group membership.
+	prop := func(seed []byte) bool {
+		ms := []*Manager{NewManager(1), NewManager(2), NewManager(3)}
+		for i := 0; i+2 < len(seed); i += 3 {
+			op := Op{
+				Kind: OpKind(seed[i]%3) + OpJoin, // join/leave/cast
+				App:  wire.AppID(seed[i+1] % 4),
+				Node: wire.NodeID(seed[i+2]%5 + 1),
+			}
+			for _, m := range ms {
+				m.HandleOp(op, op.Node)
+			}
+		}
+		for app := wire.AppID(0); app < 4; app++ {
+			ref := ms[0].Members(app)
+			for _, m := range ms[1:] {
+				got := m.Members(app)
+				if len(got) != len(ref) {
+					return false
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

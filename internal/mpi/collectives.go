@@ -1,0 +1,300 @@
+package mpi
+
+import (
+	"fmt"
+
+	"starfish/internal/wire"
+)
+
+// Collective operations. All are built on the point-to-point layer with
+// reserved tags, so they inherit the fast path. Every rank of the
+// communicator must call the collective; tags separate concurrent
+// collectives of different kinds but, as in MPI, collectives of the same
+// kind must be issued in the same order everywhere.
+//
+// Internal tags live above 1<<30 so they can never collide with user tags.
+const (
+	tagBarrier int32 = 1<<30 + iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+	tagAllgather
+	tagAlltoall
+	tagScan
+	tagGatherv
+	tagSendrecv
+)
+
+// Barrier blocks until every rank has entered it (dissemination
+// algorithm: ceil(log2 n) rounds).
+func (c *Comm) Barrier() error {
+	n := c.cfg.Size
+	if n == 1 {
+		return nil
+	}
+	me := int(c.cfg.Rank)
+	for dist := 1; dist < n; dist *= 2 {
+		dst := wire.Rank((me + dist) % n)
+		src := wire.Rank((me - dist + n) % n)
+		req := c.Irecv(src, tagBarrier)
+		if err := c.Send(dst, tagBarrier, nil); err != nil {
+			return fmt.Errorf("barrier: %w", err)
+		}
+		if _, _, err := req.Wait(); err != nil {
+			return fmt.Errorf("barrier: %w", err)
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts buf from root to all ranks along a binomial tree and
+// returns the received buffer (root returns buf unchanged).
+func (c *Comm) Bcast(root wire.Rank, buf []byte) ([]byte, error) {
+	n := c.cfg.Size
+	if n == 1 {
+		return buf, nil
+	}
+	// Rotate ranks so the root is virtual rank 0.
+	vrank := (int(c.cfg.Rank) - int(root) + n) % n
+
+	if vrank != 0 {
+		// Receive from the parent in the binomial tree.
+		data, _, err := c.Recv(wire.AnyRank, tagBcast)
+		if err != nil {
+			return nil, fmt.Errorf("bcast: %w", err)
+		}
+		buf = data
+	}
+	// Forward to children: for each bit above my lowest set bit.
+	mask := 1
+	for mask < n && vrank&(mask-1) == 0 {
+		if vrank&mask == 0 {
+			child := vrank | mask
+			if child < n {
+				real := wire.Rank((child + int(root)) % n)
+				if err := c.Send(real, tagBcast, buf); err != nil {
+					return nil, fmt.Errorf("bcast: %w", err)
+				}
+			}
+		}
+		mask <<= 1
+	}
+	return buf, nil
+}
+
+// ReduceFunc combines two equally-shaped buffers into one.
+type ReduceFunc func(a, b []byte) ([]byte, error)
+
+// Reduce combines every rank's contribution with fn and delivers the
+// result to root (binomial-tree reduction). fn must be associative and
+// commutative. Non-root ranks return nil.
+func (c *Comm) Reduce(root wire.Rank, contrib []byte, fn ReduceFunc) ([]byte, error) {
+	n := c.cfg.Size
+	if n == 1 {
+		return contrib, nil
+	}
+	vrank := (int(c.cfg.Rank) - int(root) + n) % n
+	acc := contrib
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			parent := vrank &^ mask
+			real := wire.Rank((parent + int(root)) % n)
+			if err := c.Send(real, tagReduce, acc); err != nil {
+				return nil, fmt.Errorf("reduce: %w", err)
+			}
+			return nil, nil
+		}
+		child := vrank | mask
+		if child < n {
+			data, _, err := c.Recv(wire.Rank((child+int(root))%n), tagReduce)
+			if err != nil {
+				return nil, fmt.Errorf("reduce: %w", err)
+			}
+			if acc, err = fn(acc, data); err != nil {
+				return nil, fmt.Errorf("reduce: %w", err)
+			}
+		}
+		mask <<= 1
+	}
+	return acc, nil
+}
+
+// Allreduce combines every rank's contribution and returns the result at
+// every rank (reduce to rank 0 + broadcast).
+func (c *Comm) Allreduce(contrib []byte, fn ReduceFunc) ([]byte, error) {
+	acc, err := c.Reduce(0, contrib, fn)
+	if err != nil {
+		return nil, err
+	}
+	return c.Bcast(0, acc)
+}
+
+// Gather collects every rank's contribution at root; root receives a slice
+// indexed by rank. Non-root ranks return nil.
+func (c *Comm) Gather(root wire.Rank, contrib []byte) ([][]byte, error) {
+	if c.cfg.Rank != root {
+		if err := c.Send(root, tagGather, contrib); err != nil {
+			return nil, fmt.Errorf("gather: %w", err)
+		}
+		return nil, nil
+	}
+	out := make([][]byte, c.cfg.Size)
+	out[root] = contrib
+	for i := 0; i < c.cfg.Size-1; i++ {
+		data, st, err := c.Recv(wire.AnyRank, tagGather)
+		if err != nil {
+			return nil, fmt.Errorf("gather: %w", err)
+		}
+		out[st.Source] = data
+	}
+	return out, nil
+}
+
+// Scatter distributes parts (indexed by rank, only meaningful at root) so
+// each rank receives parts[rank].
+func (c *Comm) Scatter(root wire.Rank, parts [][]byte) ([]byte, error) {
+	if c.cfg.Rank == root {
+		if len(parts) != c.cfg.Size {
+			return nil, fmt.Errorf("scatter: %w: %d parts for %d ranks", ErrBadLength, len(parts), c.cfg.Size)
+		}
+		for r := 0; r < c.cfg.Size; r++ {
+			if wire.Rank(r) == root {
+				continue
+			}
+			if err := c.Send(wire.Rank(r), tagScatter, parts[r]); err != nil {
+				return nil, fmt.Errorf("scatter: %w", err)
+			}
+		}
+		return parts[root], nil
+	}
+	data, _, err := c.Recv(root, tagScatter)
+	if err != nil {
+		return nil, fmt.Errorf("scatter: %w", err)
+	}
+	return data, nil
+}
+
+// Allgather collects every rank's contribution at every rank (ring
+// algorithm: n-1 steps, each forwarding the piece received last step).
+func (c *Comm) Allgather(contrib []byte) ([][]byte, error) {
+	n := c.cfg.Size
+	out := make([][]byte, n)
+	out[c.cfg.Rank] = contrib
+	if n == 1 {
+		return out, nil
+	}
+	me := int(c.cfg.Rank)
+	right := wire.Rank((me + 1) % n)
+	left := wire.Rank((me - 1 + n) % n)
+	carry := contrib
+	carryOwner := me
+	for step := 0; step < n-1; step++ {
+		req := c.Irecv(left, tagAllgather)
+		if err := c.Send(right, tagAllgather, carry); err != nil {
+			return nil, fmt.Errorf("allgather: %w", err)
+		}
+		data, _, err := req.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("allgather: %w", err)
+		}
+		carryOwner = (carryOwner - 1 + n) % n
+		carry = data
+		out[carryOwner] = data
+	}
+	return out, nil
+}
+
+// Alltoall performs a personalized all-to-all exchange: parts[r] goes to
+// rank r; the result's element r came from rank r.
+func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
+	n := c.cfg.Size
+	if len(parts) != n {
+		return nil, fmt.Errorf("alltoall: %w: %d parts for %d ranks", ErrBadLength, len(parts), n)
+	}
+	out := make([][]byte, n)
+	out[c.cfg.Rank] = parts[c.cfg.Rank]
+	me := int(c.cfg.Rank)
+	// Pairwise exchange: at step s, talk to rank me^s when n is a power
+	// of two; otherwise use the rotation schedule.
+	reqs := make([]*Request, 0, n-1)
+	for step := 1; step < n; step++ {
+		dst := wire.Rank((me + step) % n)
+		src := wire.Rank((me - step + n) % n)
+		req := c.Irecv(src, tagAlltoall)
+		reqs = append(reqs, req)
+		if err := c.Send(dst, tagAlltoall, parts[dst]); err != nil {
+			return nil, fmt.Errorf("alltoall: %w", err)
+		}
+	}
+	for step := 1; step < n; step++ {
+		src := wire.Rank((me - step + n) % n)
+		data, _, err := reqs[step-1].Wait()
+		if err != nil {
+			return nil, fmt.Errorf("alltoall: %w", err)
+		}
+		out[src] = data
+	}
+	return out, nil
+}
+
+// Scan computes the inclusive prefix reduction: rank r receives
+// fn(contrib_0, ..., contrib_r) (linear chain).
+func (c *Comm) Scan(contrib []byte, fn ReduceFunc) ([]byte, error) {
+	me := int(c.cfg.Rank)
+	acc := contrib
+	if me > 0 {
+		prev, _, err := c.Recv(wire.Rank(me-1), tagScan)
+		if err != nil {
+			return nil, fmt.Errorf("scan: %w", err)
+		}
+		if acc, err = fn(prev, contrib); err != nil {
+			return nil, fmt.Errorf("scan: %w", err)
+		}
+	}
+	if me < c.cfg.Size-1 {
+		if err := c.Send(wire.Rank(me+1), tagScan, acc); err != nil {
+			return nil, fmt.Errorf("scan: %w", err)
+		}
+	}
+	return acc, nil
+}
+
+// Sendrecv performs a combined send and receive (MPI_Sendrecv): buf goes
+// to dst while one message is received from src — deadlock-free even when
+// every rank calls it simultaneously in a ring, because the send is eager.
+func (c *Comm) Sendrecv(dst wire.Rank, sendTag int32, buf []byte, src wire.Rank, recvTag int32) ([]byte, Status, error) {
+	req := c.Irecv(src, recvTag)
+	if err := c.Send(dst, sendTag, buf); err != nil {
+		return nil, Status{}, fmt.Errorf("sendrecv: %w", err)
+	}
+	data, st, err := req.Wait()
+	if err != nil {
+		return nil, st, fmt.Errorf("sendrecv: %w", err)
+	}
+	return data, st, nil
+}
+
+// Gatherv collects variable-length contributions at root (MPI_Gatherv).
+// Buffers carry their own lengths in this library, so the signature matches
+// Gather; it uses a distinct internal tag so concurrent Gather and Gatherv
+// collectives cannot cross-match. Non-root ranks return nil.
+func (c *Comm) Gatherv(root wire.Rank, contrib []byte) ([][]byte, error) {
+	if c.cfg.Rank != root {
+		if err := c.Send(root, tagGatherv, contrib); err != nil {
+			return nil, fmt.Errorf("gatherv: %w", err)
+		}
+		return nil, nil
+	}
+	out := make([][]byte, c.cfg.Size)
+	out[root] = contrib
+	for i := 0; i < c.cfg.Size-1; i++ {
+		data, st, err := c.Recv(wire.AnyRank, tagGatherv)
+		if err != nil {
+			return nil, fmt.Errorf("gatherv: %w", err)
+		}
+		out[st.Source] = data
+	}
+	return out, nil
+}

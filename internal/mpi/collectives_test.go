@@ -1,0 +1,430 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"starfish/internal/vni"
+	"starfish/internal/wire"
+)
+
+func TestBarrier(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			comms := world(t, n)
+			// Three consecutive barriers must not deadlock or cross-talk.
+			runRanks(t, comms, func(c *Comm) error {
+				for i := 0; i < 3; i++ {
+					if err := c.Barrier(); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		for root := 0; root < n; root++ {
+			comms := world(t, n)
+			payload := []byte(fmt.Sprintf("bcast-%d-%d", n, root))
+			var mu sync.Mutex
+			got := make([][]byte, n)
+			runRanks(t, comms, func(c *Comm) error {
+				var in []byte
+				if c.Rank() == wire.Rank(root) {
+					in = payload
+				}
+				out, err := c.Bcast(wire.Rank(root), in)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				got[c.Rank()] = out
+				mu.Unlock()
+				return nil
+			})
+			for r := 0; r < n; r++ {
+				if !bytes.Equal(got[r], payload) {
+					t.Fatalf("n=%d root=%d rank=%d got %q", n, root, r, got[r])
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6} {
+		comms := world(t, n)
+		var mu sync.Mutex
+		var rootResult []int64
+		runRanks(t, comms, func(c *Comm) error {
+			contrib := Int64Bytes([]int64{int64(c.Rank()) + 1, 10 * (int64(c.Rank()) + 1)})
+			out, err := c.Reduce(0, contrib, SumInt64)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				vs, err := BytesInt64(out)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				rootResult = vs
+				mu.Unlock()
+			} else if out != nil {
+				return fmt.Errorf("non-root got a result")
+			}
+			return nil
+		})
+		want := int64(n * (n + 1) / 2)
+		if rootResult[0] != want || rootResult[1] != 10*want {
+			t.Errorf("n=%d: reduce = %v, want [%d %d]", n, rootResult, want, 10*want)
+		}
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	for _, n := range []int{1, 3, 4} {
+		comms := world(t, n)
+		var mu sync.Mutex
+		results := make([][]float64, n)
+		runRanks(t, comms, func(c *Comm) error {
+			contrib := Float64Bytes([]float64{float64(c.Rank()), 1})
+			out, err := c.Allreduce(contrib, SumFloat64)
+			if err != nil {
+				return err
+			}
+			vs, err := BytesFloat64(out)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			results[c.Rank()] = vs
+			mu.Unlock()
+			return nil
+		})
+		want := float64(n*(n-1)) / 2
+		for r := 0; r < n; r++ {
+			if results[r][0] != want || results[r][1] != float64(n) {
+				t.Errorf("n=%d rank=%d: %v", n, r, results[r])
+			}
+		}
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	const n = 4
+	comms := world(t, n)
+	var mu sync.Mutex
+	var gathered [][]byte
+	scattered := make([][]byte, n)
+	runRanks(t, comms, func(c *Comm) error {
+		g, err := c.Gather(1, []byte{byte(c.Rank()) + 100})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			mu.Lock()
+			gathered = g
+			mu.Unlock()
+		}
+		parts := make([][]byte, n)
+		if c.Rank() == 2 {
+			for i := range parts {
+				parts[i] = []byte{byte(i) * 2}
+			}
+		}
+		s, err := c.Scatter(2, parts)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		scattered[c.Rank()] = s
+		mu.Unlock()
+		return nil
+	})
+	for r := 0; r < n; r++ {
+		if len(gathered[r]) != 1 || gathered[r][0] != byte(r)+100 {
+			t.Errorf("gathered[%d] = %v", r, gathered[r])
+		}
+		if len(scattered[r]) != 1 || scattered[r][0] != byte(r)*2 {
+			t.Errorf("scattered[%d] = %v", r, scattered[r])
+		}
+	}
+}
+
+func TestScatterWrongParts(t *testing.T) {
+	comms := world(t, 2)
+	runRanks(t, comms, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, err := c.Scatter(0, [][]byte{{1}}); err == nil {
+				return fmt.Errorf("scatter with 1 part for 2 ranks succeeded")
+			}
+			// Unblock rank 1 with a correct scatter.
+			_, err := c.Scatter(0, [][]byte{{1}, {2}})
+			return err
+		}
+		_, err := c.Scatter(0, nil)
+		return err
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5} {
+		comms := world(t, n)
+		var mu sync.Mutex
+		results := make([][][]byte, n)
+		runRanks(t, comms, func(c *Comm) error {
+			out, err := c.Allgather([]byte(fmt.Sprintf("piece-%d", c.Rank())))
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			results[c.Rank()] = out
+			mu.Unlock()
+			return nil
+		})
+		for r := 0; r < n; r++ {
+			for p := 0; p < n; p++ {
+				want := fmt.Sprintf("piece-%d", p)
+				if string(results[r][p]) != want {
+					t.Errorf("n=%d rank=%d piece=%d: %q", n, r, p, results[r][p])
+				}
+			}
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		comms := world(t, n)
+		var mu sync.Mutex
+		results := make([][][]byte, n)
+		runRanks(t, comms, func(c *Comm) error {
+			parts := make([][]byte, n)
+			for dst := 0; dst < n; dst++ {
+				parts[dst] = []byte(fmt.Sprintf("%d->%d", c.Rank(), dst))
+			}
+			out, err := c.Alltoall(parts)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			results[c.Rank()] = out
+			mu.Unlock()
+			return nil
+		})
+		for r := 0; r < n; r++ {
+			for src := 0; src < n; src++ {
+				want := fmt.Sprintf("%d->%d", src, r)
+				if string(results[r][src]) != want {
+					t.Errorf("n=%d rank=%d src=%d: %q", n, r, src, results[r][src])
+				}
+			}
+		}
+	}
+}
+
+func TestScan(t *testing.T) {
+	const n = 5
+	comms := world(t, n)
+	var mu sync.Mutex
+	results := make([]int64, n)
+	runRanks(t, comms, func(c *Comm) error {
+		out, err := c.Scan(Int64Bytes([]int64{int64(c.Rank()) + 1}), SumInt64)
+		if err != nil {
+			return err
+		}
+		vs, err := BytesInt64(out)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[c.Rank()] = vs[0]
+		mu.Unlock()
+		return nil
+	})
+	for r := 0; r < n; r++ {
+		want := int64((r + 1) * (r + 2) / 2)
+		if results[r] != want {
+			t.Errorf("scan[%d] = %d, want %d", r, results[r], want)
+		}
+	}
+}
+
+func TestOpsRoundTripsAndErrors(t *testing.T) {
+	is := []int64{1, -5, 1 << 40}
+	got, err := BytesInt64(Int64Bytes(is))
+	if err != nil || len(got) != 3 || got[2] != 1<<40 {
+		t.Errorf("int64 round trip: %v %v", got, err)
+	}
+	fs := []float64{1.5, -2.25}
+	gf, err := BytesFloat64(Float64Bytes(fs))
+	if err != nil || gf[1] != -2.25 {
+		t.Errorf("float64 round trip: %v %v", gf, err)
+	}
+	if _, err := BytesInt64([]byte{1, 2, 3}); err == nil {
+		t.Error("misaligned int64 buffer accepted")
+	}
+	if _, err := SumInt64(Int64Bytes([]int64{1}), Int64Bytes([]int64{1, 2})); err == nil {
+		t.Error("length mismatch accepted by SumInt64")
+	}
+	max, _ := MaxInt64(Int64Bytes([]int64{3, -2}), Int64Bytes([]int64{1, 7}))
+	vs, _ := BytesInt64(max)
+	if vs[0] != 3 || vs[1] != 7 {
+		t.Errorf("max = %v", vs)
+	}
+	min, _ := MinFloat64(Float64Bytes([]float64{3, -2}), Float64Bytes([]float64{1, 7}))
+	fv, _ := BytesFloat64(min)
+	if fv[0] != 1 || fv[1] != -2 {
+		t.Errorf("min = %v", fv)
+	}
+	prod, _ := ProdInt64(Int64Bytes([]int64{3}), Int64Bytes([]int64{-4}))
+	pv, _ := BytesInt64(prod)
+	if pv[0] != -12 {
+		t.Errorf("prod = %v", pv)
+	}
+}
+
+func TestQuickAllreduceMatchesSequential(t *testing.T) {
+	// Property: a distributed sum-allreduce over random contributions
+	// equals the sequential sum, for random world sizes.
+	prop := func(seed []int32, sizeRaw uint8) bool {
+		n := int(sizeRaw%5) + 1
+		if len(seed) < n {
+			return true // not enough data; trivially pass
+		}
+		comms := worldQuick(n)
+		defer func() {
+			for _, c := range comms {
+				c.Close()
+			}
+		}()
+		var want int64
+		for i := 0; i < n; i++ {
+			want += int64(seed[i])
+		}
+		results := make([]int64, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				out, err := comms[i].Allreduce(Int64Bytes([]int64{int64(seed[i])}), SumInt64)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				vs, err := BytesInt64(out)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				results[i] = vs[0]
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if errs[i] != nil || results[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// worldQuick builds a world without a *testing.T (for quick properties).
+// The returned cleanup in each Comm's Close suffices for the Comm; the
+// NICs are closed via the returned closer list attached to the comms.
+func worldQuick(n int) []*Comm {
+	fn := vni.NewFastnet(0)
+	addrs := make(map[wire.Rank]string, n)
+	nics := make([]*vni.NIC, n)
+	for i := 0; i < n; i++ {
+		nic, err := vni.NewNIC(fn, fmt.Sprintf("rank%d", i), 0)
+		if err != nil {
+			panic(err)
+		}
+		nics[i] = nic
+		addrs[wire.Rank(i)] = nic.Addr()
+	}
+	comms := make([]*Comm, n)
+	for i := 0; i < n; i++ {
+		c, err := New(Config{App: 1, Rank: wire.Rank(i), Size: n, NIC: nics[i], Addrs: addrs})
+		if err != nil {
+			panic(err)
+		}
+		nic := nics[i]
+		c.onClose = func() { nic.Close() }
+		comms[i] = c
+	}
+	return comms
+}
+
+func TestSendrecvRing(t *testing.T) {
+	const n = 4
+	comms := world(t, n)
+	var mu sync.Mutex
+	got := make([]int64, n)
+	runRanks(t, comms, func(c *Comm) error {
+		me := int64(c.Rank())
+		right := wire.Rank((me + 1) % n)
+		left := wire.Rank((me - 1 + n) % n)
+		data, st, err := c.Sendrecv(right, 9, Int64Bytes([]int64{me}), left, 9)
+		if err != nil {
+			return err
+		}
+		if st.Source != left {
+			return fmt.Errorf("source = %d, want %d", st.Source, left)
+		}
+		vs, err := BytesInt64(data)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		got[c.Rank()] = vs[0]
+		mu.Unlock()
+		return nil
+	})
+	for r := 0; r < n; r++ {
+		want := int64((r - 1 + n) % n)
+		if got[r] != want {
+			t.Errorf("rank %d received %d, want %d", r, got[r], want)
+		}
+	}
+}
+
+func TestGathervVariableSizes(t *testing.T) {
+	const n = 3
+	comms := world(t, n)
+	var mu sync.Mutex
+	var out [][]byte
+	runRanks(t, comms, func(c *Comm) error {
+		contrib := bytes.Repeat([]byte{byte(c.Rank())}, int(c.Rank())+1)
+		g, err := c.Gatherv(2, contrib)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			mu.Lock()
+			out = g
+			mu.Unlock()
+		}
+		return nil
+	})
+	for r := 0; r < n; r++ {
+		if len(out[r]) != r+1 || (r > 0 && out[r][0] != byte(r)) {
+			t.Errorf("gatherv[%d] = %v", r, out[r])
+		}
+	}
+}

@@ -1,0 +1,756 @@
+// Package mpi is Starfish's MPI module: the message-passing library that
+// application code programs against.
+//
+// It implements blocking and non-blocking point-to-point operations with
+// MPI matching semantics (source/tag wildcards, per-pair FIFO), the
+// standard collectives, and the Starfish-specific hooks the paper adds on
+// top of MPI: checkpoint-interval tagging for uncoordinated C/R, send
+// pausing and channel draining for stop-and-sync, and in-band markers with
+// channel recording for Chandy–Lamport snapshots.
+//
+// Data messages travel on the fast path — directly from this module to the
+// VNI — and never touch the object bus or the daemons, which is the
+// paper's key performance decision. Receives are serviced from a queue
+// filled by the VNI's polling goroutines (§2.2.1), so a blocking receive
+// whose message already arrived is a queue pop, not a kernel interaction.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"starfish/internal/vni"
+	"starfish/internal/wire"
+)
+
+// API errors.
+var (
+	ErrClosed    = errors.New("mpi: communicator closed")
+	ErrBadRank   = errors.New("mpi: rank out of range")
+	ErrPeerDead  = errors.New("mpi: peer rank failed")
+	ErrTooLarge  = errors.New("mpi: message exceeds wire.MaxPayload")
+	ErrBadLength = errors.New("mpi: buffer length mismatch")
+)
+
+// Status describes a completed receive, like MPI_Status.
+type Status struct {
+	Source wire.Rank
+	Tag    int32
+	// Interval is the sender's checkpoint-interval index at send time
+	// (uncoordinated C/R dependency tracking).
+	Interval uint64
+}
+
+// Config assembles a communicator.
+type Config struct {
+	App  wire.AppID
+	Rank wire.Rank
+	Size int
+	// NIC is the process's data-path endpoint.
+	NIC *vni.NIC
+	// Addrs maps every rank to its data-path address.
+	Addrs map[wire.Rank]string
+	// Timer, when non-nil, records per-layer times (Figure 6).
+	Timer *vni.StageTimer
+	// OnMarker is invoked from the progress goroutine when a
+	// Chandy–Lamport marker arrives on the data path.
+	OnMarker func(src wire.Rank, ckptID uint64)
+	// OnReceive is invoked (from the progress goroutine) for every data
+	// message, with the sender's interval — the C/R module records the
+	// dependency.
+	OnReceive func(src wire.Rank, srcInterval uint64)
+	// LogSends keeps a copy of every outgoing data message (sender-based
+	// message logging). The uncoordinated C/R protocol persists the log
+	// with each checkpoint and replays it at restart so that messages a
+	// rolled-back receiver forgot are not lost.
+	LogSends bool
+}
+
+// envelope is a matched or matchable message inside the engine.
+type envelope struct {
+	src      wire.Rank
+	tag      int32
+	data     []byte
+	interval uint64
+	seq      uint64
+	arrived  time.Time
+}
+
+// RecordedMsg is one data message captured outside the live queue: channel
+// state recorded by Chandy–Lamport, pending messages captured with a
+// checkpoint, or an entry of the sender-side message log.
+type RecordedMsg struct {
+	Src      wire.Rank
+	Dst      wire.Rank // used by sender-log entries
+	Tag      int32
+	Data     []byte
+	Interval uint64
+	Seq      uint64
+}
+
+// Comm is a communicator over a fixed set of ranks (one incarnation of an
+// application). All methods are safe for concurrent use.
+type Comm struct {
+	cfg Config
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	unexpected []envelope
+	closed     bool
+	dead       map[wire.Rank]bool
+	paused     bool
+
+	sentCount map[wire.Rank]uint64
+	recvCount map[wire.Rank]uint64
+
+	interval uint64
+
+	recording    bool
+	recordFrom   map[wire.Rank]bool
+	recorded     []RecordedMsg
+	recordCkptID uint64
+
+	heldFrom map[wire.Rank]bool
+	held     []envelope
+
+	sentLog []RecordedMsg
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	// onClose, if set, runs after the progress engine stops (used by
+	// owners that want the NIC torn down with the communicator).
+	onClose func()
+}
+
+// New creates a communicator and starts its progress engine.
+func New(cfg Config) (*Comm, error) {
+	if cfg.Size <= 0 || int(cfg.Rank) < 0 || int(cfg.Rank) >= cfg.Size {
+		return nil, fmt.Errorf("%w: rank %d of %d", ErrBadRank, cfg.Rank, cfg.Size)
+	}
+	c := &Comm{
+		cfg:       cfg,
+		dead:      make(map[wire.Rank]bool),
+		sentCount: make(map[wire.Rank]uint64),
+		recvCount: make(map[wire.Rank]uint64),
+		done:      make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.wg.Add(1)
+	go c.progress()
+	return c, nil
+}
+
+// Rank returns this process's rank.
+func (c *Comm) Rank() wire.Rank { return c.cfg.Rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.cfg.Size }
+
+// App returns the application id.
+func (c *Comm) App() wire.AppID { return c.cfg.App }
+
+// progress drains the NIC queue into the matching engine. This is the
+// consumer side of the paper's polling-thread design.
+func (c *Comm) progress() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		case m := <-c.cfg.NIC.Queue():
+			c.handle(m)
+		}
+	}
+}
+
+func (c *Comm) handle(m wire.Msg) {
+	if m.App != c.cfg.App {
+		return // stale traffic from a previous incarnation
+	}
+	switch m.Type {
+	case wire.TData:
+		arrived := time.Time{}
+		if c.cfg.Timer != nil {
+			arrived = time.Now()
+		}
+		interval := uint64(m.Kind)
+		env := envelope{src: m.Src, tag: m.Tag, data: m.Payload, interval: interval, seq: m.Seq, arrived: arrived}
+		c.mu.Lock()
+		// Duplicate suppression: after a restart, the sender-side log is
+		// replayed and may include messages this rank's restored state
+		// already consumed; their per-pair sequence numbers are not
+		// beyond our receive count.
+		if env.seq != 0 && env.seq <= c.recvCount[m.Src] {
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		if c.cfg.OnReceive != nil {
+			c.cfg.OnReceive(m.Src, interval)
+		}
+		c.mu.Lock()
+		if c.heldFrom[m.Src] {
+			// Channel is cut (its marker arrived before the local
+			// snapshot): divert post-marker messages until the snapshot
+			// is taken, so the state capture cannot include them.
+			c.held = append(c.held, env)
+			c.mu.Unlock()
+			return
+		}
+		if c.recording && c.recordFrom[m.Src] {
+			c.recorded = append(c.recorded, RecordedMsg{
+				Src: m.Src, Tag: m.Tag,
+				Data:     append([]byte(nil), m.Payload...),
+				Interval: interval, Seq: env.seq,
+			})
+		}
+		c.unexpected = append(c.unexpected, env)
+		c.bumpRecvLocked(m.Src, env.seq)
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		if c.cfg.Timer != nil {
+			c.cfg.Timer.Add(vni.StageVNIRecv, time.Since(arrived))
+		}
+	case wire.TCheckpoint:
+		// Only markers travel in-band on the data path.
+		if c.cfg.OnMarker != nil {
+			r := wire.NewReader(m.Payload)
+			id := r.U64()
+			if r.Err() == nil {
+				c.cfg.OnMarker(m.Src, id)
+			}
+		}
+	}
+}
+
+// bumpRecvLocked advances the per-peer receive count: sequenced messages
+// set it to their sequence number, unsequenced ones (raw test traffic,
+// injected channel state) just increment.
+func (c *Comm) bumpRecvLocked(src wire.Rank, seq uint64) {
+	if seq != 0 {
+		if seq > c.recvCount[src] {
+			c.recvCount[src] = seq
+		}
+		return
+	}
+	c.recvCount[src]++
+}
+
+// ---- point-to-point ----
+
+// Send transmits buf to dst with the given tag. It blocks until the
+// message is handed to the transport (eager/buffered semantics: the caller
+// may immediately reuse buf). Sends block while the communicator is paused
+// by a stop-and-sync checkpoint.
+func (c *Comm) Send(dst wire.Rank, tag int32, buf []byte) error {
+	var t0 time.Time
+	if c.cfg.Timer != nil {
+		t0 = time.Now()
+	}
+	if int(dst) < 0 || int(dst) >= c.cfg.Size {
+		return fmt.Errorf("%w: dst %d", ErrBadRank, dst)
+	}
+	if len(buf) > wire.MaxPayload {
+		return ErrTooLarge
+	}
+
+	c.mu.Lock()
+	for c.paused && !c.closed {
+		c.cond.Wait()
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.dead[dst] {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: rank %d", ErrPeerDead, dst)
+	}
+	addr, ok := c.cfg.Addrs[dst]
+	interval := c.interval
+	c.sentCount[dst]++
+	seq := c.sentCount[dst]
+	if c.cfg.LogSends {
+		c.sentLog = append(c.sentLog, RecordedMsg{
+			Src: c.cfg.Rank, Dst: dst, Tag: tag,
+			Data:     append([]byte(nil), buf...),
+			Interval: interval, Seq: seq,
+		})
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: no address for rank %d", ErrBadRank, dst)
+	}
+
+	m := wire.Msg{
+		Type: wire.TData, App: c.cfg.App, Kind: uint16(interval),
+		Src: c.cfg.Rank, Dst: dst, Tag: tag, Seq: seq,
+		Payload: buf,
+	}
+	var t1 time.Time
+	if c.cfg.Timer != nil {
+		t1 = time.Now()
+		c.cfg.Timer.Add(vni.StageMPISend, t1.Sub(t0))
+	}
+	err := c.cfg.NIC.Send(addr, &m)
+	if c.cfg.Timer != nil {
+		c.cfg.Timer.Add(vni.StageVNISend, time.Since(t1))
+	}
+	if err != nil {
+		return c.sendRetry(dst, addr, &m, err)
+	}
+	return nil
+}
+
+// sendRetry handles a transport-level send failure. A dead connection is
+// the first symptom of a peer-node crash, but the verdict belongs to the
+// cluster: the failure detector will either mark the rank dead (notify
+// policy), abort this process (restart policy), or the link flaps back.
+// Until one of those happens the send stays pending, mirroring MPI
+// semantics where a send to a crashed rank blocks rather than erroring.
+func (c *Comm) sendRetry(dst wire.Rank, addr string, m *wire.Msg, first error) error {
+	if errors.Is(first, wire.ErrPayloadTooLarge) {
+		return fmt.Errorf("mpi: send to rank %d: %w", dst, first)
+	}
+	for {
+		c.mu.Lock()
+		closed, dead := c.closed, c.dead[dst]
+		c.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		if dead {
+			return fmt.Errorf("%w: rank %d", ErrPeerDead, dst)
+		}
+		time.Sleep(time.Millisecond)
+		c.cfg.NIC.Disconnect(addr) // drop the dead connection, then redial
+		if err := c.cfg.NIC.Send(addr, m); err == nil {
+			return nil
+		}
+	}
+}
+
+// matches reports whether env satisfies a receive posted for (src, tag).
+func matches(env *envelope, src wire.Rank, tag int32) bool {
+	if src != wire.AnyRank && env.src != src {
+		return false
+	}
+	if tag != wire.AnyTag && env.tag != tag {
+		return false
+	}
+	return true
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns its
+// payload. src may be wire.AnyRank and tag wire.AnyTag.
+func (c *Comm) Recv(src wire.Rank, tag int32) ([]byte, Status, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		for i := range c.unexpected {
+			if matches(&c.unexpected[i], src, tag) {
+				env := c.unexpected[i]
+				c.unexpected = append(c.unexpected[:i], c.unexpected[i+1:]...)
+				if c.cfg.Timer != nil && !env.arrived.IsZero() {
+					c.cfg.Timer.Add(vni.StageMPIRecv, time.Since(env.arrived))
+				}
+				return env.data, Status{Source: env.src, Tag: env.tag, Interval: env.interval}, nil
+			}
+		}
+		if c.closed {
+			return nil, Status{}, ErrClosed
+		}
+		if src != wire.AnyRank && c.dead[src] {
+			return nil, Status{}, fmt.Errorf("%w: rank %d", ErrPeerDead, src)
+		}
+		c.cond.Wait()
+	}
+}
+
+// Probe blocks until a matching message is available without receiving it,
+// returning its status (like MPI_Probe).
+func (c *Comm) Probe(src wire.Rank, tag int32) (Status, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		for i := range c.unexpected {
+			if matches(&c.unexpected[i], src, tag) {
+				e := &c.unexpected[i]
+				return Status{Source: e.src, Tag: e.tag, Interval: e.interval}, nil
+			}
+		}
+		if c.closed {
+			return Status{}, ErrClosed
+		}
+		if src != wire.AnyRank && c.dead[src] {
+			return Status{}, fmt.Errorf("%w: rank %d", ErrPeerDead, src)
+		}
+		c.cond.Wait()
+	}
+}
+
+// Iprobe is the non-blocking Probe: it reports whether a matching message
+// is available.
+func (c *Comm) Iprobe(src wire.Rank, tag int32) (Status, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.unexpected {
+		if matches(&c.unexpected[i], src, tag) {
+			e := &c.unexpected[i]
+			return Status{Source: e.src, Tag: e.tag, Interval: e.interval}, true
+		}
+	}
+	return Status{}, false
+}
+
+// Request is a handle on a non-blocking operation, like MPI_Request.
+type Request struct {
+	done   chan struct{}
+	data   []byte
+	status Status
+	err    error
+}
+
+// Wait blocks until the operation completes and returns its result. For
+// receives the returned bytes are the message payload.
+func (r *Request) Wait() ([]byte, Status, error) {
+	<-r.done
+	return r.data, r.status, r.err
+}
+
+// Test reports whether the operation has completed without blocking.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Isend starts a non-blocking send.
+func (c *Comm) Isend(dst wire.Rank, tag int32, buf []byte) *Request {
+	r := &Request{done: make(chan struct{})}
+	// Eager sends complete as soon as the transport takes the bytes, but
+	// a paused communicator may block, so complete asynchronously.
+	data := append([]byte(nil), buf...)
+	go func() {
+		r.err = c.Send(dst, tag, data)
+		close(r.done)
+	}()
+	return r
+}
+
+// Irecv starts a non-blocking receive.
+func (c *Comm) Irecv(src wire.Rank, tag int32) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		r.data, r.status, r.err = c.Recv(src, tag)
+		close(r.done)
+	}()
+	return r
+}
+
+// WaitAll waits for every request and returns the first error.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ---- Starfish C/R hooks ----
+
+// SetInterval sets the checkpoint-interval index stamped on outgoing data
+// messages (uncoordinated C/R).
+func (c *Comm) SetInterval(n uint64) {
+	c.mu.Lock()
+	c.interval = n
+	c.mu.Unlock()
+}
+
+// Interval returns the current checkpoint-interval index.
+func (c *Comm) Interval() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.interval
+}
+
+// PauseSends blocks all subsequent Send calls until ResumeSends — the
+// "stop" phase of stop-and-sync.
+func (c *Comm) PauseSends() {
+	c.mu.Lock()
+	c.paused = true
+	c.mu.Unlock()
+}
+
+// ResumeSends releases senders blocked by PauseSends.
+func (c *Comm) ResumeSends() {
+	c.mu.Lock()
+	c.paused = false
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// SentCounts returns a snapshot of cumulative data messages sent per peer.
+func (c *Comm) SentCounts() map[wire.Rank]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[wire.Rank]uint64, len(c.sentCount))
+	for r, n := range c.sentCount {
+		out[r] = n
+	}
+	return out
+}
+
+// RecvCounts returns a snapshot of cumulative data messages received per
+// peer.
+func (c *Comm) RecvCounts() map[wire.Rank]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[wire.Rank]uint64, len(c.recvCount))
+	for r, n := range c.recvCount {
+		out[r] = n
+	}
+	return out
+}
+
+// WaitDrained blocks until, for every peer in targets, this communicator
+// has received at least the given number of data messages — the "sync"
+// phase of stop-and-sync (targets are the peers' announced sent counts).
+func (c *Comm) WaitDrained(targets map[wire.Rank]uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		drained := true
+		for r, want := range targets {
+			if c.recvCount[r] < want {
+				drained = false
+				break
+			}
+		}
+		if drained {
+			return nil
+		}
+		if c.closed {
+			return ErrClosed
+		}
+		c.cond.Wait()
+	}
+}
+
+// SendMarker sends a Chandy–Lamport marker for checkpoint id on the data
+// channel to dst. Markers travel in-band: they are FIFO-ordered with data
+// messages on the same channel, which is what makes the snapshot cut
+// consistent.
+func (c *Comm) SendMarker(dst wire.Rank, ckptID uint64) error {
+	addr, ok := c.cfg.Addrs[dst]
+	if !ok {
+		return fmt.Errorf("%w: no address for rank %d", ErrBadRank, dst)
+	}
+	w := wire.NewWriter(8)
+	w.U64(ckptID)
+	m := wire.Msg{Type: wire.TCheckpoint, App: c.cfg.App, Src: c.cfg.Rank, Dst: dst, Payload: w.Bytes()}
+	return c.cfg.NIC.Send(addr, &m)
+}
+
+// StartRecording begins capturing incoming data messages from every peer
+// in from (typically all peers except self) as channel state for
+// checkpoint ckptID. Recorded messages are still delivered normally.
+func (c *Comm) StartRecording(ckptID uint64, from []wire.Rank) {
+	c.mu.Lock()
+	c.recording = true
+	c.recordCkptID = ckptID
+	c.recordFrom = make(map[wire.Rank]bool, len(from))
+	for _, r := range from {
+		c.recordFrom[r] = true
+	}
+	c.recorded = nil
+	c.mu.Unlock()
+}
+
+// StopRecordingFrom stops recording the channel from src (its marker
+// arrived) and reports whether any channels are still being recorded.
+func (c *Comm) StopRecordingFrom(src wire.Rank) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.recordFrom, src)
+	if len(c.recordFrom) == 0 {
+		c.recording = false
+	}
+	return c.recording
+}
+
+// Recorded returns the channel-state messages captured since
+// StartRecording.
+func (c *Comm) Recorded() []RecordedMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]RecordedMsg(nil), c.recorded...)
+}
+
+// InjectRecorded replays messages from a restored checkpoint into the
+// receive queue, as if they had just arrived. counted says whether these
+// messages advance the receive counts: pending-queue messages were already
+// counted before the snapshot (pass false), while recorded channel-state
+// messages arrived after it (pass true).
+func (c *Comm) InjectRecorded(msgs []RecordedMsg, counted bool) {
+	c.mu.Lock()
+	for _, m := range msgs {
+		c.unexpected = append(c.unexpected, envelope{
+			src: m.Src, tag: m.Tag, data: m.Data, interval: m.Interval, seq: m.Seq,
+		})
+		if counted {
+			c.bumpRecvLocked(m.Src, m.Seq)
+		}
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// SetCounts restores the per-peer cumulative send/receive counters from a
+// checkpoint, re-establishing per-pair sequence continuity across the
+// restart.
+func (c *Comm) SetCounts(sent, recv map[wire.Rank]uint64) {
+	c.mu.Lock()
+	c.sentCount = make(map[wire.Rank]uint64, len(sent))
+	for r, n := range sent {
+		c.sentCount[r] = n
+	}
+	c.recvCount = make(map[wire.Rank]uint64, len(recv))
+	for r, n := range recv {
+		c.recvCount[r] = n
+	}
+	c.mu.Unlock()
+}
+
+// TakeSentLog returns and clears the sender-side message log (the sends of
+// the checkpoint interval just closed). Requires Config.LogSends.
+func (c *Comm) TakeSentLog() []RecordedMsg {
+	c.mu.Lock()
+	log := c.sentLog
+	c.sentLog = nil
+	c.mu.Unlock()
+	return log
+}
+
+// Replay retransmits a logged message verbatim — original tag, per-pair
+// sequence number and interval — so the receiver's duplicate suppression
+// and dependency tracking see exactly the original send.
+func (c *Comm) Replay(m RecordedMsg) error {
+	addr, ok := c.cfg.Addrs[m.Dst]
+	if !ok {
+		return fmt.Errorf("%w: no address for rank %d", ErrBadRank, m.Dst)
+	}
+	out := wire.Msg{
+		Type: wire.TData, App: c.cfg.App, Kind: uint16(m.Interval),
+		Src: c.cfg.Rank, Dst: m.Dst, Tag: m.Tag, Seq: m.Seq,
+		Payload: m.Data,
+	}
+	return c.cfg.NIC.Send(addr, &out)
+}
+
+// HoldFrom diverts subsequent incoming data messages from src into a side
+// buffer until the next Cut. Chandy–Lamport calls this when a marker
+// arrives before the local snapshot: messages behind the marker are
+// post-snapshot and must not enter the capturable queue.
+func (c *Comm) HoldFrom(src wire.Rank) {
+	c.mu.Lock()
+	if c.heldFrom == nil {
+		c.heldFrom = make(map[wire.Rank]bool)
+	}
+	c.heldFrom[src] = true
+	c.mu.Unlock()
+}
+
+// Cut is the snapshot point of the MPI layer: atomically it (1) captures
+// the current pending (received-but-unconsumed) messages — they are part
+// of the process checkpoint, (2) starts channel recording from the ranks
+// in recordFrom, and (3) releases every held channel, delivering the
+// diverted post-marker messages normally. It returns the captured pending
+// messages together with the send/receive counters as of the cut.
+func (c *Comm) Cut(ckptID uint64, recordFrom []wire.Rank) (pendingMsgs []RecordedMsg, sent, recv map[wire.Rank]uint64) {
+	c.mu.Lock()
+	pending := make([]RecordedMsg, 0, len(c.unexpected))
+	for _, env := range c.unexpected {
+		pending = append(pending, RecordedMsg{
+			Src: env.src, Tag: env.tag,
+			Data:     append([]byte(nil), env.data...),
+			Interval: env.interval, Seq: env.seq,
+		})
+	}
+	c.recording = len(recordFrom) > 0
+	c.recordCkptID = ckptID
+	c.recordFrom = make(map[wire.Rank]bool, len(recordFrom))
+	for _, r := range recordFrom {
+		c.recordFrom[r] = true
+	}
+	c.recorded = nil
+	// Release held channels: their messages are post-snapshot.
+	if len(c.held) > 0 {
+		c.unexpected = append(c.unexpected, c.held...)
+		for _, env := range c.held {
+			c.bumpRecvLocked(env.src, env.seq)
+		}
+		c.held = nil
+		c.cond.Broadcast()
+	}
+	c.heldFrom = nil
+	sent = make(map[wire.Rank]uint64, len(c.sentCount))
+	for r, n := range c.sentCount {
+		sent[r] = n
+	}
+	recv = make(map[wire.Rank]uint64, len(c.recvCount))
+	for r, n := range c.recvCount {
+		recv[r] = n
+	}
+	c.mu.Unlock()
+	return pending, sent, recv
+}
+
+// SetDead marks a rank failed: sends to it fail fast and receives naming
+// it specifically return ErrPeerDead instead of hanging. Driven by
+// lightweight view changes.
+func (c *Comm) SetDead(rank wire.Rank) {
+	c.mu.Lock()
+	c.dead[rank] = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Alive returns the ranks not marked dead, ascending.
+func (c *Comm) Alive() []wire.Rank {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]wire.Rank, 0, c.cfg.Size)
+	for r := 0; r < c.cfg.Size; r++ {
+		if !c.dead[wire.Rank(r)] {
+			out = append(out, wire.Rank(r))
+		}
+	}
+	return out
+}
+
+// Close shuts the communicator down; blocked operations return ErrClosed.
+// The NIC is not closed (it belongs to the process runtime).
+func (c *Comm) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	close(c.done)
+	c.wg.Wait()
+	if c.onClose != nil {
+		c.onClose()
+	}
+}

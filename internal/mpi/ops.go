@@ -1,0 +1,106 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Typed buffer helpers and reduction operators. MPI couples datatypes with
+// operations; here buffers are raw bytes and these helpers provide the
+// common numeric datatypes (64-bit integers and IEEE floats) plus the
+// standard operators over them.
+
+// Int64Bytes encodes vs little-endian for transport.
+func Int64Bytes(vs []int64) []byte {
+	out := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(v))
+	}
+	return out
+}
+
+// BytesInt64 decodes a buffer produced by Int64Bytes.
+func BytesInt64(b []byte) ([]int64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadLength, len(b))
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// Float64Bytes encodes vs for transport.
+func Float64Bytes(vs []float64) []byte {
+	out := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// BytesFloat64 decodes a buffer produced by Float64Bytes.
+func BytesFloat64(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadLength, len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+func int64Op(name string, op func(a, b int64) int64) ReduceFunc {
+	return func(ab, bb []byte) ([]byte, error) {
+		as, err := BytesInt64(ab)
+		if err != nil {
+			return nil, err
+		}
+		bs, err := BytesInt64(bb)
+		if err != nil {
+			return nil, err
+		}
+		if len(as) != len(bs) {
+			return nil, fmt.Errorf("%s: %w: %d vs %d elements", name, ErrBadLength, len(as), len(bs))
+		}
+		for i := range as {
+			as[i] = op(as[i], bs[i])
+		}
+		return Int64Bytes(as), nil
+	}
+}
+
+func float64Op(name string, op func(a, b float64) float64) ReduceFunc {
+	return func(ab, bb []byte) ([]byte, error) {
+		as, err := BytesFloat64(ab)
+		if err != nil {
+			return nil, err
+		}
+		bs, err := BytesFloat64(bb)
+		if err != nil {
+			return nil, err
+		}
+		if len(as) != len(bs) {
+			return nil, fmt.Errorf("%s: %w: %d vs %d elements", name, ErrBadLength, len(as), len(bs))
+		}
+		for i := range as {
+			as[i] = op(as[i], bs[i])
+		}
+		return Float64Bytes(as), nil
+	}
+}
+
+// Elementwise reduction operators (MPI_SUM, MPI_MIN, MPI_MAX, MPI_PROD).
+var (
+	SumInt64  = int64Op("sum", func(a, b int64) int64 { return a + b })
+	MinInt64  = int64Op("min", func(a, b int64) int64 { return min(a, b) })
+	MaxInt64  = int64Op("max", func(a, b int64) int64 { return max(a, b) })
+	ProdInt64 = int64Op("prod", func(a, b int64) int64 { return a * b })
+
+	SumFloat64 = float64Op("sum", func(a, b float64) float64 { return a + b })
+	MinFloat64 = float64Op("min", math.Min)
+	MaxFloat64 = float64Op("max", math.Max)
+)

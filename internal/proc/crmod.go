@@ -1,0 +1,631 @@
+package proc
+
+import (
+	"fmt"
+	"sync"
+
+	"starfish/internal/ckpt"
+	"starfish/internal/mpi"
+	"starfish/internal/wire"
+)
+
+// crModule is the checkpoint/restart module of one application process. It
+// drives the application-side of all three C/R protocols; which one runs
+// is fixed by the application's spec, and because the module only speaks
+// the generic C/R message vocabulary (ckpt.K*), different applications on
+// the same cluster can run different protocols side by side — one of the
+// paper's architectural goals.
+type crModule struct {
+	p *Process
+
+	mu sync.Mutex
+
+	// nextIndex is the index the next coordinated round will use;
+	// lastIndex is the last locally completed checkpoint.
+	nextIndex uint64
+	lastIndex uint64
+
+	// Independent-protocol state: receipts recorded since the last
+	// checkpoint.
+	deps []ckpt.Dep
+
+	// Chandy–Lamport round state.
+	clActive        bool
+	clID            uint64
+	clSnapshotTaken bool
+	clPendingFlag   bool
+	clMarkersIn     map[wire.Rank]bool
+	clStagedState   []byte
+	clStagedPending []mpi.RecordedMsg
+	clStagedSent    map[wire.Rank]uint64
+	clStagedRecv    map[wire.Rank]uint64
+
+	// Stop-and-sync round state (safe-point adaptation: the cut happens
+	// at the step boundary, and the "sync" drains announced in-flight
+	// messages into recorded channel state instead of blocking senders).
+	sfsActive        bool
+	sfsID            uint64
+	sfsStagedState   []byte
+	sfsStagedPending []mpi.RecordedMsg
+	sfsStagedSent    map[wire.Rank]uint64
+	sfsStagedRecv    map[wire.Rank]uint64
+	sfsTargets       map[wire.Rank]uint64 // peer -> messages it sent us pre-cut
+	sfsFlushes       map[wire.Rank]bool
+
+	// Coordinator (rank 0) ack collection and commit tracking.
+	acks         map[wire.Rank]bool
+	ackRound     uint64
+	awaitingAcks bool
+}
+
+func newCRModule(p *Process) *crModule {
+	return &crModule{p: p, nextIndex: 1}
+}
+
+// ---- checkpoint payload: application state + MPI-layer state ----
+
+// encodeMsgList serializes captured data messages (pending queue, recorded
+// channel state, or the sender-side log).
+func encodeMsgList(msgs []mpi.RecordedMsg) []byte {
+	w := wire.NewWriter(16 + 24*len(msgs))
+	writeMsgList(w, msgs)
+	return w.Bytes()
+}
+
+func writeMsgList(w *wire.Writer, msgs []mpi.RecordedMsg) {
+	w.U32(uint32(len(msgs)))
+	for _, m := range msgs {
+		w.U32(uint32(m.Src)).U32(uint32(m.Dst)).I32(m.Tag)
+		w.U64(m.Interval).U64(m.Seq).Bytes32(m.Data)
+	}
+}
+
+func readMsgList(r *wire.Reader) []mpi.RecordedMsg {
+	n := r.U32()
+	msgs := make([]mpi.RecordedMsg, 0, n)
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		m := mpi.RecordedMsg{
+			Src:      wire.Rank(r.U32()),
+			Dst:      wire.Rank(r.U32()),
+			Tag:      r.I32(),
+			Interval: r.U64(),
+			Seq:      r.U64(),
+		}
+		m.Data = append([]byte(nil), r.Bytes32()...)
+		msgs = append(msgs, m)
+	}
+	return msgs
+}
+
+// decodeMsgList parses a list written by encodeMsgList.
+func decodeMsgList(b []byte) ([]mpi.RecordedMsg, error) {
+	r := wire.NewReader(b)
+	msgs := readMsgList(r)
+	return msgs, r.Err()
+}
+
+// encodeCkptState bundles the application snapshot with the MPI layer's
+// pending (received-but-unconsumed) messages and, for Chandy–Lamport, the
+// recorded channel state.
+func encodeCkptState(appState []byte, pending, recorded []mpi.RecordedMsg) []byte {
+	w := wire.NewWriter(64 + len(appState))
+	w.Bytes32(appState)
+	writeMsgList(w, pending)
+	writeMsgList(w, recorded)
+	return w.Bytes()
+}
+
+func decodeCkptState(b []byte) (appState []byte, pending, recorded []mpi.RecordedMsg, err error) {
+	r := wire.NewReader(b)
+	appState = append([]byte(nil), r.Bytes32()...)
+	pending = readMsgList(r)
+	recorded = readMsgList(r)
+	if r.Err() != nil {
+		return nil, nil, nil, r.Err()
+	}
+	return appState, pending, recorded, nil
+}
+
+// ---- callbacks from the MPI progress engine ----
+
+// onReceive records a dependency for uncoordinated checkpointing. Runs on
+// the progress goroutine.
+func (cr *crModule) onReceive(src wire.Rank, srcInterval uint64) {
+	cr.mu.Lock()
+	cr.deps = append(cr.deps, ckpt.Dep{
+		From: ckpt.IntervalID{Rank: src, Index: srcInterval},
+		To:   ckpt.IntervalID{Rank: cr.p.rank, Index: cr.lastIndex},
+	})
+	cr.mu.Unlock()
+}
+
+// onMarker handles a Chandy–Lamport marker. Runs on the progress goroutine
+// of the channel it arrived on, synchronously before any later message of
+// that channel is processed — which is what makes HoldFrom sound.
+func (cr *crModule) onMarker(src wire.Rank, id uint64) {
+	cr.mu.Lock()
+	if !cr.clActive {
+		// A peer snapshotted first: this marker starts our round.
+		cr.startRoundLocked(id)
+	}
+	if cr.clID != id {
+		cr.mu.Unlock()
+		return // stale marker from an aborted round
+	}
+	cr.clMarkersIn[src] = true
+	if !cr.clSnapshotTaken {
+		// Marker before our snapshot: every pre-snapshot message of this
+		// channel has already arrived (FIFO), so its channel state is
+		// empty. Post-marker messages that sneak into the queue before
+		// our snapshot are harmless: they are captured with the pending
+		// queue, and the sender's deterministic re-execution resends
+		// them with the same per-pair sequence numbers, which duplicate
+		// suppression drops.
+		cr.clPendingFlag = true
+		cr.mu.Unlock()
+		return
+	}
+	cr.p.comm.StopRecordingFrom(src)
+	finalize := cr.allMarkersInLocked()
+	cr.mu.Unlock()
+	if finalize {
+		cr.finalizeCL()
+	}
+}
+
+func (cr *crModule) startRoundLocked(id uint64) {
+	cr.clActive = true
+	cr.clID = id
+	cr.clSnapshotTaken = false
+	cr.clMarkersIn = make(map[wire.Rank]bool)
+	cr.clStagedState = nil
+	cr.clStagedPending = nil
+}
+
+func (cr *crModule) allMarkersInLocked() bool {
+	return cr.clSnapshotTaken && len(cr.clMarkersIn) == cr.p.spec.Ranks-1
+}
+
+// pendingSnapshot reports whether the main loop must take a CL snapshot at
+// the next boundary, and for which round.
+func (cr *crModule) pendingSnapshot() (uint64, bool) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	return cr.clID, cr.clPendingFlag && !cr.clSnapshotTaken
+}
+
+// clBegin takes the local Chandy–Lamport snapshot. Main loop, at a step
+// boundary.
+func (cr *crModule) clBegin(id uint64) error {
+	cr.mu.Lock()
+	if !cr.clActive {
+		cr.startRoundLocked(id)
+	}
+	if cr.clID != id || cr.clSnapshotTaken {
+		cr.mu.Unlock()
+		return nil
+	}
+	cr.clPendingFlag = false
+	cr.clSnapshotTaken = true
+	// Record every channel whose marker has not yet arrived.
+	var recordFrom []wire.Rank
+	for r := 0; r < cr.p.spec.Ranks; r++ {
+		rank := wire.Rank(r)
+		if rank != cr.p.rank && !cr.clMarkersIn[rank] {
+			recordFrom = append(recordFrom, rank)
+		}
+	}
+	cr.clStagedPending, cr.clStagedSent, cr.clStagedRecv = cr.p.comm.Cut(id, recordFrom)
+	cr.mu.Unlock()
+
+	state, err := cr.p.app.Snapshot()
+	if err != nil {
+		return fmt.Errorf("proc: snapshot: %w", err)
+	}
+
+	cr.mu.Lock()
+	cr.clStagedState = state
+	finalize := cr.allMarkersInLocked()
+	cr.mu.Unlock()
+
+	// Markers go out after the snapshot point and before any further
+	// application sends (we are at a step boundary, so none can race).
+	for r := 0; r < cr.p.spec.Ranks; r++ {
+		if rank := wire.Rank(r); rank != cr.p.rank {
+			if err := cr.p.comm.SendMarker(rank, id); err != nil {
+				cr.p.logff("marker to %d: %v", rank, err)
+			}
+		}
+	}
+	if finalize {
+		cr.finalizeCL()
+	}
+	return nil
+}
+
+// finalizeCL writes the completed Chandy–Lamport checkpoint (snapshot +
+// channel state) and acks the coordinator.
+func (cr *crModule) finalizeCL() {
+	cr.mu.Lock()
+	if !cr.clActive {
+		cr.mu.Unlock()
+		return
+	}
+	id := cr.clID
+	state := cr.clStagedState
+	pending := cr.clStagedPending
+	sent, recv := cr.clStagedSent, cr.clStagedRecv
+	cr.clActive = false
+	cr.clPendingFlag = false
+	cr.lastIndex = id
+	if cr.nextIndex <= id {
+		cr.nextIndex = id + 1
+	}
+	cr.mu.Unlock()
+
+	recorded := cr.p.comm.Recorded()
+	img, err := cr.p.encoder.Encode(encodeCkptState(state, pending, recorded), cr.p.arch)
+	if err != nil {
+		cr.p.logff("encode checkpoint %d: %v", id, err)
+		return
+	}
+	meta := &ckpt.Meta{Rank: cr.p.rank, Index: id, SentCounts: sent, RecvCounts: recv}
+	if err := cr.p.store.Put(cr.p.spec.ID, cr.p.rank, id, img, meta); err != nil {
+		cr.p.logff("store checkpoint %d: %v", id, err)
+		return
+	}
+	cr.sendAck(id)
+}
+
+func (cr *crModule) sendAck(id uint64) {
+	w := wire.NewWriter(12)
+	w.U64(id)
+	cr.p.sendToDaemon(wire.Msg{
+		Type: wire.TCheckpoint, Kind: ckpt.KAck, App: cr.p.spec.ID,
+		Src: cr.p.rank, Payload: w.Bytes(),
+	})
+}
+
+// onAck collects coordinator-side acknowledgements (rank 0 only).
+func (cr *crModule) onAck(from wire.Rank, id uint64) {
+	if cr.p.rank != 0 {
+		return
+	}
+	cr.mu.Lock()
+	if cr.acks == nil || cr.ackRound != id {
+		cr.acks = make(map[wire.Rank]bool)
+		cr.ackRound = id
+	}
+	cr.acks[from] = true
+	complete := len(cr.acks) == cr.p.spec.Ranks
+	if complete {
+		cr.acks = nil
+		cr.awaitingAcks = false
+	}
+	cr.mu.Unlock()
+	if !complete {
+		return
+	}
+	line := make(ckpt.RecoveryLine, cr.p.spec.Ranks)
+	for r := 0; r < cr.p.spec.Ranks; r++ {
+		line[wire.Rank(r)] = id
+	}
+	if err := cr.p.store.CommitLine(cr.p.spec.ID, line); err != nil {
+		cr.p.logff("commit line %d: %v", id, err)
+		return
+	}
+	w := wire.NewWriter(8)
+	w.U64(id)
+	cr.p.sendToDaemon(wire.Msg{
+		Type: wire.TCheckpoint, Kind: ckpt.KCommit, App: cr.p.spec.ID,
+		Src: cr.p.rank, Payload: w.Bytes(),
+	})
+}
+
+// ---- independent (uncoordinated) checkpointing ----
+
+// takeLocal writes an independent checkpoint at the current boundary.
+func (cr *crModule) takeLocal() error {
+	cr.mu.Lock()
+	idx := cr.lastIndex + 1
+	deps := cr.deps
+	cr.deps = nil
+	cr.mu.Unlock()
+
+	pending, sent, recv := cr.p.comm.Cut(idx, nil)
+	state, err := cr.p.app.Snapshot()
+	if err != nil {
+		return fmt.Errorf("proc: snapshot: %w", err)
+	}
+	img, err := cr.p.encoder.Encode(encodeCkptState(state, pending, nil), cr.p.arch)
+	if err != nil {
+		return err
+	}
+	meta := &ckpt.Meta{
+		Rank: cr.p.rank, Index: idx, Deps: deps,
+		SentCounts: sent, RecvCounts: recv,
+		// Persist the sends of the interval this checkpoint closes, for
+		// lost-message replay at restart.
+		SentLog: encodeMsgList(cr.p.comm.TakeSentLog()),
+	}
+	if err := cr.p.store.Put(cr.p.spec.ID, cr.p.rank, idx, img, meta); err != nil {
+		return err
+	}
+
+	cr.mu.Lock()
+	cr.lastIndex = idx
+	cr.mu.Unlock()
+	// Entering interval idx: stamp subsequent sends with it.
+	cr.p.comm.SetInterval(idx)
+	return nil
+}
+
+// ---- stop-and-sync ----
+
+// The paper's stop-and-sync protocol stops every process, drains the
+// channels, dumps state, and resumes after the coordinator commits. This
+// runtime checkpoints at application safe points, where literally stopping
+// a process can strand a peer mid-step, so the protocol is adapted: the
+// "stop" is the cut each process takes at its next step boundary (state +
+// pending queue + counters), and the "sync" drains the in-flight messages
+// announced by every peer's flush into recorded channel state instead of
+// blocking the senders. Per-pair sequence numbers make the cut exact: the
+// checkpoint keeps exactly the messages with seq <= the sender's announced
+// count, and duplicate suppression discards re-sends after restart.
+
+// sfsBegin takes the local cut for round idx and announces sent counts.
+// Main loop, step boundary.
+func (cr *crModule) sfsBegin(idx uint64) error {
+	cr.mu.Lock()
+	if cr.sfsActive {
+		// Either this round is already running (duplicate trigger —
+		// merge) or a stale trigger for a different index arrived while
+		// a round is in flight (drop it; the commit advances nextIndex).
+		cr.mu.Unlock()
+		return nil
+	}
+	cr.sfsActive = true
+	cr.sfsID = idx
+	cr.sfsTargets = make(map[wire.Rank]uint64)
+	cr.sfsFlushes = make(map[wire.Rank]bool)
+	cr.mu.Unlock()
+
+	// Cut: capture pending + counters and record every channel from here
+	// on (the recording is trimmed to the announced counts at finalize).
+	var allPeers []wire.Rank
+	for r := 0; r < cr.p.spec.Ranks; r++ {
+		if rank := wire.Rank(r); rank != cr.p.rank {
+			allPeers = append(allPeers, rank)
+		}
+	}
+	pending, sent, recv := cr.p.comm.Cut(idx, allPeers)
+	state, err := cr.p.app.Snapshot()
+	if err != nil {
+		return fmt.Errorf("proc: snapshot: %w", err)
+	}
+
+	cr.mu.Lock()
+	cr.sfsStagedState = state
+	cr.sfsStagedPending = pending
+	cr.sfsStagedSent = sent
+	cr.sfsStagedRecv = recv
+	cr.mu.Unlock()
+
+	// Announce cumulative sent counts: each receiver drains until it has
+	// everything we sent before our cut.
+	fw := wire.NewWriter(16 + 12*len(sent))
+	fw.U64(idx)
+	fw.U32(uint32(len(sent)))
+	for r := 0; r < cr.p.spec.Ranks; r++ {
+		if n, ok := sent[wire.Rank(r)]; ok {
+			fw.U32(uint32(r)).U64(n)
+		}
+	}
+	cr.p.sendToDaemon(wire.Msg{
+		Type: wire.TCheckpoint, Kind: ckpt.KFlush, App: cr.p.spec.ID,
+		Src: cr.p.rank, Payload: fw.Bytes(),
+	})
+	return nil
+}
+
+// onFlush records a peer's announced sent counts. Main loop.
+func (cr *crModule) onFlush(m wire.Msg) {
+	r := wire.NewReader(m.Payload)
+	idx := r.U64()
+	n := r.U32()
+	counts := make(map[wire.Rank]uint64, n)
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		dst := wire.Rank(r.U32())
+		counts[dst] = r.U64()
+	}
+	if r.Err() != nil {
+		return
+	}
+	cr.mu.Lock()
+	if !cr.sfsActive || cr.sfsID != idx {
+		cr.mu.Unlock()
+		return
+	}
+	if !cr.sfsFlushes[m.Src] {
+		cr.sfsFlushes[m.Src] = true
+		if m.Src != cr.p.rank {
+			cr.sfsTargets[m.Src] = counts[cr.p.rank]
+		}
+	}
+	cr.mu.Unlock()
+	cr.sfsPoll()
+}
+
+// sfsPoll finalizes the round once every flush arrived and every announced
+// message has been received. Called at step boundaries and on protocol
+// events; never blocks.
+func (cr *crModule) sfsPoll() {
+	cr.mu.Lock()
+	if !cr.sfsActive || len(cr.sfsFlushes) < cr.p.spec.Ranks {
+		cr.mu.Unlock()
+		return
+	}
+	targets := cr.sfsTargets
+	idx := cr.sfsID
+	cr.mu.Unlock()
+
+	recv := cr.p.comm.RecvCounts()
+	for peer, want := range targets {
+		if recv[peer] < want {
+			return // still draining
+		}
+	}
+
+	cr.mu.Lock()
+	if !cr.sfsActive || cr.sfsID != idx {
+		cr.mu.Unlock()
+		return
+	}
+	state := cr.sfsStagedState
+	pending := cr.sfsStagedPending
+	sent, recvAtCut := cr.sfsStagedSent, cr.sfsStagedRecv
+	cr.sfsActive = false
+	cr.lastIndex = idx
+	if cr.nextIndex <= idx {
+		cr.nextIndex = idx + 1
+	}
+	cr.mu.Unlock()
+
+	// Channel state: recorded messages up to each sender's announced
+	// count; anything later was sent after the sender's cut and will be
+	// resent by its re-execution.
+	var channelState []mpi.RecordedMsg
+	for _, m := range cr.p.comm.Recorded() {
+		if m.Seq <= targets[m.Src] {
+			channelState = append(channelState, m)
+		}
+	}
+	img, err := cr.p.encoder.Encode(encodeCkptState(state, pending, channelState), cr.p.arch)
+	if err != nil {
+		cr.p.logff("encode checkpoint %d: %v", idx, err)
+		return
+	}
+	meta := &ckpt.Meta{Rank: cr.p.rank, Index: idx, SentCounts: sent, RecvCounts: recvAtCut}
+	if err := cr.p.store.Put(cr.p.spec.ID, cr.p.rank, idx, img, meta); err != nil {
+		cr.p.logff("store checkpoint %d: %v", idx, err)
+		return
+	}
+	cr.sendAck(idx)
+}
+
+// handleAckCommit processes KAck/KCommit outside and inside rounds.
+func (cr *crModule) handleAckCommit(m wire.Msg) {
+	r := wire.NewReader(m.Payload)
+	id := r.U64()
+	if r.Err() != nil {
+		return
+	}
+	switch m.Kind {
+	case ckpt.KAck:
+		cr.onAck(m.Src, id)
+	case ckpt.KCommit:
+		cr.mu.Lock()
+		if cr.lastIndex < id {
+			cr.lastIndex = id
+		}
+		if cr.nextIndex <= id {
+			cr.nextIndex = id + 1
+		}
+		cr.mu.Unlock()
+		// A committed recovery line makes every older checkpoint of this
+		// rank garbage (coordinated protocols only — the committed line
+		// is always the restart point).
+		if cr.p.spec.Protocol.Coordinated() {
+			if err := cr.p.store.GC(cr.p.spec.ID, cr.p.rank, id); err != nil {
+				cr.p.logff("checkpoint gc: %v", err)
+			}
+		}
+	}
+}
+
+// initiate starts a checkpoint round of the configured protocol. For
+// coordinated protocols only rank 0 initiates (broadcasting the request in
+// the lightweight group); for the independent protocol the checkpoint is
+// purely local.
+func (cr *crModule) initiate() error {
+	switch cr.p.spec.Protocol {
+	case ckpt.Independent:
+		return cr.takeLocal()
+	default:
+		// Round indices are assigned by rank 0 (the checkpoint
+		// coordinator). A user-initiated downcall on another rank casts a
+		// proposal (index 0); rank 0 turns it into a real round. This
+		// keeps a single index authority so delayed duplicate triggers
+		// cannot restart old rounds.
+		if cr.p.rank != 0 {
+			w := wire.NewWriter(12)
+			w.U64(0)
+			w.U8(uint8(cr.p.spec.Protocol))
+			return cr.p.sendToDaemon(wire.Msg{
+				Type: wire.TCheckpoint, Kind: ckpt.KRequest, App: cr.p.spec.ID,
+				Src: cr.p.rank, Payload: w.Bytes(),
+			})
+		}
+		cr.mu.Lock()
+		if cr.clActive || cr.sfsActive || cr.awaitingAcks {
+			cr.mu.Unlock()
+			return nil // round already running
+		}
+		idx := cr.nextIndex
+		cr.awaitingAcks = true
+		cr.ackRound = idx
+		cr.acks = nil
+		cr.mu.Unlock()
+		w := wire.NewWriter(12)
+		w.U64(idx)
+		w.U8(uint8(cr.p.spec.Protocol))
+		return cr.p.sendToDaemon(wire.Msg{
+			Type: wire.TCheckpoint, Kind: ckpt.KRequest, App: cr.p.spec.ID,
+			Src: cr.p.rank, Payload: w.Bytes(),
+		})
+	}
+}
+
+// handleRequest reacts to a KRequest broadcast (main loop, step boundary).
+func (cr *crModule) handleRequest(m wire.Msg) error {
+	r := wire.NewReader(m.Payload)
+	idx := r.U64()
+	proto := ckpt.Protocol(r.U8())
+	if r.Err() != nil {
+		return nil
+	}
+	if idx == 0 {
+		// A proposal from another rank: rank 0 starts a real round.
+		if cr.p.rank == 0 {
+			return cr.initiate()
+		}
+		return nil
+	}
+	cr.mu.Lock()
+	if idx < cr.nextIndex {
+		// A stale duplicate of an already-completed round; starting it
+		// again would overwrite the committed checkpoint.
+		cr.mu.Unlock()
+		return nil
+	}
+	cr.mu.Unlock()
+	switch proto {
+	case ckpt.StopAndSync:
+		return cr.sfsBegin(idx)
+	case ckpt.ChandyLamport:
+		return cr.clBegin(idx)
+	case ckpt.Independent:
+		return cr.takeLocal()
+	}
+	return nil
+}
+
+// roundsOutstanding reports whether protocol work is still unfinished at
+// this process: an active local round, or (rank 0) a commit still owed.
+// Completing processes stay alive until this clears, so checkpoints that
+// straddle application completion still commit.
+func (cr *crModule) roundsOutstanding() bool {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	return cr.clActive || cr.sfsActive || cr.awaitingAcks
+}

@@ -1,0 +1,637 @@
+package proc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"starfish/internal/bus"
+	"starfish/internal/ckpt"
+	"starfish/internal/mpi"
+	"starfish/internal/svm"
+	"starfish/internal/vni"
+	"starfish/internal/wire"
+)
+
+// Process errors.
+var (
+	ErrAborted = errors.New("proc: aborted by daemon")
+)
+
+// Config assembles one application process.
+type Config struct {
+	Spec AppSpec
+	Rank wire.Rank
+	// Arch is the simulated architecture of the hosting node.
+	Arch svm.Arch
+	// Store is the checkpoint store (shared file system in the simulated
+	// cluster).
+	Store *ckpt.Store
+	// Link connects to the local daemon's lightweight endpoint module.
+	Link DaemonLink
+	// Transport and ListenAddr create the process's data-path NIC.
+	Transport  vni.Transport
+	ListenAddr string
+	// Timer optionally instruments the data path (Figure 6).
+	Timer *vni.StageTimer
+	// Logf optionally receives runtime diagnostics.
+	Logf func(string, ...any)
+}
+
+// Process is one running application process: the container of Figure 1's
+// group handler, application module, C/R module, MPI module and VNI.
+type Process struct {
+	spec    AppSpec
+	rank    wire.Rank
+	arch    svm.Arch
+	store   *ckpt.Store
+	link    DaemonLink
+	nic     *vni.NIC
+	comm    *mpi.Comm
+	app     App
+	cr      *crModule
+	encoder ckpt.Encoder
+	objBus  *bus.Bus
+	timer   *vni.StageTimer
+	logf    func(string, ...any)
+
+	ctx *Ctx
+
+	// ctl carries daemon messages into the main loop (fed by the group
+	// handler goroutine).
+	ctl      chan wire.Msg
+	deferred []wire.Msg
+
+	viewHandler  func(alive, departed []wire.Rank)
+	coordHandler func(from wire.Rank, payload []byte)
+	pendingViews []LWViewInfo
+	pendingCoord []wire.Msg
+
+	ckptRequested bool
+	suspended     bool
+	aborted       bool
+	hardAbort     atomic.Bool
+
+	// cmu guards comm for access from the group-handler goroutine
+	// (out-of-band abort).
+	cmu sync.Mutex
+
+	steps     uint64
+	sinceCkpt uint64
+
+	done chan struct{}
+	err  error
+}
+
+// New creates a process. Its data NIC starts listening immediately (the
+// daemon reads Addr to publish the placement), but execution waits for the
+// daemon's CfgStart message. Run the process with Start.
+func New(cfg Config) (*Process, error) {
+	nic, err := vni.NewNIC(cfg.Transport, cfg.ListenAddr, 0)
+	if err != nil {
+		return nil, err
+	}
+	app, err := NewApp(cfg.Spec.Name, cfg.Spec.Args)
+	if err != nil {
+		nic.Close()
+		return nil, err
+	}
+	p := &Process{
+		spec:    cfg.Spec,
+		rank:    cfg.Rank,
+		arch:    cfg.Arch,
+		store:   cfg.Store,
+		link:    cfg.Link,
+		nic:     nic,
+		app:     app,
+		encoder: cfg.Spec.NewEncoder(),
+		objBus:  bus.New(0),
+		timer:   cfg.Timer,
+		logf:    cfg.Logf,
+		ctl:     make(chan wire.Msg, 1024),
+		done:    make(chan struct{}),
+	}
+	p.cr = newCRModule(p)
+	return p, nil
+}
+
+// Addr returns the process's data-path listen address.
+func (p *Process) Addr() string { return p.nic.Addr() }
+
+// Rank returns the process rank.
+func (p *Process) Rank() wire.Rank { return p.rank }
+
+// Done is closed when the process terminates.
+func (p *Process) Done() <-chan struct{} { return p.done }
+
+// Err returns the terminal error (nil on success); valid after Done.
+func (p *Process) Err() error { return p.err }
+
+// Start launches the group handler and main loop.
+func (p *Process) Start() {
+	p.objBus.Start()
+	go p.groupHandler()
+	go p.run()
+}
+
+// groupHandler is the module connecting the process to its daemon: it
+// translates daemon messages into object-bus events and forwards them to
+// the main loop's control queue.
+func (p *Process) groupHandler() {
+	for {
+		select {
+		case m := <-p.link.Recv():
+			// An abort must be able to interrupt an application blocked
+			// inside a receive, so it is handled out of band: closing
+			// the communicator unblocks the main loop, which then sees
+			// the queued CfgAbort.
+			if m.Type == wire.TConfiguration && m.Kind == CfgAbort {
+				p.hardAbort.Store(true)
+				p.cmu.Lock()
+				if p.comm != nil {
+					p.comm.Close()
+				}
+				p.cmu.Unlock()
+			}
+			// Post on the bus for any subscribed module (observability,
+			// extensions), and queue for the scheduler.
+			topic := bus.TopicConfig
+			switch m.Type {
+			case wire.TCheckpoint:
+				topic = bus.TopicCheckpoint
+			case wire.TCoordination:
+				topic = bus.TopicCoordination
+			case wire.TLWMembership:
+				topic = bus.TopicLWView
+			}
+			p.objBus.Post(bus.Event{Topic: topic, Msg: m})
+			select {
+			case p.ctl <- m:
+			case <-p.done:
+				return
+			}
+		case <-p.link.Done():
+			// Daemon connection lost: the scheduler sees a closed queue
+			// and aborts.
+			close(p.ctl)
+			return
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// sendToDaemon forwards a message to the daemon over the group-handler
+// connection.
+func (p *Process) sendToDaemon(m wire.Msg) error {
+	p.objBus.Post(bus.Event{Topic: bus.TopicOutbound, Msg: m})
+	return p.link.Send(m)
+}
+
+func (p *Process) logff(format string, args ...any) {
+	if p.logf != nil {
+		p.logf(fmt.Sprintf("[app %d rank %d] ", p.spec.ID, p.rank)+format, args...)
+	}
+}
+
+func (p *Process) requestCheckpoint() { p.ckptRequested = true }
+
+// Bus exposes the process's object bus (module extensions, tests).
+func (p *Process) Bus() *bus.Bus { return p.objBus }
+
+// run is the scheduler: it waits for the daemon's start message, builds
+// the MPI module, restores state if this is a restart, and then alternates
+// application steps with control-message handling.
+func (p *Process) run() {
+	defer func() {
+		if p.comm != nil {
+			p.comm.Close()
+		}
+		p.nic.Close()
+		p.objBus.Stop()
+		close(p.done)
+	}()
+
+	si, ok := p.waitStart()
+	if !ok {
+		p.err = ErrAborted
+		p.reportDone(p.err)
+		return
+	}
+	if err := p.initialize(si); err != nil {
+		p.err = err
+		p.reportDone(err)
+		return
+	}
+
+	for {
+		// Handle everything the daemon queued, then any deferred
+		// messages from a blocking protocol round.
+		if err := p.drainCtl(); err != nil {
+			p.finish(err)
+			return
+		}
+		if p.aborted {
+			p.finish(ErrAborted)
+			return
+		}
+		if p.suspended {
+			m, open := <-p.ctl
+			if !open {
+				p.finish(ErrAborted)
+				return
+			}
+			if err := p.handleCtl(m); err != nil {
+				p.finish(err)
+				return
+			}
+			continue
+		}
+
+		// Deliver pending upcalls at the safe point.
+		p.deliverUpcalls()
+
+		// Checkpoint work due at this boundary.
+		if id, due := p.cr.pendingSnapshot(); due {
+			if err := p.cr.clBegin(id); err != nil {
+				p.finish(err)
+				return
+			}
+		}
+		if p.ckptRequested {
+			p.ckptRequested = false
+			if err := p.cr.initiate(); err != nil {
+				p.finish(err)
+				return
+			}
+		}
+
+		done, err := p.app.Step(p.ctx)
+		if err != nil {
+			p.finish(err)
+			return
+		}
+		p.steps++
+		p.sinceCkpt++
+		// Stop-and-sync drains complete as messages arrive; poll at the
+		// boundary.
+		p.cr.sfsPoll()
+		if p.spec.CkptEverySteps > 0 && p.sinceCkpt >= p.spec.CkptEverySteps {
+			p.sinceCkpt = 0
+			// System-initiated cadence: coordinated rounds start at rank
+			// 0 only (the index authority); the independent protocol
+			// checkpoints locally at every rank.
+			if p.rank == 0 || p.spec.Protocol == ckpt.Independent {
+				if err := p.cr.initiate(); err != nil {
+					p.finish(err)
+					return
+				}
+			}
+		}
+		if done {
+			// The coordinator finishes its outstanding round before
+			// declaring completion so end-of-run checkpoints commit.
+			if p.rank == 0 {
+				p.drainRounds()
+			}
+			p.finish(nil)
+			// Keep serving protocol traffic (acks, markers, flushes,
+			// late round requests) until the daemon tears the process
+			// down — peers may still be running.
+			p.serveUntilTeardown()
+			return
+		}
+	}
+}
+
+// serveUntilTeardown keeps a completed process responsive to C/R protocol
+// traffic until its daemon closes the connection (all ranks reported done)
+// or aborts it. Without this, a round initiated just before the last
+// application step would lose participants and never commit.
+func (p *Process) serveUntilTeardown() {
+	backstop := time.After(60 * time.Second)
+	for {
+		p.cr.sfsPoll()
+		if id, due := p.cr.pendingSnapshot(); due {
+			p.cr.clBegin(id)
+		}
+		select {
+		case m, open := <-p.ctl:
+			if !open {
+				return
+			}
+			if m.Type == wire.TConfiguration && m.Kind == CfgAbort {
+				return
+			}
+			if err := p.handleCtl(m); err != nil {
+				return
+			}
+		case <-time.After(5 * time.Millisecond):
+			// Drain progress is driven by data-path arrivals; re-poll.
+		case <-backstop:
+			return
+		}
+	}
+}
+
+// drainRounds keeps the process alive after application completion until
+// any in-flight checkpoint round it participates in (or coordinates) has
+// finished, so end-of-run checkpoints still commit. Bounded so a crashed
+// peer cannot hold a finished process hostage.
+func (p *Process) drainRounds() {
+	deadline := time.After(10 * time.Second)
+	for p.cr.roundsOutstanding() {
+		p.cr.sfsPoll()
+		if !p.cr.roundsOutstanding() {
+			return
+		}
+		select {
+		case m, open := <-p.ctl:
+			if !open {
+				return
+			}
+			if m.Type == wire.TConfiguration && m.Kind == CfgAbort {
+				return
+			}
+			if err := p.handleCtl(m); err != nil {
+				return
+			}
+		case <-time.After(5 * time.Millisecond):
+			// Re-poll: drain progress is driven by data arrivals, which
+			// do not come through the control queue.
+		case <-deadline:
+			p.logff("giving up on unfinished checkpoint round")
+			return
+		}
+	}
+}
+
+func (p *Process) finish(err error) {
+	if p.hardAbort.Load() && err != nil {
+		err = ErrAborted
+	}
+	p.err = err
+	p.reportDone(err)
+}
+
+func (p *Process) reportDone(err error) {
+	msg := wire.Msg{Type: wire.TConfiguration, Kind: CfgDone, App: p.spec.ID, Src: p.rank}
+	if err != nil {
+		msg.Payload = []byte(err.Error())
+	}
+	p.link.Send(msg)
+}
+
+// waitStart blocks until CfgStart, buffering any earlier protocol traffic
+// for handling once the communicator exists.
+func (p *Process) waitStart() (StartInfo, bool) {
+	for m := range p.ctl {
+		if m.Type == wire.TConfiguration {
+			switch m.Kind {
+			case CfgStart:
+				si, err := DecodeStartInfo(m.Payload)
+				if err != nil {
+					p.logff("bad start info: %v", err)
+					return StartInfo{}, false
+				}
+				return si, true
+			case CfgAbort:
+				return StartInfo{}, false
+			}
+			continue
+		}
+		p.deferred = append(p.deferred, m)
+	}
+	return StartInfo{}, false
+}
+
+// initialize builds the communicator and application state for this
+// incarnation.
+func (p *Process) initialize(si StartInfo) error {
+	mcfg := mpi.Config{
+		App:   p.spec.ID,
+		Rank:  p.rank,
+		Size:  si.Size,
+		NIC:   p.nic,
+		Addrs: si.Addrs,
+		Timer: p.timer,
+	}
+	switch p.spec.Protocol {
+	case ckpt.ChandyLamport:
+		mcfg.OnMarker = p.cr.onMarker
+	case ckpt.Independent:
+		mcfg.OnReceive = p.cr.onReceive
+		mcfg.LogSends = true
+	}
+	comm, err := mpi.New(mcfg)
+	if err != nil {
+		return err
+	}
+	p.cmu.Lock()
+	p.comm = comm
+	aborting := p.hardAbort.Load()
+	p.cmu.Unlock()
+	if aborting {
+		comm.Close()
+		return ErrAborted
+	}
+	p.ctx = &Ctx{
+		Comm: comm, Rank: p.rank, Size: si.Size,
+		Gen: si.Gen, Arch: p.arch, p: p,
+	}
+	p.cr.nextIndex = si.NextCkptIndex
+	if p.cr.nextIndex == 0 {
+		p.cr.nextIndex = 1
+	}
+
+	if si.Restore && si.RestoreIndex > 0 {
+		img, meta, err := p.store.Get(p.spec.ID, p.rank, si.RestoreIndex)
+		if err != nil {
+			return fmt.Errorf("proc: restart: %w", err)
+		}
+		raw, err := p.encoder.Decode(img, p.arch)
+		if err != nil {
+			return fmt.Errorf("proc: restart decode: %w", err)
+		}
+		state, pending, recorded, err := decodeCkptState(raw)
+		if err != nil {
+			return fmt.Errorf("proc: restart state: %w", err)
+		}
+		if err := p.app.Restore(p.ctx, state); err != nil {
+			return fmt.Errorf("proc: restore: %w", err)
+		}
+		// Re-establish per-pair sequence continuity, then re-inject the
+		// MPI-layer state: pending messages were counted before the
+		// snapshot, recorded channel state arrived after it.
+		comm.SetCounts(meta.SentCounts, meta.RecvCounts)
+		comm.InjectRecorded(pending, false)
+		comm.InjectRecorded(recorded, true)
+		comm.SetInterval(si.RestoreIndex)
+		p.cr.lastIndex = si.RestoreIndex
+		if p.spec.Protocol == ckpt.Independent {
+			if err := p.replayLostMessages(si); err != nil {
+				return fmt.Errorf("proc: log replay: %w", err)
+			}
+		}
+		return nil
+	}
+	if si.Restore && p.spec.Protocol == ckpt.Independent {
+		// This rank restarts from its initial state (line entry 0) but
+		// peers may still need nothing from us; nothing to replay — the
+		// full re-execution resends everything.
+		return p.app.Init(p.ctx)
+	}
+	return p.app.Init(p.ctx)
+}
+
+// replayLostMessages implements the recovery side of sender-based message
+// logging for uncoordinated checkpointing: messages this rank sent before
+// its restore point, which a peer's restored state has not yet received,
+// are retransmitted from the persisted log. Without this step, rolled-back
+// receivers would wait forever for messages nobody will resend (the
+// classic lost-message problem of independent checkpointing).
+func (p *Process) replayLostMessages(si StartInfo) error {
+	// Collect this rank's logged sends from every checkpoint up to the
+	// restore point, in order.
+	var logged []mpi.RecordedMsg
+	indices, err := p.store.List(p.spec.ID, p.rank)
+	if err != nil {
+		return err
+	}
+	for _, n := range indices {
+		if n > si.RestoreIndex {
+			continue
+		}
+		_, meta, err := p.store.Get(p.spec.ID, p.rank, n)
+		if err != nil {
+			return err
+		}
+		if len(meta.SentLog) == 0 {
+			continue
+		}
+		msgs, err := decodeMsgList(meta.SentLog)
+		if err != nil {
+			return err
+		}
+		logged = append(logged, msgs...)
+	}
+	if len(logged) == 0 {
+		return nil
+	}
+	// For each peer, find how far its restored state had received from
+	// us, and replay everything past that.
+	received := make(map[wire.Rank]uint64, si.Size)
+	for r := 0; r < si.Size; r++ {
+		rank := wire.Rank(r)
+		if rank == p.rank {
+			continue
+		}
+		if idx := si.Line[rank]; idx > 0 {
+			_, meta, err := p.store.Get(p.spec.ID, rank, idx)
+			if err != nil {
+				return err
+			}
+			received[rank] = meta.RecvCounts[p.rank]
+		}
+	}
+	for _, m := range logged {
+		if m.Seq > received[m.Dst] {
+			if err := p.comm.Replay(m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// drainCtl handles all queued control messages without blocking.
+func (p *Process) drainCtl() error {
+	if len(p.deferred) > 0 {
+		msgs := p.deferred
+		p.deferred = nil
+		for _, m := range msgs {
+			if err := p.handleCtl(m); err != nil {
+				return err
+			}
+		}
+	}
+	for {
+		select {
+		case m, open := <-p.ctl:
+			if !open {
+				p.aborted = true
+				return nil
+			}
+			if err := p.handleCtl(m); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// handleCtl dispatches one daemon message. Runs in the main loop, i.e. at
+// a step boundary — the safe point for protocol work.
+func (p *Process) handleCtl(m wire.Msg) error {
+	switch m.Type {
+	case wire.TConfiguration:
+		switch m.Kind {
+		case CfgAbort:
+			p.aborted = true
+		case CfgCkptNow:
+			p.ckptRequested = true
+		case CfgSuspend:
+			p.suspended = true
+		case CfgResume:
+			p.suspended = false
+		}
+	case wire.TCheckpoint:
+		switch m.Kind {
+		case ckpt.KRequest:
+			return p.cr.handleRequest(m)
+		case ckpt.KAck, ckpt.KCommit:
+			p.cr.handleAckCommit(m)
+		case ckpt.KFlush:
+			p.cr.onFlush(m)
+		}
+	case wire.TCoordination:
+		p.pendingCoord = append(p.pendingCoord, m)
+	case wire.TLWMembership:
+		if m.Kind == LWViewKind {
+			v, err := DecodeLWViewInfo(m.Payload)
+			if err == nil {
+				for _, dead := range v.Departed {
+					p.comm.SetDead(dead)
+				}
+				p.pendingViews = append(p.pendingViews, v)
+			}
+		}
+	}
+	return nil
+}
+
+// deliverUpcalls invokes registered application handlers for queued view
+// changes and coordination messages.
+func (p *Process) deliverUpcalls() {
+	if len(p.pendingViews) > 0 {
+		views := p.pendingViews
+		p.pendingViews = nil
+		if p.viewHandler != nil {
+			for _, v := range views {
+				p.viewHandler(v.Alive, v.Departed)
+			}
+		}
+	}
+	if len(p.pendingCoord) > 0 {
+		msgs := p.pendingCoord
+		p.pendingCoord = nil
+		if p.coordHandler != nil {
+			for _, m := range msgs {
+				p.coordHandler(m.Src, m.Payload)
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package svm implements the Starfish virtual machine — the stand-in for
+// the OCaml bytecode VM on which the paper's heterogeneous checkpointing
+// (§4, [2]) operates.
+//
+// An SVM is a small stack machine whose complete state (code, stack, call
+// stack, globals, heap, program counter) can be dumped and restored. Dumps
+// are written in the *native representation* of the machine taking the
+// checkpoint — its endianness and word length — with a concise tag saying
+// what that representation is; at restart the image is converted to the
+// representation of the restoring machine. That is exactly the mechanism
+// of [2], and it is what lets a computation checkpointed on a little-endian
+// 32-bit machine resume on a big-endian 64-bit one (Table 2).
+package svm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Endian is a serializable byte order.
+type Endian uint8
+
+// Byte orders.
+const (
+	LittleEndian Endian = 0
+	BigEndian    Endian = 1
+)
+
+func (e Endian) String() string {
+	if e == BigEndian {
+		return "big-endian"
+	}
+	return "little-endian"
+}
+
+// Arch describes a machine's data representation: the properties that make
+// heterogeneous checkpoint/restart hard (Table 2 of the paper).
+type Arch struct {
+	// Name of the machine type, e.g. "Intel P-II 350 MHz, i686".
+	Name string
+	// OS is the operating system the paper tested, for documentation.
+	OS string
+	// Order is the machine's byte order.
+	Order Endian
+	// WordBits is the machine word length: 32 or 64.
+	WordBits int
+}
+
+// String renders the architecture like a Table-2 row.
+func (a Arch) String() string {
+	return fmt.Sprintf("%s / %s (%s, %d-bit)", a.Name, a.OS, a.Order, a.WordBits)
+}
+
+// Machines lists the six machine types of Table 2, all of which the
+// heterogeneous C/R path is validated against (36 checkpoint/restart
+// pairs in the test suite).
+var Machines = []Arch{
+	{Name: "Intel P-II 350 MHz, i686", OS: "RedHat 6.1 Linux", Order: LittleEndian, WordBits: 32},
+	{Name: "Sun Ultra Enterprise 3000", OS: "SunOS 5.7", Order: BigEndian, WordBits: 32},
+	{Name: "RS/6000", OS: "AIX 3.2", Order: BigEndian, WordBits: 32},
+	{Name: "Intel P-I, 160 MHz", OS: "FreeBSD 3.2", Order: LittleEndian, WordBits: 32},
+	{Name: "Intel P-II, 350 MHz", OS: "Win NT", Order: LittleEndian, WordBits: 32},
+	{Name: "Dual Alpha DS20 500 MHz", OS: "RedHat 6.2 Linux", Order: LittleEndian, WordBits: 64},
+}
+
+// ErrWordOverflow is returned when restoring a 64-bit image on a 32-bit
+// machine and some value does not fit the narrower word.
+var ErrWordOverflow = errors.New("svm: value does not fit target word length")
+
+// wordBytes returns the byte width of the architecture's word.
+func (a Arch) wordBytes() int { return a.WordBits / 8 }
+
+// wrap truncates v to the architecture's word length (two's complement),
+// modelling native word arithmetic.
+func (a Arch) wrap(v int64) int64 {
+	if a.WordBits == 32 {
+		return int64(int32(v))
+	}
+	return v
+}
+
+// fits reports whether v is representable in the architecture's word.
+func (a Arch) fits(v int64) bool {
+	if a.WordBits == 32 {
+		return v >= -1<<31 && v < 1<<31
+	}
+	return true
+}
+
+// putWord appends v in this architecture's native representation.
+func (a Arch) putWord(buf []byte, v int64) []byte {
+	n := a.wordBytes()
+	var tmp [8]byte
+	u := uint64(v)
+	if a.Order == LittleEndian {
+		for i := 0; i < n; i++ {
+			tmp[i] = byte(u >> (8 * i))
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			tmp[n-1-i] = byte(u >> (8 * i))
+		}
+	}
+	return append(buf, tmp[:n]...)
+}
+
+// getWord decodes one native word from buf, sign-extending to int64.
+func (a Arch) getWord(buf []byte) (int64, error) {
+	n := a.wordBytes()
+	if len(buf) < n {
+		return 0, errShortImage
+	}
+	var u uint64
+	if a.Order == LittleEndian {
+		for i := n - 1; i >= 0; i-- {
+			u = u<<8 | uint64(buf[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			u = u<<8 | uint64(buf[i])
+		}
+	}
+	if a.WordBits == 32 {
+		return int64(int32(uint32(u))), nil
+	}
+	return int64(u), nil
+}
+
+// putU32 appends a 32-bit count in the architecture's byte order (metadata
+// is also stored natively; the representation tag covers everything).
+func (a Arch) putU32(buf []byte, v uint32) []byte {
+	if a.Order == LittleEndian {
+		return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// getU32 decodes a count written by putU32.
+func (a Arch) getU32(buf []byte) (uint32, error) {
+	if len(buf) < 4 {
+		return 0, errShortImage
+	}
+	if a.Order == LittleEndian {
+		return uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24, nil
+	}
+	return uint32(buf[0])<<24 | uint32(buf[1])<<16 | uint32(buf[2])<<8 | uint32(buf[3]), nil
+}

@@ -1,0 +1,113 @@
+package svm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates a small assembly dialect into bytecode. Each line is
+// `[label:] [mnemonic [operand]]`; `;` starts a comment; operands of the
+// jump and call instructions may be labels. Example:
+//
+//	        push 10
+//	        storeg 0
+//	loop:   loadg 0
+//	        jz done
+//	        loadg 0
+//	        push 1
+//	        sub
+//	        storeg 0
+//	        jmp loop
+//	done:   halt
+func Assemble(src string) ([]Instr, error) {
+	mnemonics := make(map[string]Op, opCount)
+	for op := Op(0); op < opCount; op++ {
+		mnemonics[op.String()] = op
+	}
+
+	type pending struct {
+		instr int
+		label string
+		line  int
+	}
+	var (
+		prog    []Instr
+		labels  = map[string]int{}
+		fixups  []pending
+		lineNum int
+	)
+	for _, raw := range strings.Split(src, "\n") {
+		lineNum++
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		// Labels, possibly several, may prefix the instruction.
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, fmt.Errorf("svm: line %d: bad label %q", lineNum, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("svm: line %d: duplicate label %q", lineNum, label)
+			}
+			labels[label] = len(prog)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		op, ok := mnemonics[strings.ToLower(fields[0])]
+		if !ok {
+			return nil, fmt.Errorf("svm: line %d: unknown mnemonic %q", lineNum, fields[0])
+		}
+		in := Instr{Op: op}
+		switch {
+		case op.hasOperand() && len(fields) == 2:
+			if v, err := strconv.ParseInt(fields[1], 0, 64); err == nil {
+				in.Arg = v
+			} else {
+				fixups = append(fixups, pending{instr: len(prog), label: fields[1], line: lineNum})
+			}
+		case op.hasOperand():
+			return nil, fmt.Errorf("svm: line %d: %s requires an operand", lineNum, op)
+		case len(fields) != 1:
+			return nil, fmt.Errorf("svm: line %d: %s takes no operand", lineNum, op)
+		}
+		prog = append(prog, in)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("svm: line %d: undefined label %q", f.line, f.label)
+		}
+		prog[f.instr].Arg = int64(target)
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble for static programs; it panics on error.
+func MustAssemble(src string) []Instr {
+	prog, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// Disassemble renders bytecode back to assembler text, one instruction per
+// line, prefixed with its address.
+func Disassemble(prog []Instr) string {
+	var b strings.Builder
+	for i, in := range prog {
+		fmt.Fprintf(&b, "%4d: %s\n", i, in)
+	}
+	return b.String()
+}

@@ -1,0 +1,410 @@
+package svm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// sumProgram computes sum(1..n) into global 0 and halts.
+const sumProgram = `
+        push 0
+        storeg 0      ; acc = 0
+loop:   loadg 1       ; while n != 0
+        jz done
+        loadg 0
+        loadg 1
+        add
+        storeg 0      ; acc += n
+        loadg 1
+        push 1
+        sub
+        storeg 1      ; n--
+        jmp loop
+done:   loadg 0
+        out
+        halt
+`
+
+func newSumVM(t *testing.T, arch Arch, n int64) *VM {
+	t.Helper()
+	prog, err := Assemble(sumProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(arch, prog, 2)
+	m.Globals[1] = n
+	return m
+}
+
+func TestSumProgram(t *testing.T) {
+	m := newSumVM(t, Machines[0], 100)
+	if err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted {
+		t.Fatal("not halted")
+	}
+	if len(m.Output) != 1 || m.Output[0] != 5050 {
+		t.Errorf("output = %v, want [5050]", m.Output)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	prog := MustAssemble(`
+        push 7
+        storeg 0
+        call double
+        call double
+        loadg 0
+        out
+        halt
+double: loadg 0
+        push 2
+        mul
+        storeg 0
+        ret
+`)
+	m := New(Machines[0], prog, 1)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Output) != 1 || m.Output[0] != 28 {
+		t.Errorf("output = %v, want [28]", m.Output)
+	}
+}
+
+func TestAllocAndMemory(t *testing.T) {
+	prog := MustAssemble(`
+        push 10
+        alloc         ; base=0
+        storeg 0
+        loadg 0
+        push 3
+        add           ; addr 3
+        push 42
+        storem
+        loadg 0
+        push 3
+        add
+        loadm
+        out
+        halt
+`)
+	m := New(Machines[0], prog, 1)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Mem) != 10 || m.Mem[3] != 42 {
+		t.Errorf("mem = %v", m.Mem)
+	}
+	if len(m.Output) != 1 || m.Output[0] != 42 {
+		t.Errorf("output = %v", m.Output)
+	}
+}
+
+func TestComparisonAndLogic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"push 3\npush 5\nlt\nout\nhalt", 1},
+		{"push 5\npush 3\nlt\nout\nhalt", 0},
+		{"push 5\npush 3\ngt\nout\nhalt", 1},
+		{"push 4\npush 4\neq\nout\nhalt", 1},
+		{"push 4\npush 5\neq\nout\nhalt", 0},
+		{"push 0\nnot\nout\nhalt", 1},
+		{"push 7\nnot\nout\nhalt", 0},
+		{"push 9\nneg\nout\nhalt", -9},
+		{"push 17\npush 5\nmod\nout\nhalt", 2},
+		{"push 17\npush 5\ndiv\nout\nhalt", 3},
+		{"push 2\npush 3\nswap\nsub\nout\nhalt", 1},
+		{"push 6\ndup\nmul\nout\nhalt", 36},
+	}
+	for _, c := range cases {
+		m := New(Machines[5], MustAssemble(c.src), 0)
+		if err := m.Run(100); err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if len(m.Output) != 1 || m.Output[0] != c.want {
+			t.Errorf("%q: output %v, want [%d]", c.src, m.Output, c.want)
+		}
+	}
+}
+
+func TestExecutionErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want error
+	}{
+		{"underflow", "pop\nhalt", ErrStackEmpty},
+		{"dup-empty", "dup\nhalt", ErrStackEmpty},
+		{"div0", "push 1\npush 0\ndiv\nhalt", ErrDivByZero},
+		{"mod0", "push 1\npush 0\nmod\nhalt", ErrDivByZero},
+		{"bad-global", "loadg 5\nhalt", ErrBadGlobal},
+		{"bad-mem", "push 99\nloadm\nhalt", ErrBadAddress},
+		{"neg-alloc", "push -1\nneg\nneg\nalloc\nhalt", ErrBadAddress},
+		{"ret-empty", "ret\nhalt", ErrRetEmpty},
+		{"run-off-end", "nop", ErrBadPC},
+	}
+	for _, c := range cases {
+		m := New(Machines[0], MustAssemble(c.src), 1)
+		err := m.Run(100)
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m := New(Machines[0], MustAssemble("loop: jmp loop"), 0)
+	if err := m.Run(10); !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+	if m.Steps != 10 {
+		t.Errorf("steps = %d, want 10", m.Steps)
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	m := New(Machines[0], MustAssemble("halt"), 0)
+	if err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(); !errors.Is(err, ErrHalted) {
+		t.Errorf("Step after halt: %v", err)
+	}
+}
+
+func TestWordWrap32(t *testing.T) {
+	// On a 32-bit machine, arithmetic wraps at 2^31.
+	src := "push 2147483647\npush 1\nadd\nout\nhalt"
+	m32 := New(Machines[0], MustAssemble(src), 0)
+	if err := m32.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m32.Output[0] != -2147483648 {
+		t.Errorf("32-bit wrap: got %d", m32.Output[0])
+	}
+	m64 := New(Machines[5], MustAssemble(src), 0)
+	if err := m64.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m64.Output[0] != 2147483648 {
+		t.Errorf("64-bit: got %d", m64.Output[0])
+	}
+}
+
+func TestRunStepsInterleaving(t *testing.T) {
+	m := newSumVM(t, Machines[0], 50)
+	for {
+		halted, err := m.RunSteps(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if halted {
+			break
+		}
+	}
+	if m.Output[0] != 1275 {
+		t.Errorf("output = %v", m.Output)
+	}
+}
+
+func TestImageRoundTripSameArch(t *testing.T) {
+	for _, arch := range Machines {
+		m := newSumVM(t, arch, 30)
+		if _, err := m.RunSteps(25); err != nil {
+			t.Fatal(err)
+		}
+		img := m.EncodeImage()
+		if len(img) != m.ImageSize() {
+			t.Errorf("%s: ImageSize %d != len %d", arch.Name, m.ImageSize(), len(img))
+		}
+		got, err := DecodeImage(img, arch)
+		if err != nil {
+			t.Fatalf("%s: %v", arch.Name, err)
+		}
+		if !got.Equal(m) {
+			t.Errorf("%s: state mismatch after round trip", arch.Name)
+		}
+	}
+}
+
+// TestTable2HeterogeneousMatrix is the Table-2 experiment: checkpoint a
+// running program on each of the six machine types and restart it on each
+// of the six, verifying the resumed computation finishes with exactly the
+// state an uninterrupted run produces.
+func TestTable2HeterogeneousMatrix(t *testing.T) {
+	// Reference: uninterrupted run.
+	ref := newSumVM(t, Machines[0], 200)
+	if err := ref.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, src := range Machines {
+		for _, dst := range Machines {
+			m := newSumVM(t, src, 200)
+			if _, err := m.RunSteps(777); err != nil { // mid-computation
+				t.Fatal(err)
+			}
+			img := m.EncodeImage()
+			r, err := DecodeImage(img, dst)
+			if err != nil {
+				t.Fatalf("%s -> %s: decode: %v", src.Name, dst.Name, err)
+			}
+			if err := r.Run(1 << 20); err != nil {
+				t.Fatalf("%s -> %s: resume: %v", src.Name, dst.Name, err)
+			}
+			if len(r.Output) != 1 || r.Output[0] != ref.Output[0] {
+				t.Errorf("%s -> %s: output %v, want %v", src.Name, dst.Name, r.Output, ref.Output)
+			}
+			if r.Steps != ref.Steps {
+				t.Errorf("%s -> %s: steps %d, want %d", src.Name, dst.Name, r.Steps, ref.Steps)
+			}
+		}
+	}
+}
+
+func TestNarrowingOverflowDetected(t *testing.T) {
+	m := New(Machines[5], MustAssemble("push 4294967296\nstoreg 0\nhalt"), 1) // 2^32
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	img := m.EncodeImage()
+	if _, err := DecodeImage(img, Machines[0]); !errors.Is(err, ErrWordOverflow) {
+		t.Errorf("64->32 with overflow: err = %v, want ErrWordOverflow", err)
+	}
+	// But it restores fine on another 64-bit machine shape.
+	if _, err := DecodeImage(img, Arch{Name: "be64", Order: BigEndian, WordBits: 64}); err != nil {
+		t.Errorf("64->64 failed: %v", err)
+	}
+}
+
+func TestMalformedImages(t *testing.T) {
+	m := newSumVM(t, Machines[1], 10)
+	m.RunSteps(5)
+	img := m.EncodeImage()
+
+	if _, err := DecodeImage(nil, Machines[0]); !errors.Is(err, ErrBadImage) {
+		t.Errorf("nil image: %v", err)
+	}
+	bad := append([]byte(nil), img...)
+	bad[0] = 'X'
+	if _, err := DecodeImage(bad, Machines[0]); !errors.Is(err, ErrBadImage) {
+		t.Errorf("bad magic: %v", err)
+	}
+	bad = append([]byte(nil), img...)
+	bad[6] = 47 // bogus word length
+	if _, err := DecodeImage(bad, Machines[0]); !errors.Is(err, ErrBadImage) {
+		t.Errorf("bad word tag: %v", err)
+	}
+	for cut := 8; cut < len(img); cut += 13 {
+		if _, err := DecodeImage(img[:cut], Machines[1]); err == nil {
+			t.Errorf("truncated image (%d bytes) decoded", cut)
+		}
+	}
+	if _, err := DecodeImage(append(img, 0), Machines[1]); err == nil {
+		t.Error("image with trailing bytes decoded")
+	}
+}
+
+func TestImageArch(t *testing.T) {
+	m := newSumVM(t, Machines[2], 5) // big-endian 32
+	a, err := ImageArch(m.EncodeImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Order != BigEndian || a.WordBits != 32 {
+		t.Errorf("tag = %v", a)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus 1",           // unknown mnemonic
+		"push",              // missing operand
+		"halt 3",            // unexpected operand
+		"jmp nowhere\nhalt", // undefined label
+		"a:\na:\nhalt",      // duplicate label
+		"a b: halt",         // label with space
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded", src)
+		}
+	}
+}
+
+func TestAssembleCommentsAndCase(t *testing.T) {
+	prog, err := Assemble("  PUSH 1 ; comment\n ; full comment line\n\nOUT\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 3 || prog[0].Op != PUSH || prog[1].Op != OUT {
+		t.Errorf("prog = %v", prog)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	prog := MustAssemble("push 5\nout\nhalt")
+	text := Disassemble(prog)
+	for _, want := range []string{"push 5", "out", "halt"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestGrow(t *testing.T) {
+	m := New(Machines[0], MustAssemble("halt"), 0)
+	m.Grow(1000)
+	if len(m.Mem) != 1000 {
+		t.Errorf("mem = %d words", len(m.Mem))
+	}
+}
+
+func TestOpStringsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for op := Op(0); op < opCount; op++ {
+		s := op.String()
+		if s == "" || seen[s] {
+			t.Errorf("op %d has empty/duplicate name %q", op, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestBitwiseOps(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"push 12\npush 10\nand\nout\nhalt", 8},
+		{"push 12\npush 10\nor\nout\nhalt", 14},
+		{"push 12\npush 10\nxor\nout\nhalt", 6},
+		{"push 3\npush 4\nshl\nout\nhalt", 48},
+		{"push 48\npush 4\nshr\nout\nhalt", 3},
+		{"push -8\npush 1\nshr\nout\nhalt", -4}, // arithmetic shift
+	}
+	for _, c := range cases {
+		m := New(Machines[5], MustAssemble(c.src), 0)
+		if err := m.Run(100); err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if len(m.Output) != 1 || m.Output[0] != c.want {
+			t.Errorf("%q: output %v, want [%d]", c.src, m.Output, c.want)
+		}
+	}
+	// Shift counts wrap at the architecture's word width.
+	m := New(Machines[0], MustAssemble("push 1\npush 33\nshl\nout\nhalt"), 0)
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output[0] != 2 { // 33 mod 32 = 1
+		t.Errorf("32-bit shift wrap: got %d, want 2", m.Output[0])
+	}
+}

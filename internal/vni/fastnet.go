@@ -1,0 +1,202 @@
+package vni
+
+import (
+	"fmt"
+	"sync"
+
+	"starfish/internal/wire"
+)
+
+// Fastnet is an in-process transport that stands in for the paper's
+// BIP/Myrinet user-level interface. Like BIP, it bypasses the operating
+// system kernel completely: a Send performs one payload copy (modelling the
+// NIC DMA) and a queue hand-off, with no syscalls and no serialization.
+//
+// A Fastnet value is a whole network: addresses are arbitrary strings and
+// every node of a simulated cluster dials through the same Fastnet. It also
+// provides the failure-injection surface used by the cluster harness —
+// crashing an address severs all its connections, which is how node crashes
+// become visible to remote failure detectors.
+type Fastnet struct {
+	mu        sync.Mutex
+	listeners map[string]*fastListener
+	conns     map[string][]*fastConn // live conns per local address
+	queueLen  int
+}
+
+// NewFastnet creates an empty in-process network. queueLen is the per-
+// direction buffering of each connection (<=0 selects a default of 1024).
+func NewFastnet(queueLen int) *Fastnet {
+	if queueLen <= 0 {
+		queueLen = 1024
+	}
+	return &Fastnet{
+		listeners: make(map[string]*fastListener),
+		conns:     make(map[string][]*fastConn),
+		queueLen:  queueLen,
+	}
+}
+
+// Name implements Transport.
+func (f *Fastnet) Name() string { return "fastnet" }
+
+// Listen implements Transport. Each address may have one listener.
+func (f *Fastnet) Listen(addr string) (Listener, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.listeners[addr]; ok {
+		return nil, fmt.Errorf("vni: address %q already in use", addr)
+	}
+	l := &fastListener{
+		net:     f,
+		addr:    addr,
+		backlog: make(chan *fastConn, 64),
+		done:    make(chan struct{}),
+	}
+	f.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Transport.
+func (f *Fastnet) Dial(addr string) (Conn, error) {
+	f.mu.Lock()
+	l, ok := f.listeners[addr]
+	f.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoRoute, addr)
+	}
+	a2b := make(chan wire.Msg, f.queueLen)
+	b2a := make(chan wire.Msg, f.queueLen)
+	closed := make(chan struct{})
+	var once sync.Once
+	dialSide := &fastConn{net: f, local: "", remote: addr, out: a2b, in: b2a, closed: closed, once: &once}
+	acceptSide := &fastConn{net: f, local: addr, remote: "", out: b2a, in: a2b, closed: closed, once: &once}
+	select {
+	case l.backlog <- acceptSide:
+	case <-l.done:
+		return nil, ErrClosed
+	}
+	f.track(acceptSide)
+	f.track(dialSide)
+	return dialSide, nil
+}
+
+func (f *Fastnet) track(c *fastConn) {
+	if c.local == "" {
+		return
+	}
+	f.mu.Lock()
+	f.conns[c.local] = append(f.conns[c.local], c)
+	f.mu.Unlock()
+}
+
+// Crash severs every listener and connection rooted at addr, simulating a
+// node failure: peers' Recv calls fail immediately, exactly as a dead NIC
+// looks to a remote failure detector.
+func (f *Fastnet) Crash(addr string) {
+	f.mu.Lock()
+	l := f.listeners[addr]
+	delete(f.listeners, addr)
+	conns := f.conns[addr]
+	delete(f.conns, addr)
+	f.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+type fastListener struct {
+	net     *Fastnet
+	addr    string
+	backlog chan *fastConn
+	done    chan struct{}
+	once    sync.Once
+}
+
+func (l *fastListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *fastListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		if l.net.listeners[l.addr] == l {
+			delete(l.net.listeners, l.addr)
+		}
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *fastListener) Addr() string { return l.addr }
+
+// fastConn is one side of an in-process connection. The two sides share a
+// closed channel, so closing either side unblocks both.
+type fastConn struct {
+	net    *Fastnet
+	local  string
+	remote string
+	out    chan<- wire.Msg
+	in     <-chan wire.Msg
+	closed chan struct{}
+	once   *sync.Once
+}
+
+func (c *fastConn) Send(m *wire.Msg) error {
+	// One payload copy models the DMA into the NIC and guarantees the
+	// caller can reuse its buffer, mirroring MPI send semantics.
+	cp := m.Clone()
+	wire.CountMsg(m.Type)
+	select {
+	case <-c.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.out <- cp:
+		return nil
+	case <-c.closed:
+		return ErrClosed
+	}
+}
+
+func (c *fastConn) Recv() (wire.Msg, error) {
+	// Drain buffered messages even after close: a crash must not lose
+	// messages already "on the wire" toward us... except that a real
+	// severed link does lose them; we deliver what arrived to keep
+	// semantics close to TCP's receive buffer.
+	select {
+	case m := <-c.in:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-c.in:
+		return m, nil
+	case <-c.closed:
+		// Final drain race: a message may have been enqueued between the
+		// two selects.
+		select {
+		case m := <-c.in:
+			return m, nil
+		default:
+			return wire.Msg{}, ErrClosed
+		}
+	}
+}
+
+func (c *fastConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+func (c *fastConn) RemoteAddr() string { return c.remote }

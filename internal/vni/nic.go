@@ -1,0 +1,241 @@
+package vni
+
+import (
+	"fmt"
+	"sync"
+
+	"starfish/internal/wire"
+)
+
+// NIC is the per-process network endpoint: it listens on one address,
+// maintains connections to peers, and runs the polling thread of §2.2.1.
+//
+// The paper's polling thread continuously polls the network and moves
+// arrived messages into a queue of received messages, so that (a) an eager
+// sender never blocks on an unprepared receiver, and (b) the receive-side
+// kernel interaction is overlapped with application work. Here one polling
+// goroutine per connection performs the blocking Recv and feeds the shared
+// received-message queue; the application-visible Recv is a plain queue
+// pop, which is what makes receive operations fast.
+type NIC struct {
+	tr    Transport
+	local string
+	ln    Listener
+
+	mu       sync.Mutex
+	conns    map[string]Conn // dialed, by remote listen address
+	accepted []Conn          // inbound connections, closed with the NIC
+	closed   bool
+
+	inq  chan wire.Msg
+	wg   sync.WaitGroup
+	done chan struct{}
+
+	stats Stats
+}
+
+// Stats counts traffic through a NIC, keyed by wire message type. It backs
+// the Table-1 audit and general diagnostics.
+type Stats struct {
+	mu        sync.Mutex
+	SentMsgs  [8]uint64
+	SentBytes [8]uint64
+	RecvMsgs  [8]uint64
+	RecvBytes [8]uint64
+}
+
+func (s *Stats) countSend(m *wire.Msg) {
+	s.mu.Lock()
+	s.SentMsgs[m.Type]++
+	s.SentBytes[m.Type] += uint64(len(m.Payload))
+	s.mu.Unlock()
+}
+
+func (s *Stats) countRecv(m *wire.Msg) {
+	s.mu.Lock()
+	s.RecvMsgs[m.Type]++
+	s.RecvBytes[m.Type] += uint64(len(m.Payload))
+	s.mu.Unlock()
+}
+
+// Snapshot returns a copy of the counters.
+func (s *Stats) Snapshot() (sent, recv [8]uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.SentMsgs, s.RecvMsgs
+}
+
+// NewNIC creates a NIC listening on addr via tr and starts accepting.
+// queueLen sizes the received-message queue (<=0 selects 4096).
+func NewNIC(tr Transport, addr string, queueLen int) (*NIC, error) {
+	if queueLen <= 0 {
+		queueLen = 4096
+	}
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	n := &NIC{
+		tr:    tr,
+		local: ln.Addr(),
+		ln:    ln,
+		conns: make(map[string]Conn),
+		inq:   make(chan wire.Msg, queueLen),
+		done:  make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the NIC's bound listen address.
+func (n *NIC) Addr() string { return n.local }
+
+// Stats returns the NIC's traffic counters.
+func (n *NIC) Stats() *Stats { return &n.stats }
+
+func (n *NIC) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			c.Close()
+			return
+		}
+		n.accepted = append(n.accepted, c)
+		n.mu.Unlock()
+		n.startPoller(c)
+	}
+}
+
+// startPoller launches the polling goroutine for one connection: it moves
+// every arrived message into the received-message queue.
+func (n *NIC) startPoller(c Conn) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			n.stats.countRecv(&m)
+			select {
+			case n.inq <- m:
+			case <-n.done:
+				return
+			}
+		}
+	}()
+}
+
+// Connect ensures a connection to the peer listening at addr, dialing if
+// needed. It is idempotent and safe for concurrent use.
+func (n *NIC) Connect(addr string) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := n.conns[addr]; ok {
+		n.mu.Unlock()
+		return nil
+	}
+	n.mu.Unlock()
+
+	c, err := n.tr.Dial(addr)
+	if err != nil {
+		return err
+	}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		c.Close()
+		return ErrClosed
+	}
+	if _, ok := n.conns[addr]; ok {
+		// Lost the dial race; keep the first connection.
+		n.mu.Unlock()
+		c.Close()
+		return nil
+	}
+	n.conns[addr] = c
+	n.mu.Unlock()
+	n.startPoller(c)
+	return nil
+}
+
+// Send transmits m to the peer at addr, connecting on first use.
+func (n *NIC) Send(addr string, m *wire.Msg) error {
+	n.mu.Lock()
+	c, ok := n.conns[addr]
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		if err := n.Connect(addr); err != nil {
+			return err
+		}
+		n.mu.Lock()
+		c = n.conns[addr]
+		n.mu.Unlock()
+		if c == nil {
+			return fmt.Errorf("vni: connect to %q raced with close", addr)
+		}
+	}
+	if err := c.Send(m); err != nil {
+		return err
+	}
+	n.stats.countSend(m)
+	return nil
+}
+
+// Disconnect drops the connection to addr, if any.
+func (n *NIC) Disconnect(addr string) {
+	n.mu.Lock()
+	c := n.conns[addr]
+	delete(n.conns, addr)
+	n.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// Queue exposes the received-message queue fed by the polling goroutines.
+// Consumers (the MPI progress engine, the daemon router) drain it.
+func (n *NIC) Queue() <-chan wire.Msg { return n.inq }
+
+// Close shuts the NIC down: stops accepting, closes all connections, and
+// unblocks the polling goroutines.
+func (n *NIC) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]Conn, 0, len(n.conns)+len(n.accepted))
+	for _, c := range n.conns {
+		conns = append(conns, c)
+	}
+	conns = append(conns, n.accepted...)
+	n.conns = map[string]Conn{}
+	n.accepted = nil
+	n.mu.Unlock()
+
+	close(n.done)
+	n.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	n.wg.Wait()
+	return nil
+}

@@ -1,0 +1,92 @@
+package vni
+
+import (
+	"bufio"
+	"net"
+	"sync"
+
+	"starfish/internal/wire"
+)
+
+// TCP is the kernel-socket transport, the stand-in for the paper's
+// "regular IP stack" measurements. Every message crosses the kernel twice
+// (send syscall, receive syscall) plus serialization, which is exactly the
+// overhead Figure 5 contrasts against the user-level BIP path.
+type TCP struct{}
+
+// NewTCP returns the TCP transport.
+func NewTCP() *TCP { return &TCP{} }
+
+// Name implements Transport.
+func (t *TCP) Name() string { return "tcp" }
+
+// Listen implements Transport. Use "127.0.0.1:0" to bind an ephemeral port
+// and recover the concrete address via Listener.Addr.
+func (t *TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial implements Transport.
+func (t *TCP) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+type tcpListener struct{ l net.Listener }
+
+func (l *tcpListener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+func (l *tcpListener) Close() error { return l.l.Close() }
+func (l *tcpListener) Addr() string { return l.l.Addr().String() }
+
+type tcpConn struct {
+	c  net.Conn
+	r  *bufio.Reader
+	wm sync.Mutex // serializes whole frames
+	w  *bufio.Writer
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		// Latency benchmarks need Nagle off, like any MPI transport.
+		_ = tc.SetNoDelay(true)
+	}
+	return &tcpConn{
+		c: c,
+		r: bufio.NewReaderSize(c, 64<<10),
+		w: bufio.NewWriterSize(c, 64<<10),
+	}
+}
+
+func (c *tcpConn) Send(m *wire.Msg) error {
+	wire.CountMsg(m.Type)
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	if err := wire.WriteMsg(c.w, m); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *tcpConn) Recv() (wire.Msg, error) {
+	// Recv is called only from the connection's polling goroutine, so the
+	// buffered reader needs no locking.
+	return wire.ReadMsg(c.r)
+}
+
+func (c *tcpConn) Close() error { return c.c.Close() }
+
+func (c *tcpConn) RemoteAddr() string { return c.c.RemoteAddr().String() }

@@ -1,0 +1,61 @@
+// Package vni implements the Virtual Network Interface of a Starfish
+// application process.
+//
+// The VNI isolates the rest of the system from the concrete network. The
+// paper supports Myrinet through the BIP user-level interface (for
+// performance) and plain TCP/IP (for convenience); porting to another
+// network only requires a thin transport layer. This package provides the
+// same split: a real TCP transport (kernel socket path) and an in-process
+// "fastnet" transport that stands in for BIP/Myrinet by avoiding the kernel
+// entirely. The polling thread of §2.2.1 is realized by per-connection
+// receive goroutines feeding a single received-message queue.
+package vni
+
+import (
+	"errors"
+
+	"starfish/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed connection, listener or
+// NIC.
+var ErrClosed = errors.New("vni: closed")
+
+// ErrNoRoute is returned when dialing an address nobody listens on.
+var ErrNoRoute = errors.New("vni: no route to address")
+
+// Conn is a bidirectional, reliable, ordered message connection. Send and
+// Recv may be used concurrently with each other; concurrent Sends are
+// serialized internally.
+type Conn interface {
+	// Send transmits one message. The message is copied (or serialized)
+	// before Send returns, so the caller may reuse the payload buffer.
+	Send(m *wire.Msg) error
+	// Recv blocks for the next message. It returns ErrClosed (or an
+	// underlying transport error) once the connection is down.
+	Recv() (wire.Msg, error)
+	// Close tears the connection down, unblocking pending Recvs on both
+	// ends.
+	Close() error
+	// RemoteAddr returns the peer's listen address if known, else the
+	// transport-specific remote identity.
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections on a transport address.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr returns the bound address (useful when listening on port 0).
+	Addr() string
+}
+
+// Transport creates listeners and connections. Implementations: NewTCP
+// (kernel sockets) and NewFastnet (in-process, BIP/Myrinet stand-in).
+type Transport interface {
+	// Name identifies the transport ("tcp" or "fastnet") in diagnostics
+	// and benchmark output.
+	Name() string
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}

@@ -1,0 +1,470 @@
+package vni
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"starfish/internal/wire"
+)
+
+// transports returns one instance of each transport plus an address factory
+// appropriate for it, so every test runs against both implementations.
+func transports() []struct {
+	name string
+	tr   Transport
+	addr func(i int) string
+} {
+	fn := NewFastnet(0)
+	return []struct {
+		name string
+		tr   Transport
+		addr func(i int) string
+	}{
+		{"fastnet", fn, func(i int) string { return fmt.Sprintf("node%d", i) }},
+		{"tcp", NewTCP(), func(int) string { return "127.0.0.1:0" }},
+	}
+}
+
+func TestConnSendRecv(t *testing.T) {
+	for _, tc := range transports() {
+		t.Run(tc.name, func(t *testing.T) {
+			ln, err := tc.tr.Listen(tc.addr(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+
+			type acceptResult struct {
+				c   Conn
+				err error
+			}
+			acc := make(chan acceptResult, 1)
+			go func() {
+				c, err := ln.Accept()
+				acc <- acceptResult{c, err}
+			}()
+
+			cli, err := tc.tr.Dial(ln.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cli.Close()
+			ar := <-acc
+			if ar.err != nil {
+				t.Fatal(ar.err)
+			}
+			srv := ar.c
+			defer srv.Close()
+
+			want := wire.Msg{Type: wire.TData, App: 1, Src: 0, Dst: 1, Tag: 42, Seq: 7, Payload: []byte("ping")}
+			if err := cli.Send(&want); err != nil {
+				t.Fatal(err)
+			}
+			got, err := srv.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Tag != 42 || got.Seq != 7 || !bytes.Equal(got.Payload, []byte("ping")) {
+				t.Errorf("got %+v", got)
+			}
+
+			// And the reverse direction.
+			reply := wire.Msg{Type: wire.TData, Tag: 43, Payload: []byte("pong")}
+			if err := srv.Send(&reply); err != nil {
+				t.Fatal(err)
+			}
+			got, err = cli.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Tag != 43 {
+				t.Errorf("reverse direction got %+v", got)
+			}
+		})
+	}
+}
+
+func TestConnSenderMayReuseBuffer(t *testing.T) {
+	for _, tc := range transports() {
+		t.Run(tc.name, func(t *testing.T) {
+			ln, _ := tc.tr.Listen(tc.addr(2))
+			defer ln.Close()
+			acc := make(chan Conn, 1)
+			go func() {
+				c, err := ln.Accept()
+				if err == nil {
+					acc <- c
+				}
+			}()
+			cli, err := tc.tr.Dial(ln.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cli.Close()
+			srv := <-acc
+			defer srv.Close()
+
+			buf := []byte{1, 1, 1, 1}
+			m := wire.Msg{Type: wire.TData, Payload: buf}
+			if err := cli.Send(&m); err != nil {
+				t.Fatal(err)
+			}
+			// Scribble over the buffer after Send returned.
+			for i := range buf {
+				buf[i] = 9
+			}
+			got, err := srv.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Payload, []byte{1, 1, 1, 1}) {
+				t.Errorf("payload corrupted by sender buffer reuse: %v", got.Payload)
+			}
+		})
+	}
+}
+
+func TestConnOrdering(t *testing.T) {
+	for _, tc := range transports() {
+		t.Run(tc.name, func(t *testing.T) {
+			ln, _ := tc.tr.Listen(tc.addr(3))
+			defer ln.Close()
+			acc := make(chan Conn, 1)
+			go func() {
+				c, err := ln.Accept()
+				if err == nil {
+					acc <- c
+				}
+			}()
+			cli, err := tc.tr.Dial(ln.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cli.Close()
+			srv := <-acc
+			defer srv.Close()
+
+			const n = 500
+			go func() {
+				for i := 0; i < n; i++ {
+					m := wire.Msg{Type: wire.TData, Seq: uint64(i)}
+					if err := cli.Send(&m); err != nil {
+						return
+					}
+				}
+			}()
+			for i := 0; i < n; i++ {
+				got, err := srv.Recv()
+				if err != nil {
+					t.Fatalf("Recv %d: %v", i, err)
+				}
+				if got.Seq != uint64(i) {
+					t.Fatalf("out of order: got seq %d at position %d", got.Seq, i)
+				}
+			}
+		})
+	}
+}
+
+func TestConnCloseUnblocksRecv(t *testing.T) {
+	for _, tc := range transports() {
+		t.Run(tc.name, func(t *testing.T) {
+			ln, _ := tc.tr.Listen(tc.addr(4))
+			defer ln.Close()
+			acc := make(chan Conn, 1)
+			go func() {
+				c, err := ln.Accept()
+				if err == nil {
+					acc <- c
+				}
+			}()
+			cli, err := tc.tr.Dial(ln.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := <-acc
+
+			errc := make(chan error, 1)
+			go func() {
+				_, err := srv.Recv()
+				errc <- err
+			}()
+			time.Sleep(10 * time.Millisecond)
+			cli.Close()
+			select {
+			case err := <-errc:
+				if err == nil {
+					t.Error("Recv returned nil error after peer close")
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("Recv did not unblock after peer close")
+			}
+			srv.Close()
+		})
+	}
+}
+
+func TestDialUnknownAddress(t *testing.T) {
+	fn := NewFastnet(0)
+	if _, err := fn.Dial("nowhere"); err == nil {
+		t.Error("fastnet Dial to unknown address succeeded")
+	}
+	tcp := NewTCP()
+	if _, err := tcp.Dial("127.0.0.1:1"); err == nil {
+		t.Error("tcp Dial to closed port succeeded")
+	}
+}
+
+func TestFastnetDuplicateListen(t *testing.T) {
+	fn := NewFastnet(0)
+	if _, err := fn.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fn.Listen("a"); err == nil {
+		t.Error("duplicate Listen succeeded")
+	}
+}
+
+func TestFastnetCrashSeversPeers(t *testing.T) {
+	fn := NewFastnet(0)
+	ln, _ := fn.Listen("victim")
+	acc := make(chan Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			acc <- c
+		}
+	}()
+	cli, err := fn.Dial("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-acc
+
+	fn.Crash("victim")
+
+	if err := cli.Send(&wire.Msg{Type: wire.TData}); err == nil {
+		t.Error("Send to crashed node succeeded")
+	}
+	if _, err := cli.Recv(); err == nil {
+		t.Error("Recv from crashed node succeeded")
+	}
+	// The address becomes free again (node restart).
+	if _, err := fn.Listen("victim"); err != nil {
+		t.Errorf("re-Listen after crash failed: %v", err)
+	}
+}
+
+func TestNICSendReceive(t *testing.T) {
+	for _, tc := range transports() {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := NewNIC(tc.tr, tc.addr(10), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			b, err := NewNIC(tc.tr, tc.addr(11), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+
+			m := wire.Msg{Type: wire.TData, Tag: 5, Payload: []byte("hi")}
+			if err := a.Send(b.Addr(), &m); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case got := <-b.Queue():
+				if got.Tag != 5 || string(got.Payload) != "hi" {
+					t.Errorf("got %+v", got)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("message never arrived")
+			}
+
+			// Reply over the reverse path (separate dial).
+			r := wire.Msg{Type: wire.TData, Tag: 6}
+			if err := b.Send(a.Addr(), &r); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case got := <-a.Queue():
+				if got.Tag != 6 {
+					t.Errorf("got %+v", got)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("reply never arrived")
+			}
+		})
+	}
+}
+
+func TestNICConcurrentSenders(t *testing.T) {
+	for _, tc := range transports() {
+		t.Run(tc.name, func(t *testing.T) {
+			dst, err := NewNIC(tc.tr, tc.addr(20), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dst.Close()
+
+			const senders, per = 4, 100
+			var wg sync.WaitGroup
+			for s := 0; s < senders; s++ {
+				src, err := NewNIC(tc.tr, tc.addr(21+s), 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer src.Close()
+				wg.Add(1)
+				go func(src *NIC, id int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						m := wire.Msg{Type: wire.TData, Src: wire.Rank(id), Seq: uint64(i)}
+						if err := src.Send(dst.Addr(), &m); err != nil {
+							t.Errorf("send: %v", err)
+							return
+						}
+					}
+				}(src, s)
+			}
+			wg.Wait()
+
+			// Per-sender FIFO must hold even with interleaving.
+			next := make([]uint64, senders)
+			for i := 0; i < senders*per; i++ {
+				select {
+				case m := <-dst.Queue():
+					if m.Seq != next[m.Src] {
+						t.Fatalf("sender %d: got seq %d want %d", m.Src, m.Seq, next[m.Src])
+					}
+					next[m.Src]++
+				case <-time.After(5 * time.Second):
+					t.Fatalf("only %d/%d messages arrived", i, senders*per)
+				}
+			}
+		})
+	}
+}
+
+func TestNICStats(t *testing.T) {
+	fn := NewFastnet(0)
+	a, _ := NewNIC(fn, "sa", 0)
+	defer a.Close()
+	b, _ := NewNIC(fn, "sb", 0)
+	defer b.Close()
+
+	for i := 0; i < 3; i++ {
+		a.Send(b.Addr(), &wire.Msg{Type: wire.TData, Payload: []byte("xy")})
+	}
+	a.Send(b.Addr(), &wire.Msg{Type: wire.TControl})
+
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < 4; i++ {
+		select {
+		case <-b.Queue():
+		case <-deadline:
+			t.Fatal("messages missing")
+		}
+	}
+	sent, _ := a.Stats().Snapshot()
+	_, recv := b.Stats().Snapshot()
+	if sent[wire.TData] != 3 || sent[wire.TControl] != 1 {
+		t.Errorf("sender stats = %v", sent)
+	}
+	if recv[wire.TData] != 3 || recv[wire.TControl] != 1 {
+		t.Errorf("receiver stats = %v", recv)
+	}
+}
+
+func TestNICCloseIdempotentAndRejects(t *testing.T) {
+	fn := NewFastnet(0)
+	a, _ := NewNIC(fn, "ca", 0)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("anywhere", &wire.Msg{Type: wire.TData}); err != ErrClosed {
+		t.Errorf("Send after Close: %v, want ErrClosed", err)
+	}
+	if err := a.Connect("anywhere"); err != ErrClosed {
+		t.Errorf("Connect after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestStageTimer(t *testing.T) {
+	st := NewStageTimer()
+	st.Add(StageMPISend, 10*time.Microsecond)
+	st.Add(StageMPISend, 30*time.Microsecond)
+	if got := st.Mean(StageMPISend); got != 20*time.Microsecond {
+		t.Errorf("Mean = %v, want 20µs", got)
+	}
+	if got := st.Count(StageMPISend); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	if got := st.Mean(StageAppRecv); got != 0 {
+		t.Errorf("unrecorded stage Mean = %v, want 0", got)
+	}
+	st.Reset()
+	if st.Count(StageMPISend) != 0 {
+		t.Error("Reset did not clear counts")
+	}
+
+	// A nil timer must be safe everywhere (profiling off).
+	var nilT *StageTimer
+	nilT.Add(StageVNISend, time.Second)
+	if nilT.Mean(StageVNISend) != 0 || nilT.Count(StageVNISend) != 0 {
+		t.Error("nil StageTimer misbehaved")
+	}
+	nilT.Reset()
+}
+
+func TestStageNames(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Stage(0); s < StageCount; s++ {
+		name := s.String()
+		if name == "" || name == "unknown-stage" || seen[name] {
+			t.Errorf("stage %d has bad name %q", s, name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestQuickFastnetPayloadIntegrity(t *testing.T) {
+	fn := NewFastnet(0)
+	ln, _ := fn.Listen("q")
+	acc := make(chan Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			acc <- c
+		}
+	}()
+	cli, err := fn.Dial("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-acc
+	defer cli.Close()
+
+	prop := func(payload []byte, tag int32, seq uint64) bool {
+		m := wire.Msg{Type: wire.TData, Tag: tag, Seq: seq, Payload: payload}
+		if err := cli.Send(&m); err != nil {
+			return false
+		}
+		got, err := srv.Recv()
+		if err != nil {
+			return false
+		}
+		return got.Tag == tag && got.Seq == seq && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

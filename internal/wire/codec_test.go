@@ -1,0 +1,152 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.U8(0xff).U16(0xbeef).U32(0xdeadbeef).U64(1<<63 + 5).
+		I32(-17).I64(-1 << 40).F64(math.Pi).Bool(true).Bool(false).
+		String("starfish").Bytes32([]byte{9, 8, 7}).
+		U32Slice([]uint32{1, 2, 3}).U64Slice([]uint64{4, 5})
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xff {
+		t.Errorf("U8 = %#x", got)
+	}
+	if got := r.U16(); got != 0xbeef {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<63+5 {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I32(); got != -17 {
+		t.Errorf("I32 = %d", got)
+	}
+	if got := r.I64(); got != -1<<40 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.String(); got != "starfish" {
+		t.Errorf("String = %q", got)
+	}
+	b := r.Bytes32()
+	if len(b) != 3 || b[0] != 9 || b[2] != 7 {
+		t.Errorf("Bytes32 = %v", b)
+	}
+	u32s := r.U32Slice()
+	if len(u32s) != 3 || u32s[2] != 3 {
+		t.Errorf("U32Slice = %v", u32s)
+	}
+	u64s := r.U64Slice()
+	if len(u64s) != 2 || u64s[1] != 5 {
+		t.Errorf("U64Slice = %v", u64s)
+	}
+	if r.Err() != nil {
+		t.Errorf("Err = %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U32() // runs past end
+	if r.Err() != ErrShortBuffer {
+		t.Fatalf("Err = %v, want ErrShortBuffer", r.Err())
+	}
+	// All subsequent reads must return zero values and keep the error.
+	if r.U64() != 0 || r.String() != "" || r.Bytes32() != nil {
+		t.Error("reads after error returned non-zero values")
+	}
+	if r.Err() != ErrShortBuffer {
+		t.Errorf("sticky error lost: %v", r.Err())
+	}
+}
+
+func TestReaderMaliciousLengths(t *testing.T) {
+	// A length prefix claiming more data than exists must not panic or
+	// allocate unboundedly.
+	w := NewWriter(8)
+	w.U32(0xffffffff)
+	r := NewReader(w.Bytes())
+	if b := r.Bytes32(); b != nil {
+		t.Errorf("Bytes32 with oversized length returned %d bytes", len(b))
+	}
+	if r.Err() == nil {
+		t.Error("expected error for oversized length")
+	}
+
+	r = NewReader(w.Bytes())
+	if s := r.U32Slice(); s != nil {
+		t.Errorf("U32Slice with oversized length returned %d elems", len(s))
+	}
+	r = NewReader(w.Bytes())
+	if s := r.U64Slice(); s != nil {
+		t.Errorf("U64Slice with oversized length returned %d elems", len(s))
+	}
+}
+
+func TestQuickCodecPrimitives(t *testing.T) {
+	prop := func(a uint8, b uint16, c uint32, d uint64, e int32, f int64, g float64, h bool, s string) bool {
+		if math.IsNaN(g) {
+			g = 0
+		}
+		w := NewWriter(32)
+		w.U8(a).U16(b).U32(c).U64(d).I32(e).I64(f).F64(g).Bool(h).String(s)
+		r := NewReader(w.Bytes())
+		ok := r.U8() == a && r.U16() == b && r.U32() == c && r.U64() == d &&
+			r.I32() == e && r.I64() == f && r.F64() == g && r.Bool() == h &&
+			r.String() == s
+		return ok && r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCodecSlices(t *testing.T) {
+	prop := func(a []uint32, b []uint64, raw []byte) bool {
+		w := NewWriter(64)
+		w.U32Slice(a).U64Slice(b).Bytes32(raw)
+		r := NewReader(w.Bytes())
+		ga, gb, graw := r.U32Slice(), r.U64Slice(), r.Bytes32()
+		if r.Err() != nil {
+			return false
+		}
+		if len(ga) != len(a) || len(gb) != len(b) || len(graw) != len(raw) {
+			return false
+		}
+		for i := range a {
+			if ga[i] != a[i] {
+				return false
+			}
+		}
+		for i := range b {
+			if gb[i] != b[i] {
+				return false
+			}
+		}
+		for i := range raw {
+			if graw[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

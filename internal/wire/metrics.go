@@ -1,0 +1,35 @@
+package wire
+
+import "sync/atomic"
+
+// Global per-type message counters, incremented by every transport and
+// daemon-process link send in the system. They exist for the Table-1
+// audit: a full application run can be accounted for by message type,
+// demonstrating which traffic flows through the system (and, notably, that
+// data volume dwarfs control volume). The counters are process-global and
+// monotonic; benchmarks reset them around a run.
+var msgCounts [typeCount]atomic.Uint64
+
+// CountMsg records one sent message of type t.
+func CountMsg(t Type) {
+	if t.Valid() {
+		msgCounts[t].Add(1)
+	}
+}
+
+// MsgCounts returns a snapshot of the global per-type send counters,
+// indexed by Type.
+func MsgCounts() [8]uint64 {
+	var out [8]uint64
+	for t := TInvalid + 1; t < typeCount; t++ {
+		out[t] = msgCounts[t].Load()
+	}
+	return out
+}
+
+// ResetMsgCounts zeroes the global counters.
+func ResetMsgCounts() {
+	for t := range msgCounts {
+		msgCounts[t].Store(0)
+	}
+}

@@ -1,0 +1,285 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	want := map[Type]string{
+		TControl:       "control",
+		TCoordination:  "coordination",
+		TData:          "data",
+		TLWMembership:  "lightweight-membership",
+		TConfiguration: "configuration",
+		TCheckpoint:    "checkpoint/restart",
+	}
+	for ty, s := range want {
+		if got := ty.String(); got != s {
+			t.Errorf("Type(%d).String() = %q, want %q", ty, got, s)
+		}
+		if !ty.Valid() {
+			t.Errorf("Type(%d).Valid() = false, want true", ty)
+		}
+	}
+	if TInvalid.Valid() {
+		t.Error("TInvalid.Valid() = true, want false")
+	}
+	if Type(200).Valid() {
+		t.Error("Type(200).Valid() = true, want false")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := Msg{
+		Type:    TData,
+		Kind:    7,
+		App:     42,
+		Src:     3,
+		Dst:     5,
+		Tag:     99,
+		Seq:     1 << 40,
+		Payload: []byte("hello starfish"),
+	}
+	buf, err := m.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(buf) != m.EncodedLen() {
+		t.Errorf("encoded length %d, EncodedLen %d", len(buf), m.EncodedLen())
+	}
+	got, n, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if n != len(buf) {
+		t.Errorf("Decode consumed %d, want %d", n, len(buf))
+	}
+	if !msgEqual(got, m) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestDecodeNegativeRanks(t *testing.T) {
+	m := Msg{Type: TData, Src: AnyRank, Dst: -2, Tag: AnyTag}
+	buf, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != AnyRank || got.Dst != -2 || got.Tag != AnyTag {
+		t.Errorf("negative fields lost: %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) succeeded, want error")
+	}
+	if _, _, err := Decode(make([]byte, headerLen-1)); err == nil {
+		t.Error("Decode(short) succeeded, want error")
+	}
+	// Invalid type byte.
+	m := Msg{Type: TData}
+	buf, _ := m.Encode()
+	buf[0] = 0
+	if _, _, err := Decode(buf); err == nil {
+		t.Error("Decode with invalid type succeeded, want error")
+	}
+	// Truncated payload.
+	m = Msg{Type: TData, Payload: []byte("abcdef")}
+	buf, _ = m.Encode()
+	if _, _, err := Decode(buf[:len(buf)-1]); err == nil {
+		t.Error("Decode with truncated payload succeeded, want error")
+	}
+}
+
+func TestEncodePayloadTooLarge(t *testing.T) {
+	m := Msg{Type: TData, Payload: make([]byte, MaxPayload+1)}
+	if _, err := m.Encode(); err != ErrPayloadTooLarge {
+		t.Errorf("Encode oversized payload: err = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+func TestWriteReadMsg(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Msg{
+		{Type: TControl, Kind: 1, Payload: []byte("view")},
+		{Type: TData, App: 9, Src: 0, Dst: 1, Tag: 5, Payload: bytes.Repeat([]byte{0xab}, 1000)},
+		{Type: TConfiguration, Kind: 3},
+	}
+	for i := range msgs {
+		if err := WriteMsg(&buf, &msgs[i]); err != nil {
+			t.Fatalf("WriteMsg[%d]: %v", i, err)
+		}
+	}
+	for i := range msgs {
+		got, err := ReadMsg(&buf)
+		if err != nil {
+			t.Fatalf("ReadMsg[%d]: %v", i, err)
+		}
+		if !msgEqual(got, msgs[i]) {
+			t.Errorf("msg %d mismatch: got %+v want %+v", i, got, msgs[i])
+		}
+	}
+	if _, err := ReadMsg(&buf); err != io.EOF {
+		t.Errorf("ReadMsg at EOF: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadMsgTruncatedStream(t *testing.T) {
+	m := Msg{Type: TData, Payload: []byte("payload")}
+	full, _ := m.Encode()
+	for cut := 1; cut < len(full); cut += 5 {
+		_, err := ReadMsg(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Errorf("ReadMsg with %d/%d bytes succeeded, want error", cut, len(full))
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := Msg{Type: TData, Payload: []byte{1, 2, 3}}
+	c := m.Clone()
+	c.Payload[0] = 99
+	if m.Payload[0] != 1 {
+		t.Error("Clone payload aliases original")
+	}
+}
+
+func TestLegalRouteMatrix(t *testing.T) {
+	cases := []struct {
+		t        Type
+		from, to Endpoint
+		want     bool
+	}{
+		{TControl, EDaemon, EDaemon, true},
+		{TControl, EProcess, EDaemon, false},
+		{TCoordination, EProcess, EDaemon, true},
+		{TCoordination, EDaemon, EProcess, true},
+		{TCoordination, EMPIModule, EMPIModule, false},
+		{TData, EMPIModule, EMPIModule, true},
+		{TData, EProcess, EProcess, false},
+		{TLWMembership, ELWEndpoint, EProcess, true},
+		{TLWMembership, EProcess, ELWEndpoint, true},
+		{TLWMembership, EDaemon, EDaemon, false},
+		{TConfiguration, EDaemon, EProcess, true},
+		{TConfiguration, EProcess, EDaemon, true},
+		{TConfiguration, EDaemon, EDaemon, false},
+		{TCheckpoint, ECRModule, EDaemon, true},
+		{TCheckpoint, EDaemon, ECRModule, true},
+		{TCheckpoint, EMPIModule, EMPIModule, false},
+	}
+	for _, c := range cases {
+		if got := LegalRoute(c.t, c.from, c.to); got != c.want {
+			t.Errorf("LegalRoute(%v, %v, %v) = %v, want %v", c.t, c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestDataNeverThroughDaemon(t *testing.T) {
+	// The paper's central architectural point: data messages never pass
+	// through the daemons (the group communication layer stays off the
+	// critical path).
+	for _, e := range []Endpoint{EDaemon, ELWEndpoint} {
+		if LegalRoute(TData, e, EMPIModule) || LegalRoute(TData, EMPIModule, e) {
+			t.Errorf("data messages must not route through %v", e)
+		}
+	}
+}
+
+func msgEqual(a, b Msg) bool {
+	return a.Type == b.Type && a.Kind == b.Kind && a.App == b.App &&
+		a.Src == b.Src && a.Dst == b.Dst && a.Tag == b.Tag && a.Seq == b.Seq &&
+		bytes.Equal(a.Payload, b.Payload)
+}
+
+// randomMsg makes Msg usable with testing/quick (payload sizes bounded).
+func randomMsg(r *rand.Rand) Msg {
+	payload := make([]byte, r.Intn(512))
+	r.Read(payload)
+	return Msg{
+		Type:    Type(1 + r.Intn(int(typeCount)-1)),
+		Kind:    uint16(r.Uint32()),
+		App:     AppID(r.Uint32()),
+		Src:     Rank(int32(r.Uint32())),
+		Dst:     Rank(int32(r.Uint32())),
+		Tag:     int32(r.Uint32()),
+		Seq:     r.Uint64(),
+		Payload: payload,
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomMsg(r))
+		},
+	}
+	prop := func(m Msg) bool {
+		buf, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		got, n, err := Decode(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		if len(got.Payload) == 0 {
+			got.Payload = nil
+		}
+		if len(m.Payload) == 0 {
+			m.Payload = nil
+		}
+		return msgEqual(got, m)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStreamFraming(t *testing.T) {
+	// Property: a stream of N encoded messages decodes back to the same
+	// sequence regardless of message contents.
+	prop := func(seed int64, count uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(count%8) + 1
+		var stream bytes.Buffer
+		var in []Msg
+		for i := 0; i < n; i++ {
+			m := randomMsg(r)
+			in = append(in, m)
+			if err := WriteMsg(&stream, &m); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			got, err := ReadMsg(&stream)
+			if err != nil {
+				return false
+			}
+			a, b := got, in[i]
+			if len(a.Payload) == 0 {
+				a.Payload = nil
+			}
+			if len(b.Payload) == 0 {
+				b.Payload = nil
+			}
+			if !msgEqual(a, b) {
+				return false
+			}
+		}
+		return stream.Len() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package starfish_test
+
+import (
+	"testing"
+	"time"
+
+	"starfish/internal/apps"
+	"starfish/internal/core"
+	"starfish/internal/wire"
+)
+
+// TestTable1MessageMatrix is the Table-1 experiment: run a workload that
+// exercises the whole architecture and verify that every one of the six
+// message types actually flowed, with data messages (fast path) dominating
+// the system traffic by a wide margin. The static legality matrix itself
+// (which endpoint kinds may exchange which type) is asserted by
+// internal/wire's tests; this test audits a live run.
+func TestTable1MessageMatrix(t *testing.T) {
+	wire.ResetMsgCounts()
+	env, err := core.New(core.Options{Nodes: 3, StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Shutdown()
+	if err := env.WaitView(3, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Workload 1: MPI traffic + coordinated checkpoints (data, control,
+	// checkpoint/restart, configuration).
+	if err := env.Submit(core.Job{
+		ID: 1, Name: apps.RingName, Args: apps.RingArgs(500), Ranks: 3,
+		CheckpointEverySteps: 50, Policy: core.PolicyRestart,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := env.Wait(1, 60*time.Second); err != nil || st.Status != core.StatusDone {
+		t.Fatalf("ring: %v / %+v", err, st)
+	}
+
+	// Workload 2: a node crash under the notify policy (lightweight
+	// membership + coordination).
+	if err := env.Submit(core.Job{
+		ID: 2, Name: apps.PartitionName, Args: apps.PartitionArgs(600, 1000000),
+		Ranks: 3, Policy: core.PolicyNotify,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if err := env.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := env.Wait(2, 60*time.Second); err != nil || st.Status != core.StatusDone {
+		t.Fatalf("partition: %v / %+v", err, st)
+	}
+
+	counts := wire.MsgCounts()
+	for _, ty := range []wire.Type{
+		wire.TControl, wire.TCoordination, wire.TData,
+		wire.TLWMembership, wire.TConfiguration, wire.TCheckpoint,
+	} {
+		if counts[ty] == 0 {
+			t.Errorf("message type %v never flowed", ty)
+		}
+	}
+	// The architectural claim behind the fast path: application data
+	// dwarfs every workload-driven system message category. (Control
+	// traffic is excluded: it is heartbeat-driven and scales with wall
+	// time, not with the workload — under a slowed run, e.g. the race
+	// detector, its count is unbounded.)
+	for _, ty := range []wire.Type{wire.TCoordination,
+		wire.TLWMembership, wire.TConfiguration, wire.TCheckpoint} {
+		if counts[wire.TData] < 2*counts[ty] {
+			t.Errorf("data (%d) does not dominate %v (%d)", counts[wire.TData], ty, counts[ty])
+		}
+	}
+}
