@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check quick build test race bench
+
+# Full CI gate: vet, build, tests, -race on the fast-path packages, and the
+# allocation benchmarks (results folded into BENCH_fastpath.json).
+check:
+	scripts/check.sh
+
+# Fast inner-loop gate: vet/build/test only.
+quick:
+	scripts/check.sh --quick
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/wire/ ./internal/vni/ ./internal/mpi/
+
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkWireCodec|BenchmarkFastPathRoundTrip' -benchmem -benchtime 2s .

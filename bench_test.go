@@ -139,6 +139,9 @@ var rtSizes = []int{1, 64, 256, 1024, 4096, 16384, 65536}
 // an echo server on rank 1.
 func pingWorld(b *testing.B, tr vni.Transport, addr func(int) string, timer *vni.StageTimer) (*mpi.Comm, func()) {
 	b.Helper()
+	// Latency benchmarks measure the data path, not the pool's test-mode
+	// ownership instrumentation.
+	guard := wire.SetPoolGuard(false)
 	nic0, err := vni.NewNIC(tr, addr(0), 0)
 	if err != nil {
 		b.Fatal(err)
@@ -175,6 +178,7 @@ func pingWorld(b *testing.B, tr vni.Transport, addr func(int) string, timer *vni
 		<-done
 		nic0.Close()
 		nic1.Close()
+		wire.SetPoolGuard(guard)
 	}
 	return c0, cleanup
 }

@@ -280,8 +280,9 @@ func figure6(reps int) {
 		cleanup()
 	}
 	fmt.Println("\n(software layers are size-independent — messages are never copied")
-	fmt.Println(" between layers; vni(send) includes the simulated NIC DMA, the one")
-	fmt.Println(" place bytes move, so it scales with size like a real wire does)")
+	fmt.Println(" between layers; mpi(send) includes the single API-boundary staging")
+	fmt.Println(" copy, the one place bytes move, so it scales with size; the pooled")
+	fmt.Println(" payload then travels vni -> receiver without copying)")
 }
 
 // ---- table 1 ----

@@ -1,0 +1,103 @@
+// Copy-budget enforcement: the fast path is allowed exactly one payload
+// copy per hop (the MPI API boundary), and none at all for owned sends.
+// This is the testable form of the paper's "messages are never copied
+// between layers" claim, checked against the wire.CopySite counters.
+package starfish_test
+
+import (
+	"testing"
+
+	"starfish/internal/mpi"
+	"starfish/internal/vni"
+	"starfish/internal/wire"
+)
+
+func copyBudgetWorld(t *testing.T) (c0, c1 *mpi.Comm) {
+	t.Helper()
+	fn := vni.NewFastnet(0)
+	nic0, err := vni.NewNIC(fn, "cb-0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nic0.Close() })
+	nic1, err := vni.NewNIC(fn, "cb-1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nic1.Close() })
+	addrs := map[wire.Rank]string{0: nic0.Addr(), 1: nic1.Addr()}
+	c0, err = mpi.New(mpi.Config{App: 1, Rank: 0, Size: 2, NIC: nic0, Addrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c0.Close)
+	c1, err = mpi.New(mpi.Config{App: 1, Rank: 1, Size: 2, NIC: nic1, Addrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c1.Close)
+	return c0, c1
+}
+
+// TestFastPathCopyBudget sends N messages over fastnet and asserts the copy
+// counters: each plain Send costs exactly one API-boundary copy and nothing
+// else; each owned send costs zero.
+func TestFastPathCopyBudget(t *testing.T) {
+	c0, c1 := copyBudgetWorld(t)
+	const n, size = 20, 4096
+	buf := make([]byte, size)
+
+	countsBefore, bytesBefore := wire.CopyStats()
+	go func() {
+		for i := 0; i < n; i++ {
+			c0.Send(1, 1, buf)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		data, st, err := c1.Recv(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Pooled {
+			wire.PutBuf(data)
+		}
+	}
+	countsAfter, bytesAfter := wire.CopyStats()
+
+	if got := countsAfter[wire.CopyBoundary] - countsBefore[wire.CopyBoundary]; got != n {
+		t.Errorf("boundary copies = %d, want %d (one per Send)", got, n)
+	}
+	if got := bytesAfter[wire.CopyBoundary] - bytesBefore[wire.CopyBoundary]; got != n*size {
+		t.Errorf("boundary bytes = %d, want %d", got, n*size)
+	}
+	if got := countsAfter[wire.CopyClone] - countsBefore[wire.CopyClone]; got != 0 {
+		t.Errorf("clone copies = %d, want 0 (pooled payloads move)", got)
+	}
+	if got := countsAfter[wire.CopyCR] - countsBefore[wire.CopyCR]; got != 0 {
+		t.Errorf("C/R copies = %d, want 0 (no checkpoint active)", got)
+	}
+
+	// Owned sends: zero copies anywhere on the path.
+	countsBefore, _ = wire.CopyStats()
+	go func() {
+		for i := 0; i < n; i++ {
+			c0.SendOwned(1, 2, wire.GetBuf(size))
+		}
+	}()
+	for i := 0; i < n; i++ {
+		data, st, err := c1.Recv(0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Pooled {
+			t.Fatal("owned send arrived unpooled")
+		}
+		wire.PutBuf(data)
+	}
+	countsAfter, _ = wire.CopyStats()
+	for _, s := range []wire.CopySite{wire.CopyClone, wire.CopyBoundary, wire.CopyCR} {
+		if got := countsAfter[s] - countsBefore[s]; got != 0 {
+			t.Errorf("%v copies = %d, want 0 on the owned path", s, got)
+		}
+	}
+}

@@ -468,6 +468,7 @@ func (e *engine) applyView(v View) {
 
 func (e *engine) handleMsg(m wire.Msg) {
 	if m.Type != wire.TControl {
+		m.Release() // not bus traffic; recycle the pooled payload
 		return
 	}
 	from := wire.NodeID(m.Src)
@@ -505,6 +506,8 @@ func (e *engine) handleMsg(m wire.Msg) {
 		}
 	case kP2P:
 		e.ep.evq.push(Event{Kind: ESend, From: from, Payload: append([]byte(nil), m.Payload...)})
+		m.Release() // copied above; the pooled buffer can go back
+
 	case kSyncReq:
 		e.handleSyncReq(m)
 	case kSyncResp:

@@ -16,6 +16,7 @@
 package mpi
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -41,6 +42,12 @@ type Status struct {
 	// Interval is the sender's checkpoint-interval index at send time
 	// (uncoordinated C/R dependency tracking).
 	Interval uint64
+	// Pooled reports that the payload delivered with this status is owned
+	// by the receiver via the wire.BufPool discipline: the receiver may
+	// hand it back with wire.PutBuf (or resend it with SendOwned) once
+	// done, closing the zero-copy recycling loop. Ignoring it is safe —
+	// the buffer is then simply garbage-collected.
+	Pooled bool
 }
 
 // Config assembles a communicator.
@@ -73,6 +80,7 @@ type envelope struct {
 	src      wire.Rank
 	tag      int32
 	data     []byte
+	pooled   bool // data is pool-owned; ownership passes to the receiver
 	interval uint64
 	seq      uint64
 	arrived  time.Time
@@ -168,7 +176,8 @@ func (c *Comm) progress() {
 
 func (c *Comm) handle(m wire.Msg) {
 	if m.App != c.cfg.App {
-		return // stale traffic from a previous incarnation
+		m.Release() // stale traffic from a previous incarnation
+		return
 	}
 	switch m.Type {
 	case wire.TData:
@@ -177,7 +186,10 @@ func (c *Comm) handle(m wire.Msg) {
 			arrived = time.Now()
 		}
 		interval := uint64(m.Kind)
-		env := envelope{src: m.Src, tag: m.Tag, data: m.Payload, interval: interval, seq: m.Seq, arrived: arrived}
+		// The pooled transport buffer goes straight into the matcher —
+		// the receive path performs no copy; the application becomes the
+		// payload's owner when Recv matches it.
+		env := envelope{src: m.Src, tag: m.Tag, data: m.Payload, pooled: m.Pooled, interval: interval, seq: m.Seq, arrived: arrived}
 		c.mu.Lock()
 		// Duplicate suppression: after a restart, the sender-side log is
 		// replayed and may include messages this rank's restored state
@@ -185,6 +197,7 @@ func (c *Comm) handle(m wire.Msg) {
 		// beyond our receive count.
 		if env.seq != 0 && env.seq <= c.recvCount[m.Src] {
 			c.mu.Unlock()
+			m.Release()
 			return
 		}
 		c.mu.Unlock()
@@ -201,6 +214,7 @@ func (c *Comm) handle(m wire.Msg) {
 			return
 		}
 		if c.recording && c.recordFrom[m.Src] {
+			wire.CountCopy(wire.CopyCR, len(m.Payload))
 			c.recorded = append(c.recorded, RecordedMsg{
 				Src: m.Src, Tag: m.Tag,
 				Data:     append([]byte(nil), m.Payload...),
@@ -223,6 +237,9 @@ func (c *Comm) handle(m wire.Msg) {
 				c.cfg.OnMarker(m.Src, id)
 			}
 		}
+		m.Release()
+	default:
+		m.Release() // not fast-path traffic; recycle and drop
 	}
 }
 
@@ -245,15 +262,42 @@ func (c *Comm) bumpRecvLocked(src wire.Rank, seq uint64) {
 // message is handed to the transport (eager/buffered semantics: the caller
 // may immediately reuse buf). Sends block while the communicator is paused
 // by a stop-and-sync checkpoint.
+//
+// This is the MPI API boundary, and the one place on the fast path where a
+// payload copy is mandatory: MPI semantics return buf to the caller, so
+// Send stages it once into a pooled buffer that then travels application →
+// MPI → VNI → receiver with no further copies (see "Fast-path copy budget"
+// in DESIGN.md). Callers that can give up their buffer use SendOwned and
+// skip even that copy.
 func (c *Comm) Send(dst wire.Rank, tag int32, buf []byte) error {
+	return c.send(dst, tag, buf, false)
+}
+
+// SendOwned is the zero-copy variant of Send: ownership of payload — a
+// buffer checked out of the wire.BufPool (wire.GetBuf), or one delivered by
+// a Recv whose Status reported Pooled — transfers to the library, which
+// moves it through the transport without copying. The caller must not
+// read, reuse, or release payload after SendOwned returns, success or not.
+func (c *Comm) SendOwned(dst wire.Rank, tag int32, payload []byte) error {
+	return c.send(dst, tag, payload, true)
+}
+
+func (c *Comm) send(dst wire.Rank, tag int32, buf []byte, owned bool) error {
 	var t0 time.Time
 	if c.cfg.Timer != nil {
 		t0 = time.Now()
 	}
+	releaseOnErr := func() {
+		if owned {
+			wire.PutBuf(buf)
+		}
+	}
 	if int(dst) < 0 || int(dst) >= c.cfg.Size {
+		releaseOnErr()
 		return fmt.Errorf("%w: dst %d", ErrBadRank, dst)
 	}
 	if len(buf) > wire.MaxPayload {
+		releaseOnErr()
 		return ErrTooLarge
 	}
 
@@ -263,10 +307,12 @@ func (c *Comm) Send(dst wire.Rank, tag int32, buf []byte) error {
 	}
 	if c.closed {
 		c.mu.Unlock()
+		releaseOnErr()
 		return ErrClosed
 	}
 	if c.dead[dst] {
 		c.mu.Unlock()
+		releaseOnErr()
 		return fmt.Errorf("%w: rank %d", ErrPeerDead, dst)
 	}
 	addr, ok := c.cfg.Addrs[dst]
@@ -274,6 +320,7 @@ func (c *Comm) Send(dst wire.Rank, tag int32, buf []byte) error {
 	c.sentCount[dst]++
 	seq := c.sentCount[dst]
 	if c.cfg.LogSends {
+		wire.CountCopy(wire.CopyCR, len(buf))
 		c.sentLog = append(c.sentLog, RecordedMsg{
 			Src: c.cfg.Rank, Dst: dst, Tag: tag,
 			Data:     append([]byte(nil), buf...),
@@ -282,13 +329,30 @@ func (c *Comm) Send(dst wire.Rank, tag int32, buf []byte) error {
 	}
 	c.mu.Unlock()
 	if !ok {
+		releaseOnErr()
 		return fmt.Errorf("%w: no address for rank %d", ErrBadRank, dst)
 	}
 
+	// Stage the caller's buffer into a pooled payload (the single
+	// API-boundary copy); an owned payload moves through as-is.
+	payload, pooled := buf, owned && len(buf) > 0
+	if !owned && len(buf) > 0 {
+		var missed bool
+		payload, missed = wire.Pool.GetAlloc(len(buf))
+		copy(payload, buf)
+		pooled = true
+		wire.CountCopy(wire.CopyBoundary, len(buf))
+		if c.cfg.Timer != nil {
+			c.cfg.Timer.AddCopy(vni.StageMPISend, len(buf))
+			if missed {
+				c.cfg.Timer.AddAlloc(vni.StageMPISend)
+			}
+		}
+	}
 	m := wire.Msg{
 		Type: wire.TData, App: c.cfg.App, Kind: uint16(interval),
 		Src: c.cfg.Rank, Dst: dst, Tag: tag, Seq: seq,
-		Payload: buf,
+		Payload: payload, Pooled: pooled,
 	}
 	var t1 time.Time
 	if c.cfg.Timer != nil {
@@ -300,7 +364,12 @@ func (c *Comm) Send(dst wire.Rank, tag int32, buf []byte) error {
 		c.cfg.Timer.Add(vni.StageVNISend, time.Since(t1))
 	}
 	if err != nil {
-		return c.sendRetry(dst, addr, &m, err)
+		err = c.sendRetry(dst, addr, &m, err)
+	}
+	if err != nil {
+		// Terminal failure: the payload never left, reclaim it.
+		m.Release()
+		return err
 	}
 	return nil
 }
@@ -345,7 +414,10 @@ func matches(env *envelope, src wire.Rank, tag int32) bool {
 }
 
 // Recv blocks until a message matching (src, tag) arrives and returns its
-// payload. src may be wire.AnyRank and tag wire.AnyTag.
+// payload. src may be wire.AnyRank and tag wire.AnyTag. The caller owns
+// the returned payload; when the status reports Pooled, handing it back
+// with wire.PutBuf (or forwarding it with SendOwned) closes the fast
+// path's zero-allocation recycling loop.
 func (c *Comm) Recv(src wire.Rank, tag int32) ([]byte, Status, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -357,7 +429,7 @@ func (c *Comm) Recv(src wire.Rank, tag int32) ([]byte, Status, error) {
 				if c.cfg.Timer != nil && !env.arrived.IsZero() {
 					c.cfg.Timer.Add(vni.StageMPIRecv, time.Since(env.arrived))
 				}
-				return env.data, Status{Source: env.src, Tag: env.tag, Interval: env.interval}, nil
+				return env.data, Status{Source: env.src, Tag: env.tag, Interval: env.interval, Pooled: env.pooled}, nil
 			}
 		}
 		if c.closed {
@@ -435,10 +507,16 @@ func (r *Request) Test() bool {
 func (c *Comm) Isend(dst wire.Rank, tag int32, buf []byte) *Request {
 	r := &Request{done: make(chan struct{})}
 	// Eager sends complete as soon as the transport takes the bytes, but
-	// a paused communicator may block, so complete asynchronously.
-	data := append([]byte(nil), buf...)
+	// a paused communicator may block, so complete asynchronously. The
+	// async-safety copy goes straight into a pooled buffer and moves from
+	// there (one copy total, not copy-then-stage).
+	data := wire.GetBuf(len(buf))
+	copy(data, buf)
+	if len(buf) > 0 {
+		wire.CountCopy(wire.CopyBoundary, len(buf))
+	}
 	go func() {
-		r.err = c.Send(dst, tag, data)
+		r.err = c.SendOwned(dst, tag, data)
 		close(r.done)
 	}()
 	return r
@@ -554,10 +632,16 @@ func (c *Comm) SendMarker(dst wire.Rank, ckptID uint64) error {
 	if !ok {
 		return fmt.Errorf("%w: no address for rank %d", ErrBadRank, dst)
 	}
-	w := wire.NewWriter(8)
-	w.U64(ckptID)
-	m := wire.Msg{Type: wire.TCheckpoint, App: c.cfg.App, Src: c.cfg.Rank, Dst: dst, Payload: w.Bytes()}
-	return c.cfg.NIC.Send(addr, &m)
+	payload := wire.GetBuf(8)
+	binary.BigEndian.PutUint64(payload, ckptID)
+	// Pooled: the receiver's marker handler releases it after decoding, so
+	// steady marker traffic recycles one 8-byte-class buffer.
+	m := wire.Msg{Type: wire.TCheckpoint, App: c.cfg.App, Src: c.cfg.Rank, Dst: dst, Payload: payload, Pooled: true}
+	err := c.cfg.NIC.Send(addr, &m)
+	if err != nil {
+		m.Release()
+	}
+	return err
 }
 
 // StartRecording begins capturing incoming data messages from every peer
@@ -679,6 +763,7 @@ func (c *Comm) Cut(ckptID uint64, recordFrom []wire.Rank) (pendingMsgs []Recorde
 	c.mu.Lock()
 	pending := make([]RecordedMsg, 0, len(c.unexpected))
 	for _, env := range c.unexpected {
+		wire.CountCopy(wire.CopyCR, len(env.data))
 		pending = append(pending, RecordedMsg{
 			Src: env.src, Tag: env.tag,
 			Data:     append([]byte(nil), env.data...),

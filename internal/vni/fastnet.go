@@ -152,17 +152,32 @@ type fastConn struct {
 }
 
 func (c *fastConn) Send(m *wire.Msg) error {
-	// One payload copy models the DMA into the NIC and guarantees the
-	// caller can reuse its buffer, mirroring MPI send semantics.
-	cp := m.Clone()
-	wire.CountMsg(m.Type)
+	// Closed connections pay nothing: no copy, no stats count.
 	select {
 	case <-c.closed:
 		return ErrClosed
 	default:
 	}
+	var out wire.Msg
+	if m.Pooled {
+		// Move semantics: ownership of the pooled payload transfers to
+		// the receiver on successful enqueue — the zero-copy hand-off
+		// that models BIP's user-level transfer.
+		out = *m
+	} else {
+		// One payload copy models the DMA into the NIC and guarantees
+		// the caller can reuse its buffer, mirroring MPI send semantics.
+		out = m.Clone()
+	}
 	select {
-	case c.out <- cp:
+	case c.out <- out:
+		if m.Pooled {
+			// The receiver owns the payload now; strip the sender's
+			// reference so a retry loop cannot resend a moved buffer.
+			m.Payload = nil
+			m.Pooled = false
+		}
+		wire.CountMsg(out.Type)
 		return nil
 	case <-c.closed:
 		return ErrClosed

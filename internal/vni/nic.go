@@ -44,10 +44,10 @@ type Stats struct {
 	RecvBytes [8]uint64
 }
 
-func (s *Stats) countSend(m *wire.Msg) {
+func (s *Stats) countSend(t wire.Type, payloadLen int) {
 	s.mu.Lock()
-	s.SentMsgs[m.Type]++
-	s.SentBytes[m.Type] += uint64(len(m.Payload))
+	s.SentMsgs[t]++
+	s.SentBytes[t] += uint64(payloadLen)
 	s.mu.Unlock()
 }
 
@@ -128,6 +128,7 @@ func (n *NIC) startPoller(c Conn) {
 			select {
 			case n.inq <- m:
 			case <-n.done:
+				m.Release() // dropped on shutdown: recycle the pooled payload
 				return
 			}
 		}
@@ -171,7 +172,10 @@ func (n *NIC) Connect(addr string) error {
 	return nil
 }
 
-// Send transmits m to the peer at addr, connecting on first use.
+// Send transmits m to the peer at addr, connecting on first use. Pooled
+// messages follow the ownership discipline of wire.Msg: on success the
+// payload has moved to the transport (or receiver) and m.Payload is nil;
+// on failure ownership stays with the caller.
 func (n *NIC) Send(addr string, m *wire.Msg) error {
 	n.mu.Lock()
 	c, ok := n.conns[addr]
@@ -191,10 +195,13 @@ func (n *NIC) Send(addr string, m *wire.Msg) error {
 			return fmt.Errorf("vni: connect to %q raced with close", addr)
 		}
 	}
+	// Captured before Send: a successful send of a pooled message moves or
+	// releases the payload, so its length is unreadable afterwards.
+	t, payloadLen := m.Type, len(m.Payload)
 	if err := c.Send(m); err != nil {
 		return err
 	}
-	n.stats.countSend(m)
+	n.stats.countSend(t, payloadLen)
 	return nil
 }
 

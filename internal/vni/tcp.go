@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"starfish/internal/wire"
 )
@@ -52,11 +53,25 @@ func (l *tcpListener) Accept() (Conn, error) {
 func (l *tcpListener) Close() error { return l.l.Close() }
 func (l *tcpListener) Addr() string { return l.l.Addr().String() }
 
+// tcpWritevThreshold is the payload size above which a frame skips the
+// bufio copy and goes to the socket as one vectored write (writev) of
+// header + payload. It must stay below the bufio size so smaller frames
+// are never split by bufio's direct-write fallback.
+const tcpWritevThreshold = 8 << 10
+
 type tcpConn struct {
-	c  net.Conn
-	r  *bufio.Reader
+	c net.Conn
+	r *bufio.Reader
+
 	wm sync.Mutex // serializes whole frames
 	w  *bufio.Writer
+	// hdr is the per-connection header scratch; frames are written as
+	// header + payload with no intermediate frame buffer.
+	hdr [wire.HeaderLen]byte
+	// sendWaiters counts senders queued behind the write lock. The holder
+	// flushes only when nobody is waiting, so bursts (collectives,
+	// fragmented large sends) coalesce into one syscall.
+	sendWaiters atomic.Int32
 }
 
 func newTCPConn(c net.Conn) *tcpConn {
@@ -71,20 +86,61 @@ func newTCPConn(c net.Conn) *tcpConn {
 	}
 }
 
+// Send frames m onto the socket. Pooled payloads are consumed: the buffer
+// is returned to the BufPool once serialized (only on success — a failed
+// send leaves ownership with the caller so retry loops can resend).
 func (c *tcpConn) Send(m *wire.Msg) error {
-	wire.CountMsg(m.Type)
+	c.sendWaiters.Add(1)
 	c.wm.Lock()
-	defer c.wm.Unlock()
-	if err := wire.WriteMsg(c.w, m); err != nil {
+	c.sendWaiters.Add(-1)
+	err := c.writeFrame(m)
+	// Opportunistic flush coalescing: if another sender is already
+	// waiting for the lock, leave our bytes buffered — the last sender
+	// in the burst observes no waiters and flushes everything at once.
+	if err == nil && c.sendWaiters.Load() == 0 {
+		err = c.w.Flush()
+	}
+	c.wm.Unlock()
+	if err != nil {
 		return err
 	}
-	return c.w.Flush()
+	wire.CountMsg(m.Type)
+	if m.Pooled {
+		m.Release()
+	}
+	return nil
+}
+
+func (c *tcpConn) writeFrame(m *wire.Msg) error {
+	if err := m.EncodeHeader(c.hdr[:]); err != nil {
+		return err
+	}
+	if len(m.Payload) >= tcpWritevThreshold {
+		// Large frame: drain whatever is buffered, then hand header and
+		// payload to the kernel as one vectored write — no copy of the
+		// payload anywhere in user space.
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		bufs := net.Buffers{c.hdr[:], m.Payload}
+		_, err := bufs.WriteTo(c.c)
+		return err
+	}
+	if _, err := c.w.Write(c.hdr[:]); err != nil {
+		return err
+	}
+	if len(m.Payload) == 0 {
+		return nil
+	}
+	_, err := c.w.Write(m.Payload)
+	return err
 }
 
 func (c *tcpConn) Recv() (wire.Msg, error) {
 	// Recv is called only from the connection's polling goroutine, so the
-	// buffered reader needs no locking.
-	return wire.ReadMsg(c.r)
+	// buffered reader needs no locking. Payloads land in pooled buffers;
+	// the final consumer releases them.
+	return wire.ReadMsgBuf(c.r)
 }
 
 func (c *tcpConn) Close() error { return c.c.Close() }

@@ -54,13 +54,17 @@ func (s Stage) String() string {
 	}
 }
 
-// StageTimer accumulates per-layer durations. A nil *StageTimer is valid
-// and records nothing, so the hot path pays only a nil check when profiling
-// is off.
+// StageTimer accumulates per-layer durations, and — for the fast-path copy
+// budget — per-layer payload copy and allocation counts. A nil *StageTimer
+// is valid and records nothing, so the hot path pays only a nil check when
+// profiling is off.
 type StageTimer struct {
-	mu    sync.Mutex
-	total [StageCount]time.Duration
-	count [StageCount]uint64
+	mu        sync.Mutex
+	total     [StageCount]time.Duration
+	count     [StageCount]uint64
+	copies    [StageCount]uint64
+	copyBytes [StageCount]uint64
+	allocs    [StageCount]uint64
 }
 
 // NewStageTimer returns an empty timer.
@@ -101,6 +105,49 @@ func (t *StageTimer) Count(stage Stage) uint64 {
 	return t.count[stage]
 }
 
+// AddCopy records one payload copy of n bytes attributed to stage.
+func (t *StageTimer) AddCopy(stage Stage, n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.copies[stage]++
+	t.copyBytes[stage] += uint64(n)
+	t.mu.Unlock()
+}
+
+// AddAlloc records one heap allocation attributed to stage (a buffer-pool
+// miss on the fast path counts here; a pool hit does not).
+func (t *StageTimer) AddAlloc(stage Stage) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.allocs[stage]++
+	t.mu.Unlock()
+}
+
+// Copies returns the number of payload copies and total bytes copied
+// recorded against stage.
+func (t *StageTimer) Copies(stage Stage) (copies, bytes uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.copies[stage], t.copyBytes[stage]
+}
+
+// Allocs returns the number of allocations recorded against stage.
+func (t *StageTimer) Allocs(stage Stage) uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.allocs[stage]
+}
+
 // Reset clears all accumulated data.
 func (t *StageTimer) Reset() {
 	if t == nil {
@@ -109,5 +156,8 @@ func (t *StageTimer) Reset() {
 	t.mu.Lock()
 	t.total = [StageCount]time.Duration{}
 	t.count = [StageCount]uint64{}
+	t.copies = [StageCount]uint64{}
+	t.copyBytes = [StageCount]uint64{}
+	t.allocs = [StageCount]uint64{}
 	t.mu.Unlock()
 }

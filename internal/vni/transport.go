@@ -28,11 +28,19 @@ var ErrNoRoute = errors.New("vni: no route to address")
 // Recv may be used concurrently with each other; concurrent Sends are
 // serialized internally.
 type Conn interface {
-	// Send transmits one message. The message is copied (or serialized)
-	// before Send returns, so the caller may reuse the payload buffer.
+	// Send transmits one message. For non-pooled messages the payload is
+	// copied (or serialized) before Send returns, so the caller may reuse
+	// its buffer. For pooled messages (m.Pooled, see wire.Msg) Send takes
+	// ownership on success — the payload moves to the receiver or back to
+	// the BufPool with no copy, and m.Payload is nil when Send returns.
+	// On error, ownership of a pooled payload stays with the caller (so
+	// retry loops can resend), and a closed connection does no work at
+	// all: no copy, no stats count.
 	Send(m *wire.Msg) error
 	// Recv blocks for the next message. It returns ErrClosed (or an
-	// underlying transport error) once the connection is down.
+	// underlying transport error) once the connection is down. Serialized
+	// transports deliver pool-owned payloads (wire.ReadMsgBuf); the final
+	// consumer of a message should call Release.
 	Recv() (wire.Msg, error)
 	// Close tears the connection down, unblocking pending Recvs on both
 	// ends.

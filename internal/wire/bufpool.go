@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"fmt"
+	"math/bits"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// BufPool is a size-classed free list of payload/frame buffers for the fast
+// data path. Buffers are recycled through per-class sync.Pools, so a warm
+// ping-pong or collective performs zero payload allocations: the buffer a
+// receiver releases is the buffer the next send checks out.
+//
+// Ownership discipline (see also Msg.Pooled):
+//
+//   - Get returns a buffer with exactly one owner: the caller.
+//   - Ownership moves with the buffer (sender -> transport -> receiver);
+//     the previous owner must not touch the buffer again after handing it
+//     off.
+//   - The final owner calls Put (or Msg.Release) exactly once, or simply
+//     drops the buffer — an unreleased buffer is garbage-collected like any
+//     other allocation, so forgetting to release is safe, merely a missed
+//     reuse.
+//   - Put accepts only buffers whose capacity is one of the pool's size
+//     classes; anything else is ignored, so foreign buffers cannot poison
+//     the free lists.
+//
+// Under `go test` a guard mode is enabled automatically (see SetPoolGuard):
+// Put panics on a buffer that is not currently checked out (double release,
+// or release of a foreign buffer), and released buffers are poisoned with
+// 0xDB so use-after-release surfaces as corrupted data — with -race, as a
+// data race against the poisoning write.
+type BufPool struct {
+	classes [poolClassCount]sync.Pool // each holds *[]byte with cap == poolClassSize(i)
+	// headers holds spare *[]byte boxes so the steady-state Get/Put cycle
+	// allocates nothing (storing a bare slice in a sync.Pool would box it
+	// on every Put).
+	headers sync.Pool
+
+	gets, puts, misses atomic.Uint64
+}
+
+// Size classes are powers of two from 256 B to MaxPayload (16 MiB).
+const (
+	poolMinShift   = 8
+	poolMaxShift   = 24 // 1<<24 == MaxPayload
+	poolClassCount = poolMaxShift - poolMinShift + 1
+)
+
+func poolClassSize(i int) int { return 1 << (poolMinShift + i) }
+
+// poolClassFor returns the index of the smallest class holding n bytes, or
+// -1 if n exceeds the largest class.
+func poolClassFor(n int) int {
+	if n <= 1<<poolMinShift {
+		return 0
+	}
+	if n > 1<<poolMaxShift {
+		return -1
+	}
+	return bits.Len(uint(n-1)) - poolMinShift
+}
+
+// Get returns a buffer of length n with one of the pool's class capacities.
+// Contents are unspecified (in guard mode, freshly recycled buffers carry
+// the poison pattern until overwritten). The caller owns the buffer and
+// must eventually Put it back — or drop it — exactly once. n == 0 returns
+// nil; n beyond the largest class falls back to a plain allocation that Put
+// will ignore.
+func (p *BufPool) Get(n int) []byte {
+	b, _ := p.GetAlloc(n)
+	return b
+}
+
+// GetAlloc is Get, additionally reporting whether the pool missed and had
+// to allocate — the hook for per-stage allocation counters.
+func (p *BufPool) GetAlloc(n int) (b []byte, allocated bool) {
+	if n <= 0 {
+		return nil, false
+	}
+	ci := poolClassFor(n)
+	if ci < 0 {
+		return make([]byte, n), true
+	}
+	p.gets.Add(1)
+	if hp, _ := p.classes[ci].Get().(*[]byte); hp != nil {
+		b := (*hp)[:n]
+		*hp = nil
+		p.headers.Put(hp)
+		guardCheckout(b)
+		return b, false
+	}
+	p.misses.Add(1)
+	b = make([]byte, n, poolClassSize(ci))
+	guardCheckout(b)
+	return b, true
+}
+
+// Put returns a buffer obtained from Get to its free list. Buffers whose
+// capacity is not a pool class (including Get's oversized fallback) are
+// ignored. After Put the caller no longer owns the buffer and must not
+// read, write, or Put it again.
+func (p *BufPool) Put(b []byte) {
+	c := cap(b)
+	ci := poolClassFor(c)
+	if c == 0 || ci < 0 || poolClassSize(ci) != c {
+		return
+	}
+	guardCheckin(b)
+	p.puts.Add(1)
+	hp, _ := p.headers.Get().(*[]byte)
+	if hp == nil {
+		hp = new([]byte)
+	}
+	*hp = b[:0:c]
+	p.classes[ci].Put(hp)
+}
+
+// Stats returns the pool's cumulative checkout, release, and miss counts.
+// gets-puts is the number of buffers currently owned by callers (or
+// dropped to the GC); misses counts Gets that had to allocate.
+func (p *BufPool) Stats() (gets, puts, misses uint64) {
+	return p.gets.Load(), p.puts.Load(), p.misses.Load()
+}
+
+// Pool is the process-global buffer pool used by the fast data path
+// (transport framing, MPI payload staging).
+var Pool BufPool
+
+// GetBuf returns a length-n buffer from the global Pool.
+func GetBuf(n int) []byte { return Pool.Get(n) }
+
+// PutBuf releases a buffer obtained from GetBuf back to the global Pool.
+func PutBuf(b []byte) { Pool.Put(b) }
+
+// ---- guard mode ----
+
+var poolGuard struct {
+	on atomic.Bool
+	mu sync.Mutex
+	// live is keyed by the buffer's base address as a uintptr, NOT a
+	// pointer: a buffer that is checked out and then dropped (a legal way
+	// to give one up) must stay collectable, so the registry may not
+	// retain it. The cost is a stale entry per dropped buffer — at worst a
+	// missed diagnostic if a later allocation reuses the address, never a
+	// false panic on a correct program.
+	live map[uintptr]struct{}
+}
+
+func init() {
+	// Test binaries are named <pkg>.test; enable ownership checking and
+	// poisoning for every `go test` run without any per-test setup.
+	if strings.HasSuffix(os.Args[0], ".test") {
+		poolGuard.on.Store(true)
+	}
+	poolGuard.live = make(map[uintptr]struct{})
+}
+
+// SetPoolGuard switches the pool's guard/poison mode and returns the
+// previous setting. Guard mode is on by default under `go test`. Toggling
+// it while buffers are checked out makes the bookkeeping inconsistent, so
+// do it only around quiescent points.
+func SetPoolGuard(on bool) bool {
+	prev := poolGuard.on.Load()
+	poolGuard.on.Store(on)
+	if !prev && on {
+		poolGuard.mu.Lock()
+		poolGuard.live = make(map[uintptr]struct{})
+		poolGuard.mu.Unlock()
+	}
+	return prev
+}
+
+// PoolGuardEnabled reports whether guard mode is active.
+func PoolGuardEnabled() bool { return poolGuard.on.Load() }
+
+func guardKey(b []byte) uintptr { return uintptr(unsafe.Pointer(&b[:1][0])) }
+
+func guardCheckout(b []byte) {
+	if !poolGuard.on.Load() {
+		return
+	}
+	poolGuard.mu.Lock()
+	poolGuard.live[guardKey(b)] = struct{}{}
+	poolGuard.mu.Unlock()
+}
+
+func guardCheckin(b []byte) {
+	if !poolGuard.on.Load() {
+		return
+	}
+	k := guardKey(b)
+	poolGuard.mu.Lock()
+	_, ok := poolGuard.live[k]
+	if ok {
+		delete(poolGuard.live, k)
+	}
+	poolGuard.mu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("wire: Put of a %d-byte buffer that is not checked out (double release, or release of a buffer not from the pool)", cap(b)))
+	}
+	// Poison so a stale reference reads garbage instead of silently
+	// observing the next owner's data (and races with the next owner
+	// under -race).
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = 0xDB
+	}
+}

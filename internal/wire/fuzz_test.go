@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecode exercises the frame decoder with hostile input: truncated
+// headers, oversized length fields, invalid type bytes, and random bytes. A
+// transport peer controls every byte of a frame, so Decode must never panic
+// and must only succeed on frames Encode could have produced.
+func FuzzDecode(f *testing.F) {
+	// A valid frame as the mutation starting point.
+	valid := Msg{Type: TData, App: 7, Kind: 3, Src: 1, Dst: 2, Tag: 99, Seq: 42, Payload: []byte("payload")}
+	enc := func() []byte {
+		b, err := valid.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	f.Add(enc())
+
+	// Truncated headers, byte by byte around the boundary.
+	f.Add([]byte{})
+	f.Add([]byte{byte(TData)})
+	f.Add(enc()[:headerLen-1])
+	f.Add(enc()[:headerLen]) // header intact, payload missing
+
+	// Invalid type byte.
+	bad := enc()
+	bad[0] = 0xFF
+	f.Add(bad)
+	bad2 := enc()
+	bad2[0] = byte(typeCount)
+	f.Add(bad2)
+
+	// Oversized length field (claims more than MaxPayload).
+	huge := enc()
+	binary.BigEndian.PutUint32(huge[headerLen-4:], MaxPayload+1)
+	f.Add(huge)
+	// Length field larger than the buffer actually holds.
+	lying := enc()
+	binary.BigEndian.PutUint32(lying[headerLen-4:], 1<<20)
+	f.Add(lying)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n < headerLen || n > len(data) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(data))
+		}
+		if len(m.Payload) > MaxPayload {
+			t.Fatalf("Decode accepted payload of %d bytes", len(m.Payload))
+		}
+		// Round-trip: re-encoding a decoded frame must reproduce the
+		// consumed bytes exactly.
+		got, err := m.Encode()
+		if err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+		if !bytes.Equal(got, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", got, data[:n])
+		}
+	})
+}

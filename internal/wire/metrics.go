@@ -33,3 +33,82 @@ func ResetMsgCounts() {
 		msgCounts[t].Store(0)
 	}
 }
+
+// CopySite classifies where on the data path a payload copy happened. The
+// counters back the fast-path copy budget (DESIGN.md): the paper's
+// performance claim is that data messages are never copied between software
+// layers, so every remaining copy must be attributable to a deliberate
+// site.
+type CopySite uint8
+
+const (
+	// CopyClone is Msg.Clone — the transport-level defensive copy taken
+	// for non-pooled sends (modelling the NIC DMA on fastnet).
+	CopyClone CopySite = iota
+	// CopyBoundary is the MPI API boundary: mpi.Send must give the caller
+	// its buffer back, so the payload is staged once into a pooled buffer.
+	CopyBoundary
+	// CopyCR covers checkpoint/restart bookkeeping copies: sender-side
+	// message logs, channel recording, and pending-queue capture. These
+	// are off the hot path (they only run while a checkpoint is active or
+	// logging is enabled).
+	CopyCR
+
+	copySiteCount
+)
+
+// String names the copy site.
+func (s CopySite) String() string {
+	switch s {
+	case CopyClone:
+		return "clone"
+	case CopyBoundary:
+		return "api-boundary"
+	case CopyCR:
+		return "checkpoint-restart"
+	default:
+		return "unknown-copy-site"
+	}
+}
+
+var (
+	copyCounts [copySiteCount]atomic.Uint64
+	copyBytes  [copySiteCount]atomic.Uint64
+)
+
+// CountCopy records one payload copy of n bytes at site s.
+func CountCopy(s CopySite, n int) {
+	if s < copySiteCount {
+		copyCounts[s].Add(1)
+		copyBytes[s].Add(uint64(n))
+	}
+}
+
+// CopyStats returns per-site (copies, bytes) snapshots, indexed by
+// CopySite.
+func CopyStats() (counts, bytes [8]uint64) {
+	for s := CopySite(0); s < copySiteCount; s++ {
+		counts[s] = copyCounts[s].Load()
+		bytes[s] = copyBytes[s].Load()
+	}
+	return counts, bytes
+}
+
+// CopiedBytes returns the total payload bytes copied across all sites —
+// the number the fast-path benchmarks divide by operations to report
+// copied bytes per round trip.
+func CopiedBytes() uint64 {
+	var total uint64
+	for s := CopySite(0); s < copySiteCount; s++ {
+		total += copyBytes[s].Load()
+	}
+	return total
+}
+
+// ResetCopyStats zeroes the copy counters.
+func ResetCopyStats() {
+	for s := range copyCounts {
+		copyCounts[s].Store(0)
+		copyBytes[s].Store(0)
+	}
+}

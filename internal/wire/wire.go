@@ -159,6 +159,18 @@ const AnyTag int32 = -1
 // for system messages they identify nodes (cast from NodeID). Seq carries
 // transport- or protocol-level sequence numbers; Kind is a protocol-specific
 // sub-type (e.g. which C/R protocol message this is).
+//
+// # Payload ownership
+//
+// Pooled marks Payload as checked out of the global BufPool, with exactly
+// one owner at any time. Ownership moves with the message along the fast
+// path: a transport Send takes ownership of a pooled payload (the caller
+// must not reuse the buffer afterwards — this is what makes the path
+// zero-copy), and whoever finally consumes a pooled message calls Release
+// exactly once. Dropping a pooled message without Release is safe (the
+// buffer is garbage-collected, the pool just misses a reuse). Messages with
+// Pooled == false keep the historical semantics: Send copies or serializes
+// the payload before returning and the caller may reuse its buffer.
 type Msg struct {
 	Type    Type
 	Kind    uint16 // protocol-specific sub-type
@@ -168,6 +180,23 @@ type Msg struct {
 	Tag     int32
 	Seq     uint64
 	Payload []byte
+	// Pooled reports that Payload is owned via the BufPool ownership
+	// discipline above. It is transport metadata, not part of the wire
+	// encoding.
+	Pooled bool
+}
+
+// Release returns a pool-owned payload to the BufPool and clears the
+// message's payload fields. It is a no-op for non-pooled or nil payloads,
+// and safe to call on an already-released Msg value (but never on two Msg
+// values sharing one pooled payload — that is a double release, caught by
+// the guard mode under `go test`).
+func (m *Msg) Release() {
+	if m.Pooled && m.Payload != nil {
+		PutBuf(m.Payload)
+	}
+	m.Payload = nil
+	m.Pooled = false
 }
 
 const headerLen = 1 + 2 + 4 + 4 + 4 + 4 + 8 + 4 // fields above, payload length last
@@ -206,6 +235,58 @@ func (m *Msg) AppendEncode(buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
+// HeaderLen is the fixed size of a frame header.
+const HeaderLen = headerLen
+
+// EncodeHeader writes m's fixed-size frame header (including the payload
+// length) into hdr, which must be at least HeaderLen bytes. It lets
+// transports send header and payload as two vectored writes with no
+// intermediate frame allocation.
+func (m *Msg) EncodeHeader(hdr []byte) error {
+	if len(hdr) < headerLen {
+		return ErrShortBuffer
+	}
+	if len(m.Payload) > MaxPayload {
+		return ErrPayloadTooLarge
+	}
+	hdr[0] = byte(m.Type)
+	binary.BigEndian.PutUint16(hdr[1:], m.Kind)
+	binary.BigEndian.PutUint32(hdr[3:], uint32(m.App))
+	binary.BigEndian.PutUint32(hdr[7:], uint32(m.Src))
+	binary.BigEndian.PutUint32(hdr[11:], uint32(m.Dst))
+	binary.BigEndian.PutUint32(hdr[15:], uint32(m.Tag))
+	binary.BigEndian.PutUint64(hdr[19:], m.Seq)
+	binary.BigEndian.PutUint32(hdr[27:], uint32(len(m.Payload)))
+	return nil
+}
+
+// DecodeHeader parses a fixed-size frame header, returning the message
+// metadata (Payload nil) and the frame's payload length. It validates the
+// type byte and the length bound but does not touch payload bytes, so
+// stream readers can decode straight from the two reads of a frame without
+// restitching header and payload into one buffer.
+func DecodeHeader(hdr []byte) (Msg, int, error) {
+	if len(hdr) < headerLen {
+		return Msg{}, 0, ErrBadFrame
+	}
+	var m Msg
+	m.Type = Type(hdr[0])
+	if !m.Type.Valid() {
+		return Msg{}, 0, fmt.Errorf("%w: type %d", ErrBadFrame, hdr[0])
+	}
+	m.Kind = binary.BigEndian.Uint16(hdr[1:])
+	m.App = AppID(binary.BigEndian.Uint32(hdr[3:]))
+	m.Src = Rank(binary.BigEndian.Uint32(hdr[7:]))
+	m.Dst = Rank(binary.BigEndian.Uint32(hdr[11:]))
+	m.Tag = int32(binary.BigEndian.Uint32(hdr[15:]))
+	m.Seq = binary.BigEndian.Uint64(hdr[19:])
+	n := binary.BigEndian.Uint32(hdr[27:])
+	if n > MaxPayload {
+		return Msg{}, 0, fmt.Errorf("%w: payload length %d", ErrBadFrame, n)
+	}
+	return m, int(n), nil
+}
+
 // Encode returns the wire encoding of m.
 func (m *Msg) Encode() ([]byte, error) {
 	return m.AppendEncode(make([]byte, 0, m.EncodedLen()))
@@ -217,64 +298,93 @@ func Decode(buf []byte) (Msg, int, error) {
 	if len(buf) < headerLen {
 		return Msg{}, 0, ErrBadFrame
 	}
-	var m Msg
-	m.Type = Type(buf[0])
-	if !m.Type.Valid() {
-		return Msg{}, 0, fmt.Errorf("%w: type %d", ErrBadFrame, buf[0])
+	m, n, err := DecodeHeader(buf)
+	if err != nil {
+		return Msg{}, 0, err
 	}
-	m.Kind = binary.BigEndian.Uint16(buf[1:])
-	m.App = AppID(binary.BigEndian.Uint32(buf[3:]))
-	m.Src = Rank(binary.BigEndian.Uint32(buf[7:]))
-	m.Dst = Rank(binary.BigEndian.Uint32(buf[11:]))
-	m.Tag = int32(binary.BigEndian.Uint32(buf[15:]))
-	m.Seq = binary.BigEndian.Uint64(buf[19:])
-	n := binary.BigEndian.Uint32(buf[27:])
-	if n > MaxPayload {
-		return Msg{}, 0, fmt.Errorf("%w: payload length %d", ErrBadFrame, n)
-	}
-	if len(buf) < headerLen+int(n) {
+	if len(buf) < headerLen+n {
 		return Msg{}, 0, ErrBadFrame
 	}
 	if n > 0 {
-		m.Payload = buf[headerLen : headerLen+int(n) : headerLen+int(n)]
+		m.Payload = buf[headerLen : headerLen+n : headerLen+n]
 	}
-	return m, headerLen + int(n), nil
+	return m, headerLen + n, nil
 }
 
-// WriteMsg writes the framed encoding of m to w.
+// WriteMsg writes the framed encoding of m to w as two vectored writes
+// (header from a stack buffer, then the payload), with no intermediate
+// frame allocation. Callers that need frames coalesced into one stream
+// write should hand WriteMsg a buffered writer.
 func WriteMsg(w io.Writer, m *Msg) error {
-	buf, err := m.Encode()
-	if err != nil {
+	var hdr [headerLen]byte
+	if err := m.EncodeHeader(hdr[:]); err != nil {
 		return err
 	}
-	_, err = w.Write(buf)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(m.Payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(m.Payload)
 	return err
 }
 
 // ReadMsg reads one framed message from r. The returned message owns its
-// payload (no aliasing of internal buffers).
+// payload (no aliasing of internal buffers). The header is decoded straight
+// from a stack buffer and only the payload hits the heap.
 func ReadMsg(r io.Reader) (Msg, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Msg{}, err
 	}
-	n := binary.BigEndian.Uint32(hdr[27:])
-	if n > MaxPayload {
-		return Msg{}, fmt.Errorf("%w: payload length %d", ErrBadFrame, n)
-	}
-	buf := make([]byte, headerLen+int(n))
-	copy(buf, hdr[:])
-	if _, err := io.ReadFull(r, buf[headerLen:]); err != nil {
+	m, n, err := DecodeHeader(hdr[:])
+	if err != nil {
 		return Msg{}, err
 	}
-	m, _, err := Decode(buf)
-	return m, err
+	if n == 0 {
+		return m, nil
+	}
+	m.Payload = make([]byte, n)
+	if _, err := io.ReadFull(r, m.Payload); err != nil {
+		return Msg{}, err
+	}
+	return m, nil
 }
 
-// Clone returns a deep copy of m (its payload no longer aliases any buffer).
+// ReadMsgBuf is ReadMsg with the payload placed in a buffer checked out of
+// the global BufPool: the returned message is pool-owned (Pooled == true)
+// and its final consumer should call Release. This is the per-connection
+// receive path — together with BufPool recycling it makes a stream read
+// allocation-free in the steady state.
+func ReadMsgBuf(r io.Reader) (Msg, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Msg{}, err
+	}
+	m, n, err := DecodeHeader(hdr[:])
+	if err != nil {
+		return Msg{}, err
+	}
+	if n == 0 {
+		return m, nil
+	}
+	m.Payload = GetBuf(n)
+	m.Pooled = true
+	if _, err := io.ReadFull(r, m.Payload); err != nil {
+		m.Release()
+		return Msg{}, err
+	}
+	return m, nil
+}
+
+// Clone returns a deep copy of m: its payload no longer aliases any buffer
+// and is not pool-owned.
 func (m *Msg) Clone() Msg {
 	c := *m
+	c.Pooled = false
 	if m.Payload != nil {
+		CountCopy(CopyClone, len(m.Payload))
 		c.Payload = append([]byte(nil), m.Payload...)
 	}
 	return c

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# check.sh — the repo's CI gate plus fast-path allocation tracking.
+#
+#   vet + build + tests (-race on the fast-path packages) and the two
+#   allocation benchmarks, with the benchmark results written to
+#   BENCH_fastpath.json next to the recorded pre-optimization baseline.
+#
+# Usage: scripts/check.sh [--quick]
+#   --quick   skip -race and the benchmarks (vet/build/test only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+if [[ $QUICK -eq 1 ]]; then
+    echo "quick mode: skipping -race and benchmarks"
+    exit 0
+fi
+
+echo "== go test -race (fast-path packages) =="
+go test -race ./internal/wire/ ./internal/vni/ ./internal/mpi/
+
+echo "== allocation benchmarks =="
+BENCH_OUT=$(mktemp)
+trap 'rm -f "$BENCH_OUT"' EXIT
+go test -run XXX -bench 'BenchmarkWireCodec|BenchmarkFastPathRoundTrip' \
+    -benchmem -benchtime 2s . | tee "$BENCH_OUT"
+
+echo "== BENCH_fastpath.json =="
+# Fold the benchmark lines into the "current" section of the JSON record,
+# keeping the checked-in pre-optimization baseline intact.
+python3 - "$BENCH_OUT" <<'EOF'
+import json, re, sys
+
+lines = open(sys.argv[1]).read().splitlines()
+current = {}
+for ln in lines:
+    m = re.match(r'^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$', ln)
+    if not m:
+        continue
+    name, _, ns, rest = m.groups()
+    entry = {"ns_per_op": float(ns)}
+    for val, unit in re.findall(r'([\d.]+) (\S+)', rest):
+        key = unit.replace('/op', '_per_op').replace('-', '_').replace('/', '_')
+        entry[key] = float(val)
+    current[name] = entry
+
+path = "BENCH_fastpath.json"
+with open(path) as f:
+    doc = json.load(f)
+doc["current"] = current
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"updated {path}: {len(current)} benchmark entries")
+
+# Enforce the copy-budget acceptance bar against the recorded baseline.
+base = doc["baseline"]["BenchmarkFastPathRoundTrip/size=64KB"]
+cur = None
+for k, v in current.items():
+    if k.startswith("BenchmarkFastPathRoundTrip/size=64KB") and "naive" not in k:
+        cur = v
+if cur is None:
+    sys.exit("missing BenchmarkFastPathRoundTrip/size=64KB result")
+allocs_ok = cur["allocs_per_op"] <= 0.70 * base["allocs_per_op"]
+copies_ok = cur["copied_B_per_op"] * 2 <= base["copied_B_per_op"]
+print(f"allocs/op {cur['allocs_per_op']:.0f} vs baseline {base['allocs_per_op']:.0f} "
+      f"({'ok' if allocs_ok else 'FAIL: need >=30% reduction'})")
+print(f"copied-B/op {cur['copied_B_per_op']:.0f} vs baseline {base['copied_B_per_op']:.0f} "
+      f"({'ok' if copies_ok else 'FAIL: need >=2x reduction'})")
+if not (allocs_ok and copies_ok):
+    sys.exit(1)
+EOF
+
+echo "check: all green"
