@@ -2,8 +2,9 @@ GO ?= go
 
 .PHONY: check quick build test race bench
 
-# Full CI gate: vet, build, tests, -race on the fast-path packages, and the
-# allocation benchmarks (results folded into BENCH_fastpath.json).
+# Full CI gate: vet, build, tests, -race on the fast-path and
+# checkpoint-storage packages, and the allocation + recovery benchmarks
+# (results folded into BENCH_fastpath.json / BENCH_recovery.json).
 check:
 	scripts/check.sh
 
@@ -19,6 +20,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/wire/ ./internal/vni/ ./internal/mpi/
+	$(GO) test -race ./internal/ckpt/ ./internal/rstore/ ./internal/daemon/ ./internal/cluster/
 
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkWireCodec|BenchmarkFastPathRoundTrip' -benchmem -benchtime 2s .
+	$(GO) test -run XXX -bench 'BenchmarkRecovery/' -benchmem -benchtime 1s .

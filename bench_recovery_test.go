@@ -1,0 +1,134 @@
+// Recovery-path benchmarks. A restart's storage cost is dominated by
+// fetching the committed checkpoint image of every rank; these benchmarks
+// measure that fetch against each backend so the disk-vs-replicated-memory
+// gap is tracked across PRs. scripts/check.sh records the results in
+// BENCH_recovery.json and enforces the >=5x rstore-vs-disk bar at 8 MiB.
+package starfish_test
+
+import (
+	"fmt"
+	"testing"
+
+	"starfish/internal/ckpt"
+	"starfish/internal/rstore"
+	"starfish/internal/vni"
+	"starfish/internal/wire"
+)
+
+const recoveryImageSize = 8 << 20 // the paper-scale checkpoint image
+
+// seedBackend stores one committed checkpoint on be and returns its index.
+func seedBackend(b *testing.B, be ckpt.Backend, size int) uint64 {
+	b.Helper()
+	img := make([]byte, size)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	const n = 3
+	if err := be.Put(1, 0, n, img, &ckpt.Meta{Rank: 0, Index: n}); err != nil {
+		b.Fatal(err)
+	}
+	if err := be.CommitLine(1, ckpt.RecoveryLine{0: n}); err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+// restoreOnce is the storage half of one rank's restart: read the committed
+// line, then fetch that checkpoint image.
+func restoreOnce(b *testing.B, be ckpt.Backend, n uint64) {
+	line, err := be.CommittedLine(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, _, err := be.Get(1, 0, line[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(img) != recoveryImageSize || line[0] != n {
+		b.Fatalf("bad restore: %d bytes, index %d", len(img), line[0])
+	}
+}
+
+// newRstorePair builds a two-node replicated memory store (k=2) on a
+// fastnet, so node 1's images are replicated into node 2's RAM.
+func newRstorePair(b *testing.B) (*rstore.Store, *rstore.Store) {
+	b.Helper()
+	fn := vni.NewFastnet(0)
+	addr := func(id wire.NodeID) string { return fmt.Sprintf("bench-rs-n%d", id) }
+	var stores []*rstore.Store
+	for id := wire.NodeID(1); id <= 2; id++ {
+		s, err := rstore.New(rstore.Config{
+			Node: id, Transport: fn, Addr: addr(id), PeerAddr: addr, Replicas: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s.Close() })
+		stores = append(stores, s)
+	}
+	for _, s := range stores {
+		s.UpdateView([]wire.NodeID{1, 2})
+	}
+	return stores[0], stores[1]
+}
+
+// BenchmarkRecovery compares one rank's restart-time checkpoint fetch
+// across storage backends at the 8 MiB point:
+//
+//   - backend=disk: the shared-file-system store of the paper (os file
+//     read per fetch).
+//   - backend=rstore: a surviving node's local RAM shard (the common case
+//     after a crash — the replica is already in memory, returned
+//     copy-free).
+//   - backend=rstore-peer: worst case, the image must be pulled from a
+//     peer's RAM over the network (the local copy is evicted every
+//     iteration to force the remote fetch).
+func BenchmarkRecovery(b *testing.B) {
+	b.Run("backend=disk/size=8MB", func(b *testing.B) {
+		store, err := ckpt.NewStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := seedBackend(b, store, recoveryImageSize)
+		b.SetBytes(recoveryImageSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			restoreOnce(b, store, n)
+		}
+	})
+
+	b.Run("backend=rstore/size=8MB", func(b *testing.B) {
+		writer, survivor := newRstorePair(b)
+		n := seedBackend(b, writer, recoveryImageSize)
+		waitReplica(b, survivor, n)
+		b.SetBytes(recoveryImageSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			restoreOnce(b, survivor, n)
+		}
+	})
+
+	b.Run("backend=rstore-peer/size=8MB", func(b *testing.B) {
+		writer, survivor := newRstorePair(b)
+		n := seedBackend(b, writer, recoveryImageSize)
+		waitReplica(b, survivor, n)
+		b.SetBytes(recoveryImageSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			survivor.Evict(1, 0, n)
+			restoreOnce(b, survivor, n)
+		}
+	})
+}
+
+// waitReplica blocks until the replication push for checkpoint n landed.
+func waitReplica(b *testing.B, s *rstore.Store, n uint64) {
+	b.Helper()
+	for i := 0; i < 10000; i++ {
+		if s.Holds(1, 0, n) {
+			return
+		}
+	}
+	b.Fatal("replica never arrived")
+}

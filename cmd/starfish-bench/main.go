@@ -5,8 +5,12 @@
 // size-independent layer overheads — are the reproduction targets.
 //
 //	starfish-bench             # everything
-//	starfish-bench -fig 3      # one figure (3, 4, 5, 6)
+//	starfish-bench -fig 3      # one figure (3, 4, 4r, 5, 6)
 //	starfish-bench -table 2    # one table (1, 2)
+//
+// Figure "4r" is a reproduction extension, not a paper figure: the
+// recovery-time table of the replicated in-memory checkpoint store
+// (disk restore vs RAM-replica restore).
 package main
 
 import (
@@ -20,29 +24,33 @@ import (
 	"starfish/internal/ckpt"
 	"starfish/internal/core"
 	"starfish/internal/mpi"
+	"starfish/internal/rstore"
 	"starfish/internal/svm"
 	"starfish/internal/vni"
 	"starfish/internal/wire"
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "regenerate one figure (3..6); 0 = all")
+	fig := flag.String("fig", "", "regenerate one figure (3, 4, 4r, 5, 6); empty = all")
 	table := flag.Int("table", 0, "regenerate one table (1..2); 0 = all")
 	reps := flag.Int("reps", 100, "round-trip repetitions per point (figure 5/6)")
 	rounds := flag.Int("rounds", 3, "checkpoint rounds per point (figures 3/4)")
 	flag.Parse()
 
-	all := *fig == 0 && *table == 0
-	if all || *fig == 3 {
+	all := *fig == "" && *table == 0
+	if all || *fig == "3" {
 		figure34(3, ckpt.Native, *rounds)
 	}
-	if all || *fig == 4 {
+	if all || *fig == "4" {
 		figure34(4, ckpt.Portable, *rounds)
 	}
-	if all || *fig == 5 {
+	if all || *fig == "4r" {
+		figure4r(*rounds)
+	}
+	if all || *fig == "5" {
 		figure5(*reps)
 	}
-	if all || *fig == 6 {
+	if all || *fig == "6" {
 		figure6(*reps)
 	}
 	if all || *table == 1 {
@@ -160,6 +168,95 @@ func measureCheckpoint(nodes, stateBytes int, kind ckpt.Kind, rounds int) (float
 		}
 	}
 	return time.Since(start).Seconds() / float64(rounds), nil
+}
+
+// ---- figure 4r (reproduction extension) ----
+
+// figure4r tables recovery time per rank against the three checkpoint
+// storage backends: the shared-disk store of the paper, a surviving local
+// RAM replica, and a peer's RAM replica fetched over the network.
+func figure4r(rounds int) {
+	header("Figure 4r: restart-time checkpoint fetch — disk vs replicated memory")
+	reps := 10 * rounds
+	if reps < 10 {
+		reps = 10
+	}
+
+	fn := vni.NewFastnet(0)
+	rsAddr := func(id wire.NodeID) string { return fmt.Sprintf("f4r-rs-n%d", id) }
+	stores := make([]*rstore.Store, 2)
+	for i := range stores {
+		s, err := rstore.New(rstore.Config{
+			Node: wire.NodeID(i + 1), Transport: fn,
+			Addr: rsAddr(wire.NodeID(i + 1)), PeerAddr: rsAddr, Replicas: 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+		stores[i] = s
+	}
+	for _, s := range stores {
+		s.UpdateView([]wire.NodeID{1, 2})
+	}
+	dir, err := os.MkdirTemp("", "starfish-f4r-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	disk, err := ckpt.NewStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	restore := func(be ckpt.Backend) time.Duration {
+		start := time.Now()
+		line, err := be.CommittedLine(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, _, err := be.Get(1, 0, line[0]); err != nil {
+			log.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	fmt.Printf("%-10s %14s %14s %14s %10s\n",
+		"ckpt size", "disk", "rstore(local)", "rstore(peer)", "speedup")
+	for _, size := range []int{256 << 10, 1 << 20, 4 << 20, 8 << 20} {
+		img := make([]byte, size)
+		n := uint64(1)
+		meta := &ckpt.Meta{Rank: 0, Index: n}
+		for _, be := range []ckpt.Backend{disk, stores[0]} {
+			if err := be.Put(1, 0, n, img, meta); err != nil {
+				log.Fatal(err)
+			}
+			if err := be.CommitLine(1, ckpt.RecoveryLine{0: n}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		var dDisk, dLocal, dPeer time.Duration
+		for i := 0; i < reps; i++ {
+			dDisk += restore(disk)
+			dLocal += restore(stores[1]) // survivor's own RAM replica
+			stores[1].Evict(1, 0, n)     // force the remote fetch
+			dPeer += restore(stores[1])
+		}
+		dDisk /= time.Duration(reps)
+		dLocal /= time.Duration(reps)
+		dPeer /= time.Duration(reps)
+		fmt.Printf("%-10s %14v %14v %14v %9.0fx\n", sizeLabel(size),
+			dDisk.Round(10*time.Nanosecond), dLocal.Round(10*time.Nanosecond),
+			dPeer.Round(10*time.Nanosecond), float64(dDisk)/float64(dLocal))
+		for _, be := range []ckpt.Backend{disk, stores[0]} {
+			if err := be.DropApp(1); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Println("\n(a failed rank restarts from a surviving node's RAM replica without")
+	fmt.Println(" touching the file system; the peer column is the worst case, where")
+	fmt.Println(" the replica lives on another node and crosses the network once)")
 }
 
 // ---- figure 5 ----

@@ -4,8 +4,14 @@
 //
 //	starfishctl -addr 127.0.0.1:7100 -admin starfish NODES
 //	starfishctl -addr 127.0.0.1:7100 -user alice SUBMIT 1 ring 3 sfs portable restart 0 <hexargs>
+//	starfishctl -addr 127.0.0.1:7100 -user alice SUBMIT 2 ring 3 sfs portable restart 0 - memory
 //	starfishctl -addr 127.0.0.1:7100 -user alice STATUS 1
+//	starfishctl -addr 127.0.0.1:7100 -admin starfish RSTORE   # memory-store health
 //	starfishctl -addr 127.0.0.1:7100 -admin starfish      # interactive session
+//
+// SUBMIT's optional trailing field selects the checkpoint storage backend
+// (disk, memory, or tiered); RSTORE reports the local replicated
+// memory-store shard: size, replica health, and push/fetch counters.
 package main
 
 import (

@@ -11,6 +11,13 @@
 // Submit work with starfishctl against any daemon's -mgmt address. The
 // checkpoint store directory must be shared between the nodes (in a real
 // deployment, a network file system).
+//
+// To enable the replicated in-memory checkpoint store (applications
+// submitted with store "memory" or "tiered"), give every daemon an
+// -rstore listen address plus the full node→address map:
+//
+//	starfishd ... -rstore 127.0.0.1:7201 \
+//	    -rstore-peers 1=127.0.0.1:7201,2=127.0.0.1:7202
 package main
 
 import (
@@ -20,11 +27,14 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"starfish/internal/ckpt"
 	"starfish/internal/daemon"
 	"starfish/internal/mgmt"
+	"starfish/internal/rstore"
 	"starfish/internal/svm"
 	"starfish/internal/vni"
 	"starfish/internal/wire"
@@ -40,6 +50,9 @@ func main() {
 		contact = flag.String("contact", "", "existing daemon's -gcs address (empty creates a cluster)")
 		mgmtAdr = flag.String("mgmt", "", "management listen address (empty disables)")
 		storeD  = flag.String("store", "", "shared checkpoint-store directory (required)")
+		rsAddr  = flag.String("rstore", "", "replicated memory-store listen address (empty disables)")
+		rsPeers = flag.String("rstore-peers", "", "node=addr,... map of every daemon's -rstore address")
+		rsRepl  = flag.Int("replicas", 2, "in-memory checkpoint replication factor")
 		archIdx = flag.Int("arch", 0, "simulated architecture index (0..5, Table 2)")
 		dataAdr = flag.String("data-host", "127.0.0.1", "host for application data-path listeners")
 		passwd  = flag.String("admin-password", "starfish", "management admin password")
@@ -61,13 +74,36 @@ func main() {
 		logf = log.Printf
 	}
 
+	tcp := vni.NewTCP()
+	var mem *rstore.Store
+	if *rsAddr != "" {
+		peers, err := parsePeers(*rsPeers)
+		if err != nil {
+			log.Fatalf("starfishd: -rstore-peers: %v", err)
+		}
+		peers[wire.NodeID(*node)] = *rsAddr
+		mem, err = rstore.New(rstore.Config{
+			Node:      wire.NodeID(*node),
+			Transport: tcp,
+			Addr:      *rsAddr,
+			PeerAddr:  func(id wire.NodeID) string { return peers[id] },
+			Replicas:  *rsRepl,
+			Logf:      logf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("starfishd: replicated memory store on %s (k=%d)", *rsAddr, *rsRepl)
+	}
+
 	host := *dataAdr
 	d, err := daemon.New(daemon.Config{
 		Node:      wire.NodeID(*node),
-		Transport: vni.NewTCP(),
+		Transport: tcp,
 		GCSAddr:   *gcsAddr,
 		Contact:   *contact,
 		Store:     store,
+		Memory:    mem,
 		Arch:      svm.Machines[*archIdx],
 		// Application processes bind ephemeral TCP ports; the addresses
 		// are exchanged through the lightweight group metadata.
@@ -93,4 +129,27 @@ func main() {
 	s := <-sig
 	fmt.Fprintf(os.Stderr, "starfishd: %v, leaving cluster\n", s)
 	d.Leave()
+	if mem != nil {
+		mem.Close()
+	}
+}
+
+// parsePeers parses "1=host:port,2=host:port" into a node→address map.
+func parsePeers(s string) (map[wire.NodeID]string, error) {
+	peers := make(map[wire.NodeID]string)
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad entry %q (want node=addr)", part)
+		}
+		n, err := strconv.ParseUint(id, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q: %v", id, err)
+		}
+		peers[wire.NodeID(n)] = addr
+	}
+	return peers, nil
 }

@@ -1,0 +1,108 @@
+package ckpt
+
+import (
+	"fmt"
+	"sort"
+
+	"starfish/internal/wire"
+)
+
+// Backend is the checkpoint-repository abstraction the C/R stack writes to
+// and restarts from. The original system of the paper assumed one shared
+// file system (the disk Store); making the repository pluggable lets an
+// application choose, at submission time and next to its C/R protocol, where
+// its checkpoint images live:
+//
+//   - StoreDisk: the on-disk Store — durable, shared, slow.
+//   - StoreMemory: the replicated in-memory store (internal/rstore) — each
+//     daemon holds a RAM shard and pushes k replicas to peers, so recovery
+//     never touches a file system and survives node loss.
+//   - StoreTiered: memory-first with asynchronous disk spill — RAM-speed
+//     recovery with disk durability as the backstop.
+//
+// Implementations must be safe for concurrent use: every local application
+// process of every application shares one backend instance per node.
+type Backend interface {
+	// Put stores checkpoint n of (app, rank): the encoded image and its
+	// interval metadata (nil meta stores an empty Meta{Rank, Index}).
+	Put(app wire.AppID, rank wire.Rank, n uint64, img []byte, meta *Meta) error
+	// Get loads checkpoint n of (app, rank). Implementations may return an
+	// image that references internal storage; callers must treat it as
+	// read-only.
+	Get(app wire.AppID, rank wire.Rank, n uint64) ([]byte, *Meta, error)
+	// List returns the checkpoint indices available for (app, rank),
+	// ascending.
+	List(app wire.AppID, rank wire.Rank) ([]uint64, error)
+	// Ranks returns the ranks that have at least one checkpoint for app.
+	Ranks(app wire.AppID) ([]wire.Rank, error)
+	// CommitLine atomically records a committed recovery line for app.
+	CommitLine(app wire.AppID, line RecoveryLine) error
+	// CommittedLine reads back the last committed recovery line for app, or
+	// ErrNoCheckpoint if none was ever committed.
+	CommittedLine(app wire.AppID) (RecoveryLine, error)
+	// GC removes checkpoints of (app, rank) older than keepFrom.
+	GC(app wire.AppID, rank wire.Rank, keepFrom uint64) error
+	// DropApp removes every stored checkpoint of app.
+	DropApp(app wire.AppID) error
+}
+
+// The disk store is the reference Backend implementation.
+var _ Backend = (*Store)(nil)
+
+// StoreKind selects a checkpoint storage backend for one application.
+type StoreKind uint8
+
+// The storage backends an application can select at submission time.
+const (
+	// StoreDisk is the on-disk repository (default; zero value decodes as
+	// disk for compatibility with pre-backend specs).
+	StoreDisk StoreKind = iota
+	// StoreMemory is the replicated in-memory repository.
+	StoreMemory
+	// StoreTiered is memory-first with asynchronous disk spill.
+	StoreTiered
+)
+
+func (k StoreKind) String() string {
+	switch k {
+	case StoreDisk:
+		return "disk"
+	case StoreMemory:
+		return "memory"
+	case StoreTiered:
+		return "tiered"
+	default:
+		return fmt.Sprintf("ckpt.StoreKind(%d)", uint8(k))
+	}
+}
+
+// EncodeLine serializes a recovery line; the format is shared by every
+// Backend so commit records are portable between storage tiers.
+func EncodeLine(line RecoveryLine) []byte {
+	ranks := make([]wire.Rank, 0, len(line))
+	for r := range line {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	w := wire.NewWriter(4 + 12*len(line))
+	w.U32(uint32(len(line)))
+	for _, r := range ranks {
+		w.U32(uint32(r)).U64(line[r])
+	}
+	return w.Bytes()
+}
+
+// DecodeLine parses a recovery line written by EncodeLine.
+func DecodeLine(b []byte) (RecoveryLine, error) {
+	r := wire.NewReader(b)
+	n := r.U32()
+	line := make(RecoveryLine, n)
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		rank := wire.Rank(r.U32())
+		line[rank] = r.U64()
+	}
+	if r.Err() != nil {
+		return nil, ErrBadImage
+	}
+	return line, nil
+}

@@ -1,0 +1,129 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"starfish/internal/wire"
+)
+
+// metaEqual compares two Metas semantically (map iteration order and
+// nil-vs-empty normalisation make byte comparison of encodings the wrong
+// test for decoded values).
+func metaEqual(a, b *Meta) bool {
+	if a.Rank != b.Rank || a.Index != b.Index || len(a.Deps) != len(b.Deps) {
+		return false
+	}
+	for i := range a.Deps {
+		if a.Deps[i] != b.Deps[i] {
+			return false
+		}
+	}
+	countsEqual := func(x, y map[wire.Rank]uint64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for r, n := range x {
+			if y[r] != n {
+				return false
+			}
+		}
+		return true
+	}
+	return countsEqual(a.SentCounts, b.SentCounts) &&
+		countsEqual(a.RecvCounts, b.RecvCounts) &&
+		bytes.Equal(a.SentLog, b.SentLog)
+}
+
+// FuzzDecodeMeta exercises the checkpoint-metadata decoder with hostile
+// input, mirroring wire.FuzzDecode: metadata is read back from a shared
+// store (or a peer's RAM replica), so a corrupt or truncated blob must
+// produce an error, never a panic or a huge allocation. Decoded metadata
+// must survive a re-encode round trip.
+func FuzzDecodeMeta(f *testing.F) {
+	valid := (&Meta{
+		Rank:  2,
+		Index: 5,
+		Deps: []Dep{
+			{From: IntervalID{Rank: 0, Index: 3}, To: IntervalID{Rank: 2, Index: 4}},
+		},
+		SentCounts: map[wire.Rank]uint64{0: 10, 1: 7},
+		RecvCounts: map[wire.Rank]uint64{1: 3},
+		SentLog:    []byte("log"),
+	}).Encode()
+	f.Add(valid)
+	f.Add((&Meta{Rank: 0, Index: 0}).Encode())
+
+	// Truncations around every section boundary.
+	f.Add([]byte{})
+	f.Add(valid[:3])
+	f.Add(valid[:12])           // rank+index intact, dep count missing
+	f.Add(valid[:len(valid)-1]) // sent log cut short
+	f.Add(valid[:len(valid)/2]) // mid-deps
+
+	// Oversized dep count: claims millions of deps a short buffer cannot
+	// hold; the decoder must fail, not allocate for the claim.
+	hugeDeps := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint32(hugeDeps[12:], 1<<30)
+	f.Add(hugeDeps)
+
+	// Oversized count-map and sent-log length fields.
+	hugeLog := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint32(hugeLog[len(hugeLog)-4-3:], 1<<31)
+	f.Add(hugeLog)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMeta(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode and decode back to itself.
+		m2, err := DecodeMeta(m.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded meta failed: %v", err)
+		}
+		if !metaEqual(m, m2) {
+			t.Fatalf("round trip drifted:\n  first  %+v\n  second %+v", m, m2)
+		}
+	})
+}
+
+// TestQuickMetaRoundTrip is the property-test companion of FuzzDecodeMeta:
+// any well-formed Meta survives Encode/DecodeMeta unchanged.
+func TestQuickMetaRoundTrip(t *testing.T) {
+	prop := func(rank uint16, index uint64, depWords []uint32,
+		sent map[uint16]uint64, recv map[uint16]uint64, log []byte) bool {
+		m := &Meta{Rank: wire.Rank(rank), Index: index, SentLog: log}
+		if len(log) == 0 {
+			m.SentLog = nil
+		}
+		for i := 0; i+3 < len(depWords); i += 4 {
+			m.Deps = append(m.Deps, Dep{
+				From: IntervalID{Rank: wire.Rank(depWords[i]), Index: uint64(depWords[i+1])},
+				To:   IntervalID{Rank: wire.Rank(depWords[i+2]), Index: uint64(depWords[i+3])},
+			})
+		}
+		for r, n := range sent {
+			if m.SentCounts == nil {
+				m.SentCounts = make(map[wire.Rank]uint64)
+			}
+			m.SentCounts[wire.Rank(r)] = n
+		}
+		for r, n := range recv {
+			if m.RecvCounts == nil {
+				m.RecvCounts = make(map[wire.Rank]uint64)
+			}
+			m.RecvCounts[wire.Rank(r)] = n
+		}
+		got, err := DecodeMeta(m.Encode())
+		if err != nil {
+			return false
+		}
+		return metaEqual(m, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

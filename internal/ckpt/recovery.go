@@ -172,7 +172,14 @@ func DecodeMeta(b []byte) (*Meta, error) {
 		if nc == 0 || r.Err() != nil {
 			return nil
 		}
-		counts := make(map[wire.Rank]uint64, nc)
+		// The count field is untrusted input (metadata may arrive from a
+		// peer's store): cap the pre-allocation at what the remaining
+		// bytes could actually encode, 12 bytes per entry.
+		hint := nc
+		if max := uint32(r.Remaining()/12) + 1; hint > max {
+			hint = max
+		}
+		counts := make(map[wire.Rank]uint64, hint)
 		for i := uint32(0); i < nc && r.Err() == nil; i++ {
 			rank := wire.Rank(r.U32())
 			counts[rank] = r.U64()
@@ -194,8 +201,9 @@ func DecodeMeta(b []byte) (*Meta, error) {
 // GatherLine scans the store for app's checkpoints and computes the most
 // recent consistent recovery line from the persisted metadata. This is the
 // restart path of uncoordinated checkpointing: no commit record exists, so
-// the line must be derived from the dependency graph.
-func GatherLine(s *Store, app wire.AppID) (RecoveryLine, error) {
+// the line must be derived from the dependency graph. It works over any
+// Backend — disk, replicated memory, or tiered.
+func GatherLine(s Backend, app wire.AppID) (RecoveryLine, error) {
 	ranks, err := s.Ranks(app)
 	if err != nil {
 		return nil, err

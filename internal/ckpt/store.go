@@ -97,7 +97,10 @@ func (s *Store) Put(app wire.AppID, rank wire.Rank, n uint64, img []byte, meta *
 	return atomicWrite(s.metaPath(app, rank, n), mb)
 }
 
-// Get loads checkpoint n of (app, rank).
+// Get loads checkpoint n of (app, rank). A checkpoint exists only once both
+// its image and its metadata are in place: Put renames the image first, so a
+// crash between the two renames leaves an orphan image, which Get reports as
+// ErrNoCheckpoint rather than a raw read error.
 func (s *Store) Get(app wire.AppID, rank wire.Rank, n uint64) ([]byte, *Meta, error) {
 	img, err := os.ReadFile(s.imgPath(app, rank, n))
 	if errors.Is(err, os.ErrNotExist) {
@@ -107,6 +110,10 @@ func (s *Store) Get(app wire.AppID, rank wire.Rank, n uint64) ([]byte, *Meta, er
 		return nil, nil, err
 	}
 	mb, err := os.ReadFile(s.metaPath(app, rank, n))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("%w: app %d rank %d #%d (image without metadata)",
+			ErrNoCheckpoint, app, rank, n)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -118,6 +125,8 @@ func (s *Store) Get(app wire.AppID, rank wire.Rank, n uint64) ([]byte, *Meta, er
 }
 
 // List returns the checkpoint indices available for (app, rank), ascending.
+// Only complete checkpoints count: an image whose metadata never landed (a
+// crash between Put's two renames) is invisible, matching Get.
 func (s *Store) List(app wire.AppID, rank wire.Rank) ([]uint64, error) {
 	entries, err := os.ReadDir(s.rankDir(app, rank))
 	if errors.Is(err, os.ErrNotExist) {
@@ -126,14 +135,29 @@ func (s *Store) List(app wire.AppID, rank wire.Rank) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []uint64
+	meta := make(map[uint64]bool)
+	var imgs []uint64
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".img") {
+		if !strings.HasPrefix(name, "ckpt-") {
 			continue
 		}
-		n, err := strconv.ParseUint(name[len("ckpt-"):len(name)-len(".img")], 10, 64)
-		if err == nil {
+		switch {
+		case strings.HasSuffix(name, ".img"):
+			n, err := strconv.ParseUint(name[len("ckpt-"):len(name)-len(".img")], 10, 64)
+			if err == nil {
+				imgs = append(imgs, n)
+			}
+		case strings.HasSuffix(name, ".meta"):
+			n, err := strconv.ParseUint(name[len("ckpt-"):len(name)-len(".meta")], 10, 64)
+			if err == nil {
+				meta[n] = true
+			}
+		}
+	}
+	var out []uint64
+	for _, n := range imgs {
+		if meta[n] {
 			out = append(out, n)
 		}
 	}
@@ -173,17 +197,7 @@ func (s *Store) CommitLine(app wire.AppID, line RecoveryLine) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	ranks := make([]wire.Rank, 0, len(line))
-	for r := range line {
-		ranks = append(ranks, r)
-	}
-	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
-	w := wire.NewWriter(8 * len(line))
-	w.U32(uint32(len(line)))
-	for _, r := range ranks {
-		w.U32(uint32(r)).U64(line[r])
-	}
-	return atomicWrite(filepath.Join(dir, "COMMIT"), w.Bytes())
+	return atomicWrite(filepath.Join(dir, "COMMIT"), EncodeLine(line))
 }
 
 // CommittedLine reads back the last committed recovery line for app, or
@@ -196,35 +210,38 @@ func (s *Store) CommittedLine(app wire.AppID) (RecoveryLine, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := wire.NewReader(b)
-	n := r.U32()
-	line := make(RecoveryLine, n)
-	for i := uint32(0); i < n; i++ {
-		rank := wire.Rank(r.U32())
-		line[rank] = r.U64()
-	}
-	if r.Err() != nil {
-		return nil, ErrBadImage
-	}
-	return line, nil
+	return DecodeLine(b)
 }
 
 // GC removes checkpoints of (app, rank) older than keepFrom. Committed
 // recovery lines make earlier checkpoints garbage (coordinated protocols);
-// uncoordinated protocols may only collect below the computed line.
+// uncoordinated protocols may only collect below the computed line. Orphan
+// images without metadata (a crash mid-Put) are collected too — they are
+// invisible to List but still occupy space.
 func (s *Store) GC(app wire.AppID, rank wire.Rank, keepFrom uint64) error {
-	ns, err := s.List(app, rank)
+	entries, err := os.ReadDir(s.rankDir(app, rank))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
 	if err != nil {
 		return err
 	}
-	for _, n := range ns {
-		if n >= keepFrom {
+	for _, e := range entries {
+		name := e.Name()
+		var numPart string
+		switch {
+		case strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".img"):
+			numPart = name[len("ckpt-") : len(name)-len(".img")]
+		case strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".meta"):
+			numPart = name[len("ckpt-") : len(name)-len(".meta")]
+		default:
+			continue // foreign file: not ours to delete
+		}
+		n, err := strconv.ParseUint(numPart, 10, 64)
+		if err != nil || n >= keepFrom {
 			continue
 		}
-		if err := os.Remove(s.imgPath(app, rank, n)); err != nil && !errors.Is(err, os.ErrNotExist) {
-			return err
-		}
-		if err := os.Remove(s.metaPath(app, rank, n)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		if err := os.Remove(filepath.Join(s.rankDir(app, rank), name)); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return err
 		}
 	}

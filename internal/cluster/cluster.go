@@ -16,6 +16,7 @@ import (
 	"starfish/internal/ckpt"
 	"starfish/internal/daemon"
 	"starfish/internal/proc"
+	"starfish/internal/rstore"
 	"starfish/internal/svm"
 	"starfish/internal/vni"
 	"starfish/internal/wire"
@@ -38,6 +39,9 @@ type Options struct {
 	// happens, but detection latency is the cheaper defence).
 	HeartbeatEvery time.Duration
 	FailAfter      time.Duration
+	// Replicas is the in-memory replication factor of each node's
+	// replicated checkpoint store (default 2: survive one node loss).
+	Replicas int
 	// Logf receives daemon diagnostics.
 	Logf func(string, ...any)
 }
@@ -50,6 +54,7 @@ type Cluster struct {
 
 	mu      sync.Mutex
 	daemons map[wire.NodeID]*daemon.Daemon
+	mems    map[wire.NodeID]*rstore.Store
 	nextID  wire.NodeID
 }
 
@@ -79,6 +84,7 @@ func New(opts Options) (*Cluster, error) {
 		fn:      vni.NewFastnet(0),
 		store:   store,
 		daemons: make(map[wire.NodeID]*daemon.Daemon),
+		mems:    make(map[wire.NodeID]*rstore.Store),
 	}
 	for i := 0; i < opts.Nodes; i++ {
 		if _, err := c.AddNode(); err != nil {
@@ -91,6 +97,9 @@ func New(opts Options) (*Cluster, error) {
 
 // gcsAddr names a node's group-communication address on the fastnet.
 func gcsAddr(id wire.NodeID) string { return fmt.Sprintf("gcs-node%d", id) }
+
+// rstoreAddr names a node's replicated-checkpoint-store address.
+func rstoreAddr(id wire.NodeID) string { return fmt.Sprintf("rstore-n%d", id) }
 
 // AddNode starts a new node (daemon) and joins it to the cluster,
 // returning its id. This is the dynamic-growth path of §3.1.2.
@@ -107,22 +116,36 @@ func (c *Cluster) AddNode() (wire.NodeID, error) {
 	arch := c.opts.Archs[int(id-1)%len(c.opts.Archs)]
 	c.mu.Unlock()
 
+	mem, err := rstore.New(rstore.Config{
+		Node:      id,
+		Transport: c.fn,
+		Addr:      rstoreAddr(id),
+		PeerAddr:  rstoreAddr,
+		Replicas:  c.opts.Replicas,
+		Logf:      c.opts.Logf,
+	})
+	if err != nil {
+		return 0, err
+	}
 	d, err := daemon.New(daemon.Config{
 		Node:           id,
 		Transport:      c.fn,
 		GCSAddr:        gcsAddr(id),
 		Contact:        contact,
 		Store:          c.store,
+		Memory:         mem,
 		Arch:           arch,
 		HeartbeatEvery: c.opts.HeartbeatEvery,
 		FailAfter:      c.opts.FailAfter,
 		Logf:           c.opts.Logf,
 	})
 	if err != nil {
+		mem.Close()
 		return 0, err
 	}
 	c.mu.Lock()
 	c.daemons[id] = d
+	c.mems[id] = mem
 	c.mu.Unlock()
 	return id, nil
 }
@@ -168,6 +191,17 @@ func (c *Cluster) AnyDaemon() *daemon.Daemon {
 // Store returns the shared checkpoint store.
 func (c *Cluster) Store() *ckpt.Store { return c.store }
 
+// MemStore returns a node's replicated in-memory checkpoint store.
+func (c *Cluster) MemStore(id wire.NodeID) (*rstore.Store, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.mems[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNodeUnknown, id)
+	}
+	return s, nil
+}
+
 // Transport returns the cluster's shared network.
 func (c *Cluster) Transport() *vni.Fastnet { return c.fn }
 
@@ -177,14 +211,22 @@ func (c *Cluster) Transport() *vni.Fastnet { return c.fn }
 func (c *Cluster) Crash(id wire.NodeID) error {
 	c.mu.Lock()
 	d, ok := c.daemons[id]
+	mem := c.mems[id]
 	delete(c.daemons, id)
+	delete(c.mems, id)
 	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNodeUnknown, id)
 	}
 	// Sever the daemon's group-communication link first so peers see the
-	// crash even while the local teardown is in progress.
+	// crash even while the local teardown is in progress. The node's RAM
+	// shard dies with it — that is the failure mode the replicated store
+	// exists to survive.
 	c.fn.Crash(gcsAddr(id))
+	c.fn.Crash(rstoreAddr(id))
+	if mem != nil {
+		mem.Close()
+	}
 	d.Close()
 	return nil
 }
@@ -193,12 +235,17 @@ func (c *Cluster) Crash(id wire.NodeID) error {
 func (c *Cluster) Leave(id wire.NodeID) error {
 	c.mu.Lock()
 	d, ok := c.daemons[id]
+	mem := c.mems[id]
 	delete(c.daemons, id)
+	delete(c.mems, id)
 	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNodeUnknown, id)
 	}
 	d.Leave()
+	if mem != nil {
+		mem.Close()
+	}
 	return nil
 }
 
@@ -209,10 +256,18 @@ func (c *Cluster) Shutdown() {
 	for _, d := range c.daemons {
 		ds = append(ds, d)
 	}
+	mems := make([]*rstore.Store, 0, len(c.mems))
+	for _, m := range c.mems {
+		mems = append(mems, m)
+	}
 	c.daemons = map[wire.NodeID]*daemon.Daemon{}
+	c.mems = map[wire.NodeID]*rstore.Store{}
 	c.mu.Unlock()
 	for _, d := range ds {
 		d.Close()
+	}
+	for _, m := range mems {
+		m.Close()
 	}
 }
 
@@ -265,12 +320,16 @@ func (c *Cluster) WaitStatus(app wire.AppID, want daemon.AppStatus, timeout time
 	}
 }
 
-// WaitCommittedLine polls the shared store for a committed recovery line.
+// WaitCommittedLine polls for a committed recovery line through the contact
+// daemon, which consults whichever backend the application checkpoints to
+// (disk, replicated memory, or tiered).
 func (c *Cluster) WaitCommittedLine(app wire.AppID, timeout time.Duration) (ckpt.RecoveryLine, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		if line, err := c.store.CommittedLine(app); err == nil {
-			return line, nil
+		if d := c.AnyDaemon(); d != nil {
+			if line, err := d.CommittedLine(app); err == nil {
+				return line, nil
+			}
 		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("cluster: no committed line for app %d after %v", app, timeout)

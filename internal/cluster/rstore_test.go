@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"starfish/internal/ckpt"
+	"starfish/internal/daemon"
+	"starfish/internal/wire"
+)
+
+// TestMemoryStoreRecoveryWithoutDisk is the acceptance test of the
+// replicated in-memory store: an application checkpointing to replicated
+// RAM (k=2) survives a node crash and restarts from a surviving peer's
+// memory with no disk involvement — the shared checkpoint directory is
+// deleted outright before the crash to prove it.
+func TestMemoryStoreRecoveryWithoutDisk(t *testing.T) {
+	c := newCluster(t, 3)
+	waitMainView(t, c, 3)
+
+	spec := ringSpec(40, 3, 300000)
+	spec.Store = ckpt.StoreMemory
+	spec.CkptEverySteps = 2000
+	if err := c.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	line, err := c.WaitCommittedLine(40, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := false
+	for _, n := range line {
+		if n > 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatalf("committed line %v has no real checkpoint", line)
+	}
+	// Nothing must have touched the disk store, and nothing may later: the
+	// directory ceases to exist.
+	if ns, _ := c.Store().List(40, 0); len(ns) != 0 {
+		t.Fatalf("disk store has checkpoints %v for a memory-store app", ns)
+	}
+	if err := os.RemoveAll(c.Store().Dir()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash a node hosting a rank; the restart restores every rank from
+	// surviving RAM replicas.
+	info, ok := c.AnyDaemon().AppInfo(40)
+	if !ok {
+		t.Fatal("app vanished")
+	}
+	var victim wire.NodeID
+	for _, node := range info.Placement {
+		if node > victim {
+			victim = node
+		}
+	}
+	if err := c.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	final, err := c.WaitApp(40, 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != daemon.StatusDone {
+		t.Fatalf("status = %v, failure = %q", final.Status, final.Failure)
+	}
+	if final.Gen < 2 {
+		t.Errorf("gen = %d, want a restart", final.Gen)
+	}
+	for r, n := range final.Placement {
+		if n == victim {
+			t.Errorf("rank %d still on crashed node %d", r, n)
+		}
+	}
+	// The surviving memory stores still hold the images the restart used.
+	total := 0
+	for _, id := range c.Nodes() {
+		mem, err := c.MemStore(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := mem.Stats()
+		total += st.Images
+	}
+	if total == 0 {
+		t.Error("no in-memory checkpoint images on any survivor")
+	}
+}
+
+// TestTieredStoreSpillsAndRecovers runs an application on the tiered
+// backend: checkpoints commit at RAM speed but spill to disk in the
+// background, so both tiers can serve the restart.
+func TestTieredStoreSpillsAndRecovers(t *testing.T) {
+	c := newCluster(t, 3)
+	waitMainView(t, c, 3)
+
+	spec := ringSpec(41, 3, 300000)
+	spec.Store = ckpt.StoreTiered
+	spec.CkptEverySteps = 2000
+	if err := c.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitCommittedLine(41, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The background spill lands the same images on disk.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ns, _ := c.Store().List(41, 0)
+		if len(ns) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tiered backend never spilled to disk")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.WaitApp(41, 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != daemon.StatusDone {
+		t.Fatalf("status = %v, failure = %q", info.Status, info.Failure)
+	}
+}

@@ -70,6 +70,14 @@ const (
 	PolicyRestart = proc.PolicyRestart
 	// PolicyNotify delivers view-change upcalls to survivors.
 	PolicyNotify = proc.PolicyNotify
+
+	// StoreDisk keeps checkpoints on the shared file system (default).
+	StoreDisk = ckpt.StoreDisk
+	// StoreMemory keeps checkpoints in replicated daemon RAM for
+	// disk-free recovery.
+	StoreMemory = ckpt.StoreMemory
+	// StoreTiered is memory-first with asynchronous disk spill.
+	StoreTiered = ckpt.StoreTiered
 )
 
 // RegisterApp makes an application constructor available for submission
@@ -95,6 +103,9 @@ type Job struct {
 	// CheckpointEverySteps enables automatic checkpoint rounds.
 	CheckpointEverySteps uint64
 	Owner                string
+	// Store selects the checkpoint storage backend (StoreDisk,
+	// StoreMemory, or StoreTiered); the zero value is StoreDisk.
+	Store ckpt.StoreKind
 }
 
 func (j Job) spec() proc.AppSpec {
@@ -102,6 +113,7 @@ func (j Job) spec() proc.AppSpec {
 		ID: j.ID, Name: j.Name, Args: j.Args, Ranks: j.Ranks,
 		Protocol: j.Protocol, Encoder: j.Encoder, Policy: j.Policy,
 		CkptEverySteps: j.CheckpointEverySteps, Owner: j.Owner,
+		Store: j.Store,
 	}
 	if s.Protocol == 0 {
 		s.Protocol = ckpt.StopAndSync
@@ -234,9 +246,14 @@ func (s *Starfish) Delete(app AppID) error { return s.c.AnyDaemon().Delete(app) 
 func (s *Starfish) Migrate(app AppID) error { return s.c.AnyDaemon().Migrate(app) }
 
 // CommittedLine returns the last committed recovery line of an
-// application.
+// application, read from whichever storage backend the application
+// checkpoints to.
 func (s *Starfish) CommittedLine(app AppID) (ckpt.RecoveryLine, error) {
-	return s.c.Store().CommittedLine(app)
+	d := s.c.AnyDaemon()
+	if d == nil {
+		return nil, errors.New("core: no live daemons")
+	}
+	return d.CommittedLine(app)
 }
 
 // ServeManagement starts the ASCII management service (§3.1.1) on addr

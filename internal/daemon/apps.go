@@ -135,14 +135,15 @@ func (d *Daemon) recoveryLine(app wire.AppID) (ckpt.RecoveryLine, error) {
 	for r := 0; r < st.spec.Ranks; r++ {
 		zero[wire.Rank(r)] = 0
 	}
+	be := d.backendFor(&st.spec)
 	if st.spec.Protocol.Coordinated() {
-		line, err := d.cfg.Store.CommittedLine(app)
+		line, err := be.CommittedLine(app)
 		if err != nil {
 			return zero, nil
 		}
 		return line, nil
 	}
-	line, err := ckpt.GatherLine(d.cfg.Store, app)
+	line, err := ckpt.GatherLine(be, app)
 	if err != nil {
 		return zero, nil
 	}
@@ -245,6 +246,10 @@ func (d *Daemon) applySubmit(c *Cmd) {
 
 func (d *Daemon) applyDelete(c *Cmd) {
 	d.mu.Lock()
+	var be ckpt.Backend
+	if st, ok := d.apps[c.App]; ok {
+		be = d.backendFor(&st.spec)
+	}
 	delete(d.apps, c.App)
 	eps := d.localEndpointsLocked(c.App)
 	delete(d.local, c.App)
@@ -255,7 +260,12 @@ func (d *Daemon) applyDelete(c *Cmd) {
 	}
 	if d.leader() {
 		d.castLW(&lwg.Op{Kind: lwg.OpDissolve, App: c.App})
-		d.cfg.Store.DropApp(c.App)
+		if be == nil {
+			be = d.cfg.Store
+		}
+		if be != nil {
+			be.DropApp(c.App)
+		}
 	}
 }
 
@@ -380,7 +390,7 @@ func (d *Daemon) spawnLocal(app wire.AppID) {
 				Spec:       spec,
 				Rank:       rank,
 				Arch:       d.cfg.Arch,
-				Store:      d.cfg.Store,
+				Store:      d.backendFor(&spec),
 				Link:       pside,
 				Transport:  d.cfg.Transport,
 				ListenAddr: d.cfg.DataAddr(app, gen, rank),
@@ -563,6 +573,12 @@ func (d *Daemon) localEndpointsLocked(app wire.AppID) []*endpoint {
 // lightweight groups, then apply each affected application's
 // fault-tolerance policy.
 func (d *Daemon) handleMainView(v gcs.View) {
+	// Re-point the replicated memory store at the new membership before any
+	// recovery decision reads from it: replica placement and peer fetches
+	// must not target departed nodes.
+	if d.cfg.Memory != nil {
+		d.cfg.Memory.UpdateView(v.Members)
+	}
 	d.mu.Lock()
 	d.view = v
 	affected := map[wire.AppID][]wire.NodeID{}

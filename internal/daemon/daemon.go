@@ -23,6 +23,7 @@ import (
 	"starfish/internal/gcs"
 	"starfish/internal/lwg"
 	"starfish/internal/proc"
+	"starfish/internal/rstore"
 	"starfish/internal/svm"
 	"starfish/internal/vni"
 	"starfish/internal/wire"
@@ -71,9 +72,15 @@ type Config struct {
 	// Contact is any existing daemon's GCSAddr; empty creates a new
 	// cluster.
 	Contact string
-	// Store is the checkpoint store (a shared file system in the
-	// simulated cluster).
+	// Store is the on-disk checkpoint store (a shared file system in the
+	// simulated cluster). It backs applications that select StoreDisk and
+	// is the spill target of the tiered backend.
 	Store *ckpt.Store
+	// Memory is this node's shard of the replicated in-memory checkpoint
+	// store; nil disables the memory and tiered backends (applications
+	// selecting them fall back to disk). The daemon feeds main-group view
+	// changes into it so replica placement tracks the live membership.
+	Memory *rstore.Store
 	// Arch is the node's simulated architecture (heterogeneous clusters).
 	Arch svm.Arch
 	// DataAddr names the data-path listen address for a local process;
@@ -133,6 +140,9 @@ type Daemon struct {
 	cfg Config
 	ep  *gcs.Endpoint
 	lwm *lwg.Manager
+	// tiered is the memory-first backend with disk spill, built once when
+	// both tiers are configured.
+	tiered *ckpt.Tiered
 
 	mu   sync.Mutex
 	view gcs.View
@@ -179,8 +189,49 @@ func New(cfg Config) (*Daemon, error) {
 		stop:     make(chan struct{}),
 		dead:     make(chan struct{}),
 	}
+	if cfg.Memory != nil && cfg.Store != nil {
+		d.tiered = ckpt.NewTiered(cfg.Memory, cfg.Store, cfg.Logf)
+	}
 	go d.run()
 	return d, nil
+}
+
+// backendFor resolves the checkpoint backend an application's spec selects,
+// falling back to disk when the requested tier is not configured on this
+// node.
+func (d *Daemon) backendFor(spec *proc.AppSpec) ckpt.Backend {
+	switch spec.Store {
+	case ckpt.StoreMemory:
+		if d.cfg.Memory != nil {
+			return d.cfg.Memory
+		}
+	case ckpt.StoreTiered:
+		if d.tiered != nil {
+			return d.tiered
+		}
+	}
+	return d.cfg.Store
+}
+
+// CommittedLine reads the last committed recovery line of an application
+// from whichever backend the application checkpoints to.
+func (d *Daemon) CommittedLine(app wire.AppID) (ckpt.RecoveryLine, error) {
+	d.mu.Lock()
+	st, ok := d.apps[app]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("daemon: unknown app %d", app)
+	}
+	return d.backendFor(&st.spec).CommittedLine(app)
+}
+
+// StoreStats reports this node's replicated-memory store counters; ok is
+// false when no memory store is configured.
+func (d *Daemon) StoreStats() (rstore.Stats, bool) {
+	if d.cfg.Memory == nil {
+		return rstore.Stats{}, false
+	}
+	return d.cfg.Memory.Stats(), true
 }
 
 // Node returns this daemon's id.
@@ -226,6 +277,9 @@ func (d *Daemon) run() {
 			ep.link.Close()
 		}
 		d.ep.Close()
+		if d.tiered != nil {
+			d.tiered.Close() // drain pending disk spills
+		}
 		close(d.dead)
 	}()
 	for {

@@ -14,8 +14,9 @@
 //	NODES                       ENABLE NODE <id> | DISABLE NODE <id>
 //	SET <key> <value>           GET <key>
 //	APPS                        STATUS <app>
-//	SUBMIT <app> <name> <ranks> <protocol> <encoder> <policy> <every> <hexargs>
+//	SUBMIT <app> <name> <ranks> <protocol> <encoder> <policy> <every> <hexargs> [store]
 //	SUSPEND <app>  RESUME <app>  DELETE <app>  CHECKPOINT <app>  MIGRATE <app>
+//	RSTORE                      (replicated-memory store health counters)
 //	QUIT
 package mgmt
 
@@ -33,6 +34,7 @@ import (
 	"starfish/internal/daemon"
 	"starfish/internal/gcs"
 	"starfish/internal/proc"
+	"starfish/internal/rstore"
 	"starfish/internal/wire"
 )
 
@@ -51,6 +53,9 @@ type Cluster interface {
 	AppInfo(app wire.AppID) (daemon.AppInfo, bool)
 	Apps() []wire.AppID
 	View() gcs.View
+	// StoreStats reports the node's replicated-memory checkpoint store
+	// counters; ok is false when no memory store is configured.
+	StoreStats() (rstore.Stats, bool)
 }
 
 var _ Cluster = (*daemon.Daemon)(nil)
@@ -264,7 +269,8 @@ func (s *Server) dispatch(admin bool, user, verb string, fields []string) ([]str
 		out := []string{
 			fmt.Sprintf("app %d %s", id, info.Spec.Name),
 			fmt.Sprintf("status %s gen %d done %d/%d", info.Status, info.Gen, info.DoneRanks, info.Spec.Ranks),
-			fmt.Sprintf("protocol %s encoder %s policy %s", info.Spec.Protocol, info.Spec.Encoder, info.Spec.Policy),
+			fmt.Sprintf("protocol %s encoder %s policy %s store %s",
+				info.Spec.Protocol, info.Spec.Encoder, info.Spec.Policy, info.Spec.Store),
 		}
 		ranks := make([]int, 0, len(info.Placement))
 		for r := range info.Placement {
@@ -279,9 +285,21 @@ func (s *Server) dispatch(admin bool, user, verb string, fields []string) ([]str
 		}
 		return out, nil
 
+	case "RSTORE":
+		st, ok := s.cluster.StoreStats()
+		if !ok {
+			return nil, fmt.Errorf("no replicated memory store on this node")
+		}
+		return []string{
+			fmt.Sprintf("node %d members %d replicas %d", st.Node, st.Members, st.Replicas),
+			fmt.Sprintf("images %d bytes %d index %d commits %d", st.Images, st.Bytes, st.IndexEntries, st.Commits),
+			fmt.Sprintf("under-replicated %d pushes %d push-failures %d", st.UnderReplicated, st.Pushes, st.PushFailures),
+			fmt.Sprintf("peer-fetches %d peer-fetch-misses %d", st.PeerFetches, st.PeerFetchMisses),
+		}, nil
+
 	case "SUBMIT":
-		if len(fields) != 9 {
-			return nil, fmt.Errorf("usage: SUBMIT <app> <name> <ranks> <protocol> <encoder> <policy> <every> <hexargs>")
+		if len(fields) != 9 && len(fields) != 10 {
+			return nil, fmt.Errorf("usage: SUBMIT <app> <name> <ranks> <protocol> <encoder> <policy> <every> <hexargs> [store]")
 		}
 		id, err := parseAppID(fields[1])
 		if err != nil {
@@ -314,10 +332,17 @@ func (s *Server) dispatch(admin bool, user, verb string, fields []string) ([]str
 				return nil, fmt.Errorf("bad hex args: %v", err)
 			}
 		}
+		store := ckpt.StoreDisk
+		if len(fields) == 10 {
+			store, err = ParseStoreKind(fields[9])
+			if err != nil {
+				return nil, err
+			}
+		}
 		return nil, s.cluster.Submit(proc.AppSpec{
 			ID: id, Name: fields[2], Args: args, Ranks: ranks,
 			Protocol: protocol, Encoder: encoder, Policy: policy,
-			CkptEverySteps: every, Owner: user,
+			CkptEverySteps: every, Owner: user, Store: store,
 		})
 
 	case "SUSPEND", "RESUME", "DELETE", "CHECKPOINT", "MIGRATE":
@@ -372,6 +397,20 @@ func ParseEncoder(s string) (ckpt.Kind, error) {
 		return ckpt.Portable, nil
 	default:
 		return 0, fmt.Errorf("unknown encoder %q", s)
+	}
+}
+
+// ParseStoreKind maps a storage-backend name to its ckpt constant.
+func ParseStoreKind(s string) (ckpt.StoreKind, error) {
+	switch strings.ToLower(s) {
+	case "disk":
+		return ckpt.StoreDisk, nil
+	case "memory", "mem", "rstore":
+		return ckpt.StoreMemory, nil
+	case "tiered":
+		return ckpt.StoreTiered, nil
+	default:
+		return 0, fmt.Errorf("unknown store kind %q", s)
 	}
 }
 
@@ -486,8 +525,9 @@ func (c *Client) Submit(spec proc.AppSpec) error {
 	if len(spec.Args) > 0 {
 		args = hex.EncodeToString(spec.Args)
 	}
-	_, err := c.Do(fmt.Sprintf("SUBMIT %d %s %d %s %s %s %d %s",
+	_, err := c.Do(fmt.Sprintf("SUBMIT %d %s %d %s %s %s %d %s %s",
 		spec.ID, spec.Name, spec.Ranks, spec.Protocol, spec.Encoder,
-		strings.ToLower(spec.Policy.String()), spec.CkptEverySteps, args))
+		strings.ToLower(spec.Policy.String()), spec.CkptEverySteps, args,
+		spec.Store))
 	return err
 }

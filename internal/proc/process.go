@@ -26,9 +26,10 @@ type Config struct {
 	Rank wire.Rank
 	// Arch is the simulated architecture of the hosting node.
 	Arch svm.Arch
-	// Store is the checkpoint store (shared file system in the simulated
-	// cluster).
-	Store *ckpt.Store
+	// Store is the checkpoint backend this application writes to and
+	// restores from (disk, replicated memory, or tiered — chosen per
+	// application at submission time).
+	Store ckpt.Backend
 	// Link connects to the local daemon's lightweight endpoint module.
 	Link DaemonLink
 	// Transport and ListenAddr create the process's data-path NIC.
@@ -46,7 +47,7 @@ type Process struct {
 	spec    AppSpec
 	rank    wire.Rank
 	arch    svm.Arch
-	store   *ckpt.Store
+	store   ckpt.Backend
 	link    DaemonLink
 	nic     *vni.NIC
 	comm    *mpi.Comm

@@ -63,6 +63,10 @@ type AppSpec struct {
 	// Owner is the submitting user (management protocol sessions may only
 	// manipulate their own applications).
 	Owner string
+	// Store selects the checkpoint storage backend (disk, replicated
+	// memory, or tiered). The zero value is disk, so specs encoded before
+	// the field existed keep their behavior.
+	Store ckpt.StoreKind
 }
 
 // Encode serializes the spec for replication between daemons.
@@ -71,6 +75,7 @@ func (s *AppSpec) Encode() []byte {
 	w.U32(uint32(s.ID)).String(s.Name).Bytes32(s.Args)
 	w.U32(uint32(s.Ranks)).U8(uint8(s.Protocol)).U8(uint8(s.Encoder))
 	w.U64(s.CkptEverySteps).U8(uint8(s.Policy)).String(s.Owner)
+	w.U8(uint8(s.Store))
 	return w.Bytes()
 }
 
@@ -85,6 +90,11 @@ func DecodeSpec(b []byte) (AppSpec, error) {
 	s.CkptEverySteps = r.U64()
 	s.Policy = Policy(r.U8())
 	s.Owner = r.String()
+	if r.Remaining() > 0 {
+		// Specs encoded before the Store field existed omit the byte; they
+		// decode as disk.
+		s.Store = ckpt.StoreKind(r.U8())
+	}
 	if r.Err() != nil {
 		return AppSpec{}, r.Err()
 	}

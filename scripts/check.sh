@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# check.sh — the repo's CI gate plus fast-path allocation tracking.
+# check.sh — the repo's CI gate plus fast-path and recovery tracking.
 #
-#   vet + build + tests (-race on the fast-path packages) and the two
-#   allocation benchmarks, with the benchmark results written to
-#   BENCH_fastpath.json next to the recorded pre-optimization baseline.
+#   vet + build + tests (-race on the fast-path and checkpoint-storage
+#   packages), the allocation benchmarks (folded into BENCH_fastpath.json),
+#   and the recovery benchmarks (folded into BENCH_recovery.json, which
+#   enforces the >=5x replicated-memory-vs-disk restore bar at 8 MiB).
 #
 # Usage: scripts/check.sh [--quick]
 #   --quick   skip -race and the benchmarks (vet/build/test only)
@@ -29,6 +30,9 @@ fi
 
 echo "== go test -race (fast-path packages) =="
 go test -race ./internal/wire/ ./internal/vni/ ./internal/mpi/
+
+echo "== go test -race (checkpoint-storage packages) =="
+go test -race ./internal/ckpt/ ./internal/rstore/ ./internal/daemon/ ./internal/cluster/
 
 echo "== allocation benchmarks =="
 BENCH_OUT=$(mktemp)
@@ -79,6 +83,52 @@ print(f"allocs/op {cur['allocs_per_op']:.0f} vs baseline {base['allocs_per_op']:
 print(f"copied-B/op {cur['copied_B_per_op']:.0f} vs baseline {base['copied_B_per_op']:.0f} "
       f"({'ok' if copies_ok else 'FAIL: need >=2x reduction'})")
 if not (allocs_ok and copies_ok):
+    sys.exit(1)
+EOF
+
+echo "== recovery benchmarks =="
+RBENCH_OUT=$(mktemp)
+trap 'rm -f "$BENCH_OUT" "$RBENCH_OUT"' EXIT
+go test -run XXX -bench 'BenchmarkRecovery/' -benchmem -benchtime 1s . | tee "$RBENCH_OUT"
+
+echo "== BENCH_recovery.json =="
+# Fold the recovery benchmark lines into BENCH_recovery.json and enforce
+# the replicated-memory acceptance bar: restoring an 8 MiB checkpoint from
+# a surviving RAM replica must be >=5x faster than the disk restore.
+python3 - "$RBENCH_OUT" <<'EOF'
+import json, re, sys
+
+lines = open(sys.argv[1]).read().splitlines()
+current = {}
+for ln in lines:
+    m = re.match(r'^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$', ln)
+    if not m:
+        continue
+    name, _, ns, rest = m.groups()
+    entry = {"ns_per_op": float(ns)}
+    for val, unit in re.findall(r'([\d.]+) (\S+)', rest):
+        key = unit.replace('/op', '_per_op').replace('-', '_').replace('/', '_')
+        entry[key] = float(val)
+    current[name] = entry
+
+path = "BENCH_recovery.json"
+with open(path) as f:
+    doc = json.load(f)
+doc["current"] = current
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"updated {path}: {len(current)} benchmark entries")
+
+disk = current.get("BenchmarkRecovery/backend=disk/size=8MB")
+ram = current.get("BenchmarkRecovery/backend=rstore/size=8MB")
+if disk is None or ram is None:
+    sys.exit("missing BenchmarkRecovery disk/rstore results")
+speedup = disk["ns_per_op"] / ram["ns_per_op"]
+ok = speedup >= 5.0
+print(f"rstore restore {ram['ns_per_op']:.0f} ns vs disk {disk['ns_per_op']:.0f} ns "
+      f"= {speedup:.0f}x ({'ok' if ok else 'FAIL: need >=5x'})")
+if not ok:
     sys.exit(1)
 EOF
 
