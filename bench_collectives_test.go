@@ -1,0 +1,189 @@
+// Collective-operation benchmarks. scripts/check.sh runs these with
+// -benchmem and folds the results into BENCH_collectives.json, enforcing
+// the size-adaptive collective engine's acceptance bar: >=3x on the 8 MiB
+// Allreduce at 8 ranks versus the seed reduce-to-0-plus-bcast algorithm
+// (algo=seed pins ForceNaive tuning; algo=opt is the shipping table).
+package starfish_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"starfish/internal/mpi"
+	"starfish/internal/vni"
+	"starfish/internal/wire"
+)
+
+// collWorld builds an n-rank world over a private fastnet.
+func collWorld(b *testing.B, n int, coll *mpi.CollTuning) ([]*mpi.Comm, func()) {
+	b.Helper()
+	fn := vni.NewFastnet(0)
+	nics := make([]*vni.NIC, n)
+	addrs := make(map[wire.Rank]string, n)
+	for i := 0; i < n; i++ {
+		nic, err := vni.NewNIC(fn, fmt.Sprintf("coll-%d", i), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nics[i] = nic
+		addrs[wire.Rank(i)] = nic.Addr()
+	}
+	comms := make([]*mpi.Comm, n)
+	for i := 0; i < n; i++ {
+		c, err := mpi.New(mpi.Config{App: 1, Rank: wire.Rank(i), Size: n, NIC: nics[i], Addrs: addrs, Coll: coll})
+		if err != nil {
+			b.Fatal(err)
+		}
+		comms[i] = c
+	}
+	return comms, func() {
+		for _, c := range comms {
+			c.Close()
+		}
+		for _, nic := range nics {
+			nic.Close()
+		}
+	}
+}
+
+// runAllRanks executes one collective on every rank concurrently.
+func runAllRanks(b *testing.B, comms []*mpi.Comm, fn func(c *mpi.Comm) error) {
+	var wg sync.WaitGroup
+	errs := make([]error, len(comms))
+	for r, c := range comms {
+		wg.Add(1)
+		go func(r int, c *mpi.Comm) {
+			defer wg.Done()
+			errs[r] = fn(c)
+		}(r, c)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			b.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func sizeName(size int) string {
+	switch {
+	case size >= 1<<20:
+		return fmt.Sprintf("%dMB", size>>20)
+	case size >= 1<<10:
+		return fmt.Sprintf("%dKB", size>>10)
+	default:
+		return fmt.Sprintf("%dB", size)
+	}
+}
+
+// BenchmarkCollectives sweeps Bcast, Allreduce, and Alltoall over 1 KiB..
+// 8 MiB at 4 and 8 ranks. algo=seed runs the pre-tuning algorithms
+// (ForceNaive); algo=opt the size-adaptive engine. segs/op reports how
+// many internal segments/chunks the tuned algorithms put on the wire.
+func BenchmarkCollectives(b *testing.B) {
+	prev := wire.SetPoolGuard(false)
+	defer wire.SetPoolGuard(prev)
+	sizes := []int{1 << 10, 64 << 10, 1 << 20, 8 << 20}
+	ranks := []int{4, 8}
+	algos := []struct {
+		name string
+		coll *mpi.CollTuning
+	}{
+		{"seed", &mpi.CollTuning{ForceNaive: true}},
+		{"opt", nil},
+	}
+
+	for _, n := range ranks {
+		for _, algo := range algos {
+			for _, size := range sizes {
+				name := fmt.Sprintf("op=bcast/algo=%s/ranks=%d/size=%s", algo.name, n, sizeName(size))
+				b.Run(name, func(b *testing.B) {
+					comms, cleanup := collWorld(b, n, algo.coll)
+					defer cleanup()
+					payload := make([]byte, size)
+					b.SetBytes(int64(size))
+					segs0, _ := wire.CollSegStats()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						runAllRanks(b, comms, func(c *mpi.Comm) error {
+							var buf []byte
+							if c.Rank() == 0 {
+								buf = payload
+							}
+							res, err := c.Bcast(0, buf)
+							if err == nil && c.Rank() != 0 {
+								// Steady state recycles pooled results; PutBuf
+								// ignores non-pooled ones. The root's result is
+								// the caller-owned payload — never returned.
+								wire.PutBuf(res)
+							}
+							return err
+						})
+					}
+					b.StopTimer()
+					segs1, _ := wire.CollSegStats()
+					b.ReportMetric(float64(segs1-segs0)/float64(b.N), "segs/op")
+				})
+			}
+		}
+	}
+
+	for _, n := range ranks {
+		for _, algo := range algos {
+			for _, size := range sizes {
+				name := fmt.Sprintf("op=allreduce/algo=%s/ranks=%d/size=%s", algo.name, n, sizeName(size))
+				b.Run(name, func(b *testing.B) {
+					comms, cleanup := collWorld(b, n, algo.coll)
+					defer cleanup()
+					contribs := make([][]byte, n)
+					for r := range contribs {
+						contribs[r] = make([]byte, size)
+					}
+					b.SetBytes(int64(size))
+					segs0, _ := wire.CollSegStats()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						runAllRanks(b, comms, func(c *mpi.Comm) error {
+							res, err := c.Allreduce(contribs[c.Rank()], mpi.SumInt64)
+							if err == nil {
+								wire.PutBuf(res) // recycle pooled results
+							}
+							return err
+						})
+					}
+					b.StopTimer()
+					segs1, _ := wire.CollSegStats()
+					b.ReportMetric(float64(segs1-segs0)/float64(b.N), "segs/op")
+				})
+			}
+		}
+	}
+
+	// Alltoall is unchanged by the tuning table (pairwise exchange with
+	// receives posted up front); one variant suffices.
+	for _, n := range ranks {
+		for _, size := range sizes {
+			name := fmt.Sprintf("op=alltoall/algo=opt/ranks=%d/size=%s", n, sizeName(size))
+			b.Run(name, func(b *testing.B) {
+				comms, cleanup := collWorld(b, n, nil)
+				defer cleanup()
+				parts := make([][][]byte, n)
+				for r := range parts {
+					parts[r] = make([][]byte, n)
+					for p := range parts[r] {
+						parts[r][p] = make([]byte, size/n)
+					}
+				}
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					runAllRanks(b, comms, func(c *mpi.Comm) error {
+						_, err := c.Alltoall(parts[c.Rank()])
+						return err
+					})
+				}
+			})
+		}
+	}
+}

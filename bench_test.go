@@ -348,8 +348,9 @@ func BenchmarkGCSCast(b *testing.B) {
 	}
 }
 
-// BenchmarkCollectives measures Barrier and Allreduce on 4 ranks.
-func BenchmarkCollectives(b *testing.B) {
+// BenchmarkCollectivesLatency measures small-message Barrier and Allreduce
+// on 4 ranks (the large-message sweep lives in bench_collectives_test.go).
+func BenchmarkCollectivesLatency(b *testing.B) {
 	world := func(b *testing.B) []*mpi.Comm {
 		fn := vni.NewFastnet(0)
 		addrs := map[wire.Rank]string{}

@@ -1,0 +1,127 @@
+package mpi
+
+// CollTuning is the per-communicator collective algorithm selection table.
+// Small messages take the latency-optimal trees; large messages switch to
+// segmented/pipelined or bandwidth-optimal algorithms, with the crossover
+// points below — the same shape real MPI stacks (MPICH, Open MPI) ship.
+// Zero-valued thresholds are replaced by the defaults; set a threshold
+// above any message size you use to pin the latency-optimal algorithm.
+type CollTuning struct {
+	// ForceNaive routes every collective through the seed (pre-tuning)
+	// algorithm: whole-message binomial bcast/reduce, linear scatter and
+	// gather, reduce-to-0-plus-bcast allreduce. Kept as the reference
+	// oracle for the equivalence tests and as the benchmark baseline.
+	ForceNaive bool
+
+	// ElemAlign is the element width, in bytes, that reduce-scatter-based
+	// algorithms must not split (default 8, the builtin op width).
+	// Chunk boundaries are multiples of this.
+	ElemAlign int
+
+	// BcastSegMin is the smallest message broadcast with the segmented
+	// (pipelined) binomial tree rather than as one message.
+	BcastSegMin int
+	// BcastSegSize is the pipeline segment size for segmented broadcast.
+	BcastSegSize int
+	// BcastVdGMin is the smallest message broadcast with the van de Geijn
+	// algorithm (binomial scatter + allgather), which is bandwidth-optimal
+	// but pays more latency than the pipelined tree.
+	BcastVdGMin int
+
+	// AllreduceRabMin is the smallest message reduced with the
+	// Rabenseifner algorithm (reduce-scatter + allgather). Below it, the
+	// latency-optimal tree reduce + broadcast runs instead.
+	AllreduceRabMin int
+}
+
+// DefaultCollTuning returns the stock tuning table.
+func DefaultCollTuning() CollTuning {
+	return CollTuning{
+		ElemAlign:       8,
+		BcastSegMin:     64 << 10,
+		BcastSegSize:    128 << 10,
+		BcastVdGMin:     1 << 20,
+		AllreduceRabMin: 64 << 10,
+	}
+}
+
+// normalize fills zero thresholds with the defaults.
+func (t *CollTuning) normalize() {
+	d := DefaultCollTuning()
+	if t.ElemAlign <= 0 {
+		t.ElemAlign = d.ElemAlign
+	}
+	if t.BcastSegMin <= 0 {
+		t.BcastSegMin = d.BcastSegMin
+	}
+	if t.BcastSegSize <= 0 {
+		t.BcastSegSize = d.BcastSegSize
+	}
+	if t.BcastVdGMin <= 0 {
+		t.BcastVdGMin = d.BcastVdGMin
+	}
+	if t.AllreduceRabMin <= 0 {
+		t.AllreduceRabMin = d.AllreduceRabMin
+	}
+}
+
+// CollTuning returns the communicator's current tuning table.
+func (c *Comm) CollTuning() CollTuning {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coll
+}
+
+// SetCollTuning replaces the tuning table (zero thresholds become the
+// defaults). Like the collectives themselves, tuning changes must be made
+// at the same point of the program on every rank.
+func (c *Comm) SetCollTuning(t CollTuning) {
+	t.normalize()
+	c.mu.Lock()
+	c.coll = t
+	c.mu.Unlock()
+}
+
+// evenByteCounts splits total bytes over n chunks whose boundaries fall on
+// align-byte multiples, front-loading the remainder: chunk sizes differ by
+// at most one align unit, and any odd tail (total%align) lands in the last
+// chunk. With align 1 this is the plain even split used by broadcast; the
+// reduction algorithms pass the element width so no element is torn.
+func evenByteCounts(total, n, align int) (counts, offs []int) {
+	counts = make([]int, n)
+	offs = make([]int, n+1)
+	units := total / align
+	tail := total % align
+	base, rem := units/n, units%n
+	for i := 0; i < n; i++ {
+		counts[i] = base * align
+		if i < rem {
+			counts[i] += align
+		}
+	}
+	counts[n-1] += tail
+	for i := 0; i < n; i++ {
+		offs[i+1] = offs[i] + counts[i]
+	}
+	return counts, offs
+}
+
+// evenGeom is evenByteCounts behind the communicator's one-entry geometry
+// cache: steady workloads repeat one message size, and the two slices per
+// call would otherwise be the chunked collectives' only steady-state
+// allocations. The returned slices are shared — callers must not modify.
+func (c *Comm) evenGeom(total, align int) (counts, offs []int) {
+	c.mu.Lock()
+	if c.collGeomCnts != nil && c.collGeomTotal == total && c.collGeomAlign == align {
+		counts, offs = c.collGeomCnts, c.collGeomOffs
+		c.mu.Unlock()
+		return counts, offs
+	}
+	c.mu.Unlock()
+	counts, offs = evenByteCounts(total, c.cfg.Size, align)
+	c.mu.Lock()
+	c.collGeomTotal, c.collGeomAlign = total, align
+	c.collGeomCnts, c.collGeomOffs = counts, offs
+	c.mu.Unlock()
+	return counts, offs
+}

@@ -12,6 +12,12 @@ import (
 // collectives of different kinds but, as in MPI, collectives of the same
 // kind must be issued in the same order everywhere.
 //
+// Each collective picks its algorithm from the communicator's CollTuning
+// table (see coll_tuning.go): latency-optimal trees for small messages,
+// segmented/pipelined or bandwidth-optimal algorithms for large ones. The
+// individual algorithms live in coll_bcast.go (broadcast), coll_reduce.go
+// (reductions), and coll_fanout.go (rooted scatter/gather trees).
+//
 // Internal tags live above 1<<30 so they can never collide with user tags.
 const (
 	tagBarrier int32 = 1<<30 + iota
@@ -24,7 +30,60 @@ const (
 	tagScan
 	tagGatherv
 	tagSendrecv
+	tagBcastSeg
+	tagBcastAG
+	tagReduceScatter
+	tagAllreduceRS
+	tagAllreduceAG
 )
+
+// ReduceFunc combines two equally-shaped buffers into one.
+type ReduceFunc func(a, b []byte) ([]byte, error)
+
+// Binomial-tree geometry, shared by bcast, reduce, scatter, and gather.
+// Trees are laid out in virtual-rank space with the root rotated to vrank
+// 0; vrank v's parent is v with its lowest set bit cleared, its children
+// are v|m for each power of two m below that bit, and the subtree rooted
+// at v spans the contiguous vrank range [v, v+lowbit(v)) — which is what
+// lets scatter and gather ship a child's whole subtree as one block.
+
+// collVrank maps this rank into the tree's virtual-rank space.
+func (c *Comm) collVrank(root wire.Rank) int {
+	return (int(c.cfg.Rank) - int(root) + c.cfg.Size) % c.cfg.Size
+}
+
+// collReal maps a virtual rank back to a real one.
+func collReal(v int, root wire.Rank, n int) wire.Rank {
+	return wire.Rank((v + int(root)) % n)
+}
+
+// binomialParent returns v's parent vrank (v must be non-zero).
+func binomialParent(v int) int { return v &^ (v & -v) }
+
+// binomialChildren returns v's child vranks in ascending-subtree order.
+func binomialChildren(v, n int) []int {
+	limit := v & -v
+	if v == 0 {
+		limit = n
+	}
+	var out []int
+	for m := 1; m < limit; m <<= 1 {
+		child := v | m
+		if child >= n {
+			break
+		}
+		out = append(out, child)
+	}
+	return out
+}
+
+// subtreeEnd returns one past the last vrank of v's subtree.
+func subtreeEnd(v, n int) int {
+	if v == 0 {
+		return n
+	}
+	return min(v+(v&-v), n)
+}
 
 // Barrier blocks until every rank has entered it (dissemination
 // algorithm: ceil(log2 n) rounds).
@@ -46,134 +105,6 @@ func (c *Comm) Barrier() error {
 		}
 	}
 	return nil
-}
-
-// Bcast broadcasts buf from root to all ranks along a binomial tree and
-// returns the received buffer (root returns buf unchanged).
-func (c *Comm) Bcast(root wire.Rank, buf []byte) ([]byte, error) {
-	n := c.cfg.Size
-	if n == 1 {
-		return buf, nil
-	}
-	// Rotate ranks so the root is virtual rank 0.
-	vrank := (int(c.cfg.Rank) - int(root) + n) % n
-
-	if vrank != 0 {
-		// Receive from the parent in the binomial tree.
-		data, _, err := c.Recv(wire.AnyRank, tagBcast)
-		if err != nil {
-			return nil, fmt.Errorf("bcast: %w", err)
-		}
-		buf = data
-	}
-	// Forward to children: for each bit above my lowest set bit.
-	mask := 1
-	for mask < n && vrank&(mask-1) == 0 {
-		if vrank&mask == 0 {
-			child := vrank | mask
-			if child < n {
-				real := wire.Rank((child + int(root)) % n)
-				if err := c.Send(real, tagBcast, buf); err != nil {
-					return nil, fmt.Errorf("bcast: %w", err)
-				}
-			}
-		}
-		mask <<= 1
-	}
-	return buf, nil
-}
-
-// ReduceFunc combines two equally-shaped buffers into one.
-type ReduceFunc func(a, b []byte) ([]byte, error)
-
-// Reduce combines every rank's contribution with fn and delivers the
-// result to root (binomial-tree reduction). fn must be associative and
-// commutative. Non-root ranks return nil.
-func (c *Comm) Reduce(root wire.Rank, contrib []byte, fn ReduceFunc) ([]byte, error) {
-	n := c.cfg.Size
-	if n == 1 {
-		return contrib, nil
-	}
-	vrank := (int(c.cfg.Rank) - int(root) + n) % n
-	acc := contrib
-	mask := 1
-	for mask < n {
-		if vrank&mask != 0 {
-			parent := vrank &^ mask
-			real := wire.Rank((parent + int(root)) % n)
-			if err := c.Send(real, tagReduce, acc); err != nil {
-				return nil, fmt.Errorf("reduce: %w", err)
-			}
-			return nil, nil
-		}
-		child := vrank | mask
-		if child < n {
-			data, _, err := c.Recv(wire.Rank((child+int(root))%n), tagReduce)
-			if err != nil {
-				return nil, fmt.Errorf("reduce: %w", err)
-			}
-			if acc, err = fn(acc, data); err != nil {
-				return nil, fmt.Errorf("reduce: %w", err)
-			}
-		}
-		mask <<= 1
-	}
-	return acc, nil
-}
-
-// Allreduce combines every rank's contribution and returns the result at
-// every rank (reduce to rank 0 + broadcast).
-func (c *Comm) Allreduce(contrib []byte, fn ReduceFunc) ([]byte, error) {
-	acc, err := c.Reduce(0, contrib, fn)
-	if err != nil {
-		return nil, err
-	}
-	return c.Bcast(0, acc)
-}
-
-// Gather collects every rank's contribution at root; root receives a slice
-// indexed by rank. Non-root ranks return nil.
-func (c *Comm) Gather(root wire.Rank, contrib []byte) ([][]byte, error) {
-	if c.cfg.Rank != root {
-		if err := c.Send(root, tagGather, contrib); err != nil {
-			return nil, fmt.Errorf("gather: %w", err)
-		}
-		return nil, nil
-	}
-	out := make([][]byte, c.cfg.Size)
-	out[root] = contrib
-	for i := 0; i < c.cfg.Size-1; i++ {
-		data, st, err := c.Recv(wire.AnyRank, tagGather)
-		if err != nil {
-			return nil, fmt.Errorf("gather: %w", err)
-		}
-		out[st.Source] = data
-	}
-	return out, nil
-}
-
-// Scatter distributes parts (indexed by rank, only meaningful at root) so
-// each rank receives parts[rank].
-func (c *Comm) Scatter(root wire.Rank, parts [][]byte) ([]byte, error) {
-	if c.cfg.Rank == root {
-		if len(parts) != c.cfg.Size {
-			return nil, fmt.Errorf("scatter: %w: %d parts for %d ranks", ErrBadLength, len(parts), c.cfg.Size)
-		}
-		for r := 0; r < c.cfg.Size; r++ {
-			if wire.Rank(r) == root {
-				continue
-			}
-			if err := c.Send(wire.Rank(r), tagScatter, parts[r]); err != nil {
-				return nil, fmt.Errorf("scatter: %w", err)
-			}
-		}
-		return parts[root], nil
-	}
-	data, _, err := c.Recv(root, tagScatter)
-	if err != nil {
-		return nil, fmt.Errorf("scatter: %w", err)
-	}
-	return data, nil
 }
 
 // Allgather collects every rank's contribution at every rank (ring
@@ -216,8 +147,8 @@ func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
 	out := make([][]byte, n)
 	out[c.cfg.Rank] = parts[c.cfg.Rank]
 	me := int(c.cfg.Rank)
-	// Pairwise exchange: at step s, talk to rank me^s when n is a power
-	// of two; otherwise use the rotation schedule.
+	// Pairwise exchange on the rotation schedule, with every receive
+	// posted up front so arrivals drain in any order.
 	reqs := make([]*Request, 0, n-1)
 	for step := 1; step < n; step++ {
 		dst := wire.Rank((me + step) % n)
@@ -279,7 +210,9 @@ func (c *Comm) Sendrecv(dst wire.Rank, sendTag int32, buf []byte, src wire.Rank,
 // Gatherv collects variable-length contributions at root (MPI_Gatherv).
 // Buffers carry their own lengths in this library, so the signature matches
 // Gather; it uses a distinct internal tag so concurrent Gather and Gatherv
-// collectives cannot cross-match. Non-root ranks return nil.
+// collectives cannot cross-match. The root posts one receive per sender up
+// front, so concurrently arriving contributions drain without head-of-line
+// blocking. Non-root ranks return nil.
 func (c *Comm) Gatherv(root wire.Rank, contrib []byte) ([][]byte, error) {
 	if c.cfg.Rank != root {
 		if err := c.Send(root, tagGatherv, contrib); err != nil {
@@ -287,14 +220,24 @@ func (c *Comm) Gatherv(root wire.Rank, contrib []byte) ([][]byte, error) {
 		}
 		return nil, nil
 	}
-	out := make([][]byte, c.cfg.Size)
+	n := c.cfg.Size
+	out := make([][]byte, n)
 	out[root] = contrib
-	for i := 0; i < c.cfg.Size-1; i++ {
-		data, st, err := c.Recv(wire.AnyRank, tagGatherv)
+	reqs := make([]*Request, 0, n-1)
+	srcs := make([]wire.Rank, 0, n-1)
+	for r := 0; r < n; r++ {
+		if wire.Rank(r) == root {
+			continue
+		}
+		reqs = append(reqs, c.Irecv(wire.Rank(r), tagGatherv))
+		srcs = append(srcs, wire.Rank(r))
+	}
+	for i, req := range reqs {
+		data, _, err := req.Wait()
 		if err != nil {
 			return nil, fmt.Errorf("gatherv: %w", err)
 		}
-		out[st.Source] = data
+		out[srcs[i]] = data
 	}
 	return out, nil
 }

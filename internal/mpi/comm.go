@@ -35,6 +35,14 @@ var (
 	ErrBadLength = errors.New("mpi: buffer length mismatch")
 )
 
+// msgPool recycles the Msg header structs built once per send. Both
+// transports consume the Msg before Send returns — fastnet copies it by
+// value into the queue, TCP serializes it onto the socket — so the struct
+// is dead the moment NIC.Send comes back and can be reused. At the
+// chunked collectives' message rates this is the send path's only
+// steady-state allocation.
+var msgPool = sync.Pool{New: func() any { return new(wire.Msg) }}
+
 // Status describes a completed receive, like MPI_Status.
 type Status struct {
 	Source wire.Rank
@@ -73,6 +81,9 @@ type Config struct {
 	// with each checkpoint and replays it at restart so that messages a
 	// rolled-back receiver forgot are not lost.
 	LogSends bool
+	// Coll, when non-nil, overrides the collective algorithm tuning table
+	// (crossover thresholds, segment sizes). Nil means DefaultCollTuning.
+	Coll *CollTuning
 }
 
 // envelope is a matched or matchable message inside the engine.
@@ -125,6 +136,16 @@ type Comm struct {
 
 	sentLog []RecordedMsg
 
+	coll CollTuning
+
+	// One-entry cache of the even chunk geometry (guarded by mu): the
+	// chunked collectives recompute the same counts/offs every call, and a
+	// steady workload repeats one message size.
+	collGeomTotal int
+	collGeomAlign int
+	collGeomCnts  []int
+	collGeomOffs  []int
+
 	done chan struct{}
 	wg   sync.WaitGroup
 
@@ -145,6 +166,12 @@ func New(cfg Config) (*Comm, error) {
 		recvCount: make(map[wire.Rank]uint64),
 		done:      make(chan struct{}),
 	}
+	if cfg.Coll != nil {
+		c.coll = *cfg.Coll
+	} else {
+		c.coll = DefaultCollTuning()
+	}
+	c.coll.normalize()
 	c.cond = sync.NewCond(&c.mu)
 	c.wg.Add(1)
 	go c.progress()
@@ -349,7 +376,8 @@ func (c *Comm) send(dst wire.Rank, tag int32, buf []byte, owned bool) error {
 			}
 		}
 	}
-	m := wire.Msg{
+	m := msgPool.Get().(*wire.Msg)
+	*m = wire.Msg{
 		Type: wire.TData, App: c.cfg.App, Kind: uint16(interval),
 		Src: c.cfg.Rank, Dst: dst, Tag: tag, Seq: seq,
 		Payload: payload, Pooled: pooled,
@@ -359,19 +387,19 @@ func (c *Comm) send(dst wire.Rank, tag int32, buf []byte, owned bool) error {
 		t1 = time.Now()
 		c.cfg.Timer.Add(vni.StageMPISend, t1.Sub(t0))
 	}
-	err := c.cfg.NIC.Send(addr, &m)
+	err := c.cfg.NIC.Send(addr, m)
 	if c.cfg.Timer != nil {
 		c.cfg.Timer.Add(vni.StageVNISend, time.Since(t1))
 	}
 	if err != nil {
-		err = c.sendRetry(dst, addr, &m, err)
+		err = c.sendRetry(dst, addr, m, err)
 	}
 	if err != nil {
 		// Terminal failure: the payload never left, reclaim it.
 		m.Release()
-		return err
 	}
-	return nil
+	msgPool.Put(m)
+	return err
 }
 
 // sendRetry handles a transport-level send failure. A dead connection is
@@ -517,6 +545,19 @@ func (c *Comm) Isend(dst wire.Rank, tag int32, buf []byte) *Request {
 	}
 	go func() {
 		r.err = c.SendOwned(dst, tag, data)
+		close(r.done)
+	}()
+	return r
+}
+
+// IsendOwned starts a non-blocking send of a pool-owned payload (same
+// ownership contract as SendOwned: the caller must not touch payload after
+// the call). Collectives use it to fan segments out to several children
+// concurrently without the Isend staging copy.
+func (c *Comm) IsendOwned(dst wire.Rank, tag int32, payload []byte) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		r.err = c.SendOwned(dst, tag, payload)
 		close(r.done)
 	}()
 	return r

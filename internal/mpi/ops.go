@@ -4,12 +4,20 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"reflect"
+	"sync"
+	"unsafe"
 )
 
 // Typed buffer helpers and reduction operators. MPI couples datatypes with
 // operations; here buffers are raw bytes and these helpers provide the
 // common numeric datatypes (64-bit integers and IEEE floats) plus the
 // standard operators over them.
+//
+// Every builtin operator also carries an allocation-free in-place variant
+// (see InPlaceFunc): the tree- and reduce-scatter-based collectives combine
+// into a reusable accumulator instead of allocating three full-size slices
+// per merge, which is what makes large reductions run at copy speed.
 
 // Int64Bytes encodes vs little-endian for transport.
 func Int64Bytes(vs []int64) []byte {
@@ -53,54 +61,286 @@ func BytesFloat64(b []byte) ([]float64, error) {
 	return out, nil
 }
 
-func int64Op(name string, op func(a, b int64) int64) ReduceFunc {
-	return func(ab, bb []byte) ([]byte, error) {
-		as, err := BytesInt64(ab)
-		if err != nil {
-			return nil, err
-		}
-		bs, err := BytesInt64(bb)
-		if err != nil {
-			return nil, err
-		}
-		if len(as) != len(bs) {
-			return nil, fmt.Errorf("%s: %w: %d vs %d elements", name, ErrBadLength, len(as), len(bs))
-		}
-		for i := range as {
-			as[i] = op(as[i], bs[i])
-		}
-		return Int64Bytes(as), nil
+func int64Reduce(name string, op func(a, b int64) int64, ab, bb []byte) ([]byte, error) {
+	as, err := BytesInt64(ab)
+	if err != nil {
+		return nil, err
 	}
+	bs, err := BytesInt64(bb)
+	if err != nil {
+		return nil, err
+	}
+	if len(as) != len(bs) {
+		return nil, fmt.Errorf("%s: %w: %d vs %d elements", name, ErrBadLength, len(as), len(bs))
+	}
+	for i := range as {
+		as[i] = op(as[i], bs[i])
+	}
+	return Int64Bytes(as), nil
 }
 
-func float64Op(name string, op func(a, b float64) float64) ReduceFunc {
-	return func(ab, bb []byte) ([]byte, error) {
-		as, err := BytesFloat64(ab)
-		if err != nil {
-			return nil, err
-		}
-		bs, err := BytesFloat64(bb)
-		if err != nil {
-			return nil, err
-		}
-		if len(as) != len(bs) {
-			return nil, fmt.Errorf("%s: %w: %d vs %d elements", name, ErrBadLength, len(as), len(bs))
-		}
-		for i := range as {
-			as[i] = op(as[i], bs[i])
-		}
-		return Float64Bytes(as), nil
+func float64Reduce(name string, op func(a, b float64) float64, ab, bb []byte) ([]byte, error) {
+	as, err := BytesFloat64(ab)
+	if err != nil {
+		return nil, err
 	}
+	bs, err := BytesFloat64(bb)
+	if err != nil {
+		return nil, err
+	}
+	if len(as) != len(bs) {
+		return nil, fmt.Errorf("%s: %w: %d vs %d elements", name, ErrBadLength, len(as), len(bs))
+	}
+	for i := range as {
+		as[i] = op(as[i], bs[i])
+	}
+	return Float64Bytes(as), nil
 }
+
+// The builtin operators are named top-level functions (not closures from a
+// shared factory) so each ReduceFunc value has a distinct code pointer —
+// that pointer is the key under which its in-place variant is registered.
+
+func sumInt64Fn(a, b []byte) ([]byte, error) {
+	return int64Reduce("sum", func(a, b int64) int64 { return a + b }, a, b)
+}
+func minInt64Fn(a, b []byte) ([]byte, error) {
+	return int64Reduce("min", func(a, b int64) int64 { return min(a, b) }, a, b)
+}
+func maxInt64Fn(a, b []byte) ([]byte, error) {
+	return int64Reduce("max", func(a, b int64) int64 { return max(a, b) }, a, b)
+}
+func prodInt64Fn(a, b []byte) ([]byte, error) {
+	return int64Reduce("prod", func(a, b int64) int64 { return a * b }, a, b)
+}
+func sumFloat64Fn(a, b []byte) ([]byte, error) {
+	return float64Reduce("sum", func(a, b float64) float64 { return a + b }, a, b)
+}
+func minFloat64Fn(a, b []byte) ([]byte, error) { return float64Reduce("min", math.Min, a, b) }
+func maxFloat64Fn(a, b []byte) ([]byte, error) { return float64Reduce("max", math.Max, a, b) }
 
 // Elementwise reduction operators (MPI_SUM, MPI_MIN, MPI_MAX, MPI_PROD).
 var (
-	SumInt64  = int64Op("sum", func(a, b int64) int64 { return a + b })
-	MinInt64  = int64Op("min", func(a, b int64) int64 { return min(a, b) })
-	MaxInt64  = int64Op("max", func(a, b int64) int64 { return max(a, b) })
-	ProdInt64 = int64Op("prod", func(a, b int64) int64 { return a * b })
+	SumInt64  ReduceFunc = sumInt64Fn
+	MinInt64  ReduceFunc = minInt64Fn
+	MaxInt64  ReduceFunc = maxInt64Fn
+	ProdInt64 ReduceFunc = prodInt64Fn
 
-	SumFloat64 = float64Op("sum", func(a, b float64) float64 { return a + b })
-	MinFloat64 = float64Op("min", math.Min)
-	MaxFloat64 = float64Op("max", math.Max)
+	SumFloat64 ReduceFunc = sumFloat64Fn
+	MinFloat64 ReduceFunc = minFloat64Fn
+	MaxFloat64 ReduceFunc = maxFloat64Fn
 )
+
+// InPlaceFunc is the allocation-free form of a reduction: it combines src
+// into dst elementwise (dst = op(dst, src)), mutating dst and leaving src
+// untouched. len(dst) must equal len(src).
+type InPlaceFunc func(dst, src []byte) error
+
+var inPlaceOps struct {
+	mu  sync.RWMutex
+	fns map[uintptr]InPlaceFunc
+}
+
+// RegisterInPlace associates an in-place variant with fn, so collectives
+// called with fn reuse their accumulator instead of allocating on every
+// combine. fn must be a declared function (closures produced by a shared
+// factory share one code pointer and would collide); both variants must
+// compute the same elementwise operation.
+func RegisterInPlace(fn ReduceFunc, ip InPlaceFunc) {
+	inPlaceOps.mu.Lock()
+	defer inPlaceOps.mu.Unlock()
+	if inPlaceOps.fns == nil {
+		inPlaceOps.fns = make(map[uintptr]InPlaceFunc)
+	}
+	inPlaceOps.fns[reflect.ValueOf(fn).Pointer()] = ip
+}
+
+// inPlaceOf returns the registered in-place variant of fn, if any.
+func inPlaceOf(fn ReduceFunc) (InPlaceFunc, bool) {
+	inPlaceOps.mu.RLock()
+	defer inPlaceOps.mu.RUnlock()
+	ip, ok := inPlaceOps.fns[reflect.ValueOf(fn).Pointer()]
+	return ip, ok
+}
+
+// nativeLE reports whether the machine is little-endian, i.e. whether a
+// []uint64 view over a buffer reads the wire encoding directly.
+var nativeLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// wordViews checks the in-place contract and, on little-endian machines
+// with word-aligned buffers (pool and heap allocations always are; only
+// odd sub-slicing breaks it), returns []uint64 views so the operator loop
+// runs one machine op per element — an indirect call or byte-decode per
+// word would dominate large reductions. ok=false means use the
+// encoding/binary fallback.
+func wordViews(dst, src []byte) (dw, sw []uint64, ok bool, err error) {
+	if len(dst) != len(src) {
+		return nil, nil, false, fmt.Errorf("%w: %d vs %d bytes", ErrBadLength, len(dst), len(src))
+	}
+	if len(dst)%8 != 0 {
+		return nil, nil, false, fmt.Errorf("%w: %d bytes", ErrBadLength, len(dst))
+	}
+	if len(dst) == 0 {
+		return nil, nil, false, nil
+	}
+	if !nativeLE ||
+		uintptr(unsafe.Pointer(&dst[0]))%8 != 0 || uintptr(unsafe.Pointer(&src[0]))%8 != 0 {
+		return nil, nil, false, nil
+	}
+	dw = unsafe.Slice((*uint64)(unsafe.Pointer(&dst[0])), len(dst)/8)
+	sw = unsafe.Slice((*uint64)(unsafe.Pointer(&src[0])), len(src)/8)
+	return dw, sw, true, nil
+}
+
+// ipWordSlow is the portable in-place loop used when wordViews declines.
+func ipWordSlow(dst, src []byte, op func(a, b uint64) uint64) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			op(binary.LittleEndian.Uint64(dst[i:]), binary.LittleEndian.Uint64(src[i:])))
+	}
+}
+
+// The builtin in-place variants are hand-specialized so the hot loop is a
+// direct machine operation per word, not a call through an operator value.
+
+func ipSumInt64(dst, src []byte) error {
+	dw, sw, ok, err := wordViews(dst, src)
+	if err != nil || !ok {
+		if err == nil {
+			ipWordSlow(dst, src, func(a, b uint64) uint64 { return a + b })
+		}
+		return err
+	}
+	for i := range dw {
+		dw[i] += sw[i]
+	}
+	return nil
+}
+
+func ipMinInt64(dst, src []byte) error {
+	dw, sw, ok, err := wordViews(dst, src)
+	if err != nil || !ok {
+		if err == nil {
+			ipWordSlow(dst, src, func(a, b uint64) uint64 { return uint64(min(int64(a), int64(b))) })
+		}
+		return err
+	}
+	for i := range dw {
+		dw[i] = uint64(min(int64(dw[i]), int64(sw[i])))
+	}
+	return nil
+}
+
+func ipMaxInt64(dst, src []byte) error {
+	dw, sw, ok, err := wordViews(dst, src)
+	if err != nil || !ok {
+		if err == nil {
+			ipWordSlow(dst, src, func(a, b uint64) uint64 { return uint64(max(int64(a), int64(b))) })
+		}
+		return err
+	}
+	for i := range dw {
+		dw[i] = uint64(max(int64(dw[i]), int64(sw[i])))
+	}
+	return nil
+}
+
+func ipProdInt64(dst, src []byte) error {
+	dw, sw, ok, err := wordViews(dst, src)
+	if err != nil || !ok {
+		if err == nil {
+			ipWordSlow(dst, src, func(a, b uint64) uint64 { return uint64(int64(a) * int64(b)) })
+		}
+		return err
+	}
+	for i := range dw {
+		dw[i] = uint64(int64(dw[i]) * int64(sw[i]))
+	}
+	return nil
+}
+
+func ipSumFloat64(dst, src []byte) error {
+	dw, sw, ok, err := wordViews(dst, src)
+	if err != nil || !ok {
+		if err == nil {
+			ipWordSlow(dst, src, func(a, b uint64) uint64 {
+				return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+			})
+		}
+		return err
+	}
+	for i := range dw {
+		dw[i] = math.Float64bits(math.Float64frombits(dw[i]) + math.Float64frombits(sw[i]))
+	}
+	return nil
+}
+
+func ipMinFloat64(dst, src []byte) error {
+	dw, sw, ok, err := wordViews(dst, src)
+	if err != nil || !ok {
+		if err == nil {
+			ipWordSlow(dst, src, func(a, b uint64) uint64 {
+				return math.Float64bits(math.Min(math.Float64frombits(a), math.Float64frombits(b)))
+			})
+		}
+		return err
+	}
+	for i := range dw {
+		dw[i] = math.Float64bits(math.Min(math.Float64frombits(dw[i]), math.Float64frombits(sw[i])))
+	}
+	return nil
+}
+
+func ipMaxFloat64(dst, src []byte) error {
+	dw, sw, ok, err := wordViews(dst, src)
+	if err != nil || !ok {
+		if err == nil {
+			ipWordSlow(dst, src, func(a, b uint64) uint64 {
+				return math.Float64bits(math.Max(math.Float64frombits(a), math.Float64frombits(b)))
+			})
+		}
+		return err
+	}
+	for i := range dw {
+		dw[i] = math.Float64bits(math.Max(math.Float64frombits(dw[i]), math.Float64frombits(sw[i])))
+	}
+	return nil
+}
+
+func init() {
+	RegisterInPlace(SumInt64, ipSumInt64)
+	RegisterInPlace(MinInt64, ipMinInt64)
+	RegisterInPlace(MaxInt64, ipMaxInt64)
+	RegisterInPlace(ProdInt64, ipProdInt64)
+	RegisterInPlace(SumFloat64, ipSumFloat64)
+	RegisterInPlace(MinFloat64, ipMinFloat64)
+	RegisterInPlace(MaxFloat64, ipMaxFloat64)
+}
+
+// combineInto folds src into dst (dst = fn(dst, src)) using the registered
+// in-place variant when one exists, falling back to the allocating fn and a
+// copy-back otherwise. dst must be an accumulator the collective owns —
+// never a caller's contribution buffer.
+func combineInto(dst, src []byte, fn ReduceFunc) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("%w: %d vs %d bytes", ErrBadLength, len(dst), len(src))
+	}
+	if len(dst) == 0 {
+		return nil
+	}
+	if ip, ok := inPlaceOf(fn); ok {
+		return ip(dst, src)
+	}
+	out, err := fn(dst, src)
+	if err != nil {
+		return err
+	}
+	if len(out) != len(dst) {
+		return fmt.Errorf("%w: reduce returned %d bytes for %d", ErrBadLength, len(out), len(dst))
+	}
+	copy(dst, out)
+	return nil
+}

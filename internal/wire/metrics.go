@@ -53,6 +53,10 @@ const (
 	// are off the hot path (they only run while a checkpoint is active or
 	// logging is enabled).
 	CopyCR
+	// CopyColl is collective-internal staging: packing a segment, scatter
+	// block, or reduction accumulator into a pooled buffer inside a
+	// collective algorithm (distinct from the per-call API boundary copy).
+	CopyColl
 
 	copySiteCount
 )
@@ -66,6 +70,8 @@ func (s CopySite) String() string {
 		return "api-boundary"
 	case CopyCR:
 		return "checkpoint-restart"
+	case CopyColl:
+		return "collective-staging"
 	default:
 		return "unknown-copy-site"
 	}
@@ -111,4 +117,31 @@ func ResetCopyStats() {
 		copyCounts[s].Store(0)
 		copyBytes[s].Store(0)
 	}
+}
+
+// Collective segment counters. The pipelined collective algorithms split
+// large buffers into segments/chunks; these process-global counters record
+// how many such internal fragments were put on the wire and how many
+// payload bytes they carried, so benchmarks can report segmentation
+// overhead per operation.
+var (
+	collSegCount atomic.Uint64
+	collSegBytes atomic.Uint64
+)
+
+// CountCollSeg records one collective-internal segment of n payload bytes.
+func CountCollSeg(n int) {
+	collSegCount.Add(1)
+	collSegBytes.Add(uint64(n))
+}
+
+// CollSegStats returns the (segments, bytes) counters.
+func CollSegStats() (segs, bytes uint64) {
+	return collSegCount.Load(), collSegBytes.Load()
+}
+
+// ResetCollSegStats zeroes the collective segment counters.
+func ResetCollSegStats() {
+	collSegCount.Store(0)
+	collSegBytes.Store(0)
 }

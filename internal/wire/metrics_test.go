@@ -1,0 +1,46 @@
+package wire
+
+import "testing"
+
+func TestCopySiteStrings(t *testing.T) {
+	cases := map[CopySite]string{
+		CopyClone:     "clone",
+		CopyBoundary:  "api-boundary",
+		CopyCR:        "checkpoint-restart",
+		CopyColl:      "collective-staging",
+		copySiteCount: "unknown-copy-site",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("CopySite(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestCollSegCounters(t *testing.T) {
+	ResetCollSegStats()
+	CountCollSeg(1000)
+	CountCollSeg(24)
+	segs, bytes := CollSegStats()
+	if segs != 2 || bytes != 1024 {
+		t.Fatalf("CollSegStats() = (%d, %d), want (2, 1024)", segs, bytes)
+	}
+	ResetCollSegStats()
+	segs, bytes = CollSegStats()
+	if segs != 0 || bytes != 0 {
+		t.Fatalf("after reset: (%d, %d), want (0, 0)", segs, bytes)
+	}
+}
+
+func TestCopyCollCounted(t *testing.T) {
+	ResetCopyStats()
+	CountCopy(CopyColl, 512)
+	counts, bytes := CopyStats()
+	if counts[CopyColl] != 1 || bytes[CopyColl] != 512 {
+		t.Fatalf("CopyColl stats = (%d, %d), want (1, 512)", counts[CopyColl], bytes[CopyColl])
+	}
+	if CopiedBytes() != 512 {
+		t.Fatalf("CopiedBytes() = %d, want 512", CopiedBytes())
+	}
+	ResetCopyStats()
+}

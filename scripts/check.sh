@@ -3,8 +3,11 @@
 #
 #   vet + build + tests (-race on the fast-path and checkpoint-storage
 #   packages), the allocation benchmarks (folded into BENCH_fastpath.json),
-#   and the recovery benchmarks (folded into BENCH_recovery.json, which
-#   enforces the >=5x replicated-memory-vs-disk restore bar at 8 MiB).
+#   the recovery benchmarks (folded into BENCH_recovery.json, which
+#   enforces the >=5x replicated-memory-vs-disk restore bar at 8 MiB), and
+#   the collective benchmarks (folded into BENCH_collectives.json, which
+#   enforces >=3x on the 8 MiB / 8-rank Allreduce versus the seed
+#   algorithm, with allocs/op no worse).
 #
 # Usage: scripts/check.sh [--quick]
 #   --quick   skip -race and the benchmarks (vet/build/test only)
@@ -129,6 +132,58 @@ ok = speedup >= 5.0
 print(f"rstore restore {ram['ns_per_op']:.0f} ns vs disk {disk['ns_per_op']:.0f} ns "
       f"= {speedup:.0f}x ({'ok' if ok else 'FAIL: need >=5x'})")
 if not ok:
+    sys.exit(1)
+EOF
+
+echo "== collective benchmarks =="
+CBENCH_OUT=$(mktemp)
+trap 'rm -f "$BENCH_OUT" "$RBENCH_OUT" "$CBENCH_OUT"' EXIT
+go test -run XXX -bench 'BenchmarkCollectives/' -benchmem -benchtime 1s . | tee "$CBENCH_OUT"
+
+echo "== BENCH_collectives.json =="
+# Fold the collective benchmark lines into BENCH_collectives.json and
+# enforce the size-adaptive engine's acceptance bar: the 8 MiB Allreduce
+# at 8 ranks must run >=3x faster than the seed reduce-to-0-plus-bcast
+# algorithm without allocating more per operation.
+python3 - "$CBENCH_OUT" <<'EOF'
+import json, re, sys
+
+lines = open(sys.argv[1]).read().splitlines()
+current = {}
+for ln in lines:
+    m = re.match(r'^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$', ln)
+    if not m:
+        continue
+    name, _, ns, rest = m.groups()
+    entry = {"ns_per_op": float(ns)}
+    for val, unit in re.findall(r'([\d.]+) (\S+)', rest):
+        key = unit.replace('/op', '_per_op').replace('-', '_').replace('/', '_')
+        entry[key] = float(val)
+    current[name] = entry
+
+path = "BENCH_collectives.json"
+with open(path) as f:
+    doc = json.load(f)
+doc["current"] = current
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"updated {path}: {len(current)} benchmark entries")
+
+seed = current.get("BenchmarkCollectives/op=allreduce/algo=seed/ranks=8/size=8MB")
+opt = current.get("BenchmarkCollectives/op=allreduce/algo=opt/ranks=8/size=8MB")
+if seed is None or opt is None:
+    sys.exit("missing BenchmarkCollectives allreduce seed/opt results")
+speedup = seed["ns_per_op"] / opt["ns_per_op"]
+speed_ok = speedup >= 3.0
+allocs_ok = opt["allocs_per_op"] <= seed["allocs_per_op"]
+print(f"allreduce 8MB/8r: opt {opt['ns_per_op'] / 1e6:.1f} ms vs seed "
+      f"{seed['ns_per_op'] / 1e6:.1f} ms = {speedup:.2f}x "
+      f"({'ok' if speed_ok else 'FAIL: need >=3x'})")
+print(f"allocs/op: opt {opt['allocs_per_op']:.0f} vs seed "
+      f"{seed['allocs_per_op']:.0f} "
+      f"({'ok' if allocs_ok else 'FAIL: must not regress'})")
+if not (speed_ok and allocs_ok):
     sys.exit(1)
 EOF
 
