@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check quick build test race bench
+.PHONY: check quick build test race bench chaos
 
 # Full CI gate: vet, build, tests, -race on the fast-path and
 # checkpoint-storage packages, and the allocation + recovery benchmarks
@@ -25,3 +25,10 @@ race:
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkWireCodec|BenchmarkFastPathRoundTrip' -benchmem -benchtime 2s .
 	$(GO) test -run XXX -bench 'BenchmarkRecovery/' -benchmem -benchtime 1s .
+
+# Chaos soak: the full fixed-seed fault matrix (kill, partition+heal, 5%
+# control-plane loss, 100ms delay spikes) under -race, plus the chaosnet
+# unit tests. `starfish-bench -fig 7f` produces BENCH_chaos.json.
+chaos:
+	$(GO) test -race -count 1 ./internal/chaosnet/
+	$(GO) test -race -count 1 -v -run 'TestChaosSoak|TestChaosTransparentLayer' ./internal/cluster/

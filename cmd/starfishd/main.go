@@ -31,6 +31,7 @@ import (
 	"strings"
 	"syscall"
 
+	"starfish/internal/chaosnet"
 	"starfish/internal/ckpt"
 	"starfish/internal/daemon"
 	"starfish/internal/mgmt"
@@ -57,6 +58,12 @@ func main() {
 		dataAdr = flag.String("data-host", "127.0.0.1", "host for application data-path listeners")
 		passwd  = flag.String("admin-password", "starfish", "management admin password")
 		verbose = flag.Bool("v", false, "log daemon diagnostics")
+
+		chaosSeed   = flag.Int64("chaos-seed", 0, "seed a deterministic fault-injection layer over TCP (0 disables)")
+		chaosDrop   = flag.Float64("chaos-drop", 0, "per-message drop probability (requires -chaos-seed)")
+		chaosDup    = flag.Float64("chaos-dup", 0, "per-message duplication probability (requires -chaos-seed)")
+		chaosDelay  = flag.Duration("chaos-delay", 0, "added latency of a delay spike (requires -chaos-seed)")
+		chaosDelayP = flag.Float64("chaos-delay-prob", 0, "per-message delay-spike probability (requires -chaos-seed)")
 	)
 	flag.Parse()
 	if *storeD == "" {
@@ -74,7 +81,24 @@ func main() {
 		logf = log.Printf
 	}
 
-	tcp := vni.NewTCP()
+	// The daemon's transport: real TCP, optionally wrapped in a seeded
+	// chaosnet layer so wire faults on a live deployment are reproducible
+	// from the seed (same seed, same per-link decision sequence).
+	var tr vni.Transport = vni.NewTCP()
+	if *chaosSeed != 0 {
+		cn := chaosnet.New(tr, *chaosSeed, chaosnet.Config{})
+		cn.Controller().SetDefaultFaults(chaosnet.Faults{
+			Drop:      *chaosDrop,
+			Dup:       *chaosDup,
+			Delay:     *chaosDelay,
+			DelayProb: *chaosDelayP,
+		})
+		tr = cn.Node(fmt.Sprintf("n%d", *node))
+		log.Printf("starfishd: chaos layer enabled (seed %#x, drop %.3f, dup %.3f, delay %v@%.3f)",
+			*chaosSeed, *chaosDrop, *chaosDup, *chaosDelay, *chaosDelayP)
+	} else if *chaosDrop != 0 || *chaosDup != 0 || *chaosDelayP != 0 {
+		log.Fatal("starfishd: -chaos-drop/-chaos-dup/-chaos-delay-prob require -chaos-seed")
+	}
 	var mem *rstore.Store
 	if *rsAddr != "" {
 		peers, err := parsePeers(*rsPeers)
@@ -84,7 +108,7 @@ func main() {
 		peers[wire.NodeID(*node)] = *rsAddr
 		mem, err = rstore.New(rstore.Config{
 			Node:      wire.NodeID(*node),
-			Transport: tcp,
+			Transport: tr,
 			Addr:      *rsAddr,
 			PeerAddr:  func(id wire.NodeID) string { return peers[id] },
 			Replicas:  *rsRepl,
@@ -99,7 +123,7 @@ func main() {
 	host := *dataAdr
 	d, err := daemon.New(daemon.Config{
 		Node:      wire.NodeID(*node),
-		Transport: tcp,
+		Transport: tr,
 		GCSAddr:   *gcsAddr,
 		Contact:   *contact,
 		Store:     store,

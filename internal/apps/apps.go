@@ -14,6 +14,7 @@ package apps
 
 import (
 	"fmt"
+	"time"
 
 	"starfish/internal/proc"
 	"starfish/internal/wire"
@@ -41,6 +42,11 @@ func init() {
 // rounds rank i must hold ((i-R) mod n) + R; Step fails if not.
 type Ring struct {
 	Rounds int64
+	// Pace, when non-zero, sleeps this long after every completed round.
+	// Integration tests that must catch the ring mid-run (suspend,
+	// migrate) set it so the control-command window is seconds wide
+	// instead of racing an unthrottled ring to completion.
+	Pace time.Duration
 
 	round int64
 	val   int64
@@ -54,10 +60,21 @@ func RingArgs(rounds int64) []byte {
 	return w.Bytes()
 }
 
-// DecodeRing parses RingArgs.
+// RingArgsPaced is RingArgs plus a per-round sleep.
+func RingArgsPaced(rounds int64, pace time.Duration) []byte {
+	w := wire.NewWriter(16)
+	w.I64(rounds).I64(int64(pace))
+	return w.Bytes()
+}
+
+// DecodeRing parses RingArgs. The pace field is optional so plain
+// RingArgs submissions keep decoding.
 func DecodeRing(args []byte) (*Ring, error) {
 	r := wire.NewReader(args)
 	a := &Ring{Rounds: r.I64()}
+	if r.Err() == nil && r.Remaining() > 0 {
+		a.Pace = time.Duration(r.I64())
+	}
 	return a, r.Err()
 }
 
@@ -70,18 +87,22 @@ func (a *Ring) Init(ctx *proc.Ctx) error {
 	return nil
 }
 
-// Restore implements proc.App.
+// Restore implements proc.App. The pace field is optional so snapshots
+// taken before it existed keep decoding.
 func (a *Ring) Restore(_ *proc.Ctx, state []byte) error {
 	r := wire.NewReader(state)
 	a.Rounds, a.round, a.val = r.I64(), r.I64(), r.I64()
+	if r.Err() == nil && r.Remaining() > 0 {
+		a.Pace = time.Duration(r.I64())
+	}
 	a.init = true
 	return r.Err()
 }
 
 // Snapshot implements proc.App.
 func (a *Ring) Snapshot() ([]byte, error) {
-	w := wire.NewWriter(24)
-	w.I64(a.Rounds).I64(a.round).I64(a.val)
+	w := wire.NewWriter(32)
+	w.I64(a.Rounds).I64(a.round).I64(a.val).I64(int64(a.Pace))
 	return w.Bytes(), nil
 }
 
@@ -112,6 +133,9 @@ func (a *Ring) Step(ctx *proc.Ctx) (bool, error) {
 		return false, r.Err()
 	}
 	a.round++
+	if a.Pace > 0 {
+		time.Sleep(a.Pace)
+	}
 	return false, nil
 }
 

@@ -1,0 +1,630 @@
+// Package chaosnet is a fault-injecting decorator around any vni.Transport.
+//
+// Starfish's claims are about surviving failures, so the transport the test
+// harness runs on must be able to misbehave on demand: drop, delay, or
+// duplicate messages on individual links, reset live connections, refuse
+// dials, and partition the network asymmetrically or symmetrically — and do
+// all of it reproducibly. chaosnet wraps an inner transport (fastnet or tcp)
+// and applies a scripted fault plan driven by a deterministic PRNG: the
+// fault decision for the i-th message crossing a directed link is a pure
+// function of (seed, source node, destination address, direction, i),
+// independent of wall-clock time and goroutine scheduling. Two runs with the
+// same seed therefore agree byte-for-byte on every common prefix of each
+// link's decision stream, and a recorded stream can be re-derived offline
+// with Replay.
+//
+// Identity model: Transport.Dial alone does not reveal who is dialing, so a
+// chaos net hands out one facade per node — Net.Node("n3") returns a
+// vni.Transport whose dials are attributed to source node "n3". The
+// destination node is derived from the dialed address by Config.NodeOf
+// (for example "gcs-node5" → "n5"). Faults are keyed by directed node pair;
+// an optional Config.ClassOf lets a script target only one traffic class
+// (for example every "gcs" link) without enumerating pairs.
+//
+// Fault application sites: every connection has exactly one dial side, and
+// both directions of the link are policed there. Outbound faults
+// (src → dst) are applied in Send; inbound faults (dst → src) are applied
+// in Recv, before the message is surfaced. Accept-side connections pass
+// through untouched, so wrapping the dial side covers every message on the
+// link exactly once. A delayed message sleeps in place, which preserves
+// per-link FIFO order and applies sender/poller backpressure the way a
+// congested link would. A partition surfaces as an error on Send and Dial
+// (the way a kernel TCP path surfaces a timed-out write) and silently
+// discards messages already in flight toward the dialer.
+package chaosnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"starfish/internal/vni"
+	"starfish/internal/wire"
+)
+
+// ErrPartitioned is returned by Send and Dial across a partitioned link.
+var ErrPartitioned = errors.New("chaosnet: link partitioned")
+
+// ErrDialKilled is returned by Dial when dials to the target node have been
+// killed with KillDialsTo.
+var ErrDialKilled = errors.New("chaosnet: dials to node killed")
+
+// Fault-decision bits recorded in a link's trace, one byte per message.
+const (
+	FDrop  byte = 1 << iota // message discarded
+	FDup                    // message delivered twice
+	FDelay                  // message delayed by Faults.Delay
+)
+
+// Faults are the probabilistic fault rates of one directed link.
+type Faults struct {
+	Drop      float64       // probability a message is discarded
+	Dup       float64       // probability a message is delivered twice
+	DelayProb float64       // probability a message is delayed
+	Delay     time.Duration // added latency when a message is delayed
+}
+
+// Config customizes a chaos net.
+type Config struct {
+	// NodeOf maps a transport address to the node that owns it, so faults
+	// can be keyed by node pair rather than by individual listener. Nil
+	// treats every address as its own node.
+	NodeOf func(addr string) string
+	// ClassOf maps a transport address to a traffic class ("gcs",
+	// "rstore", "data", ...) for SetClassFaults. Nil maps everything to "".
+	ClassOf func(addr string) string
+	// TraceCap bounds the per-link decision trace (<=0 selects 65536).
+	TraceCap int
+}
+
+// Stats counts injected faults since the net was created.
+type Stats struct {
+	Messages       uint64 // fault decisions made (messages seen)
+	Drops          uint64 // messages discarded by Faults.Drop
+	Dups           uint64 // messages duplicated by Faults.Dup
+	Delays         uint64 // messages delayed by Faults.DelayProb
+	PartitionDrops uint64 // sends/receives suppressed by a partition
+	DialsBlocked   uint64 // dials refused by a partition
+	DialsKilled    uint64 // dials refused by KillDialsTo
+	Resets         uint64 // connections closed by ResetLink
+}
+
+// StreamID names one directed decision stream: messages sent by node Src
+// over the connection it dialed to Addr. Inbound selects the reverse
+// direction (messages arriving at Src from Addr).
+type StreamID struct {
+	Src     string
+	Addr    string
+	Inbound bool
+}
+
+func (id StreamID) String() string {
+	if id.Inbound {
+		return fmt.Sprintf("%s<-%s", id.Src, id.Addr)
+	}
+	return fmt.Sprintf("%s->%s", id.Src, id.Addr)
+}
+
+type link struct{ src, dst string }
+
+// stream is one directed link's decision state: a seed derived from
+// (net seed, stream id), the next message index, and the recorded trace.
+type stream struct {
+	mu   sync.Mutex
+	seed uint64
+	n    uint64
+	rec  []byte
+	cap  int
+}
+
+func (s *stream) next(f Faults) byte {
+	s.mu.Lock()
+	b := decideAt(s.seed, s.n, f)
+	s.n++
+	if len(s.rec) < s.cap {
+		s.rec = append(s.rec, b)
+	}
+	s.mu.Unlock()
+	return b
+}
+
+// Controller is the runtime control surface of a chaos net: it owns the
+// fault plan (link/class/default fault rates, partitions, killed dials),
+// the live-connection registry, and the per-link decision streams.
+type Controller struct {
+	seed    int64
+	inner   vni.Transport
+	nodeOf  func(string) string
+	classOf func(string) string
+	trcCap  int
+
+	mu          sync.Mutex
+	defFaults   Faults
+	classFaults map[string]Faults
+	linkFaults  map[link]Faults
+	blocked     map[link]bool // directed partitions
+	killDials   map[string]bool
+	conns       map[*conn]struct{}
+	streams     map[StreamID]*stream
+	timers      []*time.Timer
+
+	messages, drops, dups, delays   atomic.Uint64
+	partDrops, dialsBlocked         atomic.Uint64
+	dialsKilled, resets             atomic.Uint64
+}
+
+// Net is a fault-injecting vni.Transport. The Net itself attributes dials
+// to the anonymous source node ""; use Node to obtain per-node facades.
+type Net struct {
+	ctl *Controller
+}
+
+// New wraps inner in a chaos net seeded with seed. The zero Config is
+// valid: every address is its own node and no faults are injected until
+// the Controller is told otherwise.
+func New(inner vni.Transport, seed int64, cfg Config) *Net {
+	nodeOf := cfg.NodeOf
+	if nodeOf == nil {
+		nodeOf = func(addr string) string { return addr }
+	}
+	classOf := cfg.ClassOf
+	if classOf == nil {
+		classOf = func(string) string { return "" }
+	}
+	cap := cfg.TraceCap
+	if cap <= 0 {
+		cap = 1 << 16
+	}
+	return &Net{ctl: &Controller{
+		seed:        seed,
+		inner:       inner,
+		nodeOf:      nodeOf,
+		classOf:     classOf,
+		trcCap:      cap,
+		classFaults: make(map[string]Faults),
+		linkFaults:  make(map[link]Faults),
+		blocked:     make(map[link]bool),
+		killDials:   make(map[string]bool),
+		conns:       make(map[*conn]struct{}),
+		streams:     make(map[StreamID]*stream),
+	}}
+}
+
+// Controller returns the net's runtime control surface.
+func (n *Net) Controller() *Controller { return n.ctl }
+
+// Seed returns the seed the net was created with.
+func (n *Net) Seed() int64 { return n.ctl.seed }
+
+// Name identifies the transport in diagnostics.
+func (n *Net) Name() string { return "chaos+" + n.ctl.inner.Name() }
+
+// Listen passes through to the inner transport: inbound connections are
+// policed by their dial-side wrapper, not here.
+func (n *Net) Listen(addr string) (vni.Listener, error) { return n.ctl.inner.Listen(addr) }
+
+// Dial connects as the anonymous node "".
+func (n *Net) Dial(addr string) (vni.Conn, error) { return n.ctl.dialFrom("", addr) }
+
+// Node returns a vni.Transport facade whose dials are attributed to the
+// named source node. Facades share the net's fault plan and streams.
+func (n *Net) Node(name string) vni.Transport { return &nodeTr{ctl: n.ctl, src: name} }
+
+type nodeTr struct {
+	ctl *Controller
+	src string
+}
+
+func (t *nodeTr) Name() string                             { return "chaos+" + t.ctl.inner.Name() }
+func (t *nodeTr) Listen(addr string) (vni.Listener, error) { return t.ctl.inner.Listen(addr) }
+func (t *nodeTr) Dial(addr string) (vni.Conn, error)       { return t.ctl.dialFrom(t.src, addr) }
+
+func (c *Controller) dialFrom(src, addr string) (vni.Conn, error) {
+	dst := c.nodeOf(addr)
+	c.mu.Lock()
+	killed := c.killDials[dst]
+	blocked := c.blocked[link{src, dst}] || c.blocked[link{dst, src}]
+	c.mu.Unlock()
+	if killed {
+		c.dialsKilled.Add(1)
+		return nil, ErrDialKilled
+	}
+	if blocked {
+		// A TCP handshake needs both directions, so a partition in either
+		// one fails the dial.
+		c.dialsBlocked.Add(1)
+		return nil, ErrPartitioned
+	}
+	inner, err := c.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	cn := &conn{
+		ctl:     c,
+		inner:   inner,
+		srcNode: src,
+		dstNode: dst,
+		class:   c.classOf(addr),
+		out:     c.stream(StreamID{Src: src, Addr: addr}),
+		in:      c.stream(StreamID{Src: src, Addr: addr, Inbound: true}),
+	}
+	c.mu.Lock()
+	c.conns[cn] = struct{}{}
+	c.mu.Unlock()
+	return cn, nil
+}
+
+// stream returns the decision stream for id, creating it on first use.
+// Streams outlive connections: a re-dialed link continues its indices.
+func (c *Controller) stream(id StreamID) *stream {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.streams[id]
+	if s == nil {
+		s = &stream{seed: streamSeed(c.seed, id), cap: c.trcCap}
+		c.streams[id] = s
+	}
+	return s
+}
+
+// faultsFor resolves the fault rates for the directed link src→dst of the
+// given class: a per-link override wins, then a class override, then the
+// default.
+func (c *Controller) faultsFor(src, dst, class string) Faults {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.linkFaults[link{src, dst}]; ok {
+		return f
+	}
+	if f, ok := c.classFaults[class]; ok {
+		return f
+	}
+	return c.defFaults
+}
+
+func (c *Controller) linkBlocked(src, dst string) bool {
+	c.mu.Lock()
+	b := c.blocked[link{src, dst}]
+	c.mu.Unlock()
+	return b
+}
+
+// SetDefaultFaults applies f to every link without a more specific rule.
+func (c *Controller) SetDefaultFaults(f Faults) {
+	c.mu.Lock()
+	c.defFaults = f
+	c.mu.Unlock()
+}
+
+// SetClassFaults applies f to every link whose dialed address is of the
+// given class (per Config.ClassOf) and has no per-link override.
+func (c *Controller) SetClassFaults(class string, f Faults) {
+	c.mu.Lock()
+	c.classFaults[class] = f
+	c.mu.Unlock()
+}
+
+// SetLinkFaults applies f to the directed node link src→dst, overriding
+// class and default rules.
+func (c *Controller) SetLinkFaults(src, dst string, f Faults) {
+	c.mu.Lock()
+	c.linkFaults[link{src, dst}] = f
+	c.mu.Unlock()
+}
+
+// ClearFaults removes every probabilistic fault rule (partitions and
+// killed dials are unaffected; see Heal and AllowDialsTo).
+func (c *Controller) ClearFaults() {
+	c.mu.Lock()
+	c.defFaults = Faults{}
+	c.classFaults = make(map[string]Faults)
+	c.linkFaults = make(map[link]Faults)
+	c.mu.Unlock()
+}
+
+// Partition symmetrically cuts the links between nodes a and b: sends and
+// dials in both directions fail, in-flight traffic is discarded.
+func (c *Controller) Partition(a, b string) {
+	c.mu.Lock()
+	c.blocked[link{a, b}] = true
+	c.blocked[link{b, a}] = true
+	c.mu.Unlock()
+}
+
+// PartitionOneWay cuts only the direction src→dst (an asymmetric failure:
+// dst still reaches src). Dials between the two nodes fail either way,
+// since a connection handshake needs both directions.
+func (c *Controller) PartitionOneWay(src, dst string) {
+	c.mu.Lock()
+	c.blocked[link{src, dst}] = true
+	c.mu.Unlock()
+}
+
+// Heal removes every partition.
+func (c *Controller) Heal() {
+	c.mu.Lock()
+	c.blocked = make(map[link]bool)
+	c.mu.Unlock()
+}
+
+// KillDialsTo makes every dial to the node fail until AllowDialsTo.
+// Established connections are unaffected; combine with ResetLink to force
+// reconnect storms.
+func (c *Controller) KillDialsTo(node string) {
+	c.mu.Lock()
+	c.killDials[node] = true
+	c.mu.Unlock()
+}
+
+// AllowDialsTo re-enables dials to the node.
+func (c *Controller) AllowDialsTo(node string) {
+	c.mu.Lock()
+	delete(c.killDials, node)
+	c.mu.Unlock()
+}
+
+// ResetLink closes every live connection between nodes a and b (either
+// dial direction), returning how many were reset. Both endpoints observe
+// a connection error, as after a TCP RST.
+func (c *Controller) ResetLink(a, b string) int {
+	c.mu.Lock()
+	var victims []*conn
+	for cn := range c.conns {
+		if (cn.srcNode == a && cn.dstNode == b) || (cn.srcNode == b && cn.dstNode == a) {
+			victims = append(victims, cn)
+		}
+	}
+	c.mu.Unlock()
+	for _, cn := range victims {
+		cn.Close()
+		c.resets.Add(1)
+	}
+	return len(victims)
+}
+
+// ResetLinkAfter schedules a one-shot ResetLink(a, b) after d.
+func (c *Controller) ResetLinkAfter(a, b string, d time.Duration) {
+	t := time.AfterFunc(d, func() { c.ResetLink(a, b) })
+	c.mu.Lock()
+	c.timers = append(c.timers, t)
+	c.mu.Unlock()
+}
+
+// Close stops pending timers. Live connections are left to their owners.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	timers := c.timers
+	c.timers = nil
+	c.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+}
+
+// Stats snapshots the injected-fault counters.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		Messages:       c.messages.Load(),
+		Drops:          c.drops.Load(),
+		Dups:           c.dups.Load(),
+		Delays:         c.delays.Load(),
+		PartitionDrops: c.partDrops.Load(),
+		DialsBlocked:   c.dialsBlocked.Load(),
+		DialsKilled:    c.dialsKilled.Load(),
+		Resets:         c.resets.Load(),
+	}
+}
+
+// Streams lists every decision stream that has made at least one decision,
+// in a stable order.
+func (c *Controller) Streams() []StreamID {
+	c.mu.Lock()
+	ids := make([]StreamID, 0, len(c.streams))
+	for id, s := range c.streams {
+		s.mu.Lock()
+		n := s.n
+		s.mu.Unlock()
+		if n > 0 {
+			ids = append(ids, id)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	return ids
+}
+
+// Trace returns a copy of the recorded decision bytes of one stream (one
+// byte per message, FDrop|FDup|FDelay bits), capped at Config.TraceCap.
+func (c *Controller) Trace(id StreamID) []byte {
+	c.mu.Lock()
+	s := c.streams[id]
+	c.mu.Unlock()
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.rec...)
+}
+
+// conn is the dial-side wrapper policing both directions of one link.
+type conn struct {
+	ctl     *Controller
+	inner   vni.Conn
+	srcNode string
+	dstNode string
+	class   string
+	out, in *stream
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+	// heldDup is a duplicated inbound message surfaced by the next Recv.
+	heldDup *wire.Msg
+
+	closeOnce sync.Once
+}
+
+func (c *conn) Send(m *wire.Msg) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if c.ctl.linkBlocked(c.srcNode, c.dstNode) {
+		c.ctl.partDrops.Add(1)
+		return ErrPartitioned
+	}
+	f := c.ctl.faultsFor(c.srcNode, c.dstNode, c.class)
+	d := c.out.next(f)
+	c.ctl.messages.Add(1)
+	if d&FDrop != 0 {
+		// The wire ate it: mimic a successful send's ownership transfer so
+		// the caller behaves exactly as if the message had gone out (pooled
+		// payloads recycle, non-pooled buffers stay with the caller).
+		c.ctl.drops.Add(1)
+		if m.Pooled {
+			m.Release()
+		}
+		return nil
+	}
+	if d&FDelay != 0 {
+		c.ctl.delays.Add(1)
+		time.Sleep(f.Delay)
+	}
+	if d&FDup != 0 {
+		dup := m.Clone()
+		if err := c.inner.Send(m); err != nil {
+			return err
+		}
+		c.ctl.dups.Add(1)
+		_ = c.inner.Send(&dup)
+		return nil
+	}
+	return c.inner.Send(m)
+}
+
+func (c *conn) Recv() (wire.Msg, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	if c.heldDup != nil {
+		m := *c.heldDup
+		c.heldDup = nil
+		return m, nil
+	}
+	for {
+		m, err := c.inner.Recv()
+		if err != nil {
+			return m, err
+		}
+		if c.ctl.linkBlocked(c.dstNode, c.srcNode) {
+			// In-flight traffic crossing a partition vanishes.
+			c.ctl.partDrops.Add(1)
+			m.Release()
+			continue
+		}
+		f := c.ctl.faultsFor(c.dstNode, c.srcNode, c.class)
+		d := c.in.next(f)
+		c.ctl.messages.Add(1)
+		if d&FDrop != 0 {
+			c.ctl.drops.Add(1)
+			m.Release()
+			continue
+		}
+		if d&FDelay != 0 {
+			c.ctl.delays.Add(1)
+			time.Sleep(f.Delay)
+		}
+		if d&FDup != 0 {
+			c.ctl.dups.Add(1)
+			cp := m.Clone()
+			c.heldDup = &cp
+		}
+		return m, nil
+	}
+}
+
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.ctl.mu.Lock()
+		delete(c.ctl.conns, c)
+		c.ctl.mu.Unlock()
+	})
+	return c.inner.Close()
+}
+
+func (c *conn) RemoteAddr() string { return c.inner.RemoteAddr() }
+
+// --- deterministic decision PRNG -----------------------------------------
+
+// Replay recomputes the first n decision bytes of a stream from scratch:
+// the pure function of (seed, stream id, index, fault rates) that the live
+// path also uses. A recorded Trace must equal Replay over its length as
+// long as the stream's fault rates were constant while it ran.
+func Replay(seed int64, id StreamID, n int, f Faults) []byte {
+	s := streamSeed(seed, id)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = decideAt(s, uint64(i), f)
+	}
+	return out
+}
+
+// streamSeed derives a stream's PRNG seed from the net seed and the stream
+// identity via FNV-1a over a canonical encoding.
+func streamSeed(seed int64, id StreamID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(seed) >> (8 * i)))
+	}
+	for i := 0; i < len(id.Src); i++ {
+		mix(id.Src[i])
+	}
+	mix(0)
+	for i := 0; i < len(id.Addr); i++ {
+		mix(id.Addr[i])
+	}
+	mix(0)
+	if id.Inbound {
+		mix(1)
+	} else {
+		mix(2)
+	}
+	return h
+}
+
+// decideAt computes the decision byte for message i of a stream: three
+// chained splitmix64 draws compared against the configured rates.
+func decideAt(streamSeed, i uint64, f Faults) byte {
+	r := splitmix64(streamSeed ^ (i+1)*0x9E3779B97F4A7C15)
+	var b byte
+	if f.Drop > 0 && u01(r) < f.Drop {
+		b |= FDrop
+	}
+	r = splitmix64(r)
+	if f.Dup > 0 && u01(r) < f.Dup {
+		b |= FDup
+	}
+	r = splitmix64(r)
+	if f.DelayProb > 0 && u01(r) < f.DelayProb {
+		b |= FDelay
+	}
+	return b
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// u01 maps a 64-bit draw to [0, 1) with 53 bits of precision.
+func u01(x uint64) float64 { return float64(x>>11) / (1 << 53) }

@@ -1,0 +1,563 @@
+package chaosnet
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"starfish/internal/vni"
+	"starfish/internal/wire"
+)
+
+// pair dials a wrapped connection from src to addr and returns both ends.
+func pair(t *testing.T, n *Net, src, addr string) (dial, accept vni.Conn) {
+	t.Helper()
+	ln, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	acceptCh := make(chan vni.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			acceptCh <- c
+		}
+	}()
+	d, err := n.Node(src).Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-acceptCh
+	t.Cleanup(func() { d.Close(); a.Close() })
+	return d, a
+}
+
+// waitFor polls cond until it holds or the test deadline nears.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}
+
+func msg(seq uint64) *wire.Msg {
+	return &wire.Msg{Type: wire.TData, Seq: seq, Payload: []byte("payload")}
+}
+
+// recvSeqs receives n messages, returning their sequence numbers.
+func recvSeqs(t *testing.T, c vni.Conn, n int) []uint64 {
+	t.Helper()
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		m, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv after %d of %d: %v", len(out), n, err)
+		}
+		out = append(out, m.Seq)
+		m.Release()
+	}
+	return out
+}
+
+func TestPassThroughWithoutFaults(t *testing.T) {
+	n := New(vni.NewFastnet(0), 1, Config{})
+	d, a := pair(t, n, "n1", "n2")
+	for i := uint64(0); i < 100; i++ {
+		if err := d.Send(msg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := recvSeqs(t, a, 100)
+	for i, s := range got {
+		if s != uint64(i) {
+			t.Fatalf("seq %d at position %d", s, i)
+		}
+	}
+	if st := n.Controller().Stats(); st.Drops+st.Dups+st.Delays != 0 {
+		t.Fatalf("unexpected faults injected: %+v", st)
+	}
+}
+
+func TestDropAndDupMatchTrace(t *testing.T) {
+	n := New(vni.NewFastnet(0), 42, Config{})
+	f := Faults{Drop: 0.3, Dup: 0.2}
+	n.Controller().SetLinkFaults("n1", "n2", f)
+	d, a := pair(t, n, "n1", "n2")
+
+	const total = 500
+	for i := uint64(0); i < total; i++ {
+		if err := d.Send(msg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id := StreamID{Src: "n1", Addr: "n2"}
+	trace := n.Controller().Trace(id)
+	if len(trace) != total {
+		t.Fatalf("trace length %d, want %d", len(trace), total)
+	}
+	// Expected delivery: each non-dropped message once, duplicated ones
+	// twice, in order.
+	var want []uint64
+	for i, b := range trace {
+		if b&FDrop != 0 {
+			continue
+		}
+		want = append(want, uint64(i))
+		if b&FDup != 0 {
+			want = append(want, uint64(i))
+		}
+	}
+	if len(want) == total || len(want) == 0 {
+		t.Fatalf("degenerate fault plan: %d of %d delivered", len(want), total)
+	}
+	got := recvSeqs(t, a, len(want))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got seq %d, want %d", i, got[i], want[i])
+		}
+	}
+	st := n.Controller().Stats()
+	if st.Drops == 0 || st.Dups == 0 {
+		t.Fatalf("expected drops and dups, got %+v", st)
+	}
+}
+
+func TestInboundFaults(t *testing.T) {
+	n := New(vni.NewFastnet(0), 7, Config{})
+	// Faults on the reverse direction n2→n1: applied at the dialer's Recv.
+	n.Controller().SetLinkFaults("n2", "n1", Faults{Drop: 0.4})
+	d, a := pair(t, n, "n1", "n2")
+
+	const total = 300
+	for i := uint64(0); i < total; i++ {
+		if err := a.Send(msg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trace := Replay(7, StreamID{Src: "n1", Addr: "n2", Inbound: true}, total, Faults{Drop: 0.4})
+	var want []uint64
+	for i, b := range trace {
+		if b&FDrop == 0 {
+			want = append(want, uint64(i))
+		}
+	}
+	got := recvSeqs(t, d, len(want))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got seq %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []byte {
+		n := New(vni.NewFastnet(0), seed, Config{})
+		n.Controller().SetDefaultFaults(Faults{Drop: 0.2, Dup: 0.1, DelayProb: 0.05, Delay: time.Microsecond})
+		d, a := pair(t, n, "n1", "n2")
+		for i := uint64(0); i < 200; i++ {
+			if err := d.Send(msg(i)); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Send(msg(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Drain the inbound side so the in-stream advances deterministically.
+		tr := n.Controller().Trace(StreamID{Src: "n1", Addr: "n2", Inbound: true})
+		deliver := 0
+		for _, b := range tr {
+			if b&FDrop == 0 {
+				deliver++
+				if b&FDup != 0 {
+					deliver++
+				}
+			}
+		}
+		recvSeqs(t, d, deliver)
+		out := n.Controller().Trace(StreamID{Src: "n1", Addr: "n2"})
+		in := n.Controller().Trace(StreamID{Src: "n1", Addr: "n2", Inbound: true})
+		return append(append([]byte(nil), out...), in...)
+	}
+	a1, a2 := run(99), run(99)
+	if !bytes.Equal(a1, a2) {
+		t.Fatal("same seed produced different traces")
+	}
+	b := run(100)
+	if bytes.Equal(a1, b) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestReplayMatchesRecordedTrace(t *testing.T) {
+	n := New(vni.NewFastnet(0), 1234, Config{})
+	f := Faults{Drop: 0.15, Dup: 0.1, DelayProb: 0.2, Delay: time.Microsecond}
+	n.Controller().SetDefaultFaults(f)
+	d, _ := pair(t, n, "a", "b")
+	for i := uint64(0); i < 400; i++ {
+		if err := d.Send(msg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range n.Controller().Streams() {
+		rec := n.Controller().Trace(id)
+		rep := Replay(1234, id, len(rec), f)
+		if !bytes.Equal(rec, rep) {
+			t.Fatalf("stream %v: recorded trace diverges from pure replay", id)
+		}
+	}
+}
+
+func TestStreamSurvivesRedial(t *testing.T) {
+	// A re-dialed link must continue its decision stream, not restart it.
+	n := New(vni.NewFastnet(0), 5, Config{})
+	f := Faults{Drop: 0.5}
+	n.Controller().SetLinkFaults("n1", "n2", f)
+
+	ln, err := n.Listen("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				for {
+					m, err := c.Recv()
+					if err != nil {
+						return
+					}
+					m.Release()
+				}
+			}()
+		}
+	}()
+
+	for redial := 0; redial < 3; redial++ {
+		c, err := n.Node("n1").Dial("n2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			if err := c.Send(msg(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Close()
+	}
+	rec := n.Controller().Trace(StreamID{Src: "n1", Addr: "n2"})
+	if len(rec) != 150 {
+		t.Fatalf("stream length %d after 3 dials, want 150", len(rec))
+	}
+	if !bytes.Equal(rec, Replay(5, StreamID{Src: "n1", Addr: "n2"}, 150, f)) {
+		t.Fatal("redialed stream diverges from replay")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(vni.NewFastnet(0), 3, Config{})
+	ctl := n.Controller()
+	d, a := pair(t, n, "n1", "n2")
+
+	// Poll the dial side continuously, the way a NIC poller does: traffic
+	// arriving while the partition is up is judged (and dropped) at Recv.
+	inbound := make(chan uint64, 8)
+	go func() {
+		for {
+			m, err := d.Recv()
+			if err != nil {
+				return
+			}
+			inbound <- m.Seq
+			m.Release()
+		}
+	}()
+
+	ctl.Partition("n1", "n2")
+	if err := d.Send(msg(1)); err != ErrPartitioned {
+		t.Fatalf("send across partition: %v, want ErrPartitioned", err)
+	}
+	if _, err := n.Node("n1").Dial("n2"); err != ErrPartitioned {
+		t.Fatalf("dial across partition: %v, want ErrPartitioned", err)
+	}
+	// In-flight traffic toward the dialer vanishes.
+	if err := a.Send(msg(2)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return ctl.Stats().PartitionDrops >= 2 })
+	ctl.Heal()
+	if err := d.Send(msg(3)); err != nil {
+		t.Fatalf("send after heal: %v", err)
+	}
+	if err := a.Send(msg(4)); err != nil {
+		t.Fatal(err)
+	}
+	got := recvSeqs(t, a, 1)
+	if got[0] != 3 {
+		t.Fatalf("accept side got seq %d, want 3", got[0])
+	}
+	if s := <-inbound; s != 4 {
+		t.Fatalf("dial side got seq %d, want 4 (seq 2 crossed a partition)", s)
+	}
+	if st := ctl.Stats(); st.PartitionDrops == 0 || st.DialsBlocked == 0 {
+		t.Fatalf("partition counters not bumped: %+v", st)
+	}
+}
+
+func TestOneWayPartition(t *testing.T) {
+	n := New(vni.NewFastnet(0), 3, Config{})
+	ctl := n.Controller()
+	d, a := pair(t, n, "n1", "n2")
+
+	inbound := make(chan uint64, 8)
+	go func() {
+		for {
+			m, err := d.Recv()
+			if err != nil {
+				return
+			}
+			inbound <- m.Seq
+			m.Release()
+		}
+	}()
+
+	ctl.PartitionOneWay("n2", "n1")
+	// n1→n2 still works.
+	if err := d.Send(msg(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvSeqs(t, a, 1); got[0] != 1 {
+		t.Fatalf("got seq %d, want 1", got[0])
+	}
+	// n2→n1 is cut: the accept side's send is swallowed at the dialer.
+	if err := a.Send(msg(2)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return ctl.Stats().PartitionDrops >= 1 })
+	ctl.Heal()
+	if err := a.Send(msg(3)); err != nil {
+		t.Fatal(err)
+	}
+	if s := <-inbound; s != 3 {
+		t.Fatalf("got seq %d, want 3", s)
+	}
+}
+
+func TestKillDialsAndReset(t *testing.T) {
+	n := New(vni.NewFastnet(0), 3, Config{})
+	ctl := n.Controller()
+	d, _ := pair(t, n, "n1", "n2")
+
+	ctl.KillDialsTo("n2")
+	if _, err := n.Node("n1").Dial("n2"); err != ErrDialKilled {
+		t.Fatalf("dial to killed node: %v, want ErrDialKilled", err)
+	}
+	// The established connection still works.
+	if err := d.Send(msg(1)); err != nil {
+		t.Fatal(err)
+	}
+	ctl.AllowDialsTo("n2")
+
+	if got := ctl.ResetLink("n1", "n2"); got != 1 {
+		t.Fatalf("ResetLink closed %d conns, want 1", got)
+	}
+	if err := d.Send(msg(2)); err == nil {
+		t.Fatal("send on reset link succeeded")
+	}
+	if _, err := n.Node("n1").Dial("n2"); err != nil {
+		t.Fatalf("redial after reset: %v", err)
+	}
+}
+
+func TestResetLinkAfter(t *testing.T) {
+	n := New(vni.NewFastnet(0), 3, Config{})
+	d, _ := pair(t, n, "n1", "n2")
+	n.Controller().ResetLinkAfter("n1", "n2", 10*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := d.Send(msg(1)); err != nil {
+			return // link was reset
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("timed reset never fired")
+}
+
+func TestDelayHoldsFIFO(t *testing.T) {
+	n := New(vni.NewFastnet(0), 11, Config{})
+	n.Controller().SetLinkFaults("n1", "n2", Faults{DelayProb: 0.3, Delay: 2 * time.Millisecond})
+	d, a := pair(t, n, "n1", "n2")
+	go func() {
+		for i := uint64(0); i < 60; i++ {
+			d.Send(msg(i))
+		}
+	}()
+	got := recvSeqs(t, a, 60)
+	for i, s := range got {
+		if s != uint64(i) {
+			t.Fatalf("order violated at %d: seq %d", i, s)
+		}
+	}
+	if st := n.Controller().Stats(); st.Delays == 0 {
+		t.Fatalf("no delays injected: %+v", st)
+	}
+}
+
+func TestPooledPayloadOwnership(t *testing.T) {
+	n := New(vni.NewFastnet(0), 21, Config{})
+	n.Controller().SetLinkFaults("n1", "n2", Faults{Drop: 0.5, Dup: 0.25})
+	d, a := pair(t, n, "n1", "n2")
+	go func() {
+		for {
+			m, err := a.Recv()
+			if err != nil {
+				return
+			}
+			m.Release()
+		}
+	}()
+	// Pooled sends through drop/dup paths must neither leak nor double-put
+	// (the pool's guard mode under `go test` catches double-puts).
+	for i := uint64(0); i < 300; i++ {
+		buf := wire.GetBuf(64)
+		m := &wire.Msg{Type: wire.TData, Seq: i, Payload: buf[:64], Pooled: true}
+		if err := d.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		if m.Pooled && m.Payload != nil {
+			t.Fatal("successful send left pooled payload with caller")
+		}
+	}
+}
+
+func TestClassFaults(t *testing.T) {
+	n := New(vni.NewFastnet(0), 2, Config{
+		ClassOf: func(addr string) string {
+			if len(addr) >= 3 && addr[:3] == "gcs" {
+				return "gcs"
+			}
+			return "data"
+		},
+	})
+	n.Controller().SetClassFaults("gcs", Faults{Drop: 1.0})
+	dg, _ := pair(t, n, "n1", "gcs-n2")
+	dd, ad := pair(t, n, "n1", "data-n2")
+	if err := dg.Send(msg(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dd.Send(msg(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvSeqs(t, ad, 1); got[0] != 2 {
+		t.Fatalf("data link got seq %d, want 2", got[0])
+	}
+	if st := n.Controller().Stats(); st.Drops != 1 {
+		t.Fatalf("gcs-class drop not injected: %+v", st)
+	}
+}
+
+func TestStatsAndStreamsListing(t *testing.T) {
+	n := New(vni.NewFastnet(0), 8, Config{})
+	d, _ := pair(t, n, "n1", "n2")
+	for i := uint64(0); i < 10; i++ {
+		if err := d.Send(msg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := n.Controller().Streams()
+	if len(ids) != 1 || ids[0].String() != "n1->n2" {
+		t.Fatalf("streams = %v, want [n1->n2]", ids)
+	}
+	if st := n.Controller().Stats(); st.Messages != 10 {
+		t.Fatalf("messages = %d, want 10", st.Messages)
+	}
+}
+
+func TestWorksOverTCP(t *testing.T) {
+	n := New(vni.NewTCP(), 6, Config{
+		NodeOf: func(addr string) string { return "srv" },
+	})
+	ln, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			m.Seq++
+			c.Send(&m)
+		}
+	}()
+	c, err := n.Node("cli").Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(msg(41)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	if m.Seq != 42 {
+		t.Fatalf("echo seq %d, want 42", m.Seq)
+	}
+	if n.Name() != "chaos+tcp" {
+		t.Fatalf("name %q", n.Name())
+	}
+}
+
+func TestReplayPrefixProperty(t *testing.T) {
+	// Decision i must not depend on how many messages follow it.
+	f := Faults{Drop: 0.3, Dup: 0.3, DelayProb: 0.3}
+	id := StreamID{Src: "x", Addr: "y"}
+	long := Replay(77, id, 1000, f)
+	short := Replay(77, id, 10, f)
+	if !bytes.Equal(long[:10], short) {
+		t.Fatal("replay is not prefix-stable")
+	}
+}
+
+func TestFaultRatesRoughlyHonored(t *testing.T) {
+	f := Faults{Drop: 0.05}
+	drops := 0
+	const n = 20000
+	for _, b := range Replay(1, StreamID{Src: "s", Addr: "d"}, n, f) {
+		if b&FDrop != 0 {
+			drops++
+		}
+	}
+	rate := float64(drops) / n
+	if rate < 0.03 || rate > 0.07 {
+		t.Fatalf("5%% drop plan injected %.2f%%", 100*rate)
+	}
+}
+
+func ExampleReplay() {
+	f := Faults{Drop: 0.5}
+	trace := Replay(42, StreamID{Src: "n1", Addr: "n2"}, 4, f)
+	for i, b := range trace {
+		fmt.Printf("msg %d dropped=%v\n", i, b&FDrop != 0)
+	}
+	// Output is seed-determined and stable across runs.
+}

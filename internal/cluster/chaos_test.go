@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"starfish/internal/chaosnet"
+	"starfish/internal/ckpt"
+	"starfish/internal/daemon"
+	"starfish/internal/leakcheck"
+	"starfish/internal/wire"
+)
+
+// The chaos soak: an MPI job checkpointing to the replicated memory store
+// runs to completion while a seeded chaosnet injects kills, partitions,
+// message loss and delay spikes underneath it. The Ring application is
+// self-verifying — Step fails unless the final value matches the fault-free
+// result — so "status Done" certifies that the output is identical to an
+// undisturbed run.
+//
+// Fault placement follows the recovery contract of each layer: the gcs and
+// rstore planes repair loss themselves (sequenced-stream retransmission,
+// request retries), so they absorb drops and delays; the MPI data plane is
+// loss-free but dedupes by per-pair sequence number, so it absorbs
+// duplication. Data-plane delay is applied in-line (no reordering).
+
+// chaosScenario is one entry of the soak seed table.
+type chaosScenario struct {
+	name string
+	seed int64
+	// misses, when positive, selects the miss-count failure detector
+	// (Options.SuspectAfterMisses).
+	misses int
+	// preset programs the fault plan after the cluster forms, before the
+	// application is submitted.
+	preset func(ctl *chaosnet.Controller)
+	// script injects mid-run faults; it runs after the first recovery line
+	// commits and returns when injection is done.
+	script func(t *testing.T, c *Cluster)
+	// verify asserts scenario-specific postconditions after completion.
+	verify func(t *testing.T, c *Cluster, ctl *chaosnet.Controller)
+}
+
+const chaosApp wire.AppID = 77
+
+func chaosRounds() int64 {
+	if testing.Short() {
+		return 6000
+	}
+	return 20000
+}
+
+// dataFaults is the data-plane fault mix used by the scenarios that inject
+// there (duplication only: the data plane has no retransmission, so loss
+// would wedge the job rather than exercise recovery).
+var dataFaults = chaosnet.Faults{Dup: 0.02}
+
+func runChaosScenario(t *testing.T, sc chaosScenario) {
+	// Registered before the cluster exists so its cleanup runs after
+	// Shutdown; slack covers runtime/testing helpers, not ours.
+	leakcheck.Check(t, 4)
+	c, err := New(Options{
+		Nodes:              4,
+		StoreDir:           t.TempDir(),
+		HeartbeatEvery:     10 * time.Millisecond,
+		FailAfter:          600 * time.Millisecond,
+		SuspectAfterMisses: sc.misses,
+		ChaosSeed:          sc.seed,
+		Logf:               t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	waitMainView(t, c, 4)
+	ctl := c.Chaos()
+	if ctl == nil {
+		t.Fatal("cluster built without chaos controller")
+	}
+	if sc.preset != nil {
+		sc.preset(ctl)
+	}
+
+	spec := ringSpec(chaosApp, 3, chaosRounds())
+	spec.CkptEverySteps = 1000
+	spec.Store = ckpt.StoreMemory
+	if err := c.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	if sc.script != nil {
+		if _, err := c.WaitCommittedLine(chaosApp, 30*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		sc.script(t, c)
+	}
+	info, err := c.WaitApp(chaosApp, 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != daemon.StatusDone {
+		t.Fatalf("status = %v, failure = %q", info.Status, info.Failure)
+	}
+	ctl.Heal()
+	ctl.ClearFaults()
+	if sc.verify != nil {
+		sc.verify(t, c, ctl)
+	}
+}
+
+// verifyDataTraces checks the fixed-seed determinism contract end to end:
+// every data-plane stream's recorded fault trace must equal the offline
+// Replay of (seed, stream id) under the faults the scenario programmed.
+// Data streams only come into existence after the preset runs, so their
+// fault plan is constant over their whole index range.
+func verifyDataTraces(t *testing.T, ctl *chaosnet.Controller, seed int64, f chaosnet.Faults) {
+	t.Helper()
+	n := 0
+	for _, id := range ctl.Streams() {
+		if !strings.HasPrefix(id.Addr, "data-") {
+			continue
+		}
+		trace := ctl.Trace(id)
+		if len(trace) == 0 {
+			continue
+		}
+		want := chaosnet.Replay(seed, id, len(trace), f)
+		if !bytes.Equal(trace, want) {
+			t.Errorf("stream %v: trace diverges from replay (seed %#x)", id, seed)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Error("no data-plane streams recorded a trace")
+	}
+}
+
+// crashRankNode kills node 3 (host of rank 2 under the round-robin
+// placement over nodes 1..4) abruptly; the survivors must detect it and
+// restart the rank from the last committed line.
+func crashRankNode(t *testing.T, c *Cluster) {
+	t.Helper()
+	if err := c.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func chaosScenarios() []chaosScenario {
+	return []chaosScenario{
+		{
+			// Randomized kill: a rank-hosting node dies mid-run with light
+			// data-plane duplication underneath; recovery restores from the
+			// replicated memory store (the crashed node's shard is gone).
+			name: "kill",
+			seed: 0x5EED0001,
+			preset: func(ctl *chaosnet.Controller) {
+				ctl.SetClassFaults("data", dataFaults)
+			},
+			script: crashRankNode,
+			verify: func(t *testing.T, c *Cluster, ctl *chaosnet.Controller) {
+				s := ctl.Stats()
+				if s.Dups == 0 {
+					t.Errorf("expected data duplication, stats = %+v", s)
+				}
+				verifyDataTraces(t, ctl, 0x5EED0001, dataFaults)
+			},
+		},
+		{
+			// Partition + heal: node 4 (an rstore replica target, hosting no
+			// rank) is symmetrically cut from every peer for longer than the
+			// detection budget, forcing a view change and re-replication,
+			// then healed. The job must finish on the surviving majority.
+			name: "partition-heal",
+			seed: 0x5EED0002,
+			script: func(t *testing.T, c *Cluster) {
+				ctl := c.Chaos()
+				for _, peer := range []string{"n1", "n2", "n3"} {
+					ctl.Partition("n4", peer)
+				}
+				time.Sleep(1500 * time.Millisecond)
+				ctl.Heal()
+			},
+			verify: func(t *testing.T, c *Cluster, ctl *chaosnet.Controller) {
+				s := ctl.Stats()
+				if s.PartitionDrops == 0 && s.DialsBlocked == 0 {
+					t.Errorf("partition injected no faults, stats = %+v", s)
+				}
+				d, err := c.Daemon(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v := d.View(); len(v.Members) != 3 || v.Contains(4) {
+					t.Errorf("survivor view = %+v, want 3 members without node 4", v)
+				}
+			},
+		},
+		{
+			// 5% loss on both control planes while a rank-hosting node dies:
+			// gcs recovers casts and views through sequenced-stream
+			// retransmission, rstore through request retries. The miss-count
+			// detector keeps random heartbeat loss from reading as death.
+			name:   "loss5pct",
+			seed:   0x5EED0003,
+			misses: 60,
+			preset: func(ctl *chaosnet.Controller) {
+				ctl.SetClassFaults("gcs", chaosnet.Faults{Drop: 0.05})
+				ctl.SetClassFaults("rstore", chaosnet.Faults{Drop: 0.05})
+				ctl.SetClassFaults("data", dataFaults)
+			},
+			script: crashRankNode,
+			verify: func(t *testing.T, c *Cluster, ctl *chaosnet.Controller) {
+				s := ctl.Stats()
+				if s.Drops == 0 {
+					t.Errorf("expected control-plane drops, stats = %+v", s)
+				}
+				verifyDataTraces(t, ctl, 0x5EED0003, dataFaults)
+			},
+		},
+		{
+			// 100ms delay spikes on the gcs plane: heartbeats arrive late in
+			// bursts. A chaosnet delay sleeps in-line, so a spike also
+			// head-of-line-blocks every queued message on the link; the
+			// spike rate must keep the delayed share of link time well
+			// under saturation (2% x 100ms against ~150 msg/s ≈ 30%), and
+			// the miss threshold (150 x 10ms probes = 1.5s) must absorb
+			// chained spikes without reading them as death.
+			name:   "delay-spikes",
+			seed:   0x5EED0004,
+			misses: 150,
+			preset: func(ctl *chaosnet.Controller) {
+				ctl.SetClassFaults("gcs", chaosnet.Faults{DelayProb: 0.02, Delay: 100 * time.Millisecond})
+			},
+			verify: func(t *testing.T, c *Cluster, ctl *chaosnet.Controller) {
+				s := ctl.Stats()
+				if s.Delays == 0 {
+					t.Errorf("expected delay injections, stats = %+v", s)
+				}
+				for _, id := range c.Nodes() {
+					d, err := c.Daemon(id)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if v := d.View(); len(v.Members) != 4 {
+						t.Errorf("node %d view = %+v: delay spikes caused a spurious view change", id, v)
+					}
+				}
+				info, _ := c.AnyDaemon().AppInfo(chaosApp)
+				if info.Gen != 1 {
+					t.Errorf("app gen = %d: delay spikes caused a spurious restart", info.Gen)
+				}
+			},
+		},
+	}
+}
+
+// TestChaosSoak runs the full seed table. check.sh runs the two-seed short
+// soak (`-short -run 'TestChaosSoak/(kill|loss5pct)'`); `make chaos` runs
+// everything under -race.
+func TestChaosSoak(t *testing.T) {
+	for _, sc := range chaosScenarios() {
+		t.Run(sc.name, func(t *testing.T) { runChaosScenario(t, sc) })
+	}
+}
+
+// TestChaosTransparentLayer pins down that a chaos cluster with no faults
+// programmed behaves exactly like a plain one: the decorator must be
+// invisible when idle.
+func TestChaosTransparentLayer(t *testing.T) {
+	leakcheck.Check(t, 4)
+	c, err := New(Options{
+		Nodes:          3,
+		StoreDir:       t.TempDir(),
+		HeartbeatEvery: 10 * time.Millisecond,
+		FailAfter:      600 * time.Millisecond,
+		ChaosSeed:      0x5EED0099,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	waitMainView(t, c, 3)
+	if err := c.Submit(ringSpec(chaosApp, 3, 200)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.WaitApp(chaosApp, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != daemon.StatusDone {
+		t.Fatalf("status = %v, failure = %q", info.Status, info.Failure)
+	}
+	s := c.Chaos().Stats()
+	if s.Drops+s.Dups+s.Delays+s.PartitionDrops+s.DialsBlocked+s.DialsKilled+s.Resets != 0 {
+		t.Errorf("idle chaos layer injected faults: %+v", s)
+	}
+}

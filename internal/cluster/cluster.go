@@ -10,9 +10,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"starfish/internal/chaosnet"
 	"starfish/internal/ckpt"
 	"starfish/internal/daemon"
 	"starfish/internal/proc"
@@ -39,9 +41,19 @@ type Options struct {
 	// happens, but detection latency is the cheaper defence).
 	HeartbeatEvery time.Duration
 	FailAfter      time.Duration
+	// SuspectAfterMisses expresses the failure-detector threshold as a
+	// count of consecutive missed probe intervals; when positive it takes
+	// precedence over FailAfter. Chaos runs with delay spikes use it to
+	// tune tolerance without recomputing durations.
+	SuspectAfterMisses int
 	// Replicas is the in-memory replication factor of each node's
 	// replicated checkpoint store (default 2: survive one node loss).
 	Replicas int
+	// ChaosSeed, when non-zero, interposes a chaosnet fault-injection
+	// layer (seeded with this value) between every node and the shared
+	// fastnet. Faults are programmed through Chaos(); with no faults set
+	// the layer is transparent.
+	ChaosSeed int64
 	// Logf receives daemon diagnostics.
 	Logf func(string, ...any)
 }
@@ -50,6 +62,7 @@ type Options struct {
 type Cluster struct {
 	opts  Options
 	fn    *vni.Fastnet
+	chaos *chaosnet.Net // nil unless Options.ChaosSeed is set
 	store *ckpt.Store
 
 	mu      sync.Mutex
@@ -86,6 +99,12 @@ func New(opts Options) (*Cluster, error) {
 		daemons: make(map[wire.NodeID]*daemon.Daemon),
 		mems:    make(map[wire.NodeID]*rstore.Store),
 	}
+	if opts.ChaosSeed != 0 {
+		c.chaos = chaosnet.New(c.fn, opts.ChaosSeed, chaosnet.Config{
+			NodeOf:  chaosNodeOf,
+			ClassOf: chaosClassOf,
+		})
+	}
 	for i := 0; i < opts.Nodes; i++ {
 		if _, err := c.AddNode(); err != nil {
 			c.Shutdown()
@@ -100,6 +119,47 @@ func gcsAddr(id wire.NodeID) string { return fmt.Sprintf("gcs-node%d", id) }
 
 // rstoreAddr names a node's replicated-checkpoint-store address.
 func rstoreAddr(id wire.NodeID) string { return fmt.Sprintf("rstore-n%d", id) }
+
+// chaosNode names a node for chaosnet fault targeting ("n3").
+func chaosNode(id wire.NodeID) string { return fmt.Sprintf("n%d", id) }
+
+// chaosNodeOf maps a cluster address to its node label: "gcs-node3",
+// "rstore-n3", and "data-n3-a1-g2-r0" all belong to node "n3". Chaosnet uses
+// this so a partition of a node severs all three traffic classes at once.
+func chaosNodeOf(addr string) string {
+	switch {
+	case strings.HasPrefix(addr, "gcs-node"):
+		return "n" + addr[len("gcs-node"):]
+	case strings.HasPrefix(addr, "rstore-"):
+		return addr[len("rstore-"):]
+	case strings.HasPrefix(addr, "data-"):
+		rest := addr[len("data-"):]
+		if i := strings.IndexByte(rest, '-'); i >= 0 {
+			return rest[:i]
+		}
+		return rest
+	}
+	return addr
+}
+
+// chaosClassOf maps a cluster address to its traffic class ("gcs",
+// "rstore", "data"), so faults can target, say, only the control plane.
+func chaosClassOf(addr string) string {
+	if i := strings.IndexByte(addr, '-'); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+// nodeTransport is the transport a node's components dial and listen
+// through: the shared fastnet directly, or its chaosnet facade (which tags
+// outbound traffic with the node's identity for per-link fault targeting).
+func (c *Cluster) nodeTransport(id wire.NodeID) vni.Transport {
+	if c.chaos != nil {
+		return c.chaos.Node(chaosNode(id))
+	}
+	return c.fn
+}
 
 // AddNode starts a new node (daemon) and joins it to the cluster,
 // returning its id. This is the dynamic-growth path of §3.1.2.
@@ -116,28 +176,41 @@ func (c *Cluster) AddNode() (wire.NodeID, error) {
 	arch := c.opts.Archs[int(id-1)%len(c.opts.Archs)]
 	c.mu.Unlock()
 
+	tr := c.nodeTransport(id)
+	// Under chaos the default (wide-area-friendly) request timeout would
+	// stall a lost replication RPC for seconds; tighten it so dropped
+	// requests retry on a simulated-cluster timescale.
+	var reqTimeout time.Duration
+	var reqRetries int
+	if c.chaos != nil {
+		reqTimeout = 400 * time.Millisecond
+		reqRetries = 4
+	}
 	mem, err := rstore.New(rstore.Config{
-		Node:      id,
-		Transport: c.fn,
-		Addr:      rstoreAddr(id),
-		PeerAddr:  rstoreAddr,
-		Replicas:  c.opts.Replicas,
-		Logf:      c.opts.Logf,
+		Node:           id,
+		Transport:      tr,
+		Addr:           rstoreAddr(id),
+		PeerAddr:       rstoreAddr,
+		Replicas:       c.opts.Replicas,
+		RequestTimeout: reqTimeout,
+		RequestRetries: reqRetries,
+		Logf:           c.opts.Logf,
 	})
 	if err != nil {
 		return 0, err
 	}
 	d, err := daemon.New(daemon.Config{
-		Node:           id,
-		Transport:      c.fn,
-		GCSAddr:        gcsAddr(id),
-		Contact:        contact,
-		Store:          c.store,
-		Memory:         mem,
-		Arch:           arch,
-		HeartbeatEvery: c.opts.HeartbeatEvery,
-		FailAfter:      c.opts.FailAfter,
-		Logf:           c.opts.Logf,
+		Node:               id,
+		Transport:          tr,
+		GCSAddr:            gcsAddr(id),
+		Contact:            contact,
+		Store:              c.store,
+		Memory:             mem,
+		Arch:               arch,
+		HeartbeatEvery:     c.opts.HeartbeatEvery,
+		FailAfter:          c.opts.FailAfter,
+		SuspectAfterMisses: c.opts.SuspectAfterMisses,
+		Logf:               c.opts.Logf,
 	})
 	if err != nil {
 		mem.Close()
@@ -205,6 +278,16 @@ func (c *Cluster) MemStore(id wire.NodeID) (*rstore.Store, error) {
 // Transport returns the cluster's shared network.
 func (c *Cluster) Transport() *vni.Fastnet { return c.fn }
 
+// Chaos returns the fault-injection controller, or nil when the cluster was
+// built without Options.ChaosSeed. Partitions and link faults programmed
+// here apply to all of a node's traffic (gcs, rstore, and data paths).
+func (c *Cluster) Chaos() *chaosnet.Controller {
+	if c.chaos == nil {
+		return nil
+	}
+	return c.chaos.Controller()
+}
+
 // Crash kills a node abruptly: its network presence vanishes and its
 // daemon (with all hosted application processes) dies. Remote failure
 // detectors notice via missed heartbeats — nothing is announced.
@@ -268,6 +351,10 @@ func (c *Cluster) Shutdown() {
 	}
 	for _, m := range mems {
 		m.Close()
+	}
+	if c.chaos != nil {
+		// Cancel pending timed resets and drop per-conn state.
+		c.chaos.Controller().Close()
 	}
 }
 

@@ -276,7 +276,12 @@ func TestCrashNotifyRepartition(t *testing.T) {
 func TestMigrateToNewNode(t *testing.T) {
 	c := newCluster(t, 2)
 	waitMainView(t, c, 2)
-	spec := ringSpec(9, 2, 4000)
+	// Pace the ring: the first recovery line commits at round 40 (~80ms
+	// in), leaving ~900ms of remaining runtime for the suspend cast to
+	// land. An unthrottled ring can finish all its rounds inside the
+	// few-ms gap between the commit poll and the cast.
+	spec := ringSpec(9, 2, 500)
+	spec.Args = apps.RingArgsPaced(500, 2*time.Millisecond)
 	spec.CkptEverySteps = 40
 	if err := c.Submit(spec); err != nil {
 		t.Fatal(err)

@@ -89,6 +89,10 @@ type Config struct {
 	// HeartbeatEvery/FailAfter tune the failure detector.
 	HeartbeatEvery time.Duration
 	FailAfter      time.Duration
+	// SuspectAfterMisses, when positive, expresses the failure-detector
+	// threshold as a count of consecutive missed probe intervals instead of
+	// a duration; it takes precedence over FailAfter (see gcs.Config).
+	SuspectAfterMisses int
 	// Logf receives diagnostics when non-nil.
 	Logf func(string, ...any)
 }
@@ -171,8 +175,9 @@ func New(cfg Config) (*Daemon, error) {
 		Transport:      cfg.Transport,
 		Addr:           cfg.GCSAddr,
 		Contact:        cfg.Contact,
-		HeartbeatEvery: cfg.HeartbeatEvery,
-		FailAfter:      cfg.FailAfter,
+		HeartbeatEvery:     cfg.HeartbeatEvery,
+		FailAfter:          cfg.FailAfter,
+		SuspectAfterMisses: cfg.SuspectAfterMisses,
 	})
 	if err != nil {
 		return nil, err

@@ -82,10 +82,14 @@ type engine struct {
 
 	// failover candidate state
 	syncing      bool
+	syncFor      wire.NodeID // the coordinator this sync is replacing
 	syncStarted  time.Time
 	syncResps    map[wire.NodeID]syncResp
 	syncTargets  map[wire.NodeID]bool
 	failoverWait time.Time // non-candidate: when we started waiting for the candidate
+
+	// gap repair
+	lastRetransReq time.Time
 }
 
 type syncResp struct {
@@ -475,6 +479,13 @@ func (e *engine) handleMsg(m wire.Msg) {
 	switch m.Kind {
 	case kHeartbeat:
 		e.noteAlive(from)
+		if from == e.view.Coord && !e.isCoord() && len(m.Payload) >= 8 {
+			if last := wire.NewReader(m.Payload).U64(); last > e.delivered {
+				e.requestRetrans()
+			}
+		}
+	case kRetransReq:
+		e.handleRetransReq(m)
 	case kDeliver:
 		if from == e.view.Coord || e.syncTargets != nil {
 			e.noteAlive(from)
@@ -519,11 +530,27 @@ func (e *engine) noteAlive(n wire.NodeID) {
 	now := time.Now()
 	if n == e.view.Coord {
 		e.lastCoordHeard = now
+		// A live coordinator means no failover is needed: stop waiting for
+		// a candidate, and if we are the candidate mid-election, abort the
+		// sync — completing it would install a spurious view that excludes
+		// a coordinator that merely fell silent for a while.
+		e.failoverWait = time.Time{}
+		if e.syncing && e.syncFor == n {
+			e.abortSync()
+		}
 	}
 	if e.isCoord() {
 		e.lastHeard[n] = now
 	}
 	delete(e.suspected, n)
+}
+
+// abortSync cancels an in-progress failover election without installing a
+// view; late kSyncResp messages are ignored because syncTargets is cleared.
+func (e *engine) abortSync() {
+	e.syncing = false
+	e.syncResps = nil
+	e.syncTargets = nil
 }
 
 func (e *engine) handleJoin(m wire.Msg) {
@@ -606,13 +633,17 @@ func (e *engine) installViewWithout(gone []wire.NodeID) {
 func (e *engine) tick() {
 	now := time.Now()
 	if e.isCoord() {
-		// Probe members, detect member crashes.
+		// Probe members, detect member crashes. The heartbeat carries the
+		// highest assigned sequence number so a member that lost the tail
+		// of the delivery stream notices the gap even when no further
+		// traffic arrives.
+		hbPayload := wire.NewWriter(8).U64(e.nextSeq - 1).Bytes()
 		var gone []wire.NodeID
 		for _, member := range e.view.Members {
 			if member == e.cfg.Node {
 				continue
 			}
-			hb := wire.Msg{Type: wire.TControl, Kind: kHeartbeat, Src: wire.Rank(e.cfg.Node)}
+			hb := wire.Msg{Type: wire.TControl, Kind: kHeartbeat, Src: wire.Rank(e.cfg.Node), Payload: hbPayload}
 			e.nic.Send(e.view.Addrs[member], &hb)
 			if last, ok := e.lastHeard[member]; ok && now.Sub(last) > e.cfg.FailAfter {
 				gone = append(gone, member)
@@ -637,6 +668,11 @@ func (e *engine) tick() {
 	}
 	for _, p := range e.pendingCasts {
 		e.forwardCast(p)
+	}
+	// A buffered out-of-order delivery means an earlier kDeliver was lost:
+	// ask the coordinator to repair the gap from its retransmission log.
+	if !e.syncing && len(e.pendingDel) > 0 && !e.suspected[e.view.Coord] {
+		e.requestRetrans()
 	}
 
 	if e.syncing {
@@ -682,6 +718,7 @@ func (e *engine) lowestSurvivor() wire.NodeID {
 
 func (e *engine) startSync() {
 	e.syncing = true
+	e.syncFor = e.view.Coord
 	e.syncStarted = time.Now()
 	e.syncResps = make(map[wire.NodeID]syncResp)
 	e.syncTargets = make(map[wire.NodeID]bool)
@@ -873,4 +910,53 @@ func (e *engine) finishSync() {
 		}
 	}
 	e.deliver(sm)
+}
+
+// ---- gap repair ----
+
+// requestRetrans asks the coordinator to resend every sequenced message
+// above our delivered horizon, rate-limited to one request per heartbeat
+// interval so a long outage does not flood the sequencer.
+func (e *engine) requestRetrans() {
+	now := time.Now()
+	if now.Sub(e.lastRetransReq) < e.cfg.HeartbeatEvery {
+		return
+	}
+	e.lastRetransReq = now
+	addr, ok := e.view.Addrs[e.view.Coord]
+	if !ok || e.isCoord() {
+		return
+	}
+	m := wire.Msg{Type: wire.TControl, Kind: kRetransReq, Src: wire.Rank(e.cfg.Node),
+		Payload: wire.NewWriter(8).U64(e.delivered).Bytes()}
+	e.nic.Send(addr, &m)
+}
+
+// handleRetransReq resends log entries above the requester's delivered
+// horizon, at most retransBatch per request. Coordinator only.
+func (e *engine) handleRetransReq(m wire.Msg) {
+	from := wire.NodeID(m.Src)
+	if !e.isCoord() || !e.view.Contains(from) {
+		return
+	}
+	r := wire.NewReader(m.Payload)
+	horizon := r.U64()
+	if r.Err() != nil {
+		return
+	}
+	addr, ok := e.view.Addrs[from]
+	if !ok {
+		return
+	}
+	sent := 0
+	for s := horizon + 1; s <= e.delivered && sent < retransBatch; s++ {
+		sm, ok := e.log[s]
+		if !ok {
+			continue
+		}
+		out := wire.Msg{Type: wire.TControl, Kind: kDeliver, Src: wire.Rank(e.cfg.Node),
+			Payload: encodeSeqMsg(&sm)}
+		e.nic.Send(addr, &out)
+		sent++
+	}
 }

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"starfish/internal/chaosnet"
+	"starfish/internal/leakcheck"
 	"starfish/internal/vni"
 	"starfish/internal/wire"
 )
@@ -226,5 +228,149 @@ func TestSendAfterViewShrink(t *testing.T) {
 	}
 	if string(e.Payload) != "alive" {
 		t.Errorf("payload = %q", e.Payload)
+	}
+}
+
+// TestHeartbeatDuringElectionAbortsSync reproduces the mid-election revival
+// bug: members 2 and 3 lose the coordinator's heartbeats (one-way partition,
+// so the coordinator still hears them and removes nobody), member 2 starts a
+// failover sync, and the partition heals while member 3's sync response is
+// still in flight (injected 60ms delay). The coordinator's fresh heartbeat
+// must abort the election; before the fix the delayed response completed the
+// sync and installed a spurious view {2,3} that split the group.
+func TestHeartbeatDuringElectionAbortsSync(t *testing.T) {
+	leakcheck.Check(t, 0)
+	const hb = 10 * time.Millisecond
+	net := chaosnet.New(vni.NewFastnet(0), 0xE1EC, chaosnet.Config{})
+	ctl := net.Controller()
+
+	mk := func(i int, failAfter time.Duration, misses int) *Endpoint {
+		cfg := Config{
+			Node:               wire.NodeID(i),
+			Transport:          net.Node(fmt.Sprintf("node%d", i)),
+			Addr:               fmt.Sprintf("node%d", i),
+			HeartbeatEvery:     hb,
+			FailAfter:          failAfter,
+			SuspectAfterMisses: misses,
+		}
+		if i > 1 {
+			cfg.Contact = "node1"
+		}
+		ep, err := Join(cfg)
+		if err != nil {
+			t.Fatalf("Join node%d: %v", i, err)
+		}
+		t.Cleanup(ep.Close)
+		return ep
+	}
+	// The coordinator is given a long failure budget so the stalls this
+	// test injects on the members never make IT remove anyone; members use
+	// the tunable miss threshold (8 misses × 10ms = 80ms).
+	eps := []*Endpoint{mk(1, 5*time.Second, 0), mk(2, 0, 8), mk(3, 0, 8)}
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3)
+	}
+
+	// Member 3's sync response to candidate 2 will arrive 60ms late —
+	// after the heal below, but before candidate 2's sync round times out.
+	ctl.SetLinkFaults("node3", "node2", chaosnet.Faults{DelayProb: 1, Delay: 6 * hb})
+	// Cut coordinator→member heartbeats only.
+	ctl.PartitionOneWay("node1", "node2")
+	ctl.PartitionOneWay("node1", "node3")
+	// Members suspect at ~80ms and member 2 starts its sync; heal at 110ms
+	// so a fresh coordinator heartbeat lands mid-election.
+	time.Sleep(11 * hb)
+	ctl.Heal()
+	// Let the delayed sync response land (~140-150ms) and any spurious
+	// view change play out.
+	time.Sleep(15 * hb)
+	ctl.ClearFaults()
+
+	// The group must be intact: a cast from the original coordinator
+	// reaches everyone, and nobody saw a view change.
+	if err := eps[0].Cast([]byte("still-one-group")); err != nil {
+		t.Fatalf("cast after heal: %v", err)
+	}
+	for _, ep := range eps {
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case e, ok := <-ep.Events():
+				if !ok {
+					t.Fatalf("node %d: events closed (excluded from group)", ep.Node())
+				}
+				if e.Kind == EView {
+					t.Fatalf("node %d: spurious view change %v after mid-election heartbeat", ep.Node(), e.View)
+				}
+				if e.Kind == ECast && string(e.Payload) == "still-one-group" {
+					goto next
+				}
+			case <-deadline:
+				t.Fatalf("node %d: cast never delivered after healed election", ep.Node())
+			}
+		}
+	next:
+	}
+}
+
+// TestRetransRepairsDeliveryGap drops 30% of the coordinator's kDeliver
+// traffic to member 2 and verifies the gap-repair path (kRetransReq +
+// heartbeat sequence hints) still delivers every cast, in order.
+func TestRetransRepairsDeliveryGap(t *testing.T) {
+	leakcheck.Check(t, 0)
+	net := chaosnet.New(vni.NewFastnet(0), 0xD407, chaosnet.Config{})
+	mk := func(i int) *Endpoint {
+		cfg := Config{
+			Node:           wire.NodeID(i),
+			Transport:      net.Node(fmt.Sprintf("node%d", i)),
+			Addr:           fmt.Sprintf("node%d", i),
+			HeartbeatEvery: 5 * time.Millisecond,
+			// Lossy links need a forgiving miss threshold.
+			SuspectAfterMisses: 40,
+		}
+		if i > 1 {
+			cfg.Contact = "node1"
+		}
+		ep, err := Join(cfg)
+		if err != nil {
+			t.Fatalf("Join node%d: %v", i, err)
+		}
+		t.Cleanup(ep.Close)
+		return ep
+	}
+	eps := []*Endpoint{mk(1), mk(2), mk(3)}
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3)
+	}
+	net.Controller().SetLinkFaults("node1", "node2", chaosnet.Faults{Drop: 0.3})
+
+	const casts = 120
+	go func() {
+		for i := 0; i < casts; i++ {
+			eps[0].Cast([]byte{byte(i)})
+		}
+	}()
+	for _, ep := range eps {
+		deadline := time.After(30 * time.Second)
+		for got := 0; got < casts; {
+			select {
+			case e, ok := <-ep.Events():
+				if !ok {
+					t.Fatalf("node %d: events closed", ep.Node())
+				}
+				if e.Kind == EView {
+					t.Fatalf("node %d: spurious view change %v under 30%% loss", ep.Node(), e.View)
+				}
+				if e.Kind != ECast {
+					continue
+				}
+				if int(e.Payload[0]) != got {
+					t.Fatalf("node %d: cast %d arrived out of order (want %d)", ep.Node(), e.Payload[0], got)
+				}
+				got++
+			case <-deadline:
+				t.Fatalf("node %d: stalled at %d/%d casts under loss", ep.Node(), got, casts)
+			}
+		}
 	}
 }

@@ -110,8 +110,15 @@ type Config struct {
 	// (default 25ms).
 	HeartbeatEvery time.Duration
 	// FailAfter is how long without a heartbeat before a member is
-	// declared crashed (default 8 probe intervals).
+	// declared crashed (default 8 probe intervals). SuspectAfterMisses
+	// takes precedence when set.
 	FailAfter time.Duration
+	// SuspectAfterMisses, when positive, declares a member crashed after
+	// that many consecutive missed probe intervals — a tunable miss
+	// threshold instead of the fixed FailAfter multiple, so deployments on
+	// lossy or delay-spiky links can trade detection latency for fewer
+	// spurious view changes.
+	SuspectAfterMisses int
 	// StateProvider, if non-nil, is called on the coordinator when a new
 	// member joins; its snapshot is handed to the joiner with its first
 	// view (state transfer).
@@ -122,6 +129,9 @@ func (c *Config) withDefaults() Config {
 	out := *c
 	if out.HeartbeatEvery <= 0 {
 		out.HeartbeatEvery = 25 * time.Millisecond
+	}
+	if out.SuspectAfterMisses > 0 {
+		out.FailAfter = time.Duration(out.SuspectAfterMisses) * out.HeartbeatEvery
 	}
 	if out.FailAfter <= 0 {
 		out.FailAfter = 8 * out.HeartbeatEvery
@@ -149,7 +159,15 @@ const (
 	kSyncReq   uint16 = 0x16 // failover candidate -> survivors
 	kSyncResp  uint16 = 0x17 // survivor -> candidate
 	kLeave     uint16 = 0x18 // departing member -> coordinator
+	// kRetransReq asks the coordinator to resend sequenced messages above
+	// the sender's delivered horizon — the gap-repair path that lets the
+	// group make progress when kDeliver traffic is lost on the wire.
+	kRetransReq uint16 = 0x19 // member -> coordinator (payload: delivered)
 )
+
+// retransBatch bounds how many log entries one kRetransReq resends, so a
+// member far behind catches up in bursts rather than one giant storm.
+const retransBatch = 64
 
 // deliverKind discriminates sequenced messages.
 const (

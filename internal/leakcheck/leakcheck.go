@@ -1,0 +1,58 @@
+// Package leakcheck is a tiny shared goroutine-leak detector for tests.
+//
+// The chaos soak's acceptance bar includes "no leaked goroutines": a
+// failure path that forgets to stop a poller or an engine loop passes a
+// single test run silently and only shows up as creeping resource use.
+// Check snapshots the goroutine count when called and verifies on test
+// cleanup — after the package under test has shut down — that the count
+// returned to (near) the baseline, retrying briefly to let exiting
+// goroutines unwind before declaring a leak and dumping all stacks.
+package leakcheck
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the current goroutine count and registers a cleanup that
+// fails t if, by the end of the test, more than slack goroutines above the
+// baseline remain. Call it first in a test, before the system under test
+// starts, and after any t.Cleanup whose teardown must run first (cleanups
+// run last-registered-first). slack <= 0 selects 0: any growth fails.
+func Check(t testing.TB, slack int) {
+	t.Helper()
+	if slack < 0 {
+		slack = 0
+	}
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Give exiting goroutines a moment to unwind: Close methods often
+		// return before their workers have finished dying.
+		deadline := time.Now().Add(5 * time.Second)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= base+slack || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if now > base+slack {
+			t.Errorf("leakcheck: %d goroutines at start, %d at end (slack %d)\n%s",
+				base, now, slack, stacks())
+		}
+	})
+}
+
+// stacks formats all goroutine stacks, trimmed to a readable size.
+func stacks() []byte {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	b := buf[:n]
+	if len(b) > 64<<10 {
+		b = append(b[:64<<10:64<<10], []byte("\n... (truncated)")...)
+	}
+	return bytes.TrimSpace(b)
+}

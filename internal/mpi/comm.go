@@ -84,6 +84,14 @@ type Config struct {
 	// Coll, when non-nil, overrides the collective algorithm tuning table
 	// (crossover thresholds, segment sizes). Nil means DefaultCollTuning.
 	Coll *CollTuning
+	// SentCounts/RecvCounts seed the per-pair sequence counters before the
+	// progress engine starts. A restarted rank MUST seed its restored counts
+	// here rather than install them afterwards: peers that finished their own
+	// restore earlier are already re-sending, and any message accepted while
+	// the counters still read zero would bypass duplicate suppression and
+	// linger in the unexpected queue as a stale extra token.
+	SentCounts map[wire.Rank]uint64
+	RecvCounts map[wire.Rank]uint64
 }
 
 // envelope is a matched or matchable message inside the engine.
@@ -165,6 +173,12 @@ func New(cfg Config) (*Comm, error) {
 		sentCount: make(map[wire.Rank]uint64),
 		recvCount: make(map[wire.Rank]uint64),
 		done:      make(chan struct{}),
+	}
+	for r, n := range cfg.SentCounts {
+		c.sentCount[r] = n
+	}
+	for r, n := range cfg.RecvCounts {
+		c.recvCount[r] = n
 	}
 	if cfg.Coll != nil {
 		c.coll = *cfg.Coll
@@ -742,6 +756,12 @@ func (c *Comm) InjectRecorded(msgs []RecordedMsg, counted bool) {
 // SetCounts restores the per-peer cumulative send/receive counters from a
 // checkpoint, re-establishing per-pair sequence continuity across the
 // restart.
+//
+// Deprecated for the restart path: installing counts after New leaves a
+// window in which the already-running progress engine accepts (and fails to
+// suppress) stale duplicates from peers that restored faster. Restarted
+// ranks must seed Config.SentCounts/RecvCounts instead; SetCounts remains
+// for tests and for callers that can guarantee no in-flight traffic.
 func (c *Comm) SetCounts(sent, recv map[wire.Rank]uint64) {
 	c.mu.Lock()
 	c.sentCount = make(map[wire.Rank]uint64, len(sent))

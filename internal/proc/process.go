@@ -426,6 +426,24 @@ func (p *Process) initialize(si StartInfo) error {
 		mcfg.OnReceive = p.cr.onReceive
 		mcfg.LogSends = true
 	}
+	// On a restart, read the checkpoint before building the communicator:
+	// the restored sequence counts must be live from the communicator's
+	// first instant. Ranks restore at different speeds, and a peer that
+	// finished earlier is already re-sending messages our restored state
+	// has consumed; if the progress engine ran with zeroed counts even
+	// briefly, those duplicates would be accepted instead of suppressed
+	// and would desynchronize the application permanently.
+	restore := si.Restore && si.RestoreIndex > 0
+	var img []byte
+	var meta *ckpt.Meta
+	if restore {
+		var err error
+		img, meta, err = p.store.Get(p.spec.ID, p.rank, si.RestoreIndex)
+		if err != nil {
+			return fmt.Errorf("proc: restart: %w", err)
+		}
+		mcfg.SentCounts, mcfg.RecvCounts = meta.SentCounts, meta.RecvCounts
+	}
 	comm, err := mpi.New(mcfg)
 	if err != nil {
 		return err
@@ -447,11 +465,7 @@ func (p *Process) initialize(si StartInfo) error {
 		p.cr.nextIndex = 1
 	}
 
-	if si.Restore && si.RestoreIndex > 0 {
-		img, meta, err := p.store.Get(p.spec.ID, p.rank, si.RestoreIndex)
-		if err != nil {
-			return fmt.Errorf("proc: restart: %w", err)
-		}
+	if restore {
 		raw, err := p.encoder.Decode(img, p.arch)
 		if err != nil {
 			return fmt.Errorf("proc: restart decode: %w", err)
@@ -463,10 +477,9 @@ func (p *Process) initialize(si StartInfo) error {
 		if err := p.app.Restore(p.ctx, state); err != nil {
 			return fmt.Errorf("proc: restore: %w", err)
 		}
-		// Re-establish per-pair sequence continuity, then re-inject the
-		// MPI-layer state: pending messages were counted before the
-		// snapshot, recorded channel state arrived after it.
-		comm.SetCounts(meta.SentCounts, meta.RecvCounts)
+		// Re-inject the MPI-layer state (sequence continuity was seeded at
+		// construction): pending messages were counted before the snapshot,
+		// recorded channel state arrived after it.
 		comm.InjectRecorded(pending, false)
 		comm.InjectRecorded(recorded, true)
 		comm.SetInterval(si.RestoreIndex)

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"starfish/internal/ckpt"
 	"starfish/internal/vni"
@@ -74,6 +75,16 @@ type Config struct {
 	// Replicas is the target number of in-memory copies of each checkpoint,
 	// counting the writer's own (default 2, i.e. survive one node loss).
 	Replicas int
+	// RequestTimeout bounds one peer request/reply round trip (default 2s).
+	// A request whose reply does not arrive in time drops the connection
+	// (so a desynchronized stream can never pair replies with the wrong
+	// requests) and counts as a failure.
+	RequestTimeout time.Duration
+	// RequestRetries is how many extra attempts a failed peer request gets
+	// (default 2). Every peer operation is idempotent — puts overwrite,
+	// reads are pure — so retrying after a timeout or a dropped reply is
+	// always safe.
+	RequestRetries int
 	// Logf, when non-nil, receives replication diagnostics.
 	Logf func(string, ...any)
 }
@@ -126,10 +137,13 @@ func (st Stats) String() string {
 }
 
 // peerConn is one lazily dialed, lockstep request/response connection to a
-// peer store. The mutex serializes requests so replies match requests.
+// peer store. The mutex serializes requests; each request carries a tag the
+// reply must echo, so a duplicated or stale reply on the stream is discarded
+// instead of being paired with the wrong request.
 type peerConn struct {
 	mu   sync.Mutex
 	conn vni.Conn
+	tag  int32
 }
 
 // Store is a replicated in-memory checkpoint repository. It implements
@@ -138,6 +152,11 @@ type peerConn struct {
 type Store struct {
 	cfg Config
 	ln  vni.Listener
+
+	// bg tracks background view-change work (re-replication passes and
+	// stale-peer teardown). Close waits for it: cfg.Logf is often a
+	// test's t.Logf, which must not be called after the test returns.
+	bg sync.WaitGroup
 
 	mu      sync.Mutex
 	closed  bool
@@ -160,6 +179,14 @@ var _ ckpt.Backend = (*Store)(nil)
 func New(cfg Config) (*Store, error) {
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 2
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Second
+	}
+	if cfg.RequestRetries < 0 {
+		cfg.RequestRetries = 0
+	} else if cfg.RequestRetries == 0 {
+		cfg.RequestRetries = 2
 	}
 	ln, err := cfg.Transport.Listen(cfg.Addr)
 	if err != nil {
@@ -200,7 +227,12 @@ func (s *Store) Close() error {
 		}
 		pc.mu.Unlock()
 	}
-	return s.ln.Close()
+	err := s.ln.Close()
+	// Wait for background re-replication: its per-step closed checks and
+	// the now-failing peer requests bound the wait, and afterwards nothing
+	// can call cfg.Logf again.
+	s.bg.Wait()
+	return err
 }
 
 // Addr returns the store's bound listen address.
@@ -277,7 +309,9 @@ func (s *Store) UpdateView(members []wire.NodeID) {
 	for n, pc := range s.peers {
 		if !live[n] {
 			delete(s.peers, n)
+			s.bg.Add(1)
 			go func(pc *peerConn) {
+				defer s.bg.Done()
 				pc.mu.Lock()
 				if pc.conn != nil {
 					pc.conn.Close()
@@ -287,8 +321,12 @@ func (s *Store) UpdateView(members []wire.NodeID) {
 			}(pc)
 		}
 	}
+	s.bg.Add(1)
 	s.mu.Unlock()
-	go s.reReplicate(gen)
+	go func() {
+		defer s.bg.Done()
+		s.reReplicate(gen)
+	}()
 }
 
 // Members returns the current sorted membership (copy).
@@ -399,39 +437,48 @@ func (s *Store) Put(app wire.AppID, rank wire.Rank, n uint64, img []byte, meta *
 }
 
 // pushImage sends one image to a peer and records the ack. The payload is
-// staged once into a pooled buffer and then moves to the peer copy-free.
+// staged into a pooled buffer and then moves to the peer copy-free; because
+// a successful Send gives the buffer away, each retry after a timeout or
+// dropped reply restages a fresh one (puts are idempotent overwrites).
 func (s *Store) pushImage(peer wire.NodeID, k key, metaBytes, img []byte) error {
-	buf := wire.GetBuf(4 + len(metaBytes) + len(img))
-	binary.BigEndian.PutUint32(buf, uint32(len(metaBytes)))
-	copy(buf[4:], metaBytes)
-	copy(buf[4+len(metaBytes):], img)
-	m := wire.Msg{
-		Type: wire.TControl, Kind: kPut,
-		App: k.app, Src: k.rank, Seq: k.n,
-		Payload: buf, Pooled: true,
-	}
 	s.mu.Lock()
 	s.pushes++
 	s.mu.Unlock()
-	reply, err := s.request(peer, &m)
-	if err != nil || reply.Kind != kOK {
-		s.mu.Lock()
-		s.pushFailures++
-		s.mu.Unlock()
-		if err == nil {
+	var err error
+	for attempt := 0; attempt <= s.cfg.RequestRetries; attempt++ {
+		buf := wire.GetBuf(4 + len(metaBytes) + len(img))
+		binary.BigEndian.PutUint32(buf, uint32(len(metaBytes)))
+		copy(buf[4:], metaBytes)
+		copy(buf[4+len(metaBytes):], img)
+		m := wire.Msg{
+			Type: wire.TControl, Kind: kPut,
+			App: k.app, Src: k.rank, Seq: k.n,
+			Payload: buf, Pooled: true,
+		}
+		var reply wire.Msg
+		reply, err = s.request(peer, &m)
+		if err == nil && reply.Kind != kOK {
 			err = fmt.Errorf("rstore: unexpected reply kind %#x", reply.Kind)
 		}
-		return err
+		if err == nil {
+			s.mu.Lock()
+			acks := s.acked[k]
+			if acks == nil {
+				acks = make(map[wire.NodeID]bool)
+				s.acked[k] = acks
+			}
+			acks[peer] = true
+			s.mu.Unlock()
+			return nil
+		}
+		if m.Pooled && m.Payload != nil {
+			m.Release() // send failed before the payload moved
+		}
 	}
 	s.mu.Lock()
-	acks := s.acked[k]
-	if acks == nil {
-		acks = make(map[wire.NodeID]bool)
-		s.acked[k] = acks
-	}
-	acks[peer] = true
+	s.pushFailures++
 	s.mu.Unlock()
-	return nil
+	return err
 }
 
 // broadcastIndex replicates index entries to every member except ourselves.
@@ -833,9 +880,10 @@ func (s *Store) reReplicate(gen uint64) {
 // Peer RPC plumbing
 // ---------------------------------------------------------------------------
 
-// request sends one request to a peer and waits for its reply. Connections
-// are dialed lazily, serialized per peer (lockstep request/response), and
-// dropped on any error so the next request redials.
+// request sends one request to a peer and waits for its reply, retrying on
+// failure (every peer operation is idempotent). Pooled-payload requests are
+// not retried here — a successful Send moves the payload away, so their
+// callers restage and retry themselves (see pushImage).
 func (s *Store) request(peer wire.NodeID, m *wire.Msg) (wire.Msg, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -849,6 +897,31 @@ func (s *Store) request(peer wire.NodeID, m *wire.Msg) (wire.Msg, error) {
 	}
 	s.mu.Unlock()
 
+	attempts := 1
+	if !m.Pooled {
+		attempts += s.cfg.RequestRetries
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		reply, err := s.requestOnce(pc, peer, m)
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			break
+		}
+	}
+	return wire.Msg{}, lastErr
+}
+
+// requestOnce performs one tagged request/reply round trip with a timeout.
+// Connections are dialed lazily, serialized per peer, and dropped on any
+// error or timeout so the next attempt starts on a clean stream.
+func (s *Store) requestOnce(pc *peerConn, peer wire.NodeID, m *wire.Msg) (wire.Msg, error) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if pc.conn == nil {
@@ -858,18 +931,67 @@ func (s *Store) request(peer wire.NodeID, m *wire.Msg) (wire.Msg, error) {
 		}
 		pc.conn = conn
 	}
+	pc.tag++
+	m.Tag = pc.tag
+	tag := pc.tag
 	if err := pc.conn.Send(m); err != nil {
 		pc.conn.Close()
 		pc.conn = nil
 		return wire.Msg{}, err
 	}
-	reply, err := pc.conn.Recv()
-	if err != nil {
+
+	// Receive in a helper goroutine so the wait can time out; mismatched
+	// tags (a duplicated reply, or the late reply of a predecessor that
+	// timed out after Send) are discarded.
+	conn := pc.conn
+	type res struct {
+		m   wire.Msg
+		err error
+	}
+	ch := make(chan res)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			r, err := conn.Recv()
+			if err != nil {
+				select {
+				case ch <- res{err: err}:
+				case <-done:
+				}
+				return
+			}
+			if r.Tag != tag {
+				r.Release()
+				continue
+			}
+			select {
+			case ch <- res{m: r}:
+			case <-done:
+				r.Release()
+			}
+			return
+		}
+	}()
+
+	timer := time.NewTimer(s.cfg.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			pc.conn.Close()
+			pc.conn = nil
+			return wire.Msg{}, r.err
+		}
+		return r.m, nil
+	case <-timer.C:
+		// Closing the connection unblocks the receiver goroutine and
+		// guarantees the late reply can never be mispaired.
 		pc.conn.Close()
 		pc.conn = nil
-		return wire.Msg{}, err
+		return wire.Msg{}, fmt.Errorf("rstore: request to node %d timed out after %v",
+			peer, s.cfg.RequestTimeout)
 	}
-	return reply, nil
 }
 
 // serve accepts peer connections for the life of the store.
@@ -892,6 +1014,7 @@ func (s *Store) serveConn(c vni.Conn) {
 			return
 		}
 		reply := s.handle(&m)
+		reply.Tag = m.Tag // pair the reply with its request
 		if err := c.Send(reply); err != nil {
 			return
 		}

@@ -2,7 +2,9 @@ package vni
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 
 	"starfish/internal/wire"
 )
@@ -26,6 +28,19 @@ type NIC struct {
 	conns    map[string]Conn // dialed, by remote listen address
 	accepted []Conn          // inbound connections, closed with the NIC
 	closed   bool
+
+	// dialing single-flights concurrent Connect calls per address: the
+	// first caller dials, the rest wait for its outcome.
+	dialing map[string]*dialCall
+	// dialCool fail-fasts Connects to an address whose last full dial
+	// round failed, so senders to a dead peer do not pay the in-call
+	// backoff on every message.
+	dialCool map[string]dialCool
+
+	// Dial-retry policy, see SetDialRetry.
+	dialAttempts int
+	dialBackoff  time.Duration
+	dialCooldown time.Duration
 
 	inq  chan wire.Msg
 	wg   sync.WaitGroup
@@ -76,12 +91,18 @@ func NewNIC(tr Transport, addr string, queueLen int) (*NIC, error) {
 		return nil, err
 	}
 	n := &NIC{
-		tr:    tr,
-		local: ln.Addr(),
-		ln:    ln,
-		conns: make(map[string]Conn),
-		inq:   make(chan wire.Msg, queueLen),
-		done:  make(chan struct{}),
+		tr:       tr,
+		local:    ln.Addr(),
+		ln:       ln,
+		conns:    make(map[string]Conn),
+		dialing:  make(map[string]*dialCall),
+		dialCool: make(map[string]dialCool),
+		inq:      make(chan wire.Msg, queueLen),
+		done:     make(chan struct{}),
+
+		dialAttempts: 4,
+		dialBackoff:  time.Millisecond,
+		dialCooldown: 250 * time.Millisecond,
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -135,41 +156,129 @@ func (n *NIC) startPoller(c Conn) {
 	}()
 }
 
+// dialCall single-flights a dial: the owner closes done after setting err.
+type dialCall struct {
+	done chan struct{}
+	err  error
+}
+
+// dialCool marks an address whose last full dial round failed; Connects
+// before until return err without dialing.
+type dialCool struct {
+	until time.Time
+	err   error
+}
+
+// SetDialRetry tunes the dial-retry policy: up to attempts dials per
+// Connect with exponential backoff from base (jittered ±50%) between them,
+// and a fail-fast cooldown after a fully failed round during which further
+// Connects return the cached error immediately. Zero values keep the
+// current setting. Call before the NIC is shared between goroutines.
+func (n *NIC) SetDialRetry(attempts int, base, cooldown time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if attempts > 0 {
+		n.dialAttempts = attempts
+	}
+	if base > 0 {
+		n.dialBackoff = base
+	}
+	if cooldown > 0 {
+		n.dialCooldown = cooldown
+	}
+}
+
 // Connect ensures a connection to the peer listening at addr, dialing if
-// needed. It is idempotent and safe for concurrent use.
+// needed. Concurrent Connects to the same address are single-flighted: one
+// goroutine dials (with bounded exponential-backoff retry), the rest wait
+// for its outcome, so a dial race can never leak a second connection. It
+// is idempotent and safe for concurrent use.
 func (n *NIC) Connect(addr string) error {
-	n.mu.Lock()
-	if n.closed {
+	for {
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return ErrClosed
+		}
+		if _, ok := n.conns[addr]; ok {
+			n.mu.Unlock()
+			return nil
+		}
+		if dc := n.dialing[addr]; dc != nil {
+			n.mu.Unlock()
+			select {
+			case <-dc.done:
+			case <-n.done:
+				return ErrClosed
+			}
+			if dc.err != nil {
+				return dc.err
+			}
+			continue // the owner registered the conn; re-check the map
+		}
+		if cool, ok := n.dialCool[addr]; ok {
+			if time.Now().Before(cool.until) {
+				n.mu.Unlock()
+				return cool.err
+			}
+			delete(n.dialCool, addr)
+		}
+		dc := &dialCall{done: make(chan struct{})}
+		n.dialing[addr] = dc
 		n.mu.Unlock()
-		return ErrClosed
-	}
-	if _, ok := n.conns[addr]; ok {
+
+		c, err := n.dialRetry(addr)
+
+		n.mu.Lock()
+		delete(n.dialing, addr)
+		if err != nil {
+			n.dialCool[addr] = dialCool{until: time.Now().Add(n.dialCooldown), err: err}
+			n.mu.Unlock()
+			dc.err = err
+			close(dc.done)
+			return err
+		}
+		if n.closed {
+			n.mu.Unlock()
+			c.Close()
+			dc.err = ErrClosed
+			close(dc.done)
+			return ErrClosed
+		}
+		n.conns[addr] = c
 		n.mu.Unlock()
+		close(dc.done)
+		n.startPoller(c)
 		return nil
 	}
-	n.mu.Unlock()
+}
 
-	c, err := n.tr.Dial(addr)
-	if err != nil {
-		return err
+// dialRetry dials addr up to dialAttempts times, sleeping an exponentially
+// growing, jittered backoff between attempts. Transient outages (a peer
+// restarting its listener, an injected dial failure window) are absorbed
+// here; a persistent failure is reported after the last attempt and then
+// fail-fasted by the Connect cooldown.
+func (n *NIC) dialRetry(addr string) (Conn, error) {
+	var lastErr error
+	for i := 0; i < n.dialAttempts; i++ {
+		c, err := n.tr.Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if i+1 >= n.dialAttempts {
+			break
+		}
+		d := n.dialBackoff << uint(i)
+		// Jitter to ±50% so a cluster's reconnect storms decorrelate.
+		d = d/2 + time.Duration(rand.Int63n(int64(d)))
+		select {
+		case <-time.After(d):
+		case <-n.done:
+			return nil, ErrClosed
+		}
 	}
-
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		c.Close()
-		return ErrClosed
-	}
-	if _, ok := n.conns[addr]; ok {
-		// Lost the dial race; keep the first connection.
-		n.mu.Unlock()
-		c.Close()
-		return nil
-	}
-	n.conns[addr] = c
-	n.mu.Unlock()
-	n.startPoller(c)
-	return nil
+	return nil, lastErr
 }
 
 // Send transmits m to the peer at addr, connecting on first use. Pooled

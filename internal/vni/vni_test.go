@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"starfish/internal/leakcheck"
 	"starfish/internal/wire"
 )
 
@@ -466,5 +467,145 @@ func TestQuickFastnetPayloadIntegrity(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// countingTransport counts dials and can fail the first failN of them,
+// for exercising the NIC's single-flight and retry logic.
+type countingTransport struct {
+	Transport
+	mu    sync.Mutex
+	dials int
+	failN int
+}
+
+func (c *countingTransport) Dial(addr string) (Conn, error) {
+	c.mu.Lock()
+	c.dials++
+	fail := c.dials <= c.failN
+	c.mu.Unlock()
+	if fail {
+		return nil, ErrNoRoute
+	}
+	return c.Transport.Dial(addr)
+}
+
+func (c *countingTransport) dialCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dials
+}
+
+func TestNICConnectSingleFlight(t *testing.T) {
+	leakcheck.Check(t, 0)
+	fn := NewFastnet(0)
+	peer, err := NewNIC(fn, "peer", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+
+	ct := &countingTransport{Transport: fn}
+	n, err := NewNIC(ct, "self", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	// Many goroutines race Connect to the same address: exactly one dial
+	// must happen, and nobody may observe an error.
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- n.Connect("peer")
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ct.dialCount(); got != 1 {
+		t.Fatalf("%d dials for 32 concurrent Connects, want 1", got)
+	}
+}
+
+func TestNICConnectRetriesTransientFailure(t *testing.T) {
+	leakcheck.Check(t, 0)
+	fn := NewFastnet(0)
+	peer, err := NewNIC(fn, "peer", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+
+	ct := &countingTransport{Transport: fn, failN: 2}
+	n, err := NewNIC(ct, "self", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.SetDialRetry(4, 100*time.Microsecond, time.Second)
+
+	if err := n.Connect("peer"); err != nil {
+		t.Fatalf("Connect with 2 transient failures: %v", err)
+	}
+	if got := ct.dialCount(); got != 3 {
+		t.Fatalf("%d dials, want 3 (two failures + success)", got)
+	}
+}
+
+func TestNICConnectCooldownFailsFast(t *testing.T) {
+	leakcheck.Check(t, 0)
+	fn := NewFastnet(0)
+	ct := &countingTransport{Transport: fn, failN: 1 << 30}
+	n, err := NewNIC(ct, "self", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.SetDialRetry(3, 100*time.Microsecond, time.Minute)
+
+	if err := n.Connect("nowhere"); err != ErrNoRoute {
+		t.Fatalf("Connect to dead addr: %v, want ErrNoRoute", err)
+	}
+	dialsAfterRound := ct.dialCount()
+	if dialsAfterRound != 3 {
+		t.Fatalf("%d dials in first round, want 3", dialsAfterRound)
+	}
+	// During the cooldown the cached error comes back without dialing.
+	if err := n.Connect("nowhere"); err != ErrNoRoute {
+		t.Fatalf("cooldown Connect: %v, want ErrNoRoute", err)
+	}
+	if got := ct.dialCount(); got != dialsAfterRound {
+		t.Fatalf("cooldown Connect dialed (%d total)", got)
+	}
+}
+
+func TestNICCloseDuringDialBackoff(t *testing.T) {
+	fn := NewFastnet(0)
+	ct := &countingTransport{Transport: fn, failN: 1 << 30}
+	n, err := NewNIC(ct, "self", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetDialRetry(10, 50*time.Millisecond, time.Minute)
+
+	done := make(chan error, 1)
+	go func() { done <- n.Connect("nowhere") }()
+	time.Sleep(10 * time.Millisecond)
+	n.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Connect succeeded against a dead addr")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Connect did not return after NIC close")
 	}
 }

@@ -37,6 +37,13 @@ go test -race ./internal/wire/ ./internal/vni/ ./internal/mpi/
 echo "== go test -race (checkpoint-storage packages) =="
 go test -race ./internal/ckpt/ ./internal/rstore/ ./internal/daemon/ ./internal/cluster/
 
+echo "== chaos soak (short, fixed seeds: kill + 5% loss) =="
+# Two seeds of the fault matrix under -race with reduced round counts
+# (-short): a rank-hosting node killed mid-run, then the same kill under 5%
+# control-plane loss. The full matrix (partitions, delay spikes) runs via
+# `make chaos`. The soak tests carry the shared goroutine-leak check.
+go test -race -short -count 1 -run 'TestChaosSoak/(kill|loss5pct)' ./internal/cluster/
+
 echo "== allocation benchmarks =="
 BENCH_OUT=$(mktemp)
 trap 'rm -f "$BENCH_OUT"' EXIT
