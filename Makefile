@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check quick build test race bench chaos
+.PHONY: check quick lint build test race bench chaos
 
 # Full CI gate: vet, build, tests, -race on the fast-path and
 # checkpoint-storage packages, and the allocation + recovery benchmarks
@@ -11,6 +11,14 @@ check:
 # Fast inner-loop gate: vet/build/test only.
 quick:
 	scripts/check.sh --quick
+
+# Static gates: gofmt, go vet, and the repo's own starfish-vet analyzers
+# (pooled-buffer ownership, lock discipline, goroutine lifecycle, error
+# drops on write paths). See DESIGN.md "Static invariants".
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/starfish-vet ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,35 @@
+// Seeded violations, one per analyzer. scripts/check.sh runs
+// `starfish-vet -dir` on this directory and requires every check to fire
+// and the tool to exit nonzero — proving the analyzers still detect the
+// bug classes they exist for (a vet suite that silently stopped finding
+// anything would otherwise look like a clean repo).
+package smoke
+
+import (
+	"sync"
+	"time"
+
+	"starfish/internal/wire"
+)
+
+func poolViolation() {
+	wire.GetBuf(32) // poolcheck: acquired buffer discarded on the spot
+}
+
+func lockViolation(mu *sync.Mutex) {
+	mu.Lock()
+	time.Sleep(time.Millisecond) // lockcheck: sleeping under a mutex
+	mu.Unlock()
+}
+
+func goroutineViolation() {
+	go func() { // goleak: loops forever with no stop signal
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+func errViolation(f func() error) {
+	_ = f() // errdrop: error silently discarded
+}

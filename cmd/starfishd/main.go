@@ -144,6 +144,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		//starfish:allow goleak management server lives for the daemon process; Serve returns when the listener is closed at exit
 		go mgmt.NewServer(d, *passwd).Serve(l)
 		log.Printf("starfishd: management service on %s", l.Addr())
 	}

@@ -1,0 +1,98 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary, used by the starfish-vet
+// static checkers (poolcheck, lockcheck, goleak, errdrop).
+//
+// The x/tools module is deliberately not vendored: the repo builds with the
+// standard library alone. This package keeps the same shape — an Analyzer
+// with a Run func over a Pass carrying the package's syntax and type
+// information — so the checkers could be ported to the real framework by
+// swapping import paths.
+//
+// # Suppression pragma
+//
+// A diagnostic can be suppressed at a specific site with a comment:
+//
+//	//starfish:allow <check>[,<check>...] <reason>
+//
+// placed either on the flagged line or on the line directly above it. The
+// reason is mandatory; an allow pragma without one is itself reported. The
+// pragma is deliberately narrow (per-line, per-check) so a suppression
+// cannot hide future regressions elsewhere in the file.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the check in diagnostics and in //starfish:allow
+	// pragmas. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the check on one package and reports findings through
+	// pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries the per-package inputs to an Analyzer.Run and collects its
+// diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // parsed non-test sources, with comments
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report records one finding. Safe to call multiple times; the runner
+	// sorts and pragma-filters afterwards.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Check: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding of one check.
+type Diagnostic struct {
+	Pos     token.Pos
+	Check   string
+	Message string
+}
+
+// Check runs each analyzer over pkg, applies //starfish:allow suppression,
+// and returns the surviving diagnostics in file/line order.
+func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	allows, bad := collectAllows(pkg.Fset, pkg.Files)
+	diags = append(filterAllowed(pkg.Fset, diags, allows), bad...)
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Check < diags[j].Check
+	})
+	return diags, nil
+}

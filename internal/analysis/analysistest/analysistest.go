@@ -1,0 +1,133 @@
+// Package analysistest runs an analyzer over a golden fixture directory
+// and compares the diagnostics it reports — after //starfish:allow pragma
+// filtering — against `// want "substring"` comments in the fixture
+// source. It is the stdlib-only stand-in for
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line may carry several expectations:
+//
+//	wire.PutBuf(b) // want "double release" "second thing"
+//
+// Every reported diagnostic must match one want on its line (substring
+// match against the message), and every want must be matched by exactly
+// one diagnostic.
+package analysistest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"starfish/internal/analysis"
+)
+
+var (
+	wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	strRE  = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+type site struct {
+	file string
+	line int
+}
+
+// Run loads dir as a bare (outside the module graph) package, applies the
+// analyzer, and fails the test on any mismatch between diagnostics and
+// want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(moduleRoot(t))
+	pkg, err := loader.LoadDir(abs)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Check(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, abs)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := site{pos.Filename, pos.Line}
+		matched := -1
+		for i, w := range wants[k] {
+			if strings.Contains(d.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s:%d: unexpected diagnostic [%s] %s", pos.Filename, pos.Line, d.Check, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("%s:%d: missing diagnostic matching %q", k.file, k.line, w)
+		}
+	}
+}
+
+// collectWants extracts `// want "..."` expectations from every .go file
+// of the fixture directory, keyed by file and line.
+func collectWants(t *testing.T, dir string) map[site][]string {
+	t.Helper()
+	wants := make(map[site][]string)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			k := site{path, i + 1}
+			for _, q := range strRE.FindAllString(m[1], -1) {
+				s, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want string %s: %v", path, i+1, q, err)
+				}
+				wants[k] = append(wants[k], s)
+			}
+			if len(wants[k]) == 0 {
+				t.Fatalf("%s:%d: want comment with no quoted expectation", path, i+1)
+			}
+		}
+	}
+	return wants
+}
+
+// moduleRoot locates the enclosing module so fixture imports of starfish
+// packages resolve through the loader's export-data path.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatal("not inside a Go module")
+	}
+	return filepath.Dir(gomod)
+}

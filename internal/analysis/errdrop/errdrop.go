@@ -1,0 +1,147 @@
+// Package errdrop flags discarded errors in non-test code:
+//
+//   - any assignment of an error-typed value to the blank identifier
+//     (`_ = conn.Close()`, `v, _ := decode(b)` where the dropped value is
+//     the error);
+//   - bare call statements that silently drop the error of a write-path
+//     function in the wire, vni, ckpt, or rstore packages whose name says
+//     it moves or persists data (Write*, Send*, Flush, Push*, Store,
+//     Put*, Commit*, Sync, Replicate*, Save*).
+//
+// A drop that is genuinely safe is annotated in place:
+//
+//	//starfish:allow errdrop <why the error cannot matter here>
+//
+// The reason is mandatory — an unexplained suppression is itself reported.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"starfish/internal/analysis"
+)
+
+// Analyzer is the errdrop check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "forbid discarded errors (blank assignment anywhere; dropped results on wire/vni/ckpt write paths)",
+	Run:  run,
+}
+
+// writePathPkgs are the packages whose bare-call error drops are flagged.
+var writePathPkgs = map[string]bool{
+	"starfish/internal/wire":   true,
+	"starfish/internal/vni":    true,
+	"starfish/internal/ckpt":   true,
+	"starfish/internal/rstore": true,
+}
+
+// writePathName matches function names that move or persist data.
+var writePathName = regexp.MustCompile(`^(Write|Send|Flush|Push|Store|Put|Commit|Sync|Replicate|Save)`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.ExprStmt:
+				checkBareCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// checkAssign flags blank-assigned error values.
+func checkAssign(pass *analysis.Pass, s *ast.AssignStmt) {
+	// Tuple form: x, _ := call() — result types come from the call.
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[call]
+		if !ok {
+			return
+		}
+		tup, ok := tv.Type.(*types.Tuple)
+		if !ok || tup.Len() != len(s.Lhs) {
+			return
+		}
+		for i, lhs := range s.Lhs {
+			if isBlank(lhs) && isErrorType(tup.At(i).Type()) {
+				pass.Reportf(lhs.Pos(), "error result of %s discarded: handle it or annotate //starfish:allow errdrop <reason>",
+					calleeLabel(pass, call))
+			}
+		}
+		return
+	}
+	// 1:1 form(s): _ = expr.
+	for i, lhs := range s.Lhs {
+		if !isBlank(lhs) || i >= len(s.Rhs) {
+			continue
+		}
+		rhs := s.Rhs[i]
+		tv, ok := pass.TypesInfo.Types[rhs]
+		if !ok || !isErrorType(tv.Type) {
+			continue
+		}
+		label := "value"
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			label = calleeLabel(pass, call)
+		}
+		pass.Reportf(lhs.Pos(), "error result of %s discarded: handle it or annotate //starfish:allow errdrop <reason>", label)
+	}
+}
+
+// checkBareCall flags `f(...)` statements that drop a write-path error.
+func checkBareCall(pass *analysis.Pass, s *ast.ExprStmt) {
+	call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !writePathPkgs[fn.Pkg().Path()] {
+		return
+	}
+	if !writePathName.MatchString(fn.Name()) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			pass.Reportf(call.Pos(),
+				"error result of write-path call %s dropped: handle it or annotate //starfish:allow errdrop <reason>",
+				calleeLabel(pass, call))
+			return
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func calleeLabel(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := analysis.Callee(pass.TypesInfo, call); fn != nil {
+		full := fn.FullName()
+		// Trim module path noise: starfish/internal/wire.WriteMsg -> wire.WriteMsg.
+		full = strings.ReplaceAll(full, "starfish/internal/", "")
+		return full
+	}
+	return "call"
+}

@@ -1,0 +1,11 @@
+package errdrop
+
+import (
+	"testing"
+
+	"starfish/internal/analysis/analysistest"
+)
+
+func TestErrdropFixture(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata")
+}

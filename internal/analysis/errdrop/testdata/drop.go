@@ -1,0 +1,58 @@
+// Golden fixture for errdrop: no silently discarded errors.
+package fixture
+
+import (
+	"errors"
+	"io"
+
+	"starfish/internal/wire"
+)
+
+var errBoom = errors.New("boom")
+
+func mayFail() error       { return errBoom }
+func decode() (int, error) { return 0, errBoom }
+func pair() (int, int)     { return 0, 0 }
+
+// ---- violations ----
+
+func dropBlank() {
+	_ = mayFail() // want "discarded"
+}
+
+func dropTuple() int {
+	v, _ := decode() // want "discarded"
+	return v
+}
+
+func dropWritePath(w io.Writer, m *wire.Msg) {
+	wire.WriteMsg(w, m) // want "write-path"
+}
+
+// ---- compliant ----
+
+func handled() (int, error) {
+	if err := mayFail(); err != nil {
+		return 0, err
+	}
+	return decode()
+}
+
+func blankNonError() int {
+	a, _ := pair() // dropping a non-error is fine
+	return a
+}
+
+func writePathChecked(w io.Writer, m *wire.Msg) error {
+	return wire.WriteMsg(w, m)
+}
+
+func allowedDrop() {
+	//starfish:allow errdrop fixture: failure only matters to the peer, which times out
+	_ = mayFail()
+}
+
+func allowedWritePath(w io.Writer, m *wire.Msg) {
+	//starfish:allow errdrop fixture: best-effort notification, peer death is detected elsewhere
+	wire.WriteMsg(w, m)
+}

@@ -1,0 +1,236 @@
+// Package goleak enforces the goroutine-lifecycle discipline: every `go`
+// statement in non-test code must be tied to a shutdown or completion
+// signal, so no goroutine outlives the component that spawned it. It is
+// the static complement of the runtime internal/leakcheck helper.
+//
+// A goroutine is compliant when its body (or a same-package function it
+// calls, followed transitively) does any of:
+//
+//   - receive from — or select on — a stop/quit/done/shutdown channel or
+//     ctx.Done();
+//   - range over a channel (the loop ends when the sender closes it);
+//   - wait on a sync.Cond (the canonical cond-guarded drain loop, whose
+//     producer signals it on close);
+//   - call sync.WaitGroup.Done (the spawner drains it on Close);
+//   - defer close(ch) — the Close-drained pattern: the spawner waits on
+//     the channel, and whatever unblocks the body (a Close erroring out a
+//     Recv/Accept) ends the goroutine;
+//   - for one-shot bodies (no loops): signal completion by closing a
+//     channel or sending a result on one — the request-scoped pattern of
+//     Isend/Irecv.
+//
+// Loops only count against a goroutine when they appear in the spawned
+// body itself; loops inside functions it calls are that callee's concern
+// (they run under the same lifecycle evidence the body provides).
+//
+// Goroutines whose body is out of package (e.g. go pkg.Thing.Serve(l))
+// cannot be inspected; they must carry a //starfish:allow goleak
+// annotation stating what bounds their lifetime.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"starfish/internal/analysis"
+)
+
+// Analyzer is the goleak check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc:  "every spawned goroutine must observe a stop channel/context, be WaitGroup-tracked, or signal completion",
+	Run:  run,
+}
+
+// stopNames are substrings (lower-cased match) of channel expressions that
+// count as lifecycle signals: `<-p.stop`, `<-ctx.Done()`, `<-s.closed`...
+var stopNames = []string{"stop", "quit", "done", "close", "shut", "exit", "kill", "die", "ctx"}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:  pass,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					c.decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			c.checkGo(g)
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+func (c *checker) checkGo(g *ast.GoStmt) {
+	body := c.bodyOf(g.Call)
+	if body == nil {
+		c.pass.Reportf(g.Pos(),
+			"goroutine body is outside this package; tie it to a stop signal or annotate what bounds its lifetime")
+		return
+	}
+	scan := newScan(c)
+	scan.block(body)
+	if scan.observesStop || scan.wgDone || scan.deferredClose {
+		return
+	}
+	if !scan.hasLoop && scan.signalsCompletion {
+		return
+	}
+	if scan.hasLoop {
+		c.pass.Reportf(g.Pos(),
+			"goroutine loops with no stop signal: observe a stop/quit channel, ctx.Done, or range a closable channel")
+		return
+	}
+	c.pass.Reportf(g.Pos(),
+		"goroutine neither observes a stop signal nor signals completion (close/send on a done channel, WaitGroup.Done)")
+}
+
+// bodyOf resolves the spawned call to an inspectable body: a literal, or a
+// same-package function/method declaration.
+func (c *checker) bodyOf(call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	default:
+		if fn := analysis.Callee(c.pass.TypesInfo, call); fn != nil {
+			if fd, ok := c.decls[fn]; ok {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// scan walks a goroutine body, following same-package calls to a bounded
+// depth, accumulating lifecycle evidence.
+type scan struct {
+	c                 *checker
+	visited           map[*ast.BlockStmt]bool
+	depth             int
+	observesStop      bool
+	wgDone            bool
+	hasLoop           bool // loops in the spawned body itself (depth 0)
+	signalsCompletion bool
+	deferredClose     bool // defer close(ch): the Close-drained pattern
+}
+
+const maxDepth = 4
+
+func newScan(c *checker) *scan {
+	return &scan{c: c, visited: make(map[*ast.BlockStmt]bool)}
+}
+
+func (s *scan) block(b *ast.BlockStmt) {
+	if b == nil || s.visited[b] || s.depth > maxDepth {
+		return
+	}
+	s.visited[b] = true
+	info := s.c.pass.TypesInfo
+	ast.Inspect(b, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if s.depth == 0 {
+				s.hasLoop = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					// for range ch ends when the channel is closed: that IS
+					// the lifecycle tie.
+					s.observesStop = true
+					return true
+				}
+			}
+			if s.depth == 0 {
+				s.hasLoop = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && s.isStopChan(n.X) {
+				s.observesStop = true
+			}
+		case *ast.SendStmt:
+			s.signalsCompletion = true
+		case *ast.DeferStmt:
+			if isCloseCall(info, s.c, n.Call) {
+				s.deferredClose = true
+			}
+		case *ast.CallExpr:
+			switch name := analysis.CalleeName(info, n); name {
+			case "(*sync.WaitGroup).Done":
+				s.wgDone = true
+			case "(context.Context).Err", "(*sync.WaitGroup).Wait":
+				// ctx.Err polling counts as observing the context;
+				// waiting on a group means it ends with the group.
+				s.observesStop = true
+			case "(*sync.Cond).Wait":
+				// A cond-guarded drain loop: the producer signals the cond
+				// when it closes, and the loop returns on the closed flag.
+				s.observesStop = true
+			default:
+				if isCloseCall(info, s.c, n) {
+					s.signalsCompletion = true
+					return true
+				}
+				s.follow(n)
+			}
+		}
+		return true
+	})
+}
+
+// isStopChan reports whether a received-from expression looks like a
+// lifecycle channel: its rendered form mentions a stop-ish name and its
+// type is a channel (or it is ctx.Done()).
+func (s *scan) isStopChan(x ast.Expr) bool {
+	text := strings.ToLower(types.ExprString(x))
+	for _, frag := range stopNames {
+		if strings.Contains(text, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCloseCall reports whether call is the builtin close(ch).
+func isCloseCall(info *types.Info, _ *checker, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	_, isB := info.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// follow descends into a same-package callee's body.
+func (s *scan) follow(call *ast.CallExpr) {
+	fn := analysis.Callee(s.c.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	fd, ok := s.c.decls[fn]
+	if !ok {
+		return
+	}
+	s.depth++
+	s.block(fd.Body)
+	s.depth--
+}

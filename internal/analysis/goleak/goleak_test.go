@@ -1,0 +1,11 @@
+package goleak
+
+import (
+	"testing"
+
+	"starfish/internal/analysis/analysistest"
+)
+
+func TestGoleakFixture(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata")
+}

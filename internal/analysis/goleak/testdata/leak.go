@@ -1,0 +1,131 @@
+// Golden fixture for goleak: every goroutine tied to a lifecycle signal.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+func process(int)       {}
+func compute() int      { return 0 }
+func recv() (int, bool) { return 0, false }
+
+// ---- violations ----
+
+func loopNoStop(work chan int) {
+	go func() { // want "loops with no stop signal"
+		for {
+			process(<-work)
+		}
+	}()
+}
+
+func oneShotSilent() {
+	go func() { // want "neither observes a stop signal nor signals completion"
+		compute()
+	}()
+}
+
+func outOfPackageBody() {
+	go time.Sleep(time.Millisecond) // want "outside this package"
+}
+
+type spinner struct{ n int }
+
+func (s *spinner) spin() {
+	for {
+		s.n++
+	}
+}
+
+func namedLoopNoStop(s *spinner) {
+	go s.spin() // want "loops with no stop signal"
+}
+
+// ---- compliant ----
+
+func loopWithStop(work chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case w := <-work:
+				process(w)
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+func rangeDrain(work chan int) {
+	go func() {
+		// for range ch ends when the sender closes the channel.
+		for w := range work {
+			process(w)
+		}
+	}()
+}
+
+func oneShotCompletion(res chan int) {
+	go func() {
+		res <- compute()
+	}()
+}
+
+func oneShotClose(done chan struct{}) {
+	go func() {
+		compute()
+		close(done)
+	}()
+}
+
+func closeDrained(msgs chan int) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		// The Close-drained pattern: whatever unblocks recv() ends the
+		// loop, and the deferred close hands the exit to the waiter.
+		defer close(done)
+		for {
+			v, ok := recv()
+			if !ok {
+				return
+			}
+			msgs <- v
+		}
+	}()
+	return done
+}
+
+func wgTracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		compute()
+	}()
+}
+
+type server struct {
+	stop chan struct{}
+	work chan int
+}
+
+func (s *server) loop() {
+	for {
+		select {
+		case w := <-s.work:
+			process(w)
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func namedLoopWithStop(s *server) {
+	// The checker follows same-package declarations.
+	go s.loop()
+}
+
+func annotatedOutOfPackage() {
+	//starfish:allow goleak fixture: the nap is the goroutine's whole lifetime
+	go time.Sleep(time.Millisecond)
+}

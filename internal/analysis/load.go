@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader parses and type-checks packages of the enclosing module without
+// golang.org/x/tools: package discovery and dependency compilation go
+// through `go list -export`, and imports are resolved from the build
+// cache's export data via the standard gc importer. Everything works
+// offline — the module has no external dependencies.
+type Loader struct {
+	// RepoDir is the module root `go list` runs in.
+	RepoDir string
+	Fset    *token.FileSet
+
+	imp types.Importer
+
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+}
+
+// NewLoader returns a Loader rooted at the module directory.
+func NewLoader(repoDir string) *Loader {
+	l := &Loader{
+		RepoDir: repoDir,
+		Fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	return l
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Incomplete bool
+}
+
+// goList runs `go list -export -json` with the given arguments and records
+// every returned package's export data location.
+func (l *Loader) goList(args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-export",
+		"-json=ImportPath,Dir,Name,Export,GoFiles,DepOnly,Incomplete"}, args...)...)
+	cmd.Dir = l.RepoDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", args, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	l.mu.Lock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	l.mu.Unlock()
+	return pkgs, nil
+}
+
+// lookup resolves an import path to its export data, compiling it through
+// `go list -export` on first use. It serves the gc importer, so it may be
+// asked for indirect dependencies that earlier list calls did not cover.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		if _, err := l.goList("--", path); err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		file, ok = l.exports[path]
+		l.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// newInfo returns a types.Info with every map the analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+func (l *Loader) config() types.Config {
+	return types.Config{
+		Importer: l.imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+}
+
+// Load type-checks the module packages matching the go list patterns
+// (test files excluded) and returns them in deterministic order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.goList(append([]string{"-deps", "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Incomplete {
+			return nil, fmt.Errorf("package %s did not compile", p.ImportPath)
+		}
+		var files []*ast.File
+		for _, gf := range p.GoFiles {
+			f, err := parser.ParseFile(l.Fset, filepath.Join(p.Dir, gf), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		conf := l.config()
+		info := newInfo()
+		tpkg, err := conf.Check(p.ImportPath, l.Fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		out = append(out, &Package{
+			PkgPath: p.ImportPath, Dir: p.Dir,
+			Fset: l.Fset, Files: files, Types: tpkg, Info: info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// LoadDir type-checks the .go files of one bare directory that is not part
+// of the module's package graph (analysistest fixtures, seeded-violation
+// smoke files). Imports — including starfish packages — resolve through
+// the same export-data path as Load.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := l.config()
+	info := newInfo()
+	tpkg, err := conf.Check(dir, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", dir, err)
+	}
+	return &Package{
+		PkgPath: dir, Dir: dir,
+		Fset: l.Fset, Files: files, Types: tpkg, Info: info,
+	}, nil
+}

@@ -1,0 +1,355 @@
+// Package lockcheck enforces the repo's lock discipline: no blocking
+// operation while a sync.Mutex or sync.RWMutex is held. Blocking under a
+// mutex is the deadlock class behind the gcs election and rstore
+// re-replication hangs: a goroutine parks holding the lock every other
+// path needs to make progress.
+//
+// Flagged while a lock is held on the current path:
+//
+//   - channel sends and receives outside a select with a default case,
+//     and selects without a default (they park the goroutine);
+//   - time.Sleep;
+//   - sync.WaitGroup.Wait;
+//   - known long-blocking calls: dialing (net.Dial*, vni.NIC.Dial) and
+//     network reads (wire.ReadMsg/ReadMsgBuf on a live connection).
+//
+// sync.Cond.Wait is exempt — it is specified to be called with the lock
+// held and releases it while parked. Held-ness is tracked path-
+// sensitively; at control-flow joins a lock counts as held only if every
+// arriving path holds it, so conditional unlocks do not produce false
+// positives. Deliberate blocking under a lock (e.g. a transport
+// serializing writes on purpose) is annotated //starfish:allow lockcheck.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"starfish/internal/analysis"
+)
+
+// Analyzer is the lockcheck check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "forbid blocking operations (chan ops, sleeps, dials, waits) while a sync.Mutex/RWMutex is held",
+	Run:  run,
+}
+
+// blockingCalls are callees that park or sleep the goroutine for an
+// unbounded or scheduling-visible time.
+var blockingCalls = map[string]string{
+	"time.Sleep":                            "time.Sleep",
+	"(*sync.WaitGroup).Wait":                "sync.WaitGroup.Wait",
+	"net.Dial":                              "net.Dial",
+	"net.DialTimeout":                       "net.DialTimeout",
+	"(*net.Dialer).Dial":                    "net.Dialer.Dial",
+	"(*net.Dialer).DialContext":             "net.Dialer.DialContext",
+	"(*starfish/internal/vni.NIC).Dial":     "vni.NIC.Dial",
+	"starfish/internal/wire.ReadMsg":        "wire.ReadMsg",
+	"starfish/internal/wire.ReadMsgBuf":     "wire.ReadMsgBuf",
+	"(*starfish/internal/mpi.Comm).Recv":    "mpi.Comm.Recv",
+	"(*starfish/internal/mpi.Comm).Send":    "mpi.Comm.Send",
+	"(*starfish/internal/mpi.Request).Wait": "mpi.Request.Wait",
+}
+
+type lockEnv struct {
+	held map[string]token.Pos // lock expr (e.g. "c.mu") -> Lock() position
+	dead bool
+}
+
+func newLockEnv() *lockEnv { return &lockEnv{held: make(map[string]token.Pos)} }
+
+func (e *lockEnv) clone() *lockEnv {
+	c := newLockEnv()
+	c.dead = e.dead
+	for k, v := range e.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+// joinLocks intersects held sets: a lock is held after a join only if it
+// is held on every live arriving path.
+func joinLocks(a, b *lockEnv) *lockEnv {
+	if a.dead {
+		return b
+	}
+	if b.dead {
+		return a
+	}
+	out := newLockEnv()
+	for k, pos := range a.held {
+		if _, ok := b.held[k]; ok {
+			out.held[k] = pos
+		}
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					c.stmt(fn.Body, newLockEnv())
+				}
+			case *ast.FuncLit:
+				// Literals get a fresh environment: a goroutine or callback
+				// does not inherit the spawner's locks. (An immediately
+				// invoked literal would — rare enough to ignore.)
+				c.stmt(fn.Body, newLockEnv())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+func (c *checker) info() *types.Info { return c.pass.TypesInfo }
+
+// lockRecv returns the rendered receiver ("c.mu") of a Lock/Unlock-style
+// call on a sync mutex, or "".
+func (c *checker) lockRecv(call *ast.CallExpr, methods ...string) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	match := false
+	for _, m := range methods {
+		if sel.Sel.Name == m {
+			match = true
+		}
+	}
+	if !match {
+		return ""
+	}
+	tv, ok := c.info().Types[sel.X]
+	if !ok || !analysis.IsMutex(tv.Type) {
+		return ""
+	}
+	return types.ExprString(sel.X)
+}
+
+func (c *checker) stmt(s ast.Stmt, e *lockEnv) *lockEnv {
+	if e.dead || s == nil {
+		return e
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			e = c.stmt(st, e)
+		}
+		return e
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if k := c.lockRecv(call, "Lock", "RLock"); k != "" {
+				e.held[k] = call.Pos()
+				return e
+			}
+			if k := c.lockRecv(call, "Unlock", "RUnlock"); k != "" {
+				delete(e.held, k)
+				return e
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				e.dead = true
+				return e
+			}
+		}
+		c.exprOps(s.X, e)
+		return e
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the lock held to function end — that
+		// is the discipline, not a violation; nothing to track. Deferred
+		// closures run at return with whatever is then held; not modeled.
+		return e
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			c.exprOps(r, e)
+		}
+		for _, l := range s.Lhs {
+			c.exprOps(l, e)
+		}
+		return e
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.exprOps(v, e)
+					}
+				}
+			}
+		}
+		return e
+	case *ast.IfStmt:
+		e = c.stmt(s.Init, e)
+		c.exprOps(s.Cond, e)
+		thenEnv := c.stmt(s.Body, e.clone())
+		elseEnv := e
+		if s.Else != nil {
+			elseEnv = c.stmt(s.Else, e.clone())
+		}
+		return joinLocks(thenEnv, elseEnv)
+	case *ast.ForStmt:
+		e = c.stmt(s.Init, e)
+		c.exprOps(s.Cond, e)
+		body := c.stmt(s.Body, e.clone())
+		body = c.stmt(s.Post, body)
+		return joinLocks(e, body)
+	case *ast.RangeStmt:
+		// Ranging over a channel while holding a lock blocks between
+		// elements.
+		if tv, ok := c.info().Types[s.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				c.reportHeld(e, s.X.Pos(), "range over channel")
+			}
+		}
+		c.exprOps(s.X, e)
+		body := c.stmt(s.Body, e.clone())
+		return joinLocks(e, body)
+	case *ast.SwitchStmt:
+		e = c.stmt(s.Init, e)
+		c.exprOps(s.Tag, e)
+		return c.caseJoin(s.Body, e, hasDefaultClause(s.Body))
+	case *ast.TypeSwitchStmt:
+		e = c.stmt(s.Init, e)
+		e = c.stmt(s.Assign, e)
+		return c.caseJoin(s.Body, e, hasDefaultClause(s.Body))
+	case *ast.SelectStmt:
+		if !hasDefaultClause(s.Body) {
+			c.reportHeld(e, s.Pos(), "blocking select")
+		}
+		// Walk case bodies (comm clauses themselves are the select's
+		// blocking point, already reported above when lock-held).
+		out := e.clone()
+		var joined *lockEnv
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			branch := out.clone()
+			for _, st := range cc.Body {
+				branch = c.stmt(st, branch)
+			}
+			if joined == nil {
+				joined = branch
+			} else {
+				joined = joinLocks(joined, branch)
+			}
+		}
+		if joined == nil {
+			return e
+		}
+		return joined
+	case *ast.SendStmt:
+		c.reportHeld(e, s.Pos(), "channel send")
+		c.exprOps(s.Value, e)
+		return e
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.exprOps(r, e)
+		}
+		e.dead = true
+		return e
+	case *ast.BranchStmt:
+		e.dead = true
+		return e
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			c.exprOps(a, e)
+		}
+		return e
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, e)
+	case *ast.IncDecStmt:
+		return e
+	default:
+		return e
+	}
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				return true
+			}
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *checker) caseJoin(body *ast.BlockStmt, e *lockEnv, exhaustive bool) *lockEnv {
+	var out *lockEnv
+	add := func(b *lockEnv) {
+		if out == nil {
+			out = b
+		} else {
+			out = joinLocks(out, b)
+		}
+	}
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		branch := e.clone()
+		for _, x := range cc.List {
+			c.exprOps(x, branch)
+		}
+		for _, st := range cc.Body {
+			branch = c.stmt(st, branch)
+		}
+		add(branch)
+	}
+	if !exhaustive || out == nil {
+		add(e)
+	}
+	return out
+}
+
+// exprOps scans an expression for blocking operations: channel receives
+// and calls to known-blocking functions. Function literals are skipped
+// (fresh goroutine/callback context, analyzed separately).
+func (c *checker) exprOps(x ast.Expr, e *lockEnv) {
+	if x == nil || len(e.held) == 0 {
+		return
+	}
+	ast.Inspect(x, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.reportHeld(e, n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			name := analysis.CalleeName(c.info(), n)
+			if desc, ok := blockingCalls[name]; ok {
+				c.reportHeld(e, n.Pos(), "call to "+desc)
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) reportHeld(e *lockEnv, pos token.Pos, what string) {
+	for k, lockPos := range e.held {
+		c.pass.Reportf(pos, "%s while holding %s (locked at %s)",
+			what, k, c.pass.Fset.Position(lockPos))
+		return // one report per site is enough
+	}
+}

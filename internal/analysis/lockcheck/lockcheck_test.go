@@ -1,0 +1,11 @@
+package lockcheck
+
+import (
+	"testing"
+
+	"starfish/internal/analysis/analysistest"
+)
+
+func TestLockcheckFixture(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata")
+}

@@ -1,0 +1,128 @@
+// Golden fixture for lockcheck: no blocking operations under a mutex.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	n    int
+}
+
+// ---- violations ----
+
+func sleepUnderLock(g *guarded) {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding"
+	g.mu.Unlock()
+}
+
+func sleepUnderRLock(g *guarded) {
+	g.rw.RLock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding"
+	g.rw.RUnlock()
+}
+
+func sleepUnderDeferredUnlock(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding"
+}
+
+func sendUnderLock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- g.n // want "channel send while holding"
+}
+
+func recvUnderLock(g *guarded, ch chan int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-ch // want "channel receive while holding"
+}
+
+func blockingSelectUnderLock(g *guarded, a, b chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want "blocking select while holding"
+	case v := <-a:
+		g.n = v
+	case v := <-b:
+		g.n = v
+	}
+}
+
+func wgWaitUnderLock(g *guarded, wg *sync.WaitGroup) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	wg.Wait() // want "WaitGroup.Wait while holding"
+}
+
+func rangeChanUnderLock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for v := range ch { // want "range over channel while holding"
+		g.n += v
+	}
+}
+
+// ---- compliant ----
+
+func sleepAfterUnlock(g *guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+func sleepOnUnlockedPath(g *guarded, fast bool) {
+	g.mu.Lock()
+	if fast {
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+	time.Sleep(time.Millisecond) // every arriving path released the lock
+}
+
+func nonBlockingSelect(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case v := <-ch:
+		g.n = v
+	default:
+	}
+}
+
+func condWait(g *guarded) {
+	g.mu.Lock()
+	for g.n == 0 {
+		g.cond.Wait() // exempt: Wait releases the mutex while parked
+	}
+	g.mu.Unlock()
+}
+
+func goroutineGetsFreshLocks(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		// A spawned goroutine does not inherit the spawner's locks.
+		defer close(done)
+		time.Sleep(time.Millisecond)
+	}()
+	g.n++
+	_ = ch
+}
+
+func deliberateSleep(g *guarded) {
+	g.mu.Lock()
+	//starfish:allow lockcheck fixture demonstrates a deliberate serialized sleep
+	time.Sleep(time.Millisecond)
+	g.mu.Unlock()
+}

@@ -1,0 +1,754 @@
+// Package poolcheck enforces the wire.BufPool ownership discipline
+// statically: a pooled buffer acquired in a function must reach exactly one
+// release point — Release, Put/PutBuf, or an ownership-transferring send
+// (SendOwned/IsendOwned) — on every local path, and must not be touched
+// after it is given up.
+//
+// The checker is a flow-sensitive abstract interpreter over each function
+// body. A local that receives the result of a pool acquire (wire.GetBuf,
+// BufPool.Get/GetAlloc, wire.ReadMsgBuf) is tracked as Owned. Passing the
+// value anywhere ownership could move — a call argument, a return value, a
+// channel send, a struct/slice store, a closure capture, an alias — ends
+// tracking conservatively (no report). Within the tracked region the
+// checker reports:
+//
+//   - leak-on-return: a return (including falling off the end of the body)
+//     while the local is still Owned and no deferred release covers it;
+//   - double release: a second PutBuf/Put/SendOwned of the same buffer
+//     (Msg.Release is documented idempotent on the same Msg value and is
+//     exempt);
+//   - use-after-release: any read of a released buffer, or of a released
+//     message's Payload.
+package poolcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"starfish/internal/analysis"
+)
+
+// Analyzer is the poolcheck check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc:  "enforce exactly-once release of wire.BufPool buffers on all local paths",
+	Run:  run,
+}
+
+// acquire sites: callee full name -> index of the result that carries the
+// pooled value, and whether that result is a wire.Msg (vs a []byte).
+type acquireSpec struct {
+	result int
+	msg    bool
+}
+
+var acquires = map[string]acquireSpec{
+	"starfish/internal/wire.GetBuf":              {0, false},
+	"(*starfish/internal/wire.BufPool).Get":      {0, false},
+	"(*starfish/internal/wire.BufPool).GetAlloc": {0, false},
+	"starfish/internal/wire.ReadMsgBuf":          {0, true},
+}
+
+// release sites: callee full name -> index of the argument whose ownership
+// the call consumes. SendOwned/IsendOwned take ownership even on error.
+var releases = map[string]int{
+	"starfish/internal/wire.PutBuf":            0,
+	"(*starfish/internal/wire.BufPool).Put":    0,
+	"(*starfish/internal/mpi.Comm).SendOwned":  2,
+	"(*starfish/internal/mpi.Comm).IsendOwned": 2,
+}
+
+// msgRelease is the idempotent pooled-payload release method on wire.Msg.
+const msgRelease = "(*starfish/internal/wire.Msg).Release"
+
+// terminators never return to the caller; a path through one is dead.
+var terminators = map[string]bool{
+	"os.Exit":              true,
+	"runtime.Goexit":       true,
+	"log.Fatal":            true,
+	"log.Fatalf":           true,
+	"log.Fatalln":          true,
+	"(*log.Logger).Fatalf": true,
+}
+
+type status int
+
+const (
+	owned status = iota
+	released
+	maybe // differing states joined across branches: tracked but quiet
+)
+
+type varState struct {
+	st             status
+	kind           acquireSpec // msg or buf
+	acquirePos     token.Pos
+	acquireName    string // short callee name for messages
+	releasePos     token.Pos
+	releasedAtExit bool // a deferred release covers this var
+}
+
+type env struct {
+	vars map[*types.Var]*varState
+	dead bool
+}
+
+func newEnv() *env { return &env{vars: make(map[*types.Var]*varState)} }
+
+func (e *env) clone() *env {
+	c := newEnv()
+	c.dead = e.dead
+	for v, s := range e.vars {
+		cp := *s
+		c.vars[v] = &cp
+	}
+	return c
+}
+
+// join merges two branch outcomes. Vars missing from either side drop out
+// (their scope ended or tracking stopped); differing statuses degrade to
+// maybe, which suppresses reports downstream.
+func join(a, b *env) *env {
+	if a.dead {
+		return b
+	}
+	if b.dead {
+		return a
+	}
+	out := newEnv()
+	for v, sa := range a.vars {
+		sb, ok := b.vars[v]
+		if !ok {
+			continue
+		}
+		m := *sa
+		if sa.st != sb.st {
+			m.st = maybe
+		}
+		m.releasedAtExit = sa.releasedAtExit || sb.releasedAtExit
+		out.vars[v] = &m
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	ip := &interp{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					ip.checkFunc(fn.Body)
+				}
+			case *ast.FuncLit:
+				ip.checkFunc(fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type interp struct {
+	pass *analysis.Pass
+}
+
+func (ip *interp) info() *types.Info { return ip.pass.TypesInfo }
+
+func (ip *interp) checkFunc(body *ast.BlockStmt) {
+	e := ip.stmt(body, newEnv())
+	if !e.dead {
+		ip.leakCheck(e, body.End())
+	}
+}
+
+// leakCheck reports every still-Owned var at a function exit point.
+func (ip *interp) leakCheck(e *env, at token.Pos) {
+	for _, s := range e.vars {
+		if s.st == owned && !s.releasedAtExit {
+			ip.pass.Reportf(s.acquirePos,
+				"pooled buffer from %s leaks on the return at %s: want exactly one Release/PutBuf/SendOwned on every path",
+				s.acquireName, ip.pos(at))
+		}
+	}
+}
+
+func (ip *interp) pos(p token.Pos) string {
+	pos := ip.pass.Fset.Position(p)
+	return pos.String()
+}
+
+// ---- statements ----
+
+func (ip *interp) stmt(s ast.Stmt, e *env) *env {
+	if e.dead || s == nil {
+		return e
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			e = ip.stmt(st, e)
+		}
+		return e
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			name := analysis.CalleeName(ip.info(), call)
+			if _, ok := acquires[name]; ok {
+				ip.pass.Reportf(call.Pos(), "result of %s is discarded: the pooled buffer leaks immediately", shortCallee(ip.info(), call))
+				ip.callArgs(call, e)
+				return e
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				ip.expr(s.X, e, false)
+				e.dead = true
+				return e
+			}
+			if terminators[name] {
+				ip.expr(s.X, e, false)
+				e.dead = true
+				return e
+			}
+		}
+		ip.expr(s.X, e, false)
+		return e
+	case *ast.AssignStmt:
+		return ip.assign(s, e)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, val := range vs.Values {
+					ip.expr(val, e, true)
+				}
+			}
+		}
+		return e
+	case *ast.IfStmt:
+		e = ip.stmt(s.Init, e)
+		ip.expr(s.Cond, e, false)
+		thenEnv := ip.stmt(s.Body, e.clone())
+		elseEnv := e
+		if s.Else != nil {
+			elseEnv = ip.stmt(s.Else, e.clone())
+		}
+		return join(thenEnv, elseEnv)
+	case *ast.ForStmt:
+		e = ip.stmt(s.Init, e)
+		ip.expr(s.Cond, e, false)
+		bodyEnv := ip.stmt(s.Body, e.clone())
+		bodyEnv = ip.stmt(s.Post, bodyEnv)
+		if s.Cond == nil && !hasBreak(s.Body) {
+			// `for {}` with no break: the only exits are return/panic
+			// inside the body; code after is unreachable.
+			bodyEnv.dead = true
+			return bodyEnv
+		}
+		return join(e, bodyEnv)
+	case *ast.RangeStmt:
+		ip.expr(s.X, e, false)
+		bodyEnv := ip.stmt(s.Body, e.clone())
+		return join(e, bodyEnv)
+	case *ast.SwitchStmt:
+		e = ip.stmt(s.Init, e)
+		ip.expr(s.Tag, e, false)
+		return ip.caseJoin(s.Body, e, hasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		e = ip.stmt(s.Init, e)
+		ip.stmt(s.Assign, e)
+		return ip.caseJoin(s.Body, e, hasDefault(s.Body))
+	case *ast.SelectStmt:
+		return ip.caseJoin(s.Body, e, true) // a select always takes some case
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			ip.expr(r, e, true)
+		}
+		ip.leakCheck(e, s.Pos())
+		e.dead = true
+		return e
+	case *ast.BranchStmt:
+		// break/continue/goto: stop tracking this path rather than model
+		// the jump target. Conservative: no reports, possible misses.
+		e.dead = true
+		return e
+	case *ast.DeferStmt:
+		ip.deferStmt(s, e)
+		return e
+	case *ast.GoStmt:
+		// The goroutine may release the buffer on its own schedule;
+		// ownership escapes.
+		ip.expr(s.Call.Fun, e, true)
+		for _, a := range s.Call.Args {
+			ip.expr(a, e, true)
+		}
+		return e
+	case *ast.SendStmt:
+		ip.expr(s.Chan, e, false)
+		ip.expr(s.Value, e, true)
+		return e
+	case *ast.LabeledStmt:
+		return ip.stmt(s.Stmt, e)
+	case *ast.IncDecStmt:
+		ip.expr(s.X, e, false)
+		return e
+	default:
+		return e
+	}
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				return true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false // break inside these doesn't exit the outer loop
+		}
+		return !found
+	})
+	return found
+}
+
+// caseJoin interprets each case body from a copy of e and joins the
+// outcomes; when the construct may skip every case (switch without
+// default), e itself joins in.
+func (ip *interp) caseJoin(body *ast.BlockStmt, e *env, exhaustive bool) *env {
+	var out *env
+	add := func(b *env) {
+		if out == nil {
+			out = b
+		} else {
+			out = join(out, b)
+		}
+	}
+	for _, c := range body.List {
+		branch := e.clone()
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, x := range c.List {
+				ip.expr(x, branch, false)
+			}
+			for _, st := range c.Body {
+				branch = ip.stmt(st, branch)
+			}
+		case *ast.CommClause:
+			branch = ip.stmt(c.Comm, branch)
+			for _, st := range c.Body {
+				branch = ip.stmt(st, branch)
+			}
+		}
+		add(branch)
+	}
+	if !exhaustive || out == nil {
+		add(e)
+	}
+	return out
+}
+
+// assign handles acquire recognition plus general RHS/LHS effects.
+func (ip *interp) assign(s *ast.AssignStmt, e *env) *env {
+	// Self-slicing keeps ownership: b = b[:n], b = b[lo:hi].
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if lid, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident); ok {
+			if sl, ok := ast.Unparen(s.Rhs[0]).(*ast.SliceExpr); ok {
+				if rid, ok := ast.Unparen(sl.X).(*ast.Ident); ok && rid.Name == lid.Name {
+					if v := analysis.UsedVar(ip.info(), rid); v != nil {
+						if st, ok := e.vars[v]; ok && st.st == released {
+							ip.reportUse(rid.Pos(), v, st)
+						}
+						return e
+					}
+				}
+			}
+		}
+	}
+
+	// Acquire: single call RHS whose callee is a pool acquire.
+	if len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if spec, ok := acquires[analysis.CalleeName(ip.info(), call)]; ok {
+				ip.callArgs(call, e)
+				for i, lhs := range s.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if i != spec.result {
+						continue
+					}
+					if id.Name == "_" {
+						ip.pass.Reportf(call.Pos(), "pooled buffer from %s is discarded immediately (assigned to _)", shortCallee(ip.info(), call))
+						continue
+					}
+					v := defOrUse(ip.info(), id)
+					if v == nil {
+						continue
+					}
+					e.vars[v] = &varState{
+						st: owned, kind: spec,
+						acquirePos:  call.Pos(),
+						acquireName: shortCallee(ip.info(), call),
+					}
+				}
+				// Non-pooled results (bools, errors) need no handling.
+				return e
+			}
+		}
+	}
+
+	for _, r := range s.Rhs {
+		ip.expr(r, e, true)
+	}
+	for _, l := range s.Lhs {
+		id, ok := ast.Unparen(l).(*ast.Ident)
+		if !ok {
+			ip.expr(l, e, false) // v[i] = x, s.f = x: reads of v / s checked
+			continue
+		}
+		if v := defOrUse(ip.info(), id); v != nil {
+			delete(e.vars, v) // reassigned: tracking ends
+		}
+	}
+	return e
+}
+
+func defOrUse(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+func shortCallee(info *types.Info, call *ast.CallExpr) string {
+	if fn := analysis.Callee(info, call); fn != nil {
+		return fn.Name()
+	}
+	return "pool acquire"
+}
+
+// deferStmt handles deferred releases: `defer PutBuf(b)`, `defer
+// m.Release()`, and release calls inside a deferred closure mark the var
+// released-at-exit. Any other tracked-var reference in a defer escapes.
+func (ip *interp) deferStmt(s *ast.DeferStmt, e *env) {
+	call := s.Call
+	name := analysis.CalleeName(ip.info(), call)
+	if idx, ok := releases[name]; ok && idx < len(call.Args) {
+		if v := analysis.UsedVar(ip.info(), call.Args[idx]); v != nil {
+			if st, ok := e.vars[v]; ok {
+				st.releasedAtExit = true
+				return
+			}
+		}
+	}
+	if name == msgRelease {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if v := analysis.UsedVar(ip.info(), sel.X); v != nil {
+				if st, ok := e.vars[v]; ok {
+					st.releasedAtExit = true
+					return
+				}
+			}
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// Closure deferred: releases inside cover their vars; other
+		// captured tracked vars escape.
+		relVars := map[*types.Var]bool{}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			cn := analysis.CalleeName(ip.info(), c)
+			if idx, ok := releases[cn]; ok && idx < len(c.Args) {
+				if v := analysis.UsedVar(ip.info(), c.Args[idx]); v != nil {
+					relVars[v] = true
+				}
+			}
+			if cn == msgRelease {
+				if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+					if v := analysis.UsedVar(ip.info(), sel.X); v != nil {
+						relVars[v] = true
+					}
+				}
+			}
+			return true
+		})
+		for v := range relVars {
+			if st, ok := e.vars[v]; ok {
+				st.releasedAtExit = true
+			}
+		}
+		ip.escapeFreeVars(lit, e, relVars)
+		return
+	}
+	// Unknown deferred call: args escape.
+	for _, a := range call.Args {
+		ip.expr(a, e, true)
+	}
+}
+
+// ---- expressions ----
+
+// expr walks one expression. aliasing marks positions where the value
+// itself flows somewhere ownership could move (assignment RHS, call args,
+// returns, sends, composite literals); such uses end tracking.
+func (ip *interp) expr(x ast.Expr, e *env, aliasing bool) {
+	if x == nil || e.dead {
+		return
+	}
+	switch x := x.(type) {
+	case *ast.Ident:
+		v := analysis.UsedVar(ip.info(), x)
+		if v == nil {
+			return
+		}
+		st, ok := e.vars[v]
+		if !ok {
+			return
+		}
+		if st.st == released {
+			ip.reportUse(x.Pos(), v, st)
+			delete(e.vars, v)
+			return
+		}
+		if aliasing {
+			delete(e.vars, v) // ownership moved or aliased: stop tracking
+		}
+	case *ast.ParenExpr:
+		ip.expr(x.X, e, aliasing)
+	case *ast.CallExpr:
+		ip.call(x, e)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			ip.expr(x.X, e, true) // address taken: alias
+			return
+		}
+		ip.expr(x.X, e, false)
+	case *ast.StarExpr:
+		ip.expr(x.X, e, false)
+	case *ast.SliceExpr:
+		// A subslice aliases the buffer; propagate the context.
+		ip.expr(x.X, e, aliasing)
+		ip.expr(x.Low, e, false)
+		ip.expr(x.High, e, false)
+		ip.expr(x.Max, e, false)
+	case *ast.IndexExpr:
+		ip.expr(x.X, e, false)
+		ip.expr(x.Index, e, false)
+	case *ast.SelectorExpr:
+		ip.selector(x, e, aliasing)
+	case *ast.BinaryExpr:
+		ip.expr(x.X, e, false)
+		ip.expr(x.Y, e, false)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			ip.expr(el, e, true)
+		}
+	case *ast.KeyValueExpr:
+		ip.expr(x.Key, e, false)
+		ip.expr(x.Value, e, aliasing)
+	case *ast.TypeAssertExpr:
+		ip.expr(x.X, e, aliasing)
+	case *ast.FuncLit:
+		ip.escapeFreeVars(x, e, nil)
+	}
+}
+
+// selector handles m.Payload reads on released messages; other selectors
+// just walk their receiver.
+func (ip *interp) selector(x *ast.SelectorExpr, e *env, aliasing bool) {
+	if v := analysis.UsedVar(ip.info(), x.X); v != nil {
+		if st, ok := e.vars[v]; ok && st.kind.msg {
+			if st.st == released && x.Sel.Name == "Payload" {
+				ip.reportUse(x.Pos(), v, st)
+				delete(e.vars, v)
+				return
+			}
+			if aliasing && x.Sel.Name == "Payload" {
+				// msg payload aliased out: stop tracking the msg.
+				delete(e.vars, v)
+			}
+			return
+		}
+	}
+	ip.expr(x.X, e, false)
+}
+
+// call classifies a call: release transitions for known sinks, escapes for
+// everything else, builtins treated as pure reads.
+func (ip *interp) call(call *ast.CallExpr, e *env) {
+	name := analysis.CalleeName(ip.info(), call)
+
+	// Release by argument position.
+	if idx, ok := releases[name]; ok {
+		for i, a := range call.Args {
+			if i == idx {
+				ip.releaseArg(call, a, e)
+			} else {
+				ip.expr(a, e, true)
+			}
+		}
+		ip.receiverRead(call, e)
+		return
+	}
+	// Msg.Release on a tracked message var.
+	if name == msgRelease {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if v := analysis.UsedVar(ip.info(), sel.X); v != nil {
+				if st, ok := e.vars[v]; ok {
+					// Documented idempotent on the same Msg value: a second
+					// Release is not a double release.
+					st.st = released
+					st.releasePos = call.Pos()
+					return
+				}
+			}
+		}
+	}
+
+	if isBuiltin(ip.info(), call) {
+		for _, a := range call.Args {
+			ip.expr(a, e, false)
+		}
+		return
+	}
+	// Unknown call: reads the receiver, and argument values may be
+	// retained — ownership of tracked args conservatively escapes.
+	ip.receiverRead(call, e)
+	if _, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// Immediately-invoked literal: free vars escape like a call.
+		ip.escapeFreeVars(ast.Unparen(call.Fun).(*ast.FuncLit), e, nil)
+	}
+	for _, a := range call.Args {
+		ip.expr(a, e, true)
+	}
+}
+
+// releaseArg applies a release transition to the argument if it is a
+// tracked var (or a tracked message's .Payload), with double-release
+// detection for byte buffers.
+func (ip *interp) releaseArg(call *ast.CallExpr, arg ast.Expr, e *env) {
+	// PutBuf(m.Payload): releases the message's payload.
+	if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok && sel.Sel.Name == "Payload" {
+		if v := analysis.UsedVar(ip.info(), sel.X); v != nil {
+			if st, ok := e.vars[v]; ok && st.kind.msg {
+				ip.transitionRelease(call, v, st, e)
+				return
+			}
+		}
+	}
+	v := analysis.UsedVar(ip.info(), arg)
+	if v == nil {
+		// Releasing a subslice or other expression: treat contained vars
+		// as escaping (e.g. PutBuf(b[:0]) — unusual, not modeled).
+		ip.expr(arg, e, true)
+		return
+	}
+	st, ok := e.vars[v]
+	if !ok {
+		return
+	}
+	ip.transitionRelease(call, v, st, e)
+}
+
+func (ip *interp) transitionRelease(call *ast.CallExpr, v *types.Var, st *varState, e *env) {
+	switch st.st {
+	case released:
+		ip.pass.Reportf(call.Pos(),
+			"double release of pooled buffer %q (previous release at %s)",
+			v.Name(), ip.pos(st.releasePos))
+		delete(e.vars, v)
+	case owned, maybe:
+		if st.releasedAtExit {
+			ip.pass.Reportf(call.Pos(),
+				"release of pooled buffer %q that a deferred release already covers (double release at function exit)",
+				v.Name())
+			delete(e.vars, v)
+			return
+		}
+		st.st = released
+		st.releasePos = call.Pos()
+	}
+}
+
+// callArgs walks a call's receiver and arguments as plain reads (used for
+// acquire calls, whose arguments are sizes/readers, never pooled values).
+func (ip *interp) callArgs(call *ast.CallExpr, e *env) {
+	ip.receiverRead(call, e)
+	for _, a := range call.Args {
+		ip.expr(a, e, false)
+	}
+}
+
+func (ip *interp) receiverRead(call *ast.CallExpr, e *env) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		ip.expr(sel.X, e, false)
+	}
+}
+
+func (ip *interp) reportUse(pos token.Pos, v *types.Var, st *varState) {
+	what := "pooled buffer"
+	if st.kind.msg {
+		what = "released message payload"
+	}
+	ip.pass.Reportf(pos, "use of %s %q after release at %s",
+		what, v.Name(), ip.pos(st.releasePos))
+}
+
+// escapeFreeVars ends tracking for every tracked var referenced inside a
+// function literal (minus those in skip): the closure may use or release
+// it at any time.
+func (ip *interp) escapeFreeVars(lit *ast.FuncLit, e *env, skip map[*types.Var]bool) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := ip.info().Uses[id].(*types.Var); ok {
+			if skip != nil && skip[v] {
+				return true
+			}
+			if st, ok := e.vars[v]; ok {
+				if st.st == released {
+					ip.reportUse(id.Pos(), v, st)
+				}
+				delete(e.vars, v)
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	_, isB := obj.(*types.Builtin)
+	return isB
+}

@@ -1,0 +1,11 @@
+package poolcheck
+
+import (
+	"testing"
+
+	"starfish/internal/analysis/analysistest"
+)
+
+func TestPoolcheckFixture(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata")
+}

@@ -1,0 +1,125 @@
+// Golden fixture for poolcheck: the wire.BufPool ownership discipline.
+package fixture
+
+import (
+	"errors"
+	"io"
+
+	"starfish/internal/mpi"
+	"starfish/internal/wire"
+)
+
+var errBoom = errors.New("boom")
+
+// ---- violations ----
+
+func leakOnErrorReturn(fail bool) error {
+	b := wire.GetBuf(64) // want "leaks on the return"
+	if fail {
+		return errBoom
+	}
+	wire.PutBuf(b)
+	return nil
+}
+
+func leakFallOffEnd() {
+	b := wire.GetBuf(64) // want "leaks on the return"
+	b[0] = 1
+}
+
+func doubleRelease() {
+	b := wire.GetBuf(64)
+	wire.PutBuf(b)
+	wire.PutBuf(b) // want "double release"
+}
+
+func useAfterRelease() byte {
+	b := wire.GetBuf(64)
+	wire.PutBuf(b)
+	return b[0] // want "after release"
+}
+
+func discardAcquire() {
+	wire.GetBuf(8) // want "discarded"
+}
+
+func discardToBlank() {
+	_ = wire.GetBuf(8) // want "discarded"
+}
+
+func releaseUnderDefer() {
+	b := wire.GetBuf(64)
+	defer wire.PutBuf(b)
+	wire.PutBuf(b) // want "deferred release already covers"
+}
+
+func useAfterOwnedSend(c *mpi.Comm, to wire.Rank) byte {
+	b := wire.GetBuf(64)
+	if err := c.SendOwned(to, 1, b); err != nil {
+		return 0
+	}
+	// SendOwned consumes the buffer even on success — this read races the
+	// receiver.
+	return b[0] // want "after release"
+}
+
+func payloadAfterRelease(r io.Reader) int {
+	m, _ := wire.ReadMsgBuf(r)
+	m.Release()
+	return len(m.Payload) // want "after release"
+}
+
+// ---- compliant ----
+
+func balancedBranches(fail bool) error {
+	b := wire.GetBuf(64)
+	if fail {
+		wire.PutBuf(b)
+		return errBoom
+	}
+	wire.PutBuf(b)
+	return nil
+}
+
+func deferredRelease() {
+	b := wire.GetBuf(64)
+	defer wire.PutBuf(b)
+	b[0] = 1
+}
+
+func ownershipTransfer(c *mpi.Comm, to wire.Rank) error {
+	b := wire.GetBuf(64)
+	// SendOwned takes ownership even when it returns an error: no release
+	// needed on either path.
+	return c.SendOwned(to, 1, b)
+}
+
+func selfSliceKeepsOwnership(n int) {
+	b := wire.GetBuf(64)
+	b = b[:n]
+	wire.PutBuf(b)
+}
+
+func msgReleaseIdempotent(r io.Reader) {
+	m, _ := wire.ReadMsgBuf(r)
+	m.Release()
+	m.Release() // Msg.Release is documented idempotent: not a double release
+}
+
+func escapesToCallee(b []byte) {}
+
+func escapeEndsTracking() {
+	b := wire.GetBuf(64)
+	// Ownership may move into the callee; tracking ends conservatively.
+	escapesToCallee(b)
+}
+
+func allowedLeak(fail bool) error {
+	//starfish:allow poolcheck fixture demonstrates the escape hatch for an intentional drop
+	b := wire.GetBuf(64)
+	if fail {
+		return errBoom
+	}
+	wire.PutBuf(b)
+	return nil
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowMarker is the suppression pragma prefix. Syntax:
+//
+//	//starfish:allow <check>[,<check>...] <reason>
+//
+// The pragma suppresses diagnostics of the named checks on the comment's
+// own line and on the line directly below it (so it works both inline and
+// as a lead comment).
+const allowMarker = "//starfish:allow"
+
+// allowKey identifies one suppressed (file, line, check) site.
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// collectAllows scans the files' comments for allow pragmas. It returns the
+// set of suppressed sites and, as diagnostics, any malformed pragma (no
+// check name, or no reason — the reason is mandatory documentation).
+func collectAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, []Diagnostic) {
+	allows := make(map[allowKey]bool)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowMarker) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowMarker)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //starfish:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{Pos: c.Pos(), Check: "pragma",
+						Message: "starfish:allow pragma names no check (want //starfish:allow <check> <reason>)"})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{Pos: c.Pos(), Check: "pragma",
+						Message: "starfish:allow pragma has no reason (want //starfish:allow <check> <reason>)"})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, check := range strings.Split(fields[0], ",") {
+					check = strings.TrimSpace(check)
+					if check == "" {
+						continue
+					}
+					allows[allowKey{pos.Filename, pos.Line, check}] = true
+					allows[allowKey{pos.Filename, pos.Line + 1, check}] = true
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// filterAllowed drops diagnostics whose (file, line, check) is suppressed.
+func filterAllowed(fset *token.FileSet, diags []Diagnostic, allows map[allowKey]bool) []Diagnostic {
+	if len(allows) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if allows[allowKey{pos.Filename, pos.Line, d.Check}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

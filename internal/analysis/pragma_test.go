@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMalformedPragmasReported: an allow pragma without a reason (or
+// without a check name) is itself a diagnostic — suppressions must be
+// documented.
+func TestMalformedPragmasReported(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+//starfish:allow errdrop
+func a() {}
+
+//starfish:allow
+func b() {}
+
+//starfish:allow errdrop this one carries the mandatory reason
+func c() {}
+
+//starfish:allowance is a different word and not our pragma
+func d() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(testModuleRoot(t))
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Check(pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "no reason") {
+		t.Errorf("diag 0 = %q, want a missing-reason report", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "names no check") {
+		t.Errorf("diag 1 = %q, want a missing-check report", diags[1].Message)
+	}
+	for _, d := range diags {
+		if d.Check != "pragma" {
+			t.Errorf("diagnostic check = %q, want pragma", d.Check)
+		}
+	}
+}
+
+func testModuleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the static callee of a call expression, or nil for
+// builtins, type conversions, function-typed variables, and interface
+// methods (which still resolve: interface method calls yield the interface
+// *types.Func).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified call
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// CalleeName returns the callee's FullName — e.g.
+// "starfish/internal/wire.GetBuf" or "(*sync.Mutex).Lock" — or "".
+func CalleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := Callee(info, call); fn != nil {
+		return fn.FullName()
+	}
+	return ""
+}
+
+// IsNamed reports whether t (after pointer indirection) is the named type
+// pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsMutex reports whether t is sync.Mutex or sync.RWMutex (possibly via
+// pointer).
+func IsMutex(t types.Type) bool {
+	return IsNamed(t, "sync", "Mutex") || IsNamed(t, "sync", "RWMutex")
+}
+
+// UsedVar resolves an identifier expression to the local or package-level
+// variable it uses, or nil.
+func UsedVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}

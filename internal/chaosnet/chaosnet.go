@@ -151,9 +151,9 @@ type Controller struct {
 	streams     map[StreamID]*stream
 	timers      []*time.Timer
 
-	messages, drops, dups, delays   atomic.Uint64
-	partDrops, dialsBlocked         atomic.Uint64
-	dialsKilled, resets             atomic.Uint64
+	messages, drops, dups, delays atomic.Uint64
+	partDrops, dialsBlocked       atomic.Uint64
+	dialsKilled, resets           atomic.Uint64
 }
 
 // Net is a fault-injecting vni.Transport. The Net itself attributes dials
@@ -489,6 +489,7 @@ func (c *conn) Send(m *wire.Msg) error {
 	}
 	if d&FDelay != 0 {
 		c.ctl.delays.Add(1)
+		//starfish:allow lockcheck injected latency must delay subsequent sends too — holding sendMu through the sleep is the fault model
 		time.Sleep(f.Delay)
 	}
 	if d&FDup != 0 {
@@ -497,6 +498,7 @@ func (c *conn) Send(m *wire.Msg) error {
 			return err
 		}
 		c.ctl.dups.Add(1)
+		//starfish:allow errdrop the duplicate is injected noise; losing it just means the duplication fault did not fire
 		_ = c.inner.Send(&dup)
 		return nil
 	}
@@ -532,6 +534,7 @@ func (c *conn) Recv() (wire.Msg, error) {
 		}
 		if d&FDelay != 0 {
 			c.ctl.delays.Add(1)
+			//starfish:allow lockcheck injected latency must stall the receive stream in order — holding recvMu through the sleep is the fault model
 			time.Sleep(f.Delay)
 		}
 		if d&FDup != 0 {

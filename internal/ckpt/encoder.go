@@ -132,7 +132,7 @@ func (e *NativeEncoder) Decode(img []byte, arch svm.Arch) ([]byte, error) {
 	r := wire.NewReader(img)
 	magic := r.U32()
 	order, bits := svm.Endian(r.U8()), int(r.U8())
-	runtime := r.Bytes32()
+	r.Bytes32() // simulated runtime segments, discarded on restore
 	state := r.Bytes32()
 	if r.Err() != nil || r.Remaining() != 0 {
 		return nil, ErrBadImage
@@ -147,7 +147,6 @@ func (e *NativeEncoder) Decode(img []byte, arch svm.Arch) ([]byte, error) {
 		return nil, fmt.Errorf("%w: image %s/%d-bit, host %s/%d-bit",
 			ErrArchMismatch, order, bits, arch.Order, arch.WordBits)
 	}
-	_ = runtime // the simulated segments are discarded on restore
 	return append([]byte(nil), state...), nil
 }
 
@@ -191,9 +190,9 @@ func (e *PortableEncoder) Encode(state []byte, arch svm.Arch) ([]byte, error) {
 func (e *PortableEncoder) Decode(img []byte, arch svm.Arch) ([]byte, error) {
 	r := wire.NewReader(img)
 	magic := r.U32()
-	r.U8() // origin order (informational)
-	r.U8() // origin word bits
-	header := r.Bytes32()
+	r.U8()      // origin order (informational)
+	r.U8()      // origin word bits
+	r.Bytes32() // VM-level header, consumed by svm.DecodeImage when needed
 	state := r.Bytes32()
 	if r.Err() != nil || r.Remaining() != 0 {
 		return nil, ErrBadImage
@@ -204,7 +203,6 @@ func (e *PortableEncoder) Decode(img []byte, arch svm.Arch) ([]byte, error) {
 	if magic != imgMagicPortable {
 		return nil, ErrBadImage
 	}
-	_ = header
 	return append([]byte(nil), state...), nil
 }
 

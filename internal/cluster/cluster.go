@@ -367,7 +367,7 @@ func (c *Cluster) Submit(spec proc.AppSpec) error {
 	return d.Submit(spec)
 }
 
-// WaitApp polls until the application reaches a terminal state (Done or
+// WaitApp blocks until the application reaches a terminal state (Done or
 // Failed) or the timeout expires.
 func (c *Cluster) WaitApp(app wire.AppID, timeout time.Duration) (daemon.AppInfo, error) {
 	deadline := time.Now().Add(timeout)
@@ -376,6 +376,7 @@ func (c *Cluster) WaitApp(app wire.AppID, timeout time.Duration) (daemon.AppInfo
 		if d == nil {
 			return daemon.AppInfo{}, errors.New("cluster: no live daemons")
 		}
+		ch := d.Changed() // before the read: a later change closes this channel
 		info, ok := d.AppInfo(app)
 		if ok && (info.Status == daemon.StatusDone || info.Status == daemon.StatusFailed) {
 			return info, nil
@@ -384,11 +385,27 @@ func (c *Cluster) WaitApp(app wire.AppID, timeout time.Duration) (daemon.AppInfo
 			return info, fmt.Errorf("cluster: app %d not terminal after %v (status %v)",
 				app, timeout, info.Status)
 		}
-		time.Sleep(2 * time.Millisecond)
+		waitChange(ch)
 	}
 }
 
-// WaitStatus polls until the application reports the wanted status.
+// waitChange parks until a daemon signals a state change. The fallback
+// timer covers edges a single daemon's generation channel cannot see —
+// the observed daemon dying, state that first becomes visible on a
+// different daemon, or checkpoint commits that land in the store rather
+// than in daemon state. It matches the 2ms poll cadence this wait
+// replaced: simulated apps run whole lifecycles in tens of milliseconds,
+// so a coarser fallback misses transient states the tests assert on.
+func waitChange(ch <-chan struct{}) {
+	t := time.NewTimer(2 * time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-ch:
+	case <-t.C:
+	}
+}
+
+// WaitStatus blocks until the application reports the wanted status.
 func (c *Cluster) WaitStatus(app wire.AppID, want daemon.AppStatus, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
@@ -396,6 +413,7 @@ func (c *Cluster) WaitStatus(app wire.AppID, want daemon.AppStatus, timeout time
 		if d == nil {
 			return errors.New("cluster: no live daemons")
 		}
+		ch := d.Changed()
 		if info, ok := d.AppInfo(app); ok && info.Status == want {
 			return nil
 		}
@@ -403,7 +421,7 @@ func (c *Cluster) WaitStatus(app wire.AppID, want daemon.AppStatus, timeout time
 			info, _ := d.AppInfo(app)
 			return fmt.Errorf("cluster: app %d stuck at %v, want %v", app, info.Status, want)
 		}
-		time.Sleep(2 * time.Millisecond)
+		waitChange(ch)
 	}
 }
 
@@ -413,7 +431,9 @@ func (c *Cluster) WaitStatus(app wire.AppID, want daemon.AppStatus, timeout time
 func (c *Cluster) WaitCommittedLine(app wire.AppID, timeout time.Duration) (ckpt.RecoveryLine, error) {
 	deadline := time.Now().Add(timeout)
 	for {
+		var ch <-chan struct{}
 		if d := c.AnyDaemon(); d != nil {
+			ch = d.Changed()
 			if line, err := d.CommittedLine(app); err == nil {
 				return line, nil
 			}
@@ -421,6 +441,6 @@ func (c *Cluster) WaitCommittedLine(app wire.AppID, timeout time.Duration) (ckpt
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("cluster: no committed line for app %d after %v", app, timeout)
 		}
-		time.Sleep(2 * time.Millisecond)
+		waitChange(ch)
 	}
 }

@@ -176,22 +176,37 @@ func (s *Starfish) Crash(id NodeID) error { return s.c.Crash(id) }
 // RemoveNode removes a node gracefully.
 func (s *Starfish) RemoveNode(id NodeID) error { return s.c.Leave(id) }
 
-// WaitView blocks until every daemon sees a view with n members.
+// WaitView blocks until every daemon sees a view with n members. Each
+// pass waits on the generation channel of the first lagging daemon — the
+// one whose view change is still outstanding — with a short fallback
+// timer covering changes that land on other daemons first.
 func (s *Starfish) WaitView(n int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		all := true
+		var lagging <-chan struct{}
 		for _, id := range s.c.Nodes() {
 			d, err := s.c.Daemon(id)
-			if err != nil || len(d.View().Members) != n {
+			if err != nil {
 				all = false
+				break
+			}
+			ch := d.Changed() // before the read, so no view edge is lost
+			if len(d.View().Members) != n {
+				all = false
+				lagging = ch
 				break
 			}
 		}
 		if all {
 			return nil
 		}
-		time.Sleep(2 * time.Millisecond)
+		t := time.NewTimer(5 * time.Millisecond)
+		select {
+		case <-lagging:
+		case <-t.C:
+		}
+		t.Stop()
 	}
 	return fmt.Errorf("core: view never reached %d members", n)
 }
@@ -267,6 +282,7 @@ func (s *Starfish) ServeManagement(addr, adminPassword string) (string, error) {
 		return "", err
 	}
 	s.mgmtLn = l
+	//starfish:allow goleak server lives for the sim cluster; Serve returns when s.mgmtLn is closed in Stop
 	go mgmt.NewServer(s.c.AnyDaemon(), adminPassword).Serve(l)
 	return l.Addr().String(), nil
 }

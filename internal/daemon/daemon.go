@@ -151,6 +151,10 @@ type Daemon struct {
 	mu   sync.Mutex
 	view gcs.View
 	apps map[wire.AppID]*appState
+	// change is the current state generation: closed and replaced by the
+	// event loop whenever observable state may have moved, so waiters can
+	// block on it instead of polling (see Changed).
+	change chan struct{}
 	// disabled nodes are excluded from new placements.
 	disabled map[wire.NodeID]bool
 	params   map[string]string
@@ -171,10 +175,10 @@ func New(cfg Config) (*Daemon, error) {
 		}
 	}
 	ep, err := gcs.Join(gcs.Config{
-		Node:           cfg.Node,
-		Transport:      cfg.Transport,
-		Addr:           cfg.GCSAddr,
-		Contact:        cfg.Contact,
+		Node:               cfg.Node,
+		Transport:          cfg.Transport,
+		Addr:               cfg.GCSAddr,
+		Contact:            cfg.Contact,
 		HeartbeatEvery:     cfg.HeartbeatEvery,
 		FailAfter:          cfg.FailAfter,
 		SuspectAfterMisses: cfg.SuspectAfterMisses,
@@ -191,6 +195,7 @@ func New(cfg Config) (*Daemon, error) {
 		params:   make(map[string]string),
 		local:    make(map[wire.AppID]map[wire.Rank]*endpoint),
 		inbox:    make(chan inboxMsg, 1024),
+		change:   make(chan struct{}),
 		stop:     make(chan struct{}),
 		dead:     make(chan struct{}),
 	}
@@ -286,6 +291,7 @@ func (d *Daemon) run() {
 			d.tiered.Close() // drain pending disk spills
 		}
 		close(d.dead)
+		d.bump() // release any Changed waiters blocked across shutdown
 	}()
 	for {
 		select {
@@ -296,10 +302,33 @@ func (d *Daemon) run() {
 				return
 			}
 			d.handleGCS(ev)
+			d.bump()
 		case im := <-d.inbox:
 			d.handleProcessMsg(im)
+			d.bump()
 		}
 	}
+}
+
+// Changed returns the current state-generation channel; it is closed the
+// next time the daemon's observable state (view, app table, checkpoint
+// lines) may have changed. To wait for a condition, take the channel
+// BEFORE evaluating the predicate, then block on it — any state change
+// after the read closes the channel taken before it, so no edge is lost.
+func (d *Daemon) Changed() <-chan struct{} {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.change
+}
+
+// bump wakes every Changed waiter by closing the current generation
+// channel and installing a fresh one.
+func (d *Daemon) bump() {
+	d.mu.Lock()
+	ch := d.change
+	d.change = make(chan struct{})
+	d.mu.Unlock()
+	close(ch)
 }
 
 func (d *Daemon) allEndpointsLocked() []*endpoint {

@@ -159,6 +159,8 @@ func (e *engine) joinExisting() error {
 		attempt++
 		m := wire.Msg{Type: wire.TControl, Kind: kJoinReq, Src: wire.Rank(e.cfg.Node), Payload: req.Bytes()}
 		if err := e.nic.Send(e.cfg.Contact, &m); err != nil {
+			// Deliberate backoff: the contact may still be starting up;
+			// retry at heartbeat pace until the join deadline.
 			time.Sleep(e.cfg.HeartbeatEvery)
 			continue
 		}
@@ -315,6 +317,16 @@ func (e *engine) run() {
 
 func (e *engine) isCoord() bool { return e.view.Coord == e.cfg.Node }
 
+// cast is best-effort delivery of group-protocol traffic (heartbeats,
+// sequencer casts, sync and retransmission messages). The protocol is
+// self-healing: a lost send is recovered by retransmission requests, and
+// a dead destination is noticed by failure detection — the error itself
+// carries no information the engine does not already extract.
+func (e *engine) cast(addr string, m *wire.Msg) {
+	//starfish:allow errdrop best-effort cast; retransmission and failure detection recover lost sends
+	e.nic.Send(addr, m)
+}
+
 func (e *engine) handleCmd(c command) {
 	switch c.kind {
 	case cmdView:
@@ -341,7 +353,7 @@ func (e *engine) handleCmd(c command) {
 			e.installViewWithout([]wire.NodeID{e.cfg.Node})
 		} else if addr, ok := e.view.Addrs[e.view.Coord]; ok {
 			m := wire.Msg{Type: wire.TControl, Kind: kLeave, Src: wire.Rank(e.cfg.Node)}
-			e.nic.Send(addr, &m)
+			e.cast(addr, &m)
 		}
 		e.left = true
 		c.reply <- nil
@@ -357,7 +369,7 @@ func (e *engine) forwardCast(sm seqMsg) {
 	if addr, ok := e.view.Addrs[e.view.Coord]; ok {
 		m := wire.Msg{Type: wire.TControl, Kind: kMcastReq, Src: wire.Rank(e.cfg.Node),
 			Payload: encodeSeqMsg(&sm)}
-		e.nic.Send(addr, &m)
+		e.cast(addr, &m)
 	}
 }
 
@@ -380,7 +392,7 @@ func (e *engine) broadcast(sm seqMsg) {
 			continue
 		}
 		m := wire.Msg{Type: wire.TControl, Kind: kDeliver, Src: wire.Rank(e.cfg.Node), Payload: payload}
-		e.nic.Send(e.view.Addrs[member], &m)
+		e.cast(e.view.Addrs[member], &m)
 	}
 }
 
@@ -498,7 +510,7 @@ func (e *engine) handleMsg(m wire.Msg) {
 		if !e.isCoord() {
 			// Stale routing: forward to the real coordinator.
 			if addr, ok := e.view.Addrs[e.view.Coord]; ok && e.view.Coord != e.cfg.Node {
-				e.nic.Send(addr, &m)
+				e.cast(addr, &m)
 			}
 			return
 		}
@@ -562,7 +574,7 @@ func (e *engine) handleJoin(m wire.Msg) {
 	}
 	if !e.isCoord() {
 		if caddr, ok := e.view.Addrs[e.view.Coord]; ok {
-			e.nic.Send(caddr, &m)
+			e.cast(caddr, &m)
 		}
 		return
 	}
@@ -601,7 +613,7 @@ func (e *engine) sendWelcomeView(node wire.NodeID, addr string, seq uint64, v *V
 	w := wire.NewWriter(64 + len(state))
 	w.U64(seq).Bytes32(encodeView(v)).Bytes32(state)
 	m := wire.Msg{Type: wire.TControl, Kind: kWelcome, Src: wire.Rank(e.cfg.Node), Payload: w.Bytes()}
-	e.nic.Send(addr, &m)
+	e.cast(addr, &m)
 }
 
 // installViewWithout sequences a new view that excludes the given members.
@@ -644,7 +656,7 @@ func (e *engine) tick() {
 				continue
 			}
 			hb := wire.Msg{Type: wire.TControl, Kind: kHeartbeat, Src: wire.Rank(e.cfg.Node), Payload: hbPayload}
-			e.nic.Send(e.view.Addrs[member], &hb)
+			e.cast(e.view.Addrs[member], &hb)
 			if last, ok := e.lastHeard[member]; ok && now.Sub(last) > e.cfg.FailAfter {
 				gone = append(gone, member)
 			}
@@ -664,7 +676,7 @@ func (e *engine) tick() {
 	// Member: probe the coordinator, resend unconfirmed casts.
 	if addr, ok := e.view.Addrs[e.view.Coord]; ok {
 		hb := wire.Msg{Type: wire.TControl, Kind: kHeartbeat, Src: wire.Rank(e.cfg.Node)}
-		e.nic.Send(addr, &hb)
+		e.cast(addr, &hb)
 	}
 	for _, p := range e.pendingCasts {
 		e.forwardCast(p)
@@ -728,7 +740,7 @@ func (e *engine) startSync() {
 			continue
 		}
 		e.syncTargets[member] = true
-		e.nic.Send(e.view.Addrs[member], &req)
+		e.cast(e.view.Addrs[member], &req)
 	}
 	if len(e.syncTargets) == 0 {
 		e.finishSync()
@@ -759,7 +771,7 @@ func (e *engine) handleSyncReq(m wire.Msg) {
 	}
 	resp := wire.Msg{Type: wire.TControl, Kind: kSyncResp, Src: wire.Rank(e.cfg.Node), Payload: w.Bytes()}
 	if addr, ok := e.view.Addrs[from]; ok {
-		e.nic.Send(addr, &resp)
+		e.cast(addr, &resp)
 	}
 }
 
@@ -855,7 +867,7 @@ func (e *engine) finishSync() {
 			}
 			if addr, ok := e.view.Addrs[n]; ok {
 				out := wire.Msg{Type: wire.TControl, Kind: kDeliver, Src: wire.Rank(e.cfg.Node), Payload: payload}
-				e.nic.Send(addr, &out)
+				e.cast(addr, &out)
 			}
 		}
 	}
@@ -906,7 +918,7 @@ func (e *engine) finishSync() {
 		}
 		if addr, ok := e.view.Addrs[n]; ok {
 			out := wire.Msg{Type: wire.TControl, Kind: kDeliver, Src: wire.Rank(e.cfg.Node), Payload: payload}
-			e.nic.Send(addr, &out)
+			e.cast(addr, &out)
 		}
 	}
 	e.deliver(sm)
@@ -929,7 +941,7 @@ func (e *engine) requestRetrans() {
 	}
 	m := wire.Msg{Type: wire.TControl, Kind: kRetransReq, Src: wire.Rank(e.cfg.Node),
 		Payload: wire.NewWriter(8).U64(e.delivered).Bytes()}
-	e.nic.Send(addr, &m)
+	e.cast(addr, &m)
 }
 
 // handleRetransReq resends log entries above the requester's delivered
@@ -956,7 +968,7 @@ func (e *engine) handleRetransReq(m wire.Msg) {
 		}
 		out := wire.Msg{Type: wire.TControl, Kind: kDeliver, Src: wire.Rank(e.cfg.Node),
 			Payload: encodeSeqMsg(&sm)}
-		e.nic.Send(addr, &out)
+		e.cast(addr, &out)
 		sent++
 	}
 }

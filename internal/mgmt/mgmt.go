@@ -84,6 +84,7 @@ func (s *Server) Serve(l net.Listener) error {
 		if err != nil {
 			return err
 		}
+		//starfish:allow goleak session ends when its conn closes: Scan errors out and the goroutine returns
 		go s.session(conn)
 	}
 }

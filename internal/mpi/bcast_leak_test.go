@@ -1,0 +1,83 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"starfish/internal/wire"
+)
+
+// waitPoolBalance polls until every pooled buffer acquired since the
+// (gets0, puts0) snapshot has been returned, failing the test if the pool
+// never balances. A lasting imbalance is a leaked buffer on an error
+// path — the bug class starfish-vet's poolcheck exists to catch.
+func waitPoolBalance(t *testing.T, gets0, puts0 uint64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		gets, puts, _ := wire.Pool.Stats()
+		if gets-gets0 == puts-puts0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool imbalance: %d gets vs %d puts since snapshot (leaked %d buffers)",
+				gets-gets0, puts-puts0, (gets-gets0)-(puts-puts0))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBcastSegRecvReleasesOnBadFirstSegment: a malformed first segment
+// (header claims more payload than arrived) must error out of the
+// segmented-broadcast receive without leaking the pooled result buffer or
+// the delivered message. Regression for the leak-on-error-return found by
+// poolcheck in bcastSegRecv.
+func TestBcastSegRecvReleasesOnBadFirstSegment(t *testing.T) {
+	comms := world(t, 2)
+	gets0, puts0, _ := wire.Pool.Stats()
+
+	const total, seg = 8, 4
+	// The first segment should carry min(seg, total) = 4 payload bytes;
+	// send only 2.
+	msg := wire.GetBuf(collHdrLen + 2)
+	putCollHdr(msg, collAlgSeg, total, seg)
+	errc := make(chan error, 1)
+	go func() { errc <- comms[0].SendOwned(1, tagBcast, msg) }()
+
+	if _, err := comms[1].bcastRecv(0); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("bcastRecv error = %v, want ErrBadLength", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	waitPoolBalance(t, gets0, puts0)
+}
+
+// TestBcastSegRecvReleasesOnBadDataSegment: same discipline for a
+// malformed later segment — the result buffer accumulated so far and the
+// bad segment itself must both go back to the pool.
+func TestBcastSegRecvReleasesOnBadDataSegment(t *testing.T) {
+	comms := world(t, 2)
+	gets0, puts0, _ := wire.Pool.Stats()
+
+	const total, seg = 8, 4
+	first := wire.GetBuf(collHdrLen + seg)
+	putCollHdr(first, collAlgSeg, total, seg)
+	bad := wire.GetBuf(2) // the second segment should be 4 bytes
+	errc := make(chan error, 2)
+	go func() {
+		errc <- comms[0].SendOwned(1, tagBcast, first)
+		errc <- comms[0].SendOwned(1, tagBcastSeg, bad)
+	}()
+
+	if _, err := comms[1].bcastRecv(0); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("bcastRecv error = %v, want ErrBadLength", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitPoolBalance(t, gets0, puts0)
+}

@@ -204,6 +204,9 @@ func (c *Comm) bcastSegRecv(root wire.Rank, v int, first []byte, st Status, tota
 				err = c.Send(real, tag, data)
 			}
 			if err != nil {
+				if pooled && data != nil {
+					wire.PutBuf(data)
+				}
 				return fmt.Errorf("bcast: %w", err)
 			}
 			wire.CountCollSeg(size)
@@ -216,25 +219,36 @@ func (c *Comm) bcastSegRecv(root wire.Rank, v int, first []byte, st Status, tota
 
 	end := min(seg, total)
 	if len(first) != collHdrLen+end {
+		wire.PutBuf(result)
+		if st.Pooled {
+			wire.PutBuf(first)
+		}
 		return nil, fmt.Errorf("bcast: %w: first segment %d bytes, want %d", ErrBadLength, len(first)-collHdrLen, end)
 	}
 	copy(result, first[collHdrLen:])
 	wire.CountCopy(wire.CopyColl, end)
 	if err := forward(first, st.Pooled, tagBcast, end); err != nil {
+		wire.PutBuf(result)
 		return nil, err
 	}
 	for off := end; off < total; off += seg {
 		segEnd := min(off+seg, total)
 		data, sst, err := c.Recv(parent, tagBcastSeg)
 		if err != nil {
+			wire.PutBuf(result)
 			return nil, fmt.Errorf("bcast: %w", err)
 		}
 		if len(data) != segEnd-off {
+			wire.PutBuf(result)
+			if sst.Pooled {
+				wire.PutBuf(data)
+			}
 			return nil, fmt.Errorf("bcast: %w: segment %d bytes, want %d", ErrBadLength, len(data), segEnd-off)
 		}
 		copy(result[off:], data)
 		wire.CountCopy(wire.CopyColl, segEnd-off)
 		if err := forward(data, sst.Pooled, tagBcastSeg, segEnd-off); err != nil {
+			wire.PutBuf(result)
 			return nil, err
 		}
 	}
@@ -275,6 +289,9 @@ func (c *Comm) bcastVdGRecv(root wire.Rank, v int, first []byte, st Status, tota
 	_, offs := c.evenGeom(total, 1)
 	end := subtreeEnd(v, n)
 	if len(first) != collHdrLen+offs[end]-offs[v] {
+		if st.Pooled {
+			wire.PutBuf(first)
+		}
 		return nil, fmt.Errorf("bcast: %w: scatter block %d bytes, want %d", ErrBadLength, len(first)-collHdrLen, offs[end]-offs[v])
 	}
 	// Forward each child its subtree's chunk range, keep my own chunk.
@@ -300,9 +317,11 @@ func (c *Comm) bcastVdGRecv(root wire.Rank, v int, first []byte, st Status, tota
 		wire.PutBuf(first)
 	}
 	if err := WaitAll(reqs...); err != nil {
+		wire.PutBuf(result)
 		return nil, fmt.Errorf("bcast: %w", err)
 	}
 	if err := c.collAllgatherChunks(root, v, result, offs, false, tagBcastAG); err != nil {
+		wire.PutBuf(result)
 		return nil, fmt.Errorf("bcast: %w", err)
 	}
 	return result, nil

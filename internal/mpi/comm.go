@@ -436,6 +436,8 @@ func (c *Comm) sendRetry(dst wire.Rank, addr string, m *wire.Msg, first error) e
 		if dead {
 			return fmt.Errorf("%w: rank %d", ErrPeerDead, dst)
 		}
+		// Deliberate backoff between redial attempts; the loop exits via
+		// the closed/dead checks above when recovery declares the peer gone.
 		time.Sleep(time.Millisecond)
 		c.cfg.NIC.Disconnect(addr) // drop the dead connection, then redial
 		if err := c.cfg.NIC.Send(addr, m); err == nil {

@@ -202,6 +202,7 @@ func New(cfg Config) (*Store, error) {
 		acked:   make(map[key]map[wire.NodeID]bool),
 		peers:   make(map[wire.NodeID]*peerConn),
 	}
+	//starfish:allow goleak accept loop returns when Close closes s.ln
 	go s.serve()
 	return s, nil
 }
@@ -410,7 +411,10 @@ func (s *Store) Put(app wire.AppID, rank wire.Rank, n uint64, img []byte, meta *
 		meta = &ckpt.Meta{Rank: rank, Index: n}
 	}
 	k := key{app, rank, n}
-	e := &entry{img: append([]byte(nil), img...), meta: meta, origin: true}
+	// Keep our own reference to the stored copy: once e is published in
+	// s.images, a concurrent replica push (handle kPut) may swap e.img.
+	stored := append([]byte(nil), img...)
+	e := &entry{img: stored, meta: meta, origin: true}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -427,7 +431,7 @@ func (s *Store) Put(app wire.AppID, rank wire.Rank, n uint64, img []byte, meta *
 		if h == s.cfg.Node {
 			continue
 		}
-		if err := s.pushImage(h, k, mb, e.img); err != nil {
+		if err := s.pushImage(h, k, mb, stored); err != nil {
 			s.logf("[rstore %d] push #%d of app %d rank %d to node %d: %v",
 				s.cfg.Node, n, app, rank, h, err)
 		}
@@ -512,8 +516,11 @@ func (s *Store) Get(app wire.AppID, rank wire.Rank, n uint64) ([]byte, *ckpt.Met
 	k := key{app, rank, n}
 	s.mu.Lock()
 	if e, ok := s.images[k]; ok {
+		// Snapshot under mu: a concurrent replica push (handle kPut)
+		// swaps an origin entry's img/meta fields in place.
+		img, meta := e.img, e.meta
 		s.mu.Unlock()
-		return e.img, e.meta, nil
+		return img, meta, nil
 	}
 	candidates := s.fetchOrderLocked(app, rank)
 	s.mu.Unlock()
@@ -531,8 +538,9 @@ func (s *Store) Get(app wire.AppID, rank wire.Rank, n uint64) ([]byte, *ckpt.Met
 			s.images[k] = e
 			s.indexAddLocked(app, rank, n)
 		}
+		img, meta = e.img, e.meta // snapshot under mu (see above)
 		s.mu.Unlock()
-		return e.img, e.meta, nil
+		return img, meta, nil
 	}
 	s.mu.Lock()
 	s.peerFetchMisses++
@@ -976,6 +984,7 @@ func (s *Store) requestOnce(pc *peerConn, peer wire.NodeID, m *wire.Msg) (wire.M
 
 	timer := time.NewTimer(s.cfg.RequestTimeout)
 	defer timer.Stop()
+	//starfish:allow lockcheck pc.mu deliberately serializes one request per peer; the wait is bounded by RequestTimeout
 	select {
 	case r := <-ch:
 		if r.err != nil {
@@ -1001,6 +1010,7 @@ func (s *Store) serve() {
 		if err != nil {
 			return
 		}
+		//starfish:allow goleak connection loop returns when the conn is closed (by the peer or by Close dropping all conns)
 		go s.serveConn(c)
 	}
 }
@@ -1048,15 +1058,20 @@ func (s *Store) handle(m *wire.Msg) *wire.Msg {
 		k := key{m.App, m.Src, m.Seq}
 		s.mu.Lock()
 		e, ok := s.images[k]
+		var img []byte
+		var meta *ckpt.Meta
+		if ok {
+			img, meta = e.img, e.meta // snapshot under mu: kPut swaps origin entries in place
+		}
 		s.mu.Unlock()
 		if !ok {
 			return &wire.Msg{Type: wire.TControl, Kind: kGetMiss}
 		}
-		mb := e.meta.Encode()
-		buf := wire.GetBuf(4 + len(mb) + len(e.img))
+		mb := meta.Encode()
+		buf := wire.GetBuf(4 + len(mb) + len(img))
 		binary.BigEndian.PutUint32(buf, uint32(len(mb)))
 		copy(buf[4:], mb)
-		copy(buf[4+len(mb):], e.img)
+		copy(buf[4+len(mb):], img)
 		return &wire.Msg{Type: wire.TControl, Kind: kGetOK, Payload: buf, Pooled: true}
 
 	case kIndex:

@@ -77,6 +77,7 @@ type tcpConn struct {
 func newTCPConn(c net.Conn) *tcpConn {
 	if tc, ok := c.(*net.TCPConn); ok {
 		// Latency benchmarks need Nagle off, like any MPI transport.
+		//starfish:allow errdrop SetNoDelay is advisory; a socket that refuses the option still works, just slower
 		_ = tc.SetNoDelay(true)
 	}
 	return &tcpConn{

@@ -17,11 +17,42 @@ cd "$(dirname "$0")/.."
 QUICK=0
 [[ "${1:-}" == "--quick" ]] && QUICK=1
 
+echo "== gofmt =="
+FMT_OUT=$(gofmt -l .)
+if [[ -n "$FMT_OUT" ]]; then
+    echo "gofmt -l reports unformatted files:"
+    echo "$FMT_OUT"
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
 echo "== go build =="
 go build ./...
+
+echo "== starfish-vet =="
+# The repo's own analyzers: pooled-buffer ownership (poolcheck), lock
+# discipline (lockcheck), goroutine lifecycle (goleak), discarded errors
+# (errdrop). See DESIGN.md "Static invariants".
+go run ./cmd/starfish-vet ./...
+
+echo "== starfish-vet smoke (seeded violations must still fire) =="
+set +e
+SMOKE_OUT=$(go run ./cmd/starfish-vet -dir cmd/starfish-vet/testdata/smoke 2>&1)
+SMOKE_RC=$?
+set -e
+echo "$SMOKE_OUT"
+if [[ $SMOKE_RC -eq 0 ]]; then
+    echo "smoke FAIL: starfish-vet exited 0 on seeded violations"
+    exit 1
+fi
+for check in poolcheck lockcheck goleak errdrop; do
+    if ! grep -q "\[$check\]" <<<"$SMOKE_OUT"; then
+        echo "smoke FAIL: $check did not fire on its seeded violation"
+        exit 1
+    fi
+done
 
 echo "== go test =="
 go test ./...
