@@ -1,0 +1,201 @@
+// Checkpoint-pipeline benchmarks. Every epoch of a long-running application
+// pays the capture-and-replicate cost of its checkpoint; these benchmarks
+// measure that cost per epoch for the opaque-image path (the seed behavior:
+// the full 8 MiB image crosses the wire every time) against the incremental
+// pipeline (content-addressed full + delta records, only changed blocks
+// cross the wire), across heap mutation rates, plus the restore side: a
+// delta-chain restore from a surviving RAM replica versus the disk
+// full-image read. scripts/check.sh records the results in
+// BENCH_checkpoint.json and enforces the >=5x replicated-bytes reduction at
+// 10% mutation and the >=5x chain-restore-vs-disk bar.
+package starfish_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"starfish/internal/ckpt"
+)
+
+const (
+	ckptImageSize = 8 << 20 // the paper-scale checkpoint image
+	ckptBlocks    = ckptImageSize / ckpt.DeltaBlockSize
+)
+
+// newEpochImage builds the epoch-0 state: random, so no two blocks dedup by
+// accident.
+func newEpochImage(rng *rand.Rand) []byte {
+	img := make([]byte, ckptImageSize)
+	rng.Read(img)
+	return img
+}
+
+// mutateImage rewrites pct% of the image's blocks, whole-block and
+// content-unique per (epoch, block) — the block-aligned write pattern of a
+// paged heap, which is what incremental checkpointing exploits. (Scattering
+// single-byte writes across the heap would touch every 4 KiB block and no
+// delta scheme could help; that is the workload's property, not the
+// pipeline's.)
+func mutateImage(img []byte, pct int, epoch uint64, rng *rand.Rand) {
+	n := ckptBlocks * pct / 100
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		b := rng.Intn(ckptBlocks)
+		off := b * ckpt.DeltaBlockSize
+		binary.BigEndian.PutUint64(img[off:], epoch<<24|uint64(b))
+		binary.BigEndian.PutUint64(img[off+8:], rng.Uint64())
+	}
+}
+
+// BenchmarkCheckpoint measures one rank's per-epoch checkpoint cost into
+// replicated memory (k=2, so every epoch crosses the wire to one peer):
+//
+//   - mode=full: the opaque-image path — rstore.Put of the whole 8 MiB
+//     image every epoch, whatever changed.
+//   - mode=delta: the incremental pipeline — full record every 8th epoch,
+//     delta records between, content-addressed blocks deduplicated against
+//     the replica, superseded chains collected as full records commit.
+//   - restore=chain: a surviving replica restores the newest epoch of a
+//     full + 7-delta chain (the materialized cache: the replica applies
+//     deltas as they arrive, so the restore is a lookup).
+//   - restore=disk: the same image read back from the shared disk store —
+//     the recovery path the paper measures, and the baseline the chain
+//     restore is gated against.
+//
+// replicated_B/op counts the payload bytes actually pushed to the peer
+// (need/have queries and envelopes included); stored_B/op the bytes handed
+// to the backend.
+func BenchmarkCheckpoint(b *testing.B) {
+	for _, pct := range []int{10} {
+		b.Run(fmt.Sprintf("mode=full/mut=%d", pct), func(b *testing.B) {
+			writer, _ := newRstorePair(b)
+			rng := rand.New(rand.NewSource(1))
+			img := newEpochImage(rng)
+			if err := writer.Put(1, 0, 0, img, nil); err != nil {
+				b.Fatal(err)
+			}
+			rep0 := writer.Stats().BytesReplicated
+			b.SetBytes(ckptImageSize)
+			b.ResetTimer()
+			n := uint64(1)
+			for i := 0; i < b.N; i++ {
+				mutateImage(img, pct, n, rng)
+				if err := writer.Put(1, 0, n, img, nil); err != nil {
+					b.Fatal(err)
+				}
+				if n%8 == 0 {
+					if err := writer.GC(1, 0, n); err != nil {
+						b.Fatal(err)
+					}
+				}
+				n++
+			}
+			b.StopTimer()
+			rep := writer.Stats().BytesReplicated - rep0
+			b.ReportMetric(float64(rep)/float64(b.N), "replicated_B/op")
+			b.ReportMetric(float64(ckptImageSize), "stored_B/op")
+		})
+	}
+
+	for _, pct := range []int{1, 5, 10, 20} {
+		b.Run(fmt.Sprintf("mode=delta/mut=%d", pct), func(b *testing.B) {
+			writer, _ := newRstorePair(b)
+			p := ckpt.NewPipeline(writer, 8)
+			rng := rand.New(rand.NewSource(1))
+			img := newEpochImage(rng)
+			if err := p.Put(1, 0, 0, img, nil); err != nil {
+				b.Fatal(err)
+			}
+			rep0 := writer.Stats().BytesReplicated
+			stored0 := p.Stats().StoredBytes
+			b.SetBytes(ckptImageSize)
+			b.ResetTimer()
+			n := uint64(1)
+			for i := 0; i < b.N; i++ {
+				mutateImage(img, pct, n, rng)
+				if err := p.Put(1, 0, n, img, nil); err != nil {
+					b.Fatal(err)
+				}
+				// A full record commits a new chain every 8th epoch; the GC
+				// there collects the superseded chain on both nodes, exactly
+				// as the C/R module does on a committed line.
+				if n%8 == 0 {
+					if err := p.GC(1, 0, n); err != nil {
+						b.Fatal(err)
+					}
+				}
+				n++
+			}
+			b.StopTimer()
+			rep := writer.Stats().BytesReplicated - rep0
+			stored := p.Stats().StoredBytes - stored0
+			b.ReportMetric(float64(rep)/float64(b.N), "replicated_B/op")
+			b.ReportMetric(float64(stored)/float64(b.N), "stored_B/op")
+		})
+	}
+
+	b.Run("restore=chain/size=8MB", func(b *testing.B) {
+		writer, survivor := newRstorePair(b)
+		p := ckpt.NewPipeline(writer, 8)
+		rng := rand.New(rand.NewSource(1))
+		img := newEpochImage(rng)
+		var last uint64
+		for n := uint64(0); n < 8; n++ {
+			if n > 0 {
+				mutateImage(img, 10, n, rng)
+			}
+			if err := p.Put(1, 0, n, img, nil); err != nil {
+				b.Fatal(err)
+			}
+			last = n
+		}
+		if err := writer.CommitLine(1, ckpt.RecoveryLine{0: last}); err != nil {
+			b.Fatal(err)
+		}
+		waitReplica(b, survivor, last)
+		want := append([]byte(nil), img...)
+		b.SetBytes(ckptImageSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			line, err := survivor.CommittedLine(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, _, err := survivor.Get(1, 0, line[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got) != len(want) {
+				b.Fatalf("restored %d bytes, want %d", len(got), len(want))
+			}
+		}
+		b.StopTimer()
+		// The materialized restore must be byte-exact, not just fast.
+		got, _, err := survivor.Get(1, 0, last)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				b.Fatalf("restored image differs at byte %d", i)
+			}
+		}
+	})
+
+	b.Run("restore=disk/size=8MB", func(b *testing.B) {
+		store, err := ckpt.NewStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := seedBackend(b, store, ckptImageSize)
+		b.SetBytes(ckptImageSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			restoreOnce(b, store, n)
+		}
+	})
+}

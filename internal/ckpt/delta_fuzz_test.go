@@ -1,0 +1,61 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDeltaRoundTrip drives the whole incremental encode path with arbitrary
+// state pairs: the delta from base to next, serialized and parsed back, must
+// reconstruct next exactly — including states that shrink, grow, or land off
+// block boundaries. Apply and ApplyInPlace must agree.
+func FuzzDeltaRoundTrip(f *testing.F) {
+	block := func(fill byte, n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = fill
+		}
+		return b
+	}
+	// Same size, one changed block.
+	f.Add(block(1, 3*DeltaBlockSize), append(block(1, 2*DeltaBlockSize), block(2, DeltaBlockSize)...))
+	// Growth past the base, off-boundary.
+	f.Add(block(3, DeltaBlockSize/2), block(3, 4*DeltaBlockSize+17))
+	// Shrink to a prefix, and shrink within the shared tail block.
+	f.Add(block(4, 4*DeltaBlockSize), block(4, DeltaBlockSize+1))
+	f.Add(block(5, DeltaBlockSize+100), block(5, DeltaBlockSize+99))
+	// Degenerate sizes.
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{}, []byte{42})
+	f.Add([]byte{42}, []byte{})
+
+	f.Fuzz(func(t *testing.T, base, next []byte) {
+		d := ComputeDelta(base, next)
+		if d.BaseLen != len(base) || d.NewLen != len(next) {
+			t.Fatalf("delta lengths %d/%d, want %d/%d", d.BaseLen, d.NewLen, len(base), len(next))
+		}
+		dec, err := DecodeDelta(d.Encode())
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		out, err := dec.Apply(base)
+		if err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		if !bytes.Equal(out, next) {
+			t.Fatalf("round trip mismatch: %d bytes -> %d bytes", len(base), len(next))
+		}
+		// ApplyInPlace consumes its base; feed it a private copy.
+		inPlace, err := dec.ApplyInPlace(append([]byte(nil), base...))
+		if err != nil {
+			t.Fatalf("apply in place: %v", err)
+		}
+		if !bytes.Equal(inPlace, next) {
+			t.Fatal("ApplyInPlace disagrees with Apply")
+		}
+		// A wrong-length base must be rejected, never silently applied.
+		if _, err := dec.Apply(append(base, 0)); err == nil {
+			t.Fatal("apply accepted a base of the wrong length")
+		}
+	})
+}

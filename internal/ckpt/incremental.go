@@ -1,6 +1,7 @@
 package ckpt
 
 import (
+	"bytes"
 	"fmt"
 
 	"starfish/internal/wire"
@@ -44,7 +45,7 @@ func ComputeDelta(base, next []byte) *Delta {
 		if lo < len(base) {
 			oldHi := min(lo+DeltaBlockSize, len(base))
 			oldBlock := base[lo:oldHi]
-			if len(oldBlock) == len(newBlock) && bytesEqual(oldBlock, newBlock) {
+			if len(oldBlock) == len(newBlock) && bytes.Equal(oldBlock, newBlock) {
 				continue
 			}
 		}
@@ -53,16 +54,54 @@ func ComputeDelta(base, next []byte) *Delta {
 	return d
 }
 
-func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
+// ByteSpan is a half-open byte range [Off, Off+Len) of an encoded state,
+// used as a dirty hint: bytes outside every hint span are known unchanged.
+type ByteSpan struct {
+	Off, Len int
+}
+
+// ComputeDeltaHinted is ComputeDelta restricted to blocks overlapping the
+// given dirty spans. A block outside every span is assumed unchanged and is
+// compared only for the structural cases (growth past the base, or a length
+// change of the shared tail block). The hints must be sound — a span list
+// missing a genuinely changed byte produces an incorrect delta; callers
+// derive spans from write tracking (see svm's dirty segments).
+func ComputeDeltaHinted(base, next []byte, spans []ByteSpan) *Delta {
+	if spans == nil {
+		return ComputeDelta(base, next)
 	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+	d := &Delta{BaseLen: len(base), NewLen: len(next), Blocks: map[int][]byte{}}
+	nBlocks := (len(next) + DeltaBlockSize - 1) / DeltaBlockSize
+	dirty := make([]bool, nBlocks)
+	for _, sp := range spans {
+		if sp.Len <= 0 {
+			continue
+		}
+		first := max(sp.Off, 0) / DeltaBlockSize
+		last := (min(sp.Off+sp.Len, len(next)) - 1) / DeltaBlockSize
+		for b := first; b <= last && b < nBlocks; b++ {
+			dirty[b] = true
 		}
 	}
-	return true
+	for b := 0; b < nBlocks; b++ {
+		lo := b * DeltaBlockSize
+		hi := min(lo+DeltaBlockSize, len(next))
+		newBlock := next[lo:hi]
+		if lo < len(base) {
+			oldHi := min(lo+DeltaBlockSize, len(base))
+			oldBlock := base[lo:oldHi]
+			if len(oldBlock) == len(newBlock) {
+				if !dirty[b] {
+					continue // hinted clean, same geometry: unchanged
+				}
+				if bytes.Equal(oldBlock, newBlock) {
+					continue
+				}
+			}
+		}
+		d.Blocks[b] = append([]byte(nil), newBlock...)
+	}
+	return d
 }
 
 // Apply reconstructs the target state from base.
@@ -72,6 +111,36 @@ func (d *Delta) Apply(base []byte) ([]byte, error) {
 	}
 	out := make([]byte, d.NewLen)
 	copy(out, base[:min(len(base), d.NewLen)])
+	for b, block := range d.Blocks {
+		lo := b * DeltaBlockSize
+		if lo+len(block) > d.NewLen {
+			return nil, fmt.Errorf("ckpt: delta block %d overruns state", b)
+		}
+		copy(out[lo:], block)
+	}
+	return out, nil
+}
+
+// ApplyInPlace reconstructs the target state reusing base's storage when it
+// is large enough, avoiding the per-link allocation of Apply during chain
+// replay. The caller must own base exclusively — it is overwritten.
+func (d *Delta) ApplyInPlace(base []byte) ([]byte, error) {
+	if len(base) != d.BaseLen {
+		return nil, fmt.Errorf("ckpt: delta expects base of %d bytes, got %d", d.BaseLen, len(base))
+	}
+	out := base
+	if cap(out) < d.NewLen {
+		out = make([]byte, d.NewLen)
+		copy(out, base[:min(len(base), d.NewLen)])
+	} else {
+		grown := out[:d.NewLen]
+		// Bytes revealed by growth must be zeroed: they may hold stale
+		// content from an earlier, longer state.
+		for i := len(base); i < d.NewLen; i++ {
+			grown[i] = 0
+		}
+		out = grown
+	}
 	for b, block := range d.Blocks {
 		lo := b * DeltaBlockSize
 		if lo+len(block) > d.NewLen {

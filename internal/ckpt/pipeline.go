@@ -1,0 +1,358 @@
+package ckpt
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"starfish/internal/wire"
+)
+
+// DefaultFullEvery is the full-image cadence: one full record, then
+// FullEvery-1 delta records, then the next full record starts a new chain
+// (and makes the old one garbage).
+const DefaultFullEvery = 8
+
+// Pipeline is the incremental checkpoint capture path: a Backend wrapper
+// that turns per-epoch Put calls into content-addressed records over a
+// ChunkedBackend.
+//
+//   - The first checkpoint of a rank (and every FullEvery-th after it) is a
+//     full record: every 4 KiB block of the image, content-addressed.
+//   - Checkpoints in between are delta records: the writer diffs the image
+//     against its cached copy of the previous epoch (ComputeDelta's block
+//     rule) and stores only the changed blocks plus a ~40-byte-per-block
+//     envelope.
+//   - Identical blocks are stored once: across epochs (unchanged blocks are
+//     not even re-sent), and across ranks (the backend deduplicates by
+//     content hash, so the code/globals segments every rank shares land in
+//     the store a single time).
+//   - GC is chain-aware: collecting up to a delta record is clamped down to
+//     the record's full base so the chain stays reconstructable; once a new
+//     full record commits, the previous chain is collected whole.
+//
+// Get reconstructs base + delta chain; backends that materialize chains
+// themselves (RecordResolver, e.g. rstore's replica-side cache) are
+// preferred so a restore from replicated memory stays pointer-speed.
+//
+// One Pipeline serves one application on one node; ranks are tracked
+// independently. It is safe for concurrent use.
+type Pipeline struct {
+	inner ChunkedBackend
+	// FullEvery is the full-record cadence; <=1 disables deltas entirely
+	// (every epoch is a full record).
+	fullEvery int
+
+	mu    sync.Mutex
+	ranks map[wire.Rank]*rankState
+
+	stats PipelineStats
+}
+
+// rankState is the writer-side capture cache of one rank.
+type rankState struct {
+	lastRaw   []byte // our own copy of the previous epoch's image
+	lastIndex uint64 // checkpoint index of lastRaw
+	sinceFull int    // records since (and including) the chain's full base
+}
+
+// PipelineStats counts capture-side work, the savings metric of the
+// incremental pipeline.
+type PipelineStats struct {
+	Fulls, Deltas uint64
+	// RawBytes is the total image bytes handed to Put; StoredBytes is the
+	// envelope plus block bytes actually handed to the backend.
+	RawBytes, StoredBytes uint64
+}
+
+var _ Backend = (*Pipeline)(nil)
+
+// NewPipeline wraps a chunked backend in the incremental capture path.
+// fullEvery <= 0 selects DefaultFullEvery.
+func NewPipeline(inner ChunkedBackend, fullEvery int) *Pipeline {
+	if fullEvery <= 0 {
+		fullEvery = DefaultFullEvery
+	}
+	return &Pipeline{inner: inner, fullEvery: fullEvery, ranks: make(map[wire.Rank]*rankState)}
+}
+
+// Stats returns a snapshot of the capture counters.
+func (p *Pipeline) Stats() PipelineStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Put captures checkpoint n of (app, rank) as a full or delta record,
+// per the cadence policy.
+func (p *Pipeline) Put(app wire.AppID, rank wire.Rank, n uint64, img []byte, meta *Meta) error {
+	p.mu.Lock()
+	st := p.ranks[rank]
+	if st == nil {
+		st = &rankState{}
+		p.ranks[rank] = st
+	}
+	// A delta is only valid against the immediately preceding index; a gap
+	// (restart, skipped epoch) restarts the chain with a full record.
+	asDelta := p.fullEvery > 1 && st.lastRaw != nil &&
+		st.lastIndex+1 == n && st.sinceFull < p.fullEvery
+	base := st.lastIndex
+	var baseRaw []byte
+	if asDelta {
+		baseRaw = st.lastRaw
+	}
+	p.mu.Unlock()
+
+	var env []byte
+	var blocks []RecBlock
+	if asDelta {
+		env, blocks = encodeDeltaEpoch(base, baseRaw, img)
+	} else {
+		env, blocks = encodeFullEpoch(img)
+	}
+	if err := p.inner.PutRecord(app, rank, n, env, blocks, meta); err != nil {
+		return err
+	}
+
+	p.mu.Lock()
+	// Cache our own copy: img belongs to the caller, and next epoch's diff
+	// must not race the application mutating its state.
+	if st.lastRaw == nil || cap(st.lastRaw) < len(img) {
+		st.lastRaw = make([]byte, len(img))
+	}
+	st.lastRaw = st.lastRaw[:len(img)]
+	copy(st.lastRaw, img)
+	st.lastIndex = n
+	if asDelta {
+		st.sinceFull++
+		p.stats.Deltas++
+	} else {
+		st.sinceFull = 1
+		p.stats.Fulls++
+	}
+	p.stats.RawBytes += uint64(len(img))
+	p.stats.StoredBytes += uint64(len(env))
+	for _, b := range blocks {
+		p.stats.StoredBytes += uint64(len(b.Data))
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// encodeFullEpoch builds a full record over every block of img. Block data
+// aliases img (valid for the PutRecord call only, per the contract).
+func encodeFullEpoch(img []byte) ([]byte, []RecBlock) {
+	raw := SplitBlocks(img)
+	refs := make([]BlockRef, len(raw))
+	blocks := make([]RecBlock, 0, len(raw))
+	seen := make(map[BlockID]bool, len(raw))
+	for i, b := range raw {
+		ref := BlockRef{ID: HashBlock(b), Len: uint32(len(b))}
+		refs[i] = ref
+		if !seen[ref.ID] {
+			seen[ref.ID] = true
+			blocks = append(blocks, RecBlock{Ref: ref, Data: b})
+		}
+	}
+	return EncodeFullRecord(len(img), refs), blocks
+}
+
+// encodeDeltaEpoch builds a delta record holding only the blocks of next
+// that differ from base (ComputeDelta's block rule, applied without the
+// per-block copies — block data aliases next).
+func encodeDeltaEpoch(baseIndex uint64, base, next []byte) ([]byte, []RecBlock) {
+	var deltas []DeltaRef
+	var blocks []RecBlock
+	seen := make(map[BlockID]bool)
+	nBlocks := (len(next) + DeltaBlockSize - 1) / DeltaBlockSize
+	for i := 0; i < nBlocks; i++ {
+		lo := i * DeltaBlockSize
+		hi := min(lo+DeltaBlockSize, len(next))
+		nb := next[lo:hi]
+		if lo < len(base) {
+			oldHi := min(lo+DeltaBlockSize, len(base))
+			if ob := base[lo:oldHi]; len(ob) == len(nb) && bytes.Equal(ob, nb) {
+				continue
+			}
+		}
+		ref := BlockRef{ID: HashBlock(nb), Len: uint32(len(nb))}
+		deltas = append(deltas, DeltaRef{Index: uint32(i), Ref: ref})
+		if !seen[ref.ID] {
+			seen[ref.ID] = true
+			blocks = append(blocks, RecBlock{Ref: ref, Data: nb})
+		}
+	}
+	return EncodeDeltaRecord(baseIndex, len(base), len(next), deltas), blocks
+}
+
+// Get reconstructs checkpoint n of (app, rank). Raw (pre-pipeline) images
+// pass through untouched; record chains are resolved by the backend when it
+// can (RecordResolver) and block-by-block otherwise.
+func (p *Pipeline) Get(app wire.AppID, rank wire.Rank, n uint64) ([]byte, *Meta, error) {
+	if rr, ok := p.inner.(RecordResolver); ok {
+		return rr.ResolveRecord(app, rank, n)
+	}
+	env, meta, err := envelopeGet(p.inner, app, rank, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !IsRecord(env) {
+		return env, meta, nil
+	}
+	raw, err := ResolveChain(p.inner, app, rank, n, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	return raw, meta, nil
+}
+
+// ResolveChain reconstructs the raw image behind record envelope env
+// (checkpoint n of (app, rank)) by walking its delta chain back to the full
+// base and replaying it forward. It is the generic, storage-agnostic
+// resolver; backends with their own materialized chains need not use it.
+func ResolveChain(be ChunkedBackend, app wire.AppID, rank wire.Rank, n uint64, env []byte) ([]byte, error) {
+	// Walk back to the full base, collecting the chain (newest first).
+	type link struct {
+		n   uint64
+		rec *Record
+	}
+	var chain []link
+	for {
+		rec, err := DecodeRecord(env)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record #%d of app %d rank %d: %v",
+				ErrBrokenChain, n, app, rank, err)
+		}
+		chain = append(chain, link{n, rec})
+		if rec.Kind == RecFull {
+			break
+		}
+		if rec.Base >= n {
+			return nil, fmt.Errorf("%w: record #%d of app %d rank %d has non-descending base #%d",
+				ErrBrokenChain, n, app, rank, rec.Base)
+		}
+		n = rec.Base
+		var err2 error
+		env, _, err2 = envelopeGet(be, app, rank, n)
+		if err2 != nil {
+			return nil, fmt.Errorf("%w: record #%d of app %d rank %d: %v",
+				ErrBrokenChain, n, app, rank, err2)
+		}
+		if !IsRecord(env) {
+			return nil, fmt.Errorf("%w: record #%d of app %d rank %d is not a record envelope",
+				ErrBrokenChain, n, app, rank)
+		}
+	}
+
+	// Assemble the full base, then replay the deltas forward.
+	baseLink := chain[len(chain)-1]
+	raw := make([]byte, baseLink.rec.RawLen)
+	off := 0
+	for _, ref := range baseLink.rec.Refs {
+		if off+int(ref.Len) > len(raw) {
+			return nil, fmt.Errorf("%w: full record #%d overruns image", ErrMissingBlock, baseLink.n)
+		}
+		b, err := fetchBlock(be, app, rank, ref)
+		if err != nil {
+			return nil, err
+		}
+		copy(raw[off:], b)
+		off += int(ref.Len)
+	}
+	if off != len(raw) {
+		return nil, fmt.Errorf("%w: full record #%d assembles %d of %d bytes",
+			ErrMissingBlock, baseLink.n, off, len(raw))
+	}
+	for i := len(chain) - 2; i >= 0; i-- {
+		rec := chain[i].rec
+		if rec.RawLen != len(raw) {
+			next := make([]byte, rec.RawLen)
+			copy(next, raw[:min(len(raw), rec.RawLen)])
+			raw = next
+		}
+		for _, d := range rec.Deltas {
+			lo := int(d.Index) * DeltaBlockSize
+			if lo+int(d.Ref.Len) > len(raw) {
+				return nil, fmt.Errorf("%w: delta record #%d block %d overruns image",
+					ErrMissingBlock, chain[i].n, d.Index)
+			}
+			b, err := fetchBlock(be, app, rank, d.Ref)
+			if err != nil {
+				return nil, err
+			}
+			copy(raw[lo:], b)
+		}
+	}
+	return raw, nil
+}
+
+// fetchBlock gets one block and verifies its content address, so a corrupt
+// or substituted block surfaces as ErrMissingBlock instead of silently
+// restoring wrong state.
+func fetchBlock(be ChunkedBackend, app wire.AppID, rank wire.Rank, ref BlockRef) ([]byte, error) {
+	b, err := be.GetBlock(app, rank, ref)
+	if err != nil {
+		return nil, fmt.Errorf("%w: block %s: %v", ErrMissingBlock, ref.ID, err)
+	}
+	if uint32(len(b)) != ref.Len || HashBlock(b) != ref.ID {
+		return nil, fmt.Errorf("%w: block %s fails verification", ErrMissingBlock, ref.ID)
+	}
+	return b, nil
+}
+
+// GC collects checkpoints of (app, rank) below keepFrom, clamped down so a
+// surviving delta chain keeps its full base: if checkpoint keepFrom is a
+// delta record, collection stops at its chain's base instead. When keepFrom
+// is a full record (a new chain just committed), the previous chain —
+// records and, in the backend, its now-unreferenced blocks — goes away
+// whole.
+func (p *Pipeline) GC(app wire.AppID, rank wire.Rank, keepFrom uint64) error {
+	base, err := p.chainBase(app, rank, keepFrom)
+	if err == nil && base < keepFrom {
+		keepFrom = base
+	}
+	return p.inner.GC(app, rank, keepFrom)
+}
+
+// chainBase walks the delta chain of checkpoint n down to its full record's
+// index. Raw images and missing checkpoints are their own base.
+func (p *Pipeline) chainBase(app wire.AppID, rank wire.Rank, n uint64) (uint64, error) {
+	for {
+		env, _, err := envelopeGet(p.inner, app, rank, n)
+		if err != nil || !IsRecord(env) {
+			return n, err
+		}
+		rec, err := DecodeRecord(env)
+		if err != nil {
+			return n, err
+		}
+		if rec.Kind == RecFull || rec.Base >= n {
+			return n, nil
+		}
+		n = rec.Base
+	}
+}
+
+// Put-through methods.
+
+func (p *Pipeline) List(app wire.AppID, rank wire.Rank) ([]uint64, error) {
+	return p.inner.List(app, rank)
+}
+
+func (p *Pipeline) Ranks(app wire.AppID) ([]wire.Rank, error) { return p.inner.Ranks(app) }
+
+func (p *Pipeline) CommitLine(app wire.AppID, line RecoveryLine) error {
+	return p.inner.CommitLine(app, line)
+}
+
+func (p *Pipeline) CommittedLine(app wire.AppID) (RecoveryLine, error) {
+	return p.inner.CommittedLine(app)
+}
+
+// DropApp drops the app's records and the writer-side capture caches.
+func (p *Pipeline) DropApp(app wire.AppID) error {
+	p.mu.Lock()
+	p.ranks = make(map[wire.Rank]*rankState)
+	p.mu.Unlock()
+	return p.inner.DropApp(app)
+}

@@ -1,0 +1,381 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"starfish/internal/wire"
+)
+
+// pipeStore builds a Pipeline over a fresh disk Store.
+func pipeStore(t *testing.T, fullEvery int) (*Pipeline, *Store) {
+	t.Helper()
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPipeline(st, fullEvery), st
+}
+
+// epochImages builds a deterministic sequence of images: epoch 0 is random,
+// each later epoch mutates a few whole blocks of its predecessor.
+func epochImages(t *testing.T, epochs, blocks int) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	imgs := make([][]byte, epochs)
+	imgs[0] = make([]byte, blocks*DeltaBlockSize)
+	rng.Read(imgs[0])
+	for e := 1; e < epochs; e++ {
+		img := append([]byte(nil), imgs[e-1]...)
+		for i := 0; i < 2; i++ {
+			b := rng.Intn(blocks)
+			rng.Read(img[b*DeltaBlockSize : (b+1)*DeltaBlockSize])
+		}
+		imgs[e] = img
+	}
+	return imgs
+}
+
+func TestPipelineRoundTripOverDisk(t *testing.T) {
+	p, st := pipeStore(t, 4)
+	imgs := epochImages(t, 10, 16)
+	for n, img := range imgs {
+		if err := p.Put(1, 0, uint64(n), img, nil); err != nil {
+			t.Fatalf("put #%d: %v", n, err)
+		}
+	}
+	// Every slot holds a record envelope, not a raw image.
+	for n := range imgs {
+		env, _, err := st.Get(1, 0, uint64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsRecord(env) {
+			t.Fatalf("slot #%d is not a record envelope", n)
+		}
+	}
+	// Cadence 4: fulls at 0, 4, 8 — the rest are deltas.
+	stats := p.Stats()
+	if stats.Fulls != 3 || stats.Deltas != 7 {
+		t.Errorf("fulls/deltas = %d/%d, want 3/7", stats.Fulls, stats.Deltas)
+	}
+	if stats.StoredBytes >= stats.RawBytes/2 {
+		t.Errorf("stored %d bytes of %d raw: no incremental savings", stats.StoredBytes, stats.RawBytes)
+	}
+	// Every epoch reconstructs exactly, full or mid-chain.
+	for n, want := range imgs {
+		got, meta, err := p.Get(1, 0, uint64(n))
+		if err != nil {
+			t.Fatalf("get #%d: %v", n, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("epoch #%d reconstructed wrong image", n)
+		}
+		if meta.Index != uint64(n) {
+			t.Errorf("epoch #%d meta index = %d", n, meta.Index)
+		}
+	}
+}
+
+func TestPipelineShrinkAndGrow(t *testing.T) {
+	p, _ := pipeStore(t, 8)
+	sizes := []int{
+		5*DeltaBlockSize + 123, // base
+		3 * DeltaBlockSize,     // shrink to block boundary
+		7*DeltaBlockSize + 1,   // grow past the base
+		7 * DeltaBlockSize,     // shrink by one byte
+	}
+	rng := rand.New(rand.NewSource(3))
+	var imgs [][]byte
+	prev := []byte(nil)
+	for _, sz := range sizes {
+		img := make([]byte, sz)
+		copy(img, prev)
+		if sz > len(prev) {
+			rng.Read(img[len(prev):])
+		}
+		imgs = append(imgs, img)
+		prev = img
+	}
+	for n, img := range imgs {
+		if err := p.Put(9, 2, uint64(n), img, nil); err != nil {
+			t.Fatalf("put #%d: %v", n, err)
+		}
+	}
+	if st := p.Stats(); st.Deltas != 3 {
+		t.Errorf("deltas = %d, want 3 (resizes must stay on the chain)", st.Deltas)
+	}
+	for n, want := range imgs {
+		got, _, err := p.Get(9, 2, uint64(n))
+		if err != nil {
+			t.Fatalf("get #%d: %v", n, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("epoch #%d (len %d) reconstructed wrong image", n, len(want))
+		}
+	}
+}
+
+func TestPipelineIndexGapForcesFull(t *testing.T) {
+	p, _ := pipeStore(t, 8)
+	imgs := epochImages(t, 3, 8)
+	if err := p.Put(2, 0, 0, imgs[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	// Index 2 does not follow 0: the delta chain cannot span the gap.
+	if err := p.Put(2, 0, 2, imgs[1], nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Fulls != 2 || st.Deltas != 0 {
+		t.Errorf("fulls/deltas = %d/%d, want 2/0 after an index gap", st.Fulls, st.Deltas)
+	}
+	got, _, err := p.Get(2, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, imgs[1]) {
+		t.Error("post-gap full record reconstructed wrong image")
+	}
+}
+
+// removeSlot deletes the stored envelope of checkpoint n directly from the
+// disk store, simulating a lost chain link.
+func removeSlot(t *testing.T, st *Store, app wire.AppID, rank wire.Rank, n uint64) {
+	t.Helper()
+	if err := os.Remove(st.imgPath(app, rank, n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(st.metaPath(app, rank, n)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineBrokenChainTyped(t *testing.T) {
+	p, st := pipeStore(t, 8)
+	imgs := epochImages(t, 4, 8)
+	for n, img := range imgs {
+		if err := p.Put(1, 0, uint64(n), img, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove a mid-chain delta record: epoch 3 builds on 2 builds on 1.
+	removeSlot(t, st, 1, 0, 2)
+	_, _, err := p.Get(1, 0, 3)
+	if !errors.Is(err, ErrBrokenChain) {
+		t.Fatalf("err = %v, want ErrBrokenChain", err)
+	}
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, must wrap ErrNoCheckpoint for the restart path", err)
+	}
+	// Epoch 1 is still intact below the break.
+	if got, _, err := p.Get(1, 0, 1); err != nil || !bytes.Equal(got, imgs[1]) {
+		t.Fatalf("epoch below the break must survive: %v", err)
+	}
+}
+
+func TestPipelineMissingBlockTyped(t *testing.T) {
+	p, st := pipeStore(t, 8)
+	imgs := epochImages(t, 2, 8)
+	for n, img := range imgs {
+		if err := p.Put(1, 0, uint64(n), img, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove one content block referenced by the delta record.
+	env, _, err := st.Get(1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := RecordRefs(env)
+	if err != nil || len(refs) == 0 {
+		t.Fatalf("delta record has no refs: %v", err)
+	}
+	if err := os.Remove(st.blockPath(refs[0].ID)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = p.Get(1, 0, 1)
+	if !errors.Is(err, ErrMissingBlock) {
+		t.Fatalf("err = %v, want ErrMissingBlock", err)
+	}
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, must wrap ErrNoCheckpoint", err)
+	}
+}
+
+func TestPipelineCorruptBlockTyped(t *testing.T) {
+	p, st := pipeStore(t, 8)
+	imgs := epochImages(t, 2, 8)
+	for n, img := range imgs {
+		if err := p.Put(1, 0, uint64(n), img, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env, _, err := st.Get(1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := RecordRefs(env)
+	if err != nil || len(refs) == 0 {
+		t.Fatalf("delta record has no refs: %v", err)
+	}
+	// Substitute different content of the right length: unsealing succeeds,
+	// the content-address check must catch it.
+	bogus := make([]byte, refs[0].Len)
+	for i := range bogus {
+		bogus[i] = 0xEE
+	}
+	if err := os.WriteFile(st.blockPath(refs[0].ID), sealBlock(bogus), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = p.Get(1, 0, 1)
+	if !errors.Is(err, ErrMissingBlock) {
+		t.Fatalf("err = %v, want ErrMissingBlock for substituted block", err)
+	}
+}
+
+// countBlockFiles counts sealed blocks in the store's shared block dir.
+func countBlockFiles(t *testing.T, st *Store) int {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(st.Dir(), "blocks"))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".blk") {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPipelineGCClampsToChainBase(t *testing.T) {
+	p, st := pipeStore(t, 8)
+	imgs := epochImages(t, 6, 8)
+	for n, img := range imgs {
+		if err := p.Put(1, 0, uint64(n), img, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// keepFrom=3 is a delta record; GC must clamp down to the chain's full
+	// base (epoch 0) so the chain stays reconstructable.
+	if err := p.GC(1, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := st.List(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 6 || ns[0] != 0 {
+		t.Fatalf("list after clamped GC = %v, want all six epochs kept", ns)
+	}
+	got, _, err := p.Get(1, 0, 5)
+	if err != nil || !bytes.Equal(got, imgs[5]) {
+		t.Fatalf("chain unreconstructable after clamped GC: %v", err)
+	}
+}
+
+func TestPipelineGCCollectsSupersededChain(t *testing.T) {
+	p, st := pipeStore(t, 4)
+	imgs := epochImages(t, 8, 8)
+	for n, img := range imgs {
+		if err := p.Put(1, 0, uint64(n), img, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := countBlockFiles(t, st)
+	if before == 0 {
+		t.Fatal("no sealed blocks before GC")
+	}
+	// Epoch 4 is a full record (cadence 4): GC there drops the whole first
+	// chain — records 0..3 and every block only they referenced.
+	if err := p.GC(1, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := st.List(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 4 || ns[0] != 4 {
+		t.Fatalf("list after GC = %v, want epochs 4..7", ns)
+	}
+	after := countBlockFiles(t, st)
+	if after >= before {
+		t.Errorf("block files %d -> %d: superseded chain's blocks not swept", before, after)
+	}
+	// No orphan links: every survivor must reconstruct from what remains.
+	for n := 4; n < 8; n++ {
+		got, _, err := p.Get(1, 0, uint64(n))
+		if err != nil || !bytes.Equal(got, imgs[n]) {
+			t.Fatalf("epoch #%d broken after GC: %v", n, err)
+		}
+	}
+	// A fresh sweep finds nothing more: the live chain keeps all its blocks.
+	if err := st.sweepBlocks(); err != nil {
+		t.Fatal(err)
+	}
+	if again := countBlockFiles(t, st); again != after {
+		t.Errorf("idempotent sweep removed %d more blocks", after-again)
+	}
+}
+
+func TestPipelineCrossRankDedup(t *testing.T) {
+	p, st := pipeStore(t, 8)
+	img := epochImages(t, 1, 16)[0]
+	if err := p.Put(1, 0, 0, img, nil); err != nil {
+		t.Fatal(err)
+	}
+	blocksAfterRank0 := countBlockFiles(t, st)
+	// Rank 1 checkpoints the identical image: zero new blocks hit the disk.
+	if err := p.Put(1, 1, 0, img, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := countBlockFiles(t, st); n != blocksAfterRank0 {
+		t.Errorf("identical second rank added %d blocks", n-blocksAfterRank0)
+	}
+	got, _, err := p.Get(1, 1, 0)
+	if err != nil || !bytes.Equal(got, img) {
+		t.Fatalf("rank 1 restore from deduplicated blocks: %v", err)
+	}
+}
+
+func TestPipelineRawImagePassThrough(t *testing.T) {
+	p, st := pipeStore(t, 8)
+	// A pre-pipeline raw image in the slot must come back verbatim.
+	raw := []byte("not a record envelope, just bytes")
+	if err := st.Put(1, 0, 0, raw, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := p.Get(1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Error("raw image did not pass through the pipeline untouched")
+	}
+}
+
+func TestSealedBlocksCompress(t *testing.T) {
+	// The cold tier seals compressed: a zero block costs almost nothing.
+	zero := make([]byte, DeltaBlockSize)
+	sealed := sealBlock(zero)
+	if len(sealed) >= DeltaBlockSize/8 {
+		t.Errorf("zero block sealed to %d bytes", len(sealed))
+	}
+	back, err := unsealBlock(sealed, DeltaBlockSize)
+	if err != nil || !bytes.Equal(back, zero) {
+		t.Fatalf("unseal: %v", err)
+	}
+	// Wrong expected length must error, not truncate.
+	if _, err := unsealBlock(sealed, DeltaBlockSize-1); err == nil {
+		t.Error("unseal with wrong length succeeded")
+	}
+}

@@ -213,12 +213,13 @@ func (s *Store) CommittedLine(app wire.AppID) (RecoveryLine, error) {
 	return DecodeLine(b)
 }
 
-// GC removes checkpoints of (app, rank) older than keepFrom. Committed
-// recovery lines make earlier checkpoints garbage (coordinated protocols);
-// uncoordinated protocols may only collect below the computed line. Orphan
-// images without metadata (a crash mid-Put) are collected too — they are
-// invisible to List but still occupy space.
-func (s *Store) GC(app wire.AppID, rank wire.Rank, keepFrom uint64) error {
+// gcSlots removes checkpoint slots of (app, rank) older than keepFrom (the
+// slot half of GC; block sweeping is layered on top in store_chunked.go).
+// Committed recovery lines make earlier checkpoints garbage (coordinated
+// protocols); uncoordinated protocols may only collect below the computed
+// line. Orphan images without metadata (a crash mid-Put) are collected too —
+// they are invisible to List but still occupy space.
+func (s *Store) gcSlots(app wire.AppID, rank wire.Rank, keepFrom uint64) error {
 	entries, err := os.ReadDir(s.rankDir(app, rank))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
@@ -246,9 +247,4 @@ func (s *Store) GC(app wire.AppID, rank wire.Rank, keepFrom uint64) error {
 		}
 	}
 	return nil
-}
-
-// DropApp removes every stored checkpoint of app (application deleted).
-func (s *Store) DropApp(app wire.AppID) error {
-	return os.RemoveAll(filepath.Join(s.dir, fmt.Sprintf("app-%d", app)))
 }

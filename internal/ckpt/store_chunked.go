@@ -1,0 +1,218 @@
+package ckpt
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"starfish/internal/wire"
+)
+
+// Content-addressed block storage for the disk Store. Blocks live beside the
+// per-rank record envelopes, shared by every app and rank:
+//
+//	<dir>/blocks/<hex sha256>.blk
+//
+// Disk is the cold tier, so blocks are sealed compressed (DEFLATE): a full
+// image of a mostly-zero heap costs almost nothing at rest, and the restore
+// path that actually matters for the paper's recovery numbers — replicated
+// memory — never touches these files. The filesystem doubles as the index:
+// GC is a mark-sweep over the record envelopes that survived, so unreferenced
+// blocks (superseded delta chains) cannot outlive their last referencing
+// record even across daemon restarts.
+
+// chunkMu serializes block writes and sweeps per store directory. Multiple
+// Store handles may share one directory (the simulated shared file system),
+// so the lock is keyed by directory, not by handle.
+var chunkMu sync.Mutex
+
+var _ ChunkedBackend = (*Store)(nil)
+
+func (s *Store) blocksDir() string { return filepath.Join(s.dir, "blocks") }
+
+func (s *Store) blockPath(id BlockID) string {
+	return filepath.Join(s.blocksDir(), hex.EncodeToString(id[:])+".blk")
+}
+
+// PutRecord stores a record envelope in the ordinary (app, rank, n) image
+// slot and its new blocks, compressed, in the shared block directory. Blocks
+// already sealed under their content address are skipped — that is the
+// cross-epoch and cross-rank deduplication.
+func (s *Store) PutRecord(app wire.AppID, rank wire.Rank, n uint64, env []byte, blocks []RecBlock, meta *Meta) error {
+	chunkMu.Lock()
+	defer chunkMu.Unlock()
+	if err := os.MkdirAll(s.blocksDir(), 0o755); err != nil {
+		return err
+	}
+	for _, b := range blocks {
+		path := s.blockPath(b.Ref.ID)
+		if _, err := os.Stat(path); err == nil {
+			continue // already sealed: deduplicated
+		}
+		if err := atomicWrite(path, sealBlock(b.Data)); err != nil {
+			return err
+		}
+	}
+	// The envelope lands last, so a crash mid-PutRecord leaves sealed
+	// blocks without a referencing record — invisible garbage the next
+	// sweep collects — never a record with missing blocks.
+	return s.Put(app, rank, n, env, meta)
+}
+
+// GetBlock reads and unseals one content-addressed block.
+func (s *Store) GetBlock(_ wire.AppID, _ wire.Rank, ref BlockRef) ([]byte, error) {
+	sealed, err := os.ReadFile(s.blockPath(ref.ID))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: block %s", ErrMissingBlock, ref.ID)
+	}
+	if err != nil {
+		return nil, err
+	}
+	data, err := unsealBlock(sealed, int(ref.Len))
+	if err != nil {
+		return nil, fmt.Errorf("%w: block %s: %v", ErrMissingBlock, ref.ID, err)
+	}
+	return data, nil
+}
+
+// sealBlock compresses a block for cold storage.
+func sealBlock(data []byte) []byte {
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		panic(fmt.Sprintf("ckpt: flate level: %v", err)) // constant valid level
+	}
+	if _, err := zw.Write(data); err != nil {
+		panic(fmt.Sprintf("ckpt: flate write: %v", err)) // bytes.Buffer cannot fail
+	}
+	if err := zw.Close(); err != nil {
+		panic(fmt.Sprintf("ckpt: flate close: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// unsealBlock decompresses a sealed block, bounding the output at the
+// expected length.
+func unsealBlock(sealed []byte, want int) ([]byte, error) {
+	zr := flate.NewReader(bytes.NewReader(sealed))
+	defer zr.Close()
+	out := make([]byte, 0, want)
+	// Read one byte past want so a wrong-length block is detected rather
+	// than silently truncated.
+	lim := io.LimitReader(zr, int64(want)+1)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := lim.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(out) != want {
+		return nil, fmt.Errorf("sealed block is %d bytes, want %d", len(out), want)
+	}
+	return out, nil
+}
+
+// GC removes record slots below keepFrom like the base implementation, then
+// sweeps the block directory: a block survives only while some remaining
+// record envelope (of any app or rank in this store) references it.
+func (s *Store) GC(app wire.AppID, rank wire.Rank, keepFrom uint64) error {
+	if err := s.gcSlots(app, rank, keepFrom); err != nil {
+		return err
+	}
+	return s.sweepBlocks()
+}
+
+// DropApp removes the app's records and sweeps newly unreferenced blocks.
+func (s *Store) DropApp(app wire.AppID) error {
+	if err := os.RemoveAll(filepath.Join(s.dir, fmt.Sprintf("app-%d", app))); err != nil {
+		return err
+	}
+	return s.sweepBlocks()
+}
+
+// sweepBlocks is the mark phase (every block referenced by any surviving
+// record envelope) followed by the sweep (unlink the rest). The walk reads
+// only envelopes — raw images are recognized and skipped by magic.
+func (s *Store) sweepBlocks() error {
+	chunkMu.Lock()
+	defer chunkMu.Unlock()
+	blocks, err := os.ReadDir(s.blocksDir())
+	if errors.Is(err, os.ErrNotExist) || len(blocks) == 0 {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	marked := make(map[BlockID]bool)
+	apps, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, appEnt := range apps {
+		if !appEnt.IsDir() || !strings.HasPrefix(appEnt.Name(), "app-") {
+			continue
+		}
+		appDir := filepath.Join(s.dir, appEnt.Name())
+		rankEnts, err := os.ReadDir(appDir)
+		if err != nil {
+			return err
+		}
+		for _, rankEnt := range rankEnts {
+			if !rankEnt.IsDir() || !strings.HasPrefix(rankEnt.Name(), "rank-") {
+				continue
+			}
+			rankDir := filepath.Join(appDir, rankEnt.Name())
+			files, err := os.ReadDir(rankDir)
+			if err != nil {
+				return err
+			}
+			for _, f := range files {
+				if !strings.HasPrefix(f.Name(), "ckpt-") || !strings.HasSuffix(f.Name(), ".img") {
+					continue
+				}
+				env, err := os.ReadFile(filepath.Join(rankDir, f.Name()))
+				if err != nil || !IsRecord(env) {
+					continue
+				}
+				refs, err := RecordRefs(env)
+				if err != nil {
+					continue // unreadable envelope: keep its blocks unmarked
+				}
+				for _, r := range refs {
+					marked[r.ID] = true
+				}
+			}
+		}
+	}
+	for _, b := range blocks {
+		name := b.Name()
+		if !strings.HasSuffix(name, ".blk") {
+			continue
+		}
+		raw, err := hex.DecodeString(strings.TrimSuffix(name, ".blk"))
+		if err != nil || len(raw) != len(BlockID{}) {
+			continue // foreign file: not ours to delete
+		}
+		var id BlockID
+		copy(id[:], raw)
+		if marked[id] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.blocksDir(), name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package ckpt
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"starfish/internal/wire"
@@ -215,6 +216,89 @@ func (t *Tiered) DropApp(app wire.AppID) error {
 	}
 	t.spill(func() error { return t.slow.DropApp(app) })
 	return nil
+}
+
+// PutRecord forwards a chunked put to the fast tier synchronously and spills
+// it to the slow tier. The PutRecord contract only guarantees block data for
+// the duration of the call, so the spill captures its own copy.
+func (t *Tiered) PutRecord(app wire.AppID, rank wire.Rank, n uint64, env []byte, blocks []RecBlock, meta *Meta) error {
+	fast, fok := t.fast.(ChunkedBackend)
+	slow, sok := t.slow.(ChunkedBackend)
+	if !fok || !sok {
+		return fmt.Errorf("ckpt: tiered backend tiers do not support chunked records")
+	}
+	if err := fast.PutRecord(app, rank, n, env, blocks, meta); err != nil {
+		return err
+	}
+	cp := make([]RecBlock, len(blocks))
+	for i, b := range blocks {
+		cp[i] = RecBlock{Ref: b.Ref, Data: append([]byte(nil), b.Data...)}
+	}
+	t.spill(func() error { return slow.PutRecord(app, rank, n, env, cp, meta) })
+	return nil
+}
+
+// GetBlock reads a content-addressed block memory-first with disk fallback.
+func (t *Tiered) GetBlock(app wire.AppID, rank wire.Rank, ref BlockRef) ([]byte, error) {
+	fast, fok := t.fast.(ChunkedBackend)
+	slow, sok := t.slow.(ChunkedBackend)
+	if !fok || !sok {
+		return nil, fmt.Errorf("ckpt: tiered backend tiers do not support chunked records")
+	}
+	b, err := fast.GetBlock(app, rank, ref)
+	if err == nil {
+		return b, nil
+	}
+	if !errors.Is(err, ErrNoCheckpoint) {
+		return nil, err
+	}
+	return slow.GetBlock(app, rank, ref)
+}
+
+// GetEnvelope reads slot n's stored bytes verbatim, memory-first with disk
+// fallback — the chain walker's view of the tiers (the fast tier's plain Get
+// resolves records, which would hide the links).
+func (t *Tiered) GetEnvelope(app wire.AppID, rank wire.Rank, n uint64) ([]byte, *Meta, error) {
+	fast, ok := t.fast.(ChunkedBackend)
+	if !ok {
+		return t.Get(app, rank, n) // non-chunked tiers never hold records
+	}
+	env, meta, err := envelopeGet(fast, app, rank, n)
+	if err == nil {
+		return env, meta, nil
+	}
+	if !errors.Is(err, ErrNoCheckpoint) {
+		return nil, nil, err
+	}
+	return t.slow.Get(app, rank, n)
+}
+
+// ResolveRecord reconstructs a record chain, delegating to the fast tier's
+// materialized resolver when it has one and walking blocks otherwise.
+func (t *Tiered) ResolveRecord(app wire.AppID, rank wire.Rank, n uint64) ([]byte, *Meta, error) {
+	if rr, ok := t.fast.(RecordResolver); ok {
+		raw, meta, err := rr.ResolveRecord(app, rank, n)
+		if err == nil {
+			return raw, meta, nil
+		}
+		if !errors.Is(err, ErrNoCheckpoint) {
+			return nil, nil, err
+		}
+		// Fast tier lost the chain (e.g. memory wipe): fall through to the
+		// tiered walk, which can pull records and blocks back off disk.
+	}
+	env, meta, err := t.GetEnvelope(app, rank, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !IsRecord(env) {
+		return env, meta, nil
+	}
+	raw, err := ResolveChain(t, app, rank, n, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	return raw, meta, nil
 }
 
 func mergeSorted(a, b []uint64) []uint64 {

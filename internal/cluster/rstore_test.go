@@ -93,6 +93,92 @@ func TestMemoryStoreRecoveryWithoutDisk(t *testing.T) {
 	}
 }
 
+// TestDeltaChainRecoveryMidChain is the acceptance test of the incremental
+// checkpoint pipeline under churn: an application checkpointing full + delta
+// records to replicated RAM is killed while its committed line points at a
+// delta record several links past the full base, and the restart must
+// reconstruct base + chain from surviving replicas.
+func TestDeltaChainRecoveryMidChain(t *testing.T) {
+	c := newCluster(t, 3)
+	waitMainView(t, c, 3)
+
+	spec := ringSpec(42, 3, 300000)
+	spec.Store = ckpt.StoreMemory
+	spec.CkptEverySteps = 2000
+	spec.DeltaCkpt = true
+	spec.FullEvery = 1000 // one full base, then every epoch rides the chain
+	if err := c.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the committed line is genuinely mid-chain: at least two
+	// delta records past the full base on some rank.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		line, err := c.WaitCommittedLine(42, 20*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var top uint64
+		for _, n := range line {
+			if n > top {
+				top = n
+			}
+		}
+		if top >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("committed line %v never advanced past the chain base", line)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The delta path is actually in use: content-addressed blocks are
+	// resident in daemon RAM, not opaque images alone.
+	blocks := 0
+	for _, id := range c.Nodes() {
+		mem, err := c.MemStore(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks += mem.Stats().Blocks
+	}
+	if blocks == 0 {
+		t.Fatal("delta-enabled app stored no content-addressed blocks")
+	}
+
+	// Kill a node hosting a rank mid-chain.
+	info, ok := c.AnyDaemon().AppInfo(42)
+	if !ok {
+		t.Fatal("app vanished")
+	}
+	var victim wire.NodeID
+	for _, node := range info.Placement {
+		if node > victim {
+			victim = node
+		}
+	}
+	if err := c.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	final, err := c.WaitApp(42, 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != daemon.StatusDone {
+		t.Fatalf("status = %v, failure = %q", final.Status, final.Failure)
+	}
+	if final.Gen < 2 {
+		t.Errorf("gen = %d, want a restart", final.Gen)
+	}
+	for r, n := range final.Placement {
+		if n == victim {
+			t.Errorf("rank %d still on crashed node %d", r, n)
+		}
+	}
+}
+
 // TestTieredStoreSpillsAndRecovers runs an application on the tiered
 // backend: checkpoints commit at RAM speed but spill to disk in the
 // background, so both tiers can serve the restart.

@@ -106,6 +106,10 @@ type Job struct {
 	// Store selects the checkpoint storage backend (StoreDisk,
 	// StoreMemory, or StoreTiered); the zero value is StoreDisk.
 	Store ckpt.StoreKind
+	// Delta enables incremental (full + delta record) checkpoint capture;
+	// FullEvery is the full-record cadence (0 = ckpt.DefaultFullEvery).
+	Delta     bool
+	FullEvery uint32
 }
 
 func (j Job) spec() proc.AppSpec {
@@ -113,7 +117,7 @@ func (j Job) spec() proc.AppSpec {
 		ID: j.ID, Name: j.Name, Args: j.Args, Ranks: j.Ranks,
 		Protocol: j.Protocol, Encoder: j.Encoder, Policy: j.Policy,
 		CkptEverySteps: j.CheckpointEverySteps, Owner: j.Owner,
-		Store: j.Store,
+		Store: j.Store, DeltaCkpt: j.Delta, FullEvery: j.FullEvery,
 	}
 	if s.Protocol == 0 {
 		s.Protocol = ckpt.StopAndSync

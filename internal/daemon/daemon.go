@@ -164,6 +164,12 @@ type Daemon struct {
 	inbox chan inboxMsg
 	stop  chan struct{}
 	dead  chan struct{}
+
+	// pipelines caches one incremental-capture wrapper per delta-enabled
+	// app: the writer-side diff caches inside are stateful, so every
+	// checkpoint of an app must go through the same Pipeline instance.
+	pipeMu    sync.Mutex
+	pipelines map[wire.AppID]*ckpt.Pipeline
 }
 
 // New creates a daemon and joins (or creates) the cluster.
@@ -187,17 +193,18 @@ func New(cfg Config) (*Daemon, error) {
 		return nil, err
 	}
 	d := &Daemon{
-		cfg:      cfg,
-		ep:       ep,
-		lwm:      lwg.NewManager(cfg.Node),
-		apps:     make(map[wire.AppID]*appState),
-		disabled: make(map[wire.NodeID]bool),
-		params:   make(map[string]string),
-		local:    make(map[wire.AppID]map[wire.Rank]*endpoint),
-		inbox:    make(chan inboxMsg, 1024),
-		change:   make(chan struct{}),
-		stop:     make(chan struct{}),
-		dead:     make(chan struct{}),
+		cfg:       cfg,
+		ep:        ep,
+		lwm:       lwg.NewManager(cfg.Node),
+		apps:      make(map[wire.AppID]*appState),
+		disabled:  make(map[wire.NodeID]bool),
+		params:    make(map[string]string),
+		local:     make(map[wire.AppID]map[wire.Rank]*endpoint),
+		inbox:     make(chan inboxMsg, 1024),
+		change:    make(chan struct{}),
+		stop:      make(chan struct{}),
+		dead:      make(chan struct{}),
+		pipelines: make(map[wire.AppID]*ckpt.Pipeline),
 	}
 	if cfg.Memory != nil && cfg.Store != nil {
 		d.tiered = ckpt.NewTiered(cfg.Memory, cfg.Store, cfg.Logf)
@@ -208,19 +215,36 @@ func New(cfg Config) (*Daemon, error) {
 
 // backendFor resolves the checkpoint backend an application's spec selects,
 // falling back to disk when the requested tier is not configured on this
-// node.
+// node. Delta-enabled apps get the storage tier wrapped in their cached
+// incremental capture pipeline (one per app — its writer-side diff state
+// must see every epoch).
 func (d *Daemon) backendFor(spec *proc.AppSpec) ckpt.Backend {
+	var be ckpt.Backend = d.cfg.Store
 	switch spec.Store {
 	case ckpt.StoreMemory:
 		if d.cfg.Memory != nil {
-			return d.cfg.Memory
+			be = d.cfg.Memory
 		}
 	case ckpt.StoreTiered:
 		if d.tiered != nil {
-			return d.tiered
+			be = d.tiered
 		}
 	}
-	return d.cfg.Store
+	if !spec.DeltaCkpt {
+		return be
+	}
+	cb, ok := be.(ckpt.ChunkedBackend)
+	if !ok {
+		return be // tier cannot store records: fall back to opaque images
+	}
+	d.pipeMu.Lock()
+	defer d.pipeMu.Unlock()
+	p := d.pipelines[spec.ID]
+	if p == nil {
+		p = ckpt.NewPipeline(cb, int(spec.FullEvery))
+		d.pipelines[spec.ID] = p
+	}
+	return p
 }
 
 // CommittedLine reads the last committed recovery line of an application

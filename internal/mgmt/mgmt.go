@@ -14,7 +14,7 @@
 //	NODES                       ENABLE NODE <id> | DISABLE NODE <id>
 //	SET <key> <value>           GET <key>
 //	APPS                        STATUS <app>
-//	SUBMIT <app> <name> <ranks> <protocol> <encoder> <policy> <every> <hexargs> [store]
+//	SUBMIT <app> <name> <ranks> <protocol> <encoder> <policy> <every> <hexargs> [store] [delta[:N]]
 //	SUSPEND <app>  RESUME <app>  DELETE <app>  CHECKPOINT <app>  MIGRATE <app>
 //	RSTORE                      (replicated-memory store health counters)
 //	QUIT
@@ -299,8 +299,8 @@ func (s *Server) dispatch(admin bool, user, verb string, fields []string) ([]str
 		}, nil
 
 	case "SUBMIT":
-		if len(fields) != 9 && len(fields) != 10 {
-			return nil, fmt.Errorf("usage: SUBMIT <app> <name> <ranks> <protocol> <encoder> <policy> <every> <hexargs> [store]")
+		if len(fields) < 9 || len(fields) > 11 {
+			return nil, fmt.Errorf("usage: SUBMIT <app> <name> <ranks> <protocol> <encoder> <policy> <every> <hexargs> [store] [delta[:N]]")
 		}
 		id, err := parseAppID(fields[1])
 		if err != nil {
@@ -334,8 +334,16 @@ func (s *Server) dispatch(admin bool, user, verb string, fields []string) ([]str
 			}
 		}
 		store := ckpt.StoreDisk
-		if len(fields) == 10 {
+		if len(fields) >= 10 {
 			store, err = ParseStoreKind(fields[9])
+			if err != nil {
+				return nil, err
+			}
+		}
+		var delta bool
+		var fullEvery uint32
+		if len(fields) == 11 {
+			delta, fullEvery, err = ParseDeltaOption(fields[10])
 			if err != nil {
 				return nil, err
 			}
@@ -344,6 +352,7 @@ func (s *Server) dispatch(admin bool, user, verb string, fields []string) ([]str
 			ID: id, Name: fields[2], Args: args, Ranks: ranks,
 			Protocol: protocol, Encoder: encoder, Policy: policy,
 			CkptEverySteps: every, Owner: user, Store: store,
+			DeltaCkpt: delta, FullEvery: fullEvery,
 		})
 
 	case "SUSPEND", "RESUME", "DELETE", "CHECKPOINT", "MIGRATE":
@@ -412,6 +421,27 @@ func ParseStoreKind(s string) (ckpt.StoreKind, error) {
 		return ckpt.StoreTiered, nil
 	default:
 		return 0, fmt.Errorf("unknown store kind %q", s)
+	}
+}
+
+// ParseDeltaOption parses the optional SUBMIT delta flag: "full" disables
+// the incremental pipeline, "delta" enables it at the default full-record
+// cadence, "delta:N" enables it with a full record every N epochs.
+func ParseDeltaOption(s string) (delta bool, fullEvery uint32, err error) {
+	low := strings.ToLower(s)
+	switch {
+	case low == "full":
+		return false, 0, nil
+	case low == "delta":
+		return true, 0, nil
+	case strings.HasPrefix(low, "delta:"):
+		n, err := strconv.ParseUint(low[len("delta:"):], 10, 32)
+		if err != nil || n == 0 {
+			return false, 0, fmt.Errorf("bad delta cadence %q", s)
+		}
+		return true, uint32(n), nil
+	default:
+		return false, 0, fmt.Errorf("unknown delta option %q", s)
 	}
 }
 
@@ -526,9 +556,17 @@ func (c *Client) Submit(spec proc.AppSpec) error {
 	if len(spec.Args) > 0 {
 		args = hex.EncodeToString(spec.Args)
 	}
-	_, err := c.Do(fmt.Sprintf("SUBMIT %d %s %d %s %s %s %d %s %s",
+	cmd := fmt.Sprintf("SUBMIT %d %s %d %s %s %s %d %s %s",
 		spec.ID, spec.Name, spec.Ranks, spec.Protocol, spec.Encoder,
 		strings.ToLower(spec.Policy.String()), spec.CkptEverySteps, args,
-		spec.Store))
+		spec.Store)
+	if spec.DeltaCkpt {
+		if spec.FullEvery > 0 {
+			cmd += fmt.Sprintf(" delta:%d", spec.FullEvery)
+		} else {
+			cmd += " delta"
+		}
+	}
+	_, err := c.Do(cmd)
 	return err
 }

@@ -224,6 +224,7 @@ func (a *VMApp) Init(ctx *Ctx) error {
 	if a.HeapWords > 0 {
 		a.vm.Grow(a.HeapWords)
 	}
+	a.vm.TrackDirty()
 	return nil
 }
 
@@ -235,6 +236,7 @@ func (a *VMApp) Restore(ctx *Ctx, state []byte) error {
 		return err
 	}
 	a.vm = vm
+	a.vm.TrackDirty()
 	return nil
 }
 
@@ -243,10 +245,19 @@ func (a *VMApp) Step(*Ctx) (bool, error) {
 	return a.vm.RunSteps(a.StepSlice)
 }
 
-// Snapshot implements App: the native-representation VM image.
+// Snapshot implements App: the native-representation VM image. Each
+// snapshot re-baselines the VM's write tracking, so DirtySpans always
+// describes changes relative to the previous snapshot.
 func (a *VMApp) Snapshot() ([]byte, error) {
-	return a.vm.EncodeImage(), nil
+	img := a.vm.EncodeImage()
+	a.vm.ResetDirty()
+	return img, nil
 }
+
+// DirtySpans returns the byte ranges of the next snapshot that may differ
+// from the previous one (dirty hints for the incremental differ), nil when
+// unknown.
+func (a *VMApp) DirtySpans() []svm.Span { return a.vm.DirtyByteSpans() }
 
 // VM exposes the underlying machine (inspection in tests and examples).
 func (a *VMApp) VM() *svm.VM { return a.vm }

@@ -45,19 +45,35 @@ import (
 )
 
 // Protocol message kinds (wire.Msg.Kind on TControl messages).
+//
+// Whole images travel in their own frame (kPutData/kGetData, tag-paired with
+// the request) rather than being concatenated with the metadata: the image
+// frame is staged into an exactly-sized pooled buffer, so an 8 MiB image
+// costs one 8 MiB-class checkout instead of overflowing into the next
+// power-of-two class with the metadata prefix glued on.
 const (
-	kPut      uint16 = 0x60 // header: App, Src=rank, Seq=n; payload: meta|img
-	kGet      uint16 = 0x61 // header: App, Src=rank, Seq=n
-	kGetOK    uint16 = 0x62 // payload: meta|img
-	kGetMiss  uint16 = 0x63
-	kIndex    uint16 = 0x64 // payload: count, then (app, rank, n) entries
-	kCommit   uint16 = 0x65 // header: App; payload: encoded recovery line
-	kLineGet  uint16 = 0x66 // header: App
-	kLineOK   uint16 = 0x67 // payload: encoded recovery line
-	kLineMiss uint16 = 0x68
-	kGC       uint16 = 0x69 // header: App, Src=rank, Seq=keepFrom
-	kDrop     uint16 = 0x6A // header: App
-	kOK       uint16 = 0x6B // generic ack
+	kPut       uint16 = 0x60 // header: App, Src=rank, Seq=n; payload: meta; followed by kPutData
+	kGet       uint16 = 0x61 // header: App, Src=rank, Seq=n
+	kGetOK     uint16 = 0x62 // payload: meta; followed by kGetData
+	kGetMiss   uint16 = 0x63
+	kIndex     uint16 = 0x64 // payload: count, then (app, rank, n) entries
+	kCommit    uint16 = 0x65 // header: App; payload: encoded recovery line
+	kLineGet   uint16 = 0x66 // header: App
+	kLineOK    uint16 = 0x67 // payload: encoded recovery line
+	kLineMiss  uint16 = 0x68
+	kGC        uint16 = 0x69 // header: App, Src=rank, Seq=keepFrom
+	kDrop      uint16 = 0x6A // header: App
+	kOK        uint16 = 0x6B // generic ack
+	kPutData   uint16 = 0x6C // second frame of kPut: the image bytes
+	kGetData   uint16 = 0x6D // second frame of kGetOK: the image bytes
+	kPutRec    uint16 = 0x6E // header: App, Src=rank, Seq=n; payload: meta|env; reply kRecOK
+	kRecOK     uint16 = 0x6F // payload: u32 count + still-missing block ids
+	kBlockHas  uint16 = 0x70 // payload: u32 count + block ids; reply kHasOK
+	kHasOK     uint16 = 0x71 // payload: one byte per queried id (1 = held)
+	kBlockPut  uint16 = 0x72 // payload: u32 count + (id, u32 len, data) entries
+	kBlockGet  uint16 = 0x73 // payload: one block id
+	kBlockOK   uint16 = 0x74 // payload: the block bytes
+	kBlockMiss uint16 = 0x75
 )
 
 // Config parameterizes a Store.
@@ -104,6 +120,19 @@ type entry struct {
 	origin bool
 }
 
+// blockEntry is one content-addressed block of the chunked checkpoint
+// pipeline (see rstore_chunked.go).
+type blockEntry struct {
+	data []byte
+	// refs counts references from locally held record envelopes (one per
+	// occurrence); a block at zero references is garbage unless pinned.
+	refs int
+	// pinned marks a block pushed ahead of its record (kBlockPut): it must
+	// survive until the kPutRec that references it lands, even across a
+	// concurrent GC broadcast.
+	pinned bool
+}
+
 // Stats is a snapshot of one store's replica health and size counters.
 type Stats struct {
 	Node     wire.NodeID
@@ -125,15 +154,24 @@ type Stats struct {
 	PushFailures    uint64
 	PeerFetches     uint64
 	PeerFetchMisses uint64
+	// Blocks and BlockBytes count locally resident content-addressed
+	// blocks of the chunked checkpoint pipeline.
+	Blocks     int
+	BlockBytes int64
+	// BytesReplicated is the total payload bytes this node actually pushed
+	// to peers (images, record envelopes, and block data) — the savings
+	// metric of delta replication.
+	BytesReplicated uint64
 }
 
 // String formats the snapshot as a single management-protocol-friendly line.
 func (st Stats) String() string {
 	return fmt.Sprintf(
-		"node %d members %d replicas %d images %d bytes %d index %d commits %d under-replicated %d pushes %d push-failures %d peer-fetches %d peer-fetch-misses %d",
+		"node %d members %d replicas %d images %d bytes %d index %d commits %d under-replicated %d pushes %d push-failures %d peer-fetches %d peer-fetch-misses %d blocks %d block-bytes %d replicated-bytes %d",
 		st.Node, st.Members, st.Replicas, st.Images, st.Bytes, st.IndexEntries,
 		st.Commits, st.UnderReplicated, st.Pushes, st.PushFailures,
-		st.PeerFetches, st.PeerFetchMisses)
+		st.PeerFetches, st.PeerFetchMisses, st.Blocks, st.BlockBytes,
+		st.BytesReplicated)
 }
 
 // peerConn is one lazily dialed, lockstep request/response connection to a
@@ -168,8 +206,13 @@ type Store struct {
 	// acked records which peers acknowledged holding a replica of a key.
 	acked map[key]map[wire.NodeID]bool
 	peers map[wire.NodeID]*peerConn
+	// blocks is the content-addressed block shard; resolved caches the
+	// raw image behind a record chain, materialized eagerly as records
+	// arrive so a restore from a chain is pointer-speed (rstore_chunked.go).
+	blocks   map[ckpt.BlockID]*blockEntry
+	resolved map[key][]byte
 
-	pushes, pushFailures, peerFetches, peerFetchMisses uint64
+	pushes, pushFailures, peerFetches, peerFetchMisses, repBytes uint64
 }
 
 var _ ckpt.Backend = (*Store)(nil)
@@ -193,14 +236,16 @@ func New(cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("rstore: listen %s: %w", cfg.Addr, err)
 	}
 	s := &Store{
-		cfg:     cfg,
-		ln:      ln,
-		members: []wire.NodeID{cfg.Node},
-		images:  make(map[key]*entry),
-		index:   make(map[wire.AppID]map[wire.Rank]map[uint64]bool),
-		commits: make(map[wire.AppID]ckpt.RecoveryLine),
-		acked:   make(map[key]map[wire.NodeID]bool),
-		peers:   make(map[wire.NodeID]*peerConn),
+		cfg:      cfg,
+		ln:       ln,
+		members:  []wire.NodeID{cfg.Node},
+		images:   make(map[key]*entry),
+		index:    make(map[wire.AppID]map[wire.Rank]map[uint64]bool),
+		commits:  make(map[wire.AppID]ckpt.RecoveryLine),
+		acked:    make(map[key]map[wire.NodeID]bool),
+		peers:    make(map[wire.NodeID]*peerConn),
+		blocks:   make(map[ckpt.BlockID]*blockEntry),
+		resolved: make(map[key][]byte),
 	}
 	//starfish:allow goleak accept loop returns when Close closes s.ln
 	go s.serve()
@@ -351,9 +396,14 @@ func (s *Store) Stats() Stats {
 		PushFailures:    s.pushFailures,
 		PeerFetches:     s.peerFetches,
 		PeerFetchMisses: s.peerFetchMisses,
+		Blocks:          len(s.blocks),
+		BytesReplicated: s.repBytes,
 	}
 	for _, e := range s.images {
 		st.Bytes += int64(len(e.img))
+	}
+	for _, b := range s.blocks {
+		st.BlockBytes += int64(len(b.data))
 	}
 	for _, ranks := range s.index {
 		for _, ns := range ranks {
@@ -411,16 +461,15 @@ func (s *Store) Put(app wire.AppID, rank wire.Rank, n uint64, img []byte, meta *
 		meta = &ckpt.Meta{Rank: rank, Index: n}
 	}
 	k := key{app, rank, n}
-	// Keep our own reference to the stored copy: once e is published in
-	// s.images, a concurrent replica push (handle kPut) may swap e.img.
+	// Keep our own reference to the stored copy: once published in s.images,
+	// a concurrent replica push (handle kPut) may swap the entry's img.
 	stored := append([]byte(nil), img...)
-	e := &entry{img: stored, meta: meta, origin: true}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return fmt.Errorf("rstore: store closed")
 	}
-	s.images[k] = e
+	s.setImageLocked(k, stored, meta, true)
 	s.indexAddLocked(app, rank, n)
 	holders := s.holdersLocked(app, rank)
 	members := append([]wire.NodeID(nil), s.members...)
@@ -440,9 +489,10 @@ func (s *Store) Put(app wire.AppID, rank wire.Rank, n uint64, img []byte, meta *
 	return nil
 }
 
-// pushImage sends one image to a peer and records the ack. The payload is
-// staged into a pooled buffer and then moves to the peer copy-free; because
-// a successful Send gives the buffer away, each retry after a timeout or
+// pushImage sends one image to a peer and records the ack. The metadata
+// rides in the request frame; the image is staged into an exactly-sized
+// pooled buffer that moves to the peer copy-free in a second frame. A
+// successful Send gives the buffer away, so each retry after a timeout or
 // dropped reply restages a fresh one (puts are idempotent overwrites).
 func (s *Store) pushImage(peer wire.NodeID, k key, metaBytes, img []byte) error {
 	s.mu.Lock()
@@ -450,39 +500,54 @@ func (s *Store) pushImage(peer wire.NodeID, k key, metaBytes, img []byte) error 
 	s.mu.Unlock()
 	var err error
 	for attempt := 0; attempt <= s.cfg.RequestRetries; attempt++ {
-		buf := wire.GetBuf(4 + len(metaBytes) + len(img))
-		binary.BigEndian.PutUint32(buf, uint32(len(metaBytes)))
-		copy(buf[4:], metaBytes)
-		copy(buf[4+len(metaBytes):], img)
-		m := wire.Msg{
+		hdr := &wire.Msg{
 			Type: wire.TControl, Kind: kPut,
+			App: k.app, Src: k.rank, Seq: k.n,
+			Payload: metaBytes,
+		}
+		buf := wire.GetBuf(len(img))
+		copy(buf, img)
+		data := &wire.Msg{
+			Type: wire.TControl, Kind: kPutData,
 			App: k.app, Src: k.rank, Seq: k.n,
 			Payload: buf, Pooled: true,
 		}
-		var reply wire.Msg
-		reply, err = s.request(peer, &m)
-		if err == nil && reply.Kind != kOK {
-			err = fmt.Errorf("rstore: unexpected reply kind %#x", reply.Kind)
+		var replies []wire.Msg
+		replies, err = s.exchange(peer, []*wire.Msg{hdr, data}, nil)
+		if err == nil && replies[0].Kind != kOK {
+			err = fmt.Errorf("rstore: unexpected reply kind %#x", replies[0].Kind)
 		}
 		if err == nil {
 			s.mu.Lock()
-			acks := s.acked[k]
-			if acks == nil {
-				acks = make(map[wire.NodeID]bool)
-				s.acked[k] = acks
-			}
-			acks[peer] = true
+			s.repBytes += uint64(len(metaBytes) + len(img))
+			s.ackLocked(k, peer)
 			s.mu.Unlock()
 			return nil
 		}
-		if m.Pooled && m.Payload != nil {
-			m.Release() // send failed before the payload moved
+		if s.isClosed() {
+			break
 		}
 	}
 	s.mu.Lock()
 	s.pushFailures++
 	s.mu.Unlock()
 	return err
+}
+
+// ackLocked records that peer acknowledged holding a replica of k.
+func (s *Store) ackLocked(k key, peer wire.NodeID) {
+	acks := s.acked[k]
+	if acks == nil {
+		acks = make(map[wire.NodeID]bool)
+		s.acked[k] = acks
+	}
+	acks[peer] = true
+}
+
+func (s *Store) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // broadcastIndex replicates index entries to every member except ourselves.
@@ -509,10 +574,29 @@ func (s *Store) broadcastIndex(members []wire.NodeID, keys []key) {
 	}
 }
 
-// Get loads checkpoint n of (app, rank): from local RAM when present, else by
-// fetching from a peer (holders first, then everyone) and caching the result.
-// The returned image references store-internal memory; treat it as read-only.
+// Get loads checkpoint n of (app, rank) and always returns a raw image: a
+// slot holding a record envelope of the incremental pipeline is resolved to
+// the state it encodes (materialized cache first, chain walk otherwise). The
+// returned image references store-internal memory; treat it as read-only.
 func (s *Store) Get(app wire.AppID, rank wire.Rank, n uint64) ([]byte, *ckpt.Meta, error) {
+	img, meta, err := s.getImage(app, rank, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ckpt.IsRecord(img) {
+		return img, meta, nil
+	}
+	raw, err := s.resolveEnv(app, rank, n, img)
+	if err != nil {
+		return nil, nil, err
+	}
+	return raw, meta, nil
+}
+
+// getImage loads the slot contents of checkpoint n of (app, rank) verbatim
+// (a raw image or a record envelope): from local RAM when present, else by
+// fetching from a peer (holders first, then everyone) and caching the result.
+func (s *Store) getImage(app wire.AppID, rank wire.Rank, n uint64) ([]byte, *ckpt.Meta, error) {
 	k := key{app, rank, n}
 	s.mu.Lock()
 	if e, ok := s.images[k]; ok {
@@ -534,9 +618,9 @@ func (s *Store) Get(app wire.AppID, rank wire.Rank, n uint64) ([]byte, *ckpt.Met
 		s.peerFetches++
 		e, ok := s.images[k]
 		if !ok {
-			e = &entry{img: img, meta: meta}
-			s.images[k] = e
+			s.setImageLocked(k, img, meta, false)
 			s.indexAddLocked(app, rank, n)
+			e = s.images[k]
 		}
 		img, meta = e.img, e.meta // snapshot under mu (see above)
 		s.mu.Unlock()
@@ -569,23 +653,42 @@ func (s *Store) fetchOrderLocked(app wire.AppID, rank wire.Rank) []wire.NodeID {
 	return out
 }
 
-// fetchImage asks one peer for one image.
+// fetchImage asks one peer for one image. A hit comes back as two frames:
+// kGetOK carrying the metadata, then kGetData carrying the image in its own
+// exactly-sized pooled buffer, which this store retains by aliasing (pooled
+// buffers are simply never recycled — dropping without Release is safe).
 func (s *Store) fetchImage(peer wire.NodeID, k key) ([]byte, *ckpt.Meta, error) {
-	m := wire.Msg{Type: wire.TControl, Kind: kGet, App: k.app, Src: k.rank, Seq: k.n}
-	reply, err := s.request(peer, &m)
-	if err != nil {
-		return nil, nil, err
+	m := &wire.Msg{Type: wire.TControl, Kind: kGet, App: k.app, Src: k.rank, Seq: k.n}
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.RequestRetries; attempt++ {
+		replies, err := s.exchange(peer, []*wire.Msg{m}, func(first *wire.Msg) int {
+			if first.Kind == kGetOK {
+				return 1 // the kGetData frame
+			}
+			return 0
+		})
+		if err != nil {
+			lastErr = err
+			if s.isClosed() {
+				break
+			}
+			continue
+		}
+		if replies[0].Kind != kGetOK || len(replies) != 2 || replies[1].Kind != kGetData {
+			return nil, nil, ckpt.ErrNoCheckpoint
+		}
+		meta, err := ckpt.DecodeMeta(replies[0].Payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		return replies[1].Payload, meta, nil
 	}
-	if reply.Kind != kGetOK {
-		return nil, nil, ckpt.ErrNoCheckpoint
-	}
-	return decodeImagePayload(reply.Payload)
+	return nil, nil, lastErr
 }
 
-// decodeImagePayload splits a kPut/kGetOK payload into metadata and image.
-// The image aliases the payload buffer, which the store retains (pooled
-// buffers are simply never recycled — dropping without Release is safe).
-func decodeImagePayload(p []byte) ([]byte, *ckpt.Meta, error) {
+// decodeMetaEnv splits a kPutRec payload into metadata and record envelope.
+// The envelope aliases the payload buffer, which the store retains.
+func decodeMetaEnv(p []byte) ([]byte, *ckpt.Meta, error) {
 	if len(p) < 4 {
 		return nil, nil, ckpt.ErrBadImage
 	}
@@ -717,8 +820,7 @@ func (s *Store) GC(app wire.AppID, rank wire.Rank, keepFrom uint64) error {
 func (s *Store) gcLocked(app wire.AppID, rank wire.Rank, keepFrom uint64) {
 	for k := range s.images {
 		if k.app == app && k.rank == rank && k.n < keepFrom {
-			delete(s.images, k)
-			delete(s.acked, k)
+			s.deleteImageLocked(k)
 		}
 	}
 	for n := range s.index[app][rank] {
@@ -755,8 +857,7 @@ func (s *Store) DropApp(app wire.AppID) error {
 func (s *Store) dropAppLocked(app wire.AppID) {
 	for k := range s.images {
 		if k.app == app {
-			delete(s.images, k)
-			delete(s.acked, k)
+			s.deleteImageLocked(k)
 		}
 	}
 	delete(s.index, app)
@@ -768,7 +869,7 @@ func (s *Store) dropAppLocked(app wire.AppID) {
 // from a peer.
 func (s *Store) Evict(app wire.AppID, rank wire.Rank, n uint64) {
 	s.mu.Lock()
-	delete(s.images, key{app, rank, n})
+	s.deleteImageLocked(key{app, rank, n})
 	s.mu.Unlock()
 }
 
@@ -876,7 +977,13 @@ func (s *Store) reReplicate(gen uint64) {
 		img := e.img
 		s.mu.Unlock()
 		for _, h := range targets {
-			if err := s.pushImage(h, k, mb, img); err != nil {
+			var err error
+			if ckpt.IsRecord(img) {
+				err = s.pushRecord(h, k, mb, img)
+			} else {
+				err = s.pushImage(h, k, mb, img)
+			}
+			if err != nil {
 				s.logf("[rstore %d] re-replicate #%d of app %d rank %d to node %d: %v",
 					s.cfg.Node, k.n, k.app, k.rank, h, err)
 			}
@@ -888,15 +995,28 @@ func (s *Store) reReplicate(gen uint64) {
 // Peer RPC plumbing
 // ---------------------------------------------------------------------------
 
-// request sends one request to a peer and waits for its reply, retrying on
-// failure (every peer operation is idempotent). Pooled-payload requests are
-// not retried here — a successful Send moves the payload away, so their
-// callers restage and retry themselves (see pushImage).
+// request sends one single-frame request and waits for its single reply.
 func (s *Store) request(peer wire.NodeID, m *wire.Msg) (wire.Msg, error) {
+	replies, err := s.exchange(peer, []*wire.Msg{m}, nil)
+	if err != nil {
+		return wire.Msg{}, err
+	}
+	return replies[0], nil
+}
+
+// exchange performs one logical request/reply exchange with a peer. All
+// request frames share one tag; the reply may span multiple frames (more,
+// when non-nil, reports how many extra frames follow the first). Unpooled
+// exchanges are retried here (every peer operation is idempotent); an
+// exchange carrying a pooled frame gets exactly one attempt — a successful
+// Send moves the payload away, so those callers restage and retry
+// themselves (see pushImage).
+func (s *Store) exchange(peer wire.NodeID, msgs []*wire.Msg, more func(*wire.Msg) int) ([]wire.Msg, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return wire.Msg{}, fmt.Errorf("rstore: store closed")
+		releaseUnsent(msgs)
+		return nil, fmt.Errorf("rstore: store closed")
 	}
 	pc := s.peers[peer]
 	if pc == nil {
@@ -906,46 +1026,53 @@ func (s *Store) request(peer wire.NodeID, m *wire.Msg) (wire.Msg, error) {
 	s.mu.Unlock()
 
 	attempts := 1
-	if !m.Pooled {
+	pooled := false
+	for _, m := range msgs {
+		pooled = pooled || m.Pooled
+	}
+	if !pooled {
 		attempts += s.cfg.RequestRetries
 	}
 	var lastErr error
 	for i := 0; i < attempts; i++ {
-		reply, err := s.requestOnce(pc, peer, m)
+		replies, err := s.roundTrip(pc, peer, msgs, more)
 		if err == nil {
-			return reply, nil
+			return replies, nil
 		}
 		lastErr = err
-		s.mu.Lock()
-		closed := s.closed
-		s.mu.Unlock()
-		if closed {
+		if s.isClosed() {
 			break
 		}
 	}
-	return wire.Msg{}, lastErr
+	return nil, lastErr
 }
 
-// requestOnce performs one tagged request/reply round trip with a timeout.
-// Connections are dialed lazily, serialized per peer, and dropped on any
-// error or timeout so the next attempt starts on a clean stream.
-func (s *Store) requestOnce(pc *peerConn, peer wire.NodeID, m *wire.Msg) (wire.Msg, error) {
+// roundTrip performs one tagged multi-frame request/reply exchange with a
+// timeout. Connections are dialed lazily, serialized per peer, and dropped
+// on any error or timeout so the next attempt starts on a clean stream.
+// Pooled payloads of frames that never moved are released before returning
+// an error, so callers uniformly own nothing afterwards.
+func (s *Store) roundTrip(pc *peerConn, peer wire.NodeID, msgs []*wire.Msg, more func(*wire.Msg) int) ([]wire.Msg, error) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if pc.conn == nil {
 		conn, err := s.cfg.Transport.Dial(s.cfg.PeerAddr(peer))
 		if err != nil {
-			return wire.Msg{}, err
+			releaseUnsent(msgs)
+			return nil, err
 		}
 		pc.conn = conn
 	}
 	pc.tag++
-	m.Tag = pc.tag
 	tag := pc.tag
-	if err := pc.conn.Send(m); err != nil {
-		pc.conn.Close()
-		pc.conn = nil
-		return wire.Msg{}, err
+	for i, m := range msgs {
+		m.Tag = tag
+		if err := pc.conn.Send(m); err != nil {
+			pc.conn.Close()
+			pc.conn = nil
+			releaseUnsent(msgs[i:])
+			return nil, err
+		}
 	}
 
 	// Receive in a helper goroutine so the wait can time out; mismatched
@@ -953,16 +1080,21 @@ func (s *Store) requestOnce(pc *peerConn, peer wire.NodeID, m *wire.Msg) (wire.M
 	// timed out after Send) are discarded.
 	conn := pc.conn
 	type res struct {
-		m   wire.Msg
+		ms  []wire.Msg
 		err error
 	}
 	ch := make(chan res)
 	done := make(chan struct{})
 	defer close(done)
 	go func() {
+		var got []wire.Msg
+		want := 1
 		for {
 			r, err := conn.Recv()
 			if err != nil {
+				for i := range got {
+					got[i].Release()
+				}
 				select {
 				case ch <- res{err: err}:
 				case <-done:
@@ -973,10 +1105,19 @@ func (s *Store) requestOnce(pc *peerConn, peer wire.NodeID, m *wire.Msg) (wire.M
 				r.Release()
 				continue
 			}
+			got = append(got, r)
+			if len(got) == 1 && more != nil {
+				want += more(&got[0])
+			}
+			if len(got) < want {
+				continue
+			}
 			select {
-			case ch <- res{m: r}:
+			case ch <- res{ms: got}:
 			case <-done:
-				r.Release()
+				for i := range got {
+					got[i].Release()
+				}
 			}
 			return
 		}
@@ -990,16 +1131,26 @@ func (s *Store) requestOnce(pc *peerConn, peer wire.NodeID, m *wire.Msg) (wire.M
 		if r.err != nil {
 			pc.conn.Close()
 			pc.conn = nil
-			return wire.Msg{}, r.err
+			return nil, r.err
 		}
-		return r.m, nil
+		return r.ms, nil
 	case <-timer.C:
 		// Closing the connection unblocks the receiver goroutine and
-		// guarantees the late reply can never be mispaired.
+		// guarantees a late reply can never be mispaired.
 		pc.conn.Close()
 		pc.conn = nil
-		return wire.Msg{}, fmt.Errorf("rstore: request to node %d timed out after %v",
+		return nil, fmt.Errorf("rstore: request to node %d timed out after %v",
 			peer, s.cfg.RequestTimeout)
+	}
+}
+
+// releaseUnsent returns the pooled payloads of frames that never moved to
+// the transport.
+func releaseUnsent(msgs []*wire.Msg) {
+	for _, m := range msgs {
+		if m.Pooled && m.Payload != nil {
+			m.Release()
+		}
 	}
 }
 
@@ -1015,7 +1166,10 @@ func (s *Store) serve() {
 	}
 }
 
-// serveConn handles one peer connection: strict request/reply, one in flight.
+// serveConn handles one peer connection: strict request/reply, one exchange
+// in flight. kPut requests arrive as two frames (metadata, then the image in
+// its own pooled frame); replies may likewise span multiple frames, all
+// echoing the request's tag.
 func (s *Store) serveConn(c vni.Conn) {
 	defer c.Close()
 	for {
@@ -1023,37 +1177,53 @@ func (s *Store) serveConn(c vni.Conn) {
 		if err != nil {
 			return
 		}
-		reply := s.handle(&m)
-		reply.Tag = m.Tag // pair the reply with its request
-		if err := c.Send(reply); err != nil {
-			return
+		var replies []*wire.Msg
+		if m.Kind == kPut {
+			data, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if data.Kind != kPutData || data.Tag != m.Tag {
+				data.Release()
+				replies = []*wire.Msg{{Type: wire.TControl, Kind: kGetMiss}}
+			} else {
+				replies = s.handlePut(&m, &data)
+			}
+		} else {
+			replies = s.handle(&m)
+		}
+		for i, r := range replies {
+			r.Tag = m.Tag // pair the reply with its request
+			if err := c.Send(r); err != nil {
+				releaseUnsent(replies[i:])
+				return
+			}
 		}
 	}
 }
 
-// handle services one peer request. Image payloads are retained by aliasing
-// (the pooled receive buffer is simply kept; it is never recycled, which is
-// safe — the pool just misses a reuse).
-func (s *Store) handle(m *wire.Msg) *wire.Msg {
-	switch m.Kind {
-	case kPut:
-		img, meta, err := decodeImagePayload(m.Payload)
-		if err != nil {
-			return &wire.Msg{Type: wire.TControl, Kind: kGetMiss}
-		}
-		k := key{m.App, m.Src, m.Seq}
-		s.mu.Lock()
-		if e, ok := s.images[k]; ok && e.origin {
-			// Keep the origin flag: a replica push must not demote our own
-			// copy's bookkeeping.
-			e.img, e.meta = img, meta
-		} else {
-			s.images[k] = &entry{img: img, meta: meta}
-		}
-		s.indexAddLocked(m.App, m.Src, m.Seq)
-		s.mu.Unlock()
-		return &wire.Msg{Type: wire.TControl, Kind: kOK}
+// handlePut services a two-frame replica push: metadata in the kPut frame,
+// the image in the kPutData frame, retained by aliasing the pooled receive
+// buffer (it is never recycled, which is safe — the pool just misses a reuse).
+func (s *Store) handlePut(m, data *wire.Msg) []*wire.Msg {
+	meta, err := ckpt.DecodeMeta(m.Payload)
+	if err != nil {
+		data.Release()
+		return []*wire.Msg{{Type: wire.TControl, Kind: kGetMiss}}
+	}
+	k := key{m.App, m.Src, m.Seq}
+	s.mu.Lock()
+	s.setImageLocked(k, data.Payload, meta, false)
+	s.indexAddLocked(m.App, m.Src, m.Seq)
+	s.materializeLocked(k)
+	s.mu.Unlock()
+	return []*wire.Msg{{Type: wire.TControl, Kind: kOK}}
+}
 
+// handle services one single-frame peer request, returning the reply frames.
+func (s *Store) handle(m *wire.Msg) []*wire.Msg {
+	one := func(r *wire.Msg) []*wire.Msg { return []*wire.Msg{r} }
+	switch m.Kind {
 	case kGet:
 		k := key{m.App, m.Src, m.Seq}
 		s.mu.Lock()
@@ -1065,14 +1235,26 @@ func (s *Store) handle(m *wire.Msg) *wire.Msg {
 		}
 		s.mu.Unlock()
 		if !ok {
-			return &wire.Msg{Type: wire.TControl, Kind: kGetMiss}
+			return one(&wire.Msg{Type: wire.TControl, Kind: kGetMiss})
 		}
-		mb := meta.Encode()
-		buf := wire.GetBuf(4 + len(mb) + len(img))
-		binary.BigEndian.PutUint32(buf, uint32(len(mb)))
-		copy(buf[4:], mb)
-		copy(buf[4+len(mb):], img)
-		return &wire.Msg{Type: wire.TControl, Kind: kGetOK, Payload: buf, Pooled: true}
+		buf := wire.GetBuf(len(img))
+		copy(buf, img)
+		return []*wire.Msg{
+			{Type: wire.TControl, Kind: kGetOK, Payload: meta.Encode()},
+			{Type: wire.TControl, Kind: kGetData, Payload: buf, Pooled: true},
+		}
+
+	case kPutRec:
+		return one(s.handlePutRec(m))
+
+	case kBlockHas:
+		return one(s.handleBlockHas(m))
+
+	case kBlockPut:
+		return one(s.handleBlockPut(m))
+
+	case kBlockGet:
+		return one(s.handleBlockGet(m))
 
 	case kIndex:
 		r := wire.NewReader(m.Payload)
@@ -1087,7 +1269,7 @@ func (s *Store) handle(m *wire.Msg) *wire.Msg {
 			}
 		}
 		s.mu.Unlock()
-		return &wire.Msg{Type: wire.TControl, Kind: kOK}
+		return one(&wire.Msg{Type: wire.TControl, Kind: kOK})
 
 	case kCommit:
 		line, err := ckpt.DecodeLine(m.Payload)
@@ -1096,30 +1278,30 @@ func (s *Store) handle(m *wire.Msg) *wire.Msg {
 			s.commits[m.App] = line
 			s.mu.Unlock()
 		}
-		return &wire.Msg{Type: wire.TControl, Kind: kOK}
+		return one(&wire.Msg{Type: wire.TControl, Kind: kOK})
 
 	case kLineGet:
 		s.mu.Lock()
 		line, ok := s.commits[m.App]
 		s.mu.Unlock()
 		if !ok {
-			return &wire.Msg{Type: wire.TControl, Kind: kLineMiss}
+			return one(&wire.Msg{Type: wire.TControl, Kind: kLineMiss})
 		}
-		return &wire.Msg{Type: wire.TControl, Kind: kLineOK, Payload: ckpt.EncodeLine(line)}
+		return one(&wire.Msg{Type: wire.TControl, Kind: kLineOK, Payload: ckpt.EncodeLine(line)})
 
 	case kGC:
 		s.mu.Lock()
 		s.gcLocked(m.App, m.Src, m.Seq)
 		s.mu.Unlock()
-		return &wire.Msg{Type: wire.TControl, Kind: kOK}
+		return one(&wire.Msg{Type: wire.TControl, Kind: kOK})
 
 	case kDrop:
 		s.mu.Lock()
 		s.dropAppLocked(m.App)
 		s.mu.Unlock()
-		return &wire.Msg{Type: wire.TControl, Kind: kOK}
+		return one(&wire.Msg{Type: wire.TControl, Kind: kOK})
 
 	default:
-		return &wire.Msg{Type: wire.TControl, Kind: kGetMiss}
+		return one(&wire.Msg{Type: wire.TControl, Kind: kGetMiss})
 	}
 }

@@ -1,0 +1,559 @@
+package rstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"starfish/internal/ckpt"
+	"starfish/internal/wire"
+)
+
+// Chunked (content-addressed) replication — the rstore half of the
+// incremental checkpoint pipeline (see ckpt.Pipeline).
+//
+// A record epoch replicates in three steps, all idempotent:
+//
+//  1. kBlockHas asks the holder which of the record's blocks it already has
+//     (cross-epoch and cross-rank dedup: unchanged blocks and blocks shared
+//     with other ranks are never sent again).
+//  2. kBlockPut pushes the missing blocks, batched. The receiver pins them:
+//     a pinned block survives GC until the record referencing it lands.
+//  3. kPutRec pushes the record envelope. The receiver accepts it only if
+//     every referenced block is present, replying with the still-missing ids
+//     otherwise (a GC broadcast may race step 2), and the pusher re-pushes
+//     and retries until the reply is empty.
+//
+// Holders materialize the raw image behind the newest record of each
+// (app, rank) eagerly as records arrive (s.resolved), so a restore from a
+// delta chain is a map lookup — pointer-speed, like raw-image restores —
+// instead of a block-by-block chain walk.
+
+var _ ckpt.ChunkedBackend = (*Store)(nil)
+var _ ckpt.RecordResolver = (*Store)(nil)
+var _ ckpt.EnvelopeGetter = (*Store)(nil)
+
+// blockBatchTarget bounds one kBlockPut frame (plus one block of slack).
+const blockBatchTarget = 1 << 20
+
+// PutRecord stores a record epoch locally and replicates it to the holder
+// peers: new blocks into the content-addressed shard, the envelope into the
+// ordinary (app, rank, n) image slot.
+func (s *Store) PutRecord(app wire.AppID, rank wire.Rank, n uint64, env []byte, blocks []ckpt.RecBlock, meta *ckpt.Meta) error {
+	if meta == nil {
+		meta = &ckpt.Meta{Rank: rank, Index: n}
+	}
+	k := key{app, rank, n}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("rstore: store closed")
+	}
+	for _, b := range blocks {
+		if _, ok := s.blocks[b.Ref.ID]; !ok {
+			// Block data is only valid for the duration of the call
+			// (ChunkedBackend contract): copy.
+			s.blocks[b.Ref.ID] = &blockEntry{data: append([]byte(nil), b.Data...)}
+		}
+	}
+	s.setImageLocked(k, env, meta, true)
+	s.indexAddLocked(app, rank, n)
+	s.materializeLocked(k)
+	holders := s.holdersLocked(app, rank)
+	members := append([]wire.NodeID(nil), s.members...)
+	s.mu.Unlock()
+
+	mb := meta.Encode()
+	for _, h := range holders {
+		if h == s.cfg.Node {
+			continue
+		}
+		if err := s.pushRecord(h, k, mb, env); err != nil {
+			s.logf("[rstore %d] push record #%d of app %d rank %d to node %d: %v",
+				s.cfg.Node, n, app, rank, h, err)
+		}
+	}
+	s.broadcastIndex(members, []key{k})
+	return nil
+}
+
+// GetBlock serves a content-addressed block from the local shard, falling
+// back to peers (holders of (app, rank) first) and caching the result.
+func (s *Store) GetBlock(app wire.AppID, rank wire.Rank, ref ckpt.BlockRef) ([]byte, error) {
+	s.mu.Lock()
+	if be, ok := s.blocks[ref.ID]; ok {
+		d := be.data
+		s.mu.Unlock()
+		return d, nil
+	}
+	peers := s.fetchOrderLocked(app, rank)
+	s.mu.Unlock()
+	for _, peer := range peers {
+		m := &wire.Msg{Type: wire.TControl, Kind: kBlockGet, Payload: ref.ID[:]}
+		reply, err := s.request(peer, m)
+		if err != nil || reply.Kind != kBlockOK || uint32(len(reply.Payload)) != ref.Len {
+			continue
+		}
+		data := reply.Payload // pooled receive buffer, retained by aliasing
+		s.mu.Lock()
+		if _, ok := s.blocks[ref.ID]; !ok {
+			s.blocks[ref.ID] = &blockEntry{data: data}
+		}
+		s.mu.Unlock()
+		return data, nil
+	}
+	return nil, fmt.Errorf("%w: block %s (no in-memory replica)", ckpt.ErrMissingBlock, ref.ID)
+}
+
+// ResolveRecord returns the raw image behind checkpoint n of (app, rank):
+// raw images pass through, record chains come from the materialized cache
+// when the newest epoch is asked for, and are chain-walked otherwise.
+func (s *Store) ResolveRecord(app wire.AppID, rank wire.Rank, n uint64) ([]byte, *ckpt.Meta, error) {
+	img, meta, err := s.getImage(app, rank, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ckpt.IsRecord(img) {
+		return img, meta, nil
+	}
+	raw, err := s.resolveEnv(app, rank, n, img)
+	if err != nil {
+		return nil, nil, err
+	}
+	return raw, meta, nil
+}
+
+// resolveEnv reconstructs the raw image behind record envelope env.
+func (s *Store) resolveEnv(app wire.AppID, rank wire.Rank, n uint64, env []byte) ([]byte, error) {
+	k := key{app, rank, n}
+	s.mu.Lock()
+	if raw, ok := s.resolved[k]; ok {
+		s.mu.Unlock()
+		return raw, nil
+	}
+	s.mu.Unlock()
+	// Cold path: the chain walk reads earlier links through GetEnvelope, so
+	// it sees envelopes, never recursively resolved images.
+	raw, err := ckpt.ResolveChain(s, app, rank, n, env)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.resolved[k] = raw
+	s.mu.Unlock()
+	return raw, nil
+}
+
+// GetEnvelope returns slot n's stored bytes verbatim — the record envelope
+// for chunked epochs — unlike Get, which resolves records into raw images.
+// Chain walkers (GC clamping, ckpt.ResolveChain) depend on seeing the links.
+func (s *Store) GetEnvelope(app wire.AppID, rank wire.Rank, n uint64) ([]byte, *ckpt.Meta, error) {
+	return s.getImage(app, rank, n)
+}
+
+// ---------------------------------------------------------------------------
+// Local bookkeeping (all *Locked: callers hold s.mu)
+// ---------------------------------------------------------------------------
+
+// setImageLocked installs img (raw image or record envelope) in slot k,
+// adjusting block reference counts: the new envelope's blocks are referenced
+// before the old one's are released, so blocks shared by both never dip to
+// zero. A replica push must not demote an origin entry's bookkeeping, and
+// any previously materialized image for the slot is stale.
+func (s *Store) setImageLocked(k key, img []byte, meta *ckpt.Meta, origin bool) {
+	s.refEnvLocked(img, 1)
+	if e, ok := s.images[k]; ok {
+		s.refEnvLocked(e.img, -1)
+		e.img, e.meta = img, meta
+		e.origin = e.origin || origin
+	} else {
+		s.images[k] = &entry{img: img, meta: meta, origin: origin}
+	}
+	delete(s.resolved, k)
+}
+
+// deleteImageLocked removes slot k and every piece of state hanging off it
+// (block references, replica acks, the materialized image).
+func (s *Store) deleteImageLocked(k key) {
+	if e, ok := s.images[k]; ok {
+		s.refEnvLocked(e.img, -1)
+		delete(s.images, k)
+	}
+	delete(s.acked, k)
+	delete(s.resolved, k)
+}
+
+// refEnvLocked adjusts the reference counts of every block a record envelope
+// names (one count per occurrence). Raw images are a no-op. A block gaining
+// its first reference no longer needs its pre-record pin; a block dropping
+// to zero unpinned references is garbage.
+func (s *Store) refEnvLocked(env []byte, d int) {
+	if !ckpt.IsRecord(env) {
+		return
+	}
+	refs, err := ckpt.RecordRefs(env)
+	if err != nil {
+		return
+	}
+	for _, r := range refs {
+		be := s.blocks[r.ID]
+		if be == nil {
+			continue
+		}
+		be.refs += d
+		if d > 0 {
+			be.pinned = false
+		}
+		if be.refs <= 0 && !be.pinned {
+			delete(s.blocks, r.ID)
+		}
+	}
+}
+
+// materializeLocked eagerly reconstructs the raw image behind the record in
+// slot k from local blocks (full records) or from the previous epoch's
+// materialized image plus local blocks (delta records), then drops older
+// materializations of the same (app, rank) — one resident raw image per rank
+// bounds the cache, and restores overwhelmingly want the newest epoch.
+// Failure is silent: the cold chain walk in resolveEnv still works.
+func (s *Store) materializeLocked(k key) {
+	e := s.images[k]
+	if e == nil || !ckpt.IsRecord(e.img) {
+		return
+	}
+	rec, err := ckpt.DecodeRecord(e.img)
+	if err != nil {
+		return
+	}
+	var raw []byte
+	switch rec.Kind {
+	case ckpt.RecFull:
+		raw = make([]byte, rec.RawLen)
+		off := 0
+		for _, ref := range rec.Refs {
+			be := s.blocks[ref.ID]
+			if be == nil || off+int(ref.Len) > len(raw) {
+				return
+			}
+			copy(raw[off:], be.data)
+			off += int(ref.Len)
+		}
+		if off != len(raw) {
+			return
+		}
+	case ckpt.RecDelta:
+		base, ok := s.resolved[key{k.app, k.rank, rec.Base}]
+		if !ok || len(base) != rec.BaseLen {
+			return
+		}
+		raw = make([]byte, rec.RawLen)
+		// Copy, never extend in place: base is published (Get returned
+		// pointers to it).
+		copy(raw, base[:min(len(base), rec.RawLen)])
+		for _, d := range rec.Deltas {
+			lo := int(d.Index) * ckpt.DeltaBlockSize
+			be := s.blocks[d.Ref.ID]
+			if be == nil || lo+int(d.Ref.Len) > len(raw) {
+				return
+			}
+			copy(raw[lo:], be.data)
+		}
+	default:
+		return
+	}
+	s.resolved[k] = raw
+	for rk := range s.resolved {
+		if rk.app == k.app && rk.rank == k.rank && rk.n < k.n {
+			delete(s.resolved, rk)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pusher side
+// ---------------------------------------------------------------------------
+
+// pushRecord replicates one record epoch to a peer: need/have negotiation,
+// missing blocks, then the envelope, looping on the kRecOK still-missing
+// list until the peer holds the complete record.
+func (s *Store) pushRecord(peer wire.NodeID, k key, metaBytes, env []byte) error {
+	s.mu.Lock()
+	s.pushes++
+	s.mu.Unlock()
+	refs, err := ckpt.RecordRefs(env)
+	if err == nil {
+		err = fmt.Errorf("rstore: record push to node %d never completed", peer)
+		byID := make(map[ckpt.BlockID]ckpt.BlockRef, len(refs))
+		need := make([]ckpt.BlockRef, 0, len(refs))
+		for _, r := range refs {
+			if _, ok := byID[r.ID]; !ok {
+				byID[r.ID] = r
+				need = append(need, r)
+			}
+		}
+		for attempt := 0; attempt <= s.cfg.RequestRetries; attempt++ {
+			var missing []ckpt.BlockRef
+			missing, err = s.blockQuery(peer, need)
+			if err == nil {
+				err = s.pushBlocks(peer, missing)
+			}
+			var still []ckpt.BlockID
+			if err == nil {
+				still, err = s.putRec(peer, k, metaBytes, env)
+			}
+			if err == nil && len(still) == 0 {
+				s.mu.Lock()
+				s.ackLocked(k, peer)
+				s.mu.Unlock()
+				return nil
+			}
+			if err == nil {
+				// The peer GCed blocks between our pushes: push exactly
+				// those again next round.
+				need = need[:0]
+				for _, id := range still {
+					if r, ok := byID[id]; ok {
+						need = append(need, r)
+					}
+				}
+				err = fmt.Errorf("rstore: node %d still missing %d blocks", peer, len(still))
+			}
+			if s.isClosed() {
+				break
+			}
+		}
+	}
+	s.mu.Lock()
+	s.pushFailures++
+	s.mu.Unlock()
+	return err
+}
+
+// blockQuery asks a peer which of the given blocks it already holds and
+// returns the ones it does not.
+func (s *Store) blockQuery(peer wire.NodeID, refs []ckpt.BlockRef) ([]ckpt.BlockRef, error) {
+	if len(refs) == 0 {
+		return nil, nil
+	}
+	payload := make([]byte, 0, 4+32*len(refs))
+	payload = binary.BigEndian.AppendUint32(payload, uint32(len(refs)))
+	for _, r := range refs {
+		payload = append(payload, r.ID[:]...)
+	}
+	m := &wire.Msg{Type: wire.TControl, Kind: kBlockHas, Payload: payload}
+	reply, err := s.request(peer, m)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Kind != kHasOK || len(reply.Payload) != len(refs) {
+		return nil, fmt.Errorf("rstore: bad kBlockHas reply from node %d", peer)
+	}
+	s.mu.Lock()
+	s.repBytes += uint64(len(payload))
+	s.mu.Unlock()
+	var missing []ckpt.BlockRef
+	for i, held := range reply.Payload {
+		if held == 0 {
+			missing = append(missing, refs[i])
+		}
+	}
+	return missing, nil
+}
+
+// pushBlocks sends block contents to a peer in ~1 MiB batches, each staged
+// into an exactly-sized pooled buffer that moves to the peer copy-free.
+func (s *Store) pushBlocks(peer wire.NodeID, refs []ckpt.BlockRef) error {
+	for i := 0; i < len(refs); {
+		// Snapshot the batch's data slice headers under mu; block data is
+		// immutable once stored, so building the frame outside mu is safe.
+		s.mu.Lock()
+		var datas [][]byte
+		size := 4
+		j := i
+		for j < len(refs) && (j == i || size < blockBatchTarget) {
+			be := s.blocks[refs[j].ID]
+			if be == nil {
+				s.mu.Unlock()
+				return fmt.Errorf("rstore: local block %s vanished mid-push", refs[j].ID)
+			}
+			datas = append(datas, be.data)
+			size += 36 + len(be.data)
+			j++
+		}
+		s.mu.Unlock()
+
+		buf := wire.GetBuf(size)
+		binary.BigEndian.PutUint32(buf, uint32(j-i))
+		off := 4
+		for bi, data := range datas {
+			id := refs[i+bi].ID
+			copy(buf[off:], id[:])
+			binary.BigEndian.PutUint32(buf[off+32:], uint32(len(data)))
+			copy(buf[off+36:], data)
+			off += 36 + len(data)
+		}
+		m := &wire.Msg{Type: wire.TControl, Kind: kBlockPut, Payload: buf, Pooled: true}
+		reply, err := s.request(peer, m)
+		if err != nil {
+			return err
+		}
+		if reply.Kind != kOK {
+			return fmt.Errorf("rstore: bad kBlockPut reply from node %d", peer)
+		}
+		s.mu.Lock()
+		s.repBytes += uint64(size)
+		s.mu.Unlock()
+		i = j
+	}
+	return nil
+}
+
+// putRec sends the record envelope; the reply lists blocks the peer is
+// (still) missing — empty means the record landed.
+func (s *Store) putRec(peer wire.NodeID, k key, metaBytes, env []byte) ([]ckpt.BlockID, error) {
+	payload := make([]byte, 0, 4+len(metaBytes)+len(env))
+	payload = binary.BigEndian.AppendUint32(payload, uint32(len(metaBytes)))
+	payload = append(payload, metaBytes...)
+	payload = append(payload, env...)
+	m := &wire.Msg{
+		Type: wire.TControl, Kind: kPutRec,
+		App: k.app, Src: k.rank, Seq: k.n,
+		Payload: payload,
+	}
+	reply, err := s.request(peer, m)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Kind != kRecOK || len(reply.Payload) < 4 {
+		return nil, fmt.Errorf("rstore: bad kPutRec reply from node %d", peer)
+	}
+	s.mu.Lock()
+	s.repBytes += uint64(len(payload))
+	s.mu.Unlock()
+	count := binary.BigEndian.Uint32(reply.Payload)
+	if uint64(len(reply.Payload)) != 4+32*uint64(count) {
+		return nil, fmt.Errorf("rstore: bad kPutRec reply from node %d", peer)
+	}
+	still := make([]ckpt.BlockID, count)
+	for i := range still {
+		copy(still[i][:], reply.Payload[4+32*i:])
+	}
+	return still, nil
+}
+
+// ---------------------------------------------------------------------------
+// Receiver side (called from handle; single-frame requests)
+// ---------------------------------------------------------------------------
+
+// handlePutRec installs a record envelope if every block it references is
+// local, and otherwise replies with the missing ids so the pusher can try
+// again — the closing move of the push protocol's GC race.
+func (s *Store) handlePutRec(m *wire.Msg) *wire.Msg {
+	env, meta, err := decodeMetaEnv(m.Payload)
+	if err != nil {
+		return &wire.Msg{Type: wire.TControl, Kind: kGetMiss}
+	}
+	refs, err := ckpt.RecordRefs(env)
+	if err != nil {
+		return &wire.Msg{Type: wire.TControl, Kind: kGetMiss}
+	}
+	k := key{m.App, m.Src, m.Seq}
+	s.mu.Lock()
+	var missing []ckpt.BlockID
+	seen := make(map[ckpt.BlockID]bool, len(refs))
+	for _, r := range refs {
+		if _, ok := s.blocks[r.ID]; !ok && !seen[r.ID] {
+			seen[r.ID] = true
+			missing = append(missing, r.ID)
+		}
+	}
+	if len(missing) == 0 {
+		s.setImageLocked(k, env, meta, false)
+		s.indexAddLocked(m.App, m.Src, m.Seq)
+		s.materializeLocked(k)
+	}
+	s.mu.Unlock()
+	payload := make([]byte, 0, 4+32*len(missing))
+	payload = binary.BigEndian.AppendUint32(payload, uint32(len(missing)))
+	for _, id := range missing {
+		payload = append(payload, id[:]...)
+	}
+	return &wire.Msg{Type: wire.TControl, Kind: kRecOK, Payload: payload}
+}
+
+// handleBlockHas answers a need/have query: one byte per queried id.
+func (s *Store) handleBlockHas(m *wire.Msg) *wire.Msg {
+	p := m.Payload
+	if len(p) < 4 {
+		return &wire.Msg{Type: wire.TControl, Kind: kGetMiss}
+	}
+	count := binary.BigEndian.Uint32(p)
+	if uint64(len(p)) != 4+32*uint64(count) {
+		return &wire.Msg{Type: wire.TControl, Kind: kGetMiss}
+	}
+	held := make([]byte, count)
+	var id ckpt.BlockID
+	s.mu.Lock()
+	for i := range held {
+		copy(id[:], p[4+32*i:])
+		if _, ok := s.blocks[id]; ok {
+			held[i] = 1
+		}
+	}
+	s.mu.Unlock()
+	return &wire.Msg{Type: wire.TControl, Kind: kHasOK, Payload: held}
+}
+
+// handleBlockPut stores a batch of blocks, pinned until a record references
+// them. Block data aliases the pooled receive frame, which is retained.
+func (s *Store) handleBlockPut(m *wire.Msg) *wire.Msg {
+	p := m.Payload
+	if len(p) < 4 {
+		return &wire.Msg{Type: wire.TControl, Kind: kGetMiss}
+	}
+	count := binary.BigEndian.Uint32(p)
+	off := 4
+	s.mu.Lock()
+	for i := uint32(0); i < count; i++ {
+		if off+36 > len(p) {
+			s.mu.Unlock()
+			return &wire.Msg{Type: wire.TControl, Kind: kGetMiss}
+		}
+		var id ckpt.BlockID
+		copy(id[:], p[off:])
+		blen := int(binary.BigEndian.Uint32(p[off+32:]))
+		if off+36+blen > len(p) {
+			s.mu.Unlock()
+			return &wire.Msg{Type: wire.TControl, Kind: kGetMiss}
+		}
+		if be, ok := s.blocks[id]; ok {
+			be.pinned = be.pinned || be.refs <= 0
+		} else {
+			s.blocks[id] = &blockEntry{data: p[off+36 : off+36+blen], pinned: true}
+		}
+		off += 36 + blen
+	}
+	s.mu.Unlock()
+	return &wire.Msg{Type: wire.TControl, Kind: kOK}
+}
+
+// handleBlockGet serves one block by content address.
+func (s *Store) handleBlockGet(m *wire.Msg) *wire.Msg {
+	if len(m.Payload) != 32 {
+		return &wire.Msg{Type: wire.TControl, Kind: kBlockMiss}
+	}
+	var id ckpt.BlockID
+	copy(id[:], m.Payload)
+	s.mu.Lock()
+	be, ok := s.blocks[id]
+	var data []byte
+	if ok {
+		data = be.data
+	}
+	s.mu.Unlock()
+	if !ok {
+		return &wire.Msg{Type: wire.TControl, Kind: kBlockMiss}
+	}
+	buf := wire.GetBuf(len(data))
+	copy(buf, data)
+	return &wire.Msg{Type: wire.TControl, Kind: kBlockOK, Payload: buf, Pooled: true}
+}

@@ -1,0 +1,174 @@
+package svm
+
+import (
+	"testing"
+)
+
+// writerProgram writes two heap words and one global, then halts. No alloc
+// and no out, so every section keeps its baseline length.
+const writerProgram = `
+        push 3
+        push 42
+        storem        ; mem[3] = 42
+        push 50
+        push 7
+        storem        ; mem[50] = 7
+        push 1
+        storeg 0      ; globals[0] = 1
+        halt
+`
+
+func newWriterVM(t *testing.T, heapWords int) *VM {
+	t.Helper()
+	m := New(Machines[0], MustAssemble(writerProgram), 2)
+	m.Grow(heapWords)
+	return m
+}
+
+func TestDirtySpansSound(t *testing.T) {
+	m := newWriterVM(t, 1024)
+	m.TrackDirty()
+	prev := m.EncodeImage()
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted {
+		t.Fatal("not halted")
+	}
+	next := m.EncodeImage()
+	if len(prev) != len(next) {
+		t.Fatalf("image grew %d -> %d without alloc", len(prev), len(next))
+	}
+	spans := m.DirtyByteSpans()
+	if spans == nil {
+		t.Fatal("tracking enabled but no spans")
+	}
+	// Soundness: every byte outside the spans is unchanged.
+	covered := make([]bool, len(next))
+	dirtyBytes := 0
+	for _, sp := range spans {
+		if sp.Off < 0 || sp.Off+sp.Len > len(next) {
+			t.Fatalf("span %+v outside image of %d bytes", sp, len(next))
+		}
+		for i := sp.Off; i < sp.Off+sp.Len; i++ {
+			covered[i] = true
+		}
+		dirtyBytes += sp.Len
+	}
+	for i := range next {
+		if !covered[i] && prev[i] != next[i] {
+			t.Fatalf("byte %d changed outside every dirty span", i)
+		}
+	}
+	// Locality: two written words in a 1024-word heap must not dirty the
+	// whole image — that is the entire value of the hints.
+	if dirtyBytes >= len(next)/2 {
+		t.Errorf("dirty spans cover %d of %d bytes", dirtyBytes, len(next))
+	}
+}
+
+func TestDirtySpansMemRange(t *testing.T) {
+	m := newWriterVM(t, 1024)
+	m.TrackDirty()
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	// The mem section's dirty range is [3, 51) words.
+	segs, err := SegmentSpans(m.EncodeImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mem Segment
+	for _, s := range segs {
+		if s.Name == "mem" {
+			mem = s
+		}
+	}
+	if mem.Len == 0 {
+		t.Fatal("no mem segment")
+	}
+	wb := m.Arch.wordBytes()
+	wantOff := mem.Off + 4 + 3*wb
+	wantLen := (51 - 3) * wb
+	found := false
+	for _, sp := range m.DirtyByteSpans() {
+		if sp.Off == wantOff && sp.Len == wantLen {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no span {%d,%d} for the written word range; spans = %v",
+			wantOff, wantLen, m.DirtyByteSpans())
+	}
+}
+
+func TestDirtySpansLengthChangeDirtiesTail(t *testing.T) {
+	// alloc changes the mem section length: everything from mem on is dirty.
+	m := New(Machines[0], MustAssemble("push 8\nalloc\nhalt"), 1)
+	m.TrackDirty()
+	total := m.ImageSize()
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	spans := m.DirtyByteSpans()
+	last := spans[len(spans)-1]
+	if last.Off+last.Len != m.ImageSize() {
+		t.Errorf("length change must dirty through the image end: %v (size %d, was %d)",
+			spans, m.ImageSize(), total)
+	}
+}
+
+func TestDirtyDisabledAndRestoredVM(t *testing.T) {
+	m := newWriterVM(t, 64)
+	if m.DirtyByteSpans() != nil {
+		t.Error("untracked VM reports spans")
+	}
+	m.ResetDirty() // no-op, must not panic
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	// A VM decoded from an image starts untracked: the tracking state is
+	// deliberately outside the image.
+	restored, err := DecodeImage(m.EncodeImage(), Machines[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.DirtyByteSpans() != nil {
+		t.Error("restored VM inherited tracking state")
+	}
+}
+
+func TestSegmentSpansTile(t *testing.T) {
+	m := newWriterVM(t, 64)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	img := m.EncodeImage()
+	segs, err := SegmentSpans(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"header", "code", "stack", "callstack", "globals", "mem", "output"}
+	if len(segs) != len(want) {
+		t.Fatalf("segments = %d, want %d", len(segs), len(want))
+	}
+	off := 0
+	for i, s := range segs {
+		if s.Name != want[i] {
+			t.Errorf("segment %d = %q, want %q", i, s.Name, want[i])
+		}
+		if s.Off != off {
+			t.Errorf("segment %q starts at %d, want %d (segments must tile)", s.Name, s.Off, off)
+		}
+		off += s.Len
+	}
+	if off != len(img) {
+		t.Errorf("segments cover %d of %d bytes", off, len(img))
+	}
+	// Truncated images must error, never panic.
+	for cut := 0; cut < len(img); cut += 7 {
+		if _, err := SegmentSpans(img[:cut]); err == nil {
+			t.Fatalf("SegmentSpans accepted a %d-byte prefix", cut)
+		}
+	}
+}

@@ -124,6 +124,11 @@ type VM struct {
 	Output    []int64
 	Steps     uint64
 	Halted    bool
+
+	// dirty, when non-nil, tracks writes since the last ResetDirty for
+	// incremental checkpointing (see dirty.go). Deliberately unexported and
+	// outside the image: a restored VM starts untracked.
+	dirty *dirtyState
 }
 
 // New creates a VM for prog with nglobals global slots, running on arch.
@@ -269,6 +274,9 @@ func (m *VM) Step() error {
 			return err
 		}
 		m.Globals[in.Arg] = v
+		if m.dirty != nil {
+			m.dirty.globals = true
+		}
 	case LOADM:
 		addr, err := m.pop()
 		if err != nil {
@@ -291,6 +299,9 @@ func (m *VM) Step() error {
 			return fmt.Errorf("%w: %d", ErrBadAddress, addr)
 		}
 		m.Mem[addr] = v
+		if m.dirty != nil {
+			m.dirty.markMem(int(addr))
+		}
 	case ALLOC:
 		n, err := m.pop()
 		if err != nil {

@@ -4,10 +4,13 @@
 #   vet + build + tests (-race on the fast-path and checkpoint-storage
 #   packages), the allocation benchmarks (folded into BENCH_fastpath.json),
 #   the recovery benchmarks (folded into BENCH_recovery.json, which
-#   enforces the >=5x replicated-memory-vs-disk restore bar at 8 MiB), and
-#   the collective benchmarks (folded into BENCH_collectives.json, which
+#   enforces the >=5x replicated-memory-vs-disk restore bar at 8 MiB), the
+#   collective benchmarks (folded into BENCH_collectives.json, which
 #   enforces >=3x on the 8 MiB / 8-rank Allreduce versus the seed
-#   algorithm, with allocs/op no worse).
+#   algorithm, with allocs/op no worse), and the checkpoint-pipeline
+#   benchmarks (folded into BENCH_checkpoint.json, which enforces the >=5x
+#   replicated-bytes reduction at 10% heap mutation and the >=5x
+#   chain-restore-vs-disk bar).
 #
 # Usage: scripts/check.sh [--quick]
 #   --quick   skip -race and the benchmarks (vet/build/test only)
@@ -222,6 +225,74 @@ print(f"allocs/op: opt {opt['allocs_per_op']:.0f} vs seed "
       f"{seed['allocs_per_op']:.0f} "
       f"({'ok' if allocs_ok else 'FAIL: must not regress'})")
 if not (speed_ok and allocs_ok):
+    sys.exit(1)
+EOF
+
+echo "== starfish-vet (checkpoint pipeline focus) =="
+# Re-run the analyzers scoped to the checkpoint-pipeline packages before
+# trusting their benchmark gate: the delta/dedup code paths hand pooled
+# frames across goroutines (poolcheck) and must not drop storage errors on
+# the replication path (errdrop).
+go run ./cmd/starfish-vet ./internal/ckpt/ ./internal/rstore/
+
+echo "== checkpoint benchmarks =="
+KBENCH_OUT=$(mktemp)
+trap 'rm -f "$BENCH_OUT" "$RBENCH_OUT" "$CBENCH_OUT" "$KBENCH_OUT"' EXIT
+go test -run XXX -bench 'BenchmarkCheckpoint/' -benchmem -benchtime 1s . | tee "$KBENCH_OUT"
+
+echo "== BENCH_checkpoint.json =="
+# Fold the checkpoint benchmark lines into BENCH_checkpoint.json and
+# enforce the incremental pipeline's acceptance bars: at 10% per-epoch heap
+# mutation the delta pipeline must push >=5x fewer bytes to the replica
+# than the opaque-image path, and restoring the newest epoch of a
+# full+delta chain from a surviving replica must be >=5x faster than the
+# disk full-image restore.
+python3 - "$KBENCH_OUT" <<'EOF'
+import json, re, sys
+
+lines = open(sys.argv[1]).read().splitlines()
+current = {}
+for ln in lines:
+    m = re.match(r'^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$', ln)
+    if not m:
+        continue
+    name, _, ns, rest = m.groups()
+    entry = {"ns_per_op": float(ns)}
+    for val, unit in re.findall(r'([\d.]+) (\S+)', rest):
+        key = unit.replace('/op', '_per_op').replace('-', '_').replace('/', '_')
+        entry[key] = float(val)
+    current[name] = entry
+
+path = "BENCH_checkpoint.json"
+with open(path) as f:
+    doc = json.load(f)
+doc["current"] = current
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"updated {path}: {len(current)} benchmark entries")
+
+full = current.get("BenchmarkCheckpoint/mode=full/mut=10")
+delta = current.get("BenchmarkCheckpoint/mode=delta/mut=10")
+if full is None or delta is None:
+    sys.exit("missing BenchmarkCheckpoint full/delta mut=10 results")
+reduction = full["replicated_B_per_op"] / delta["replicated_B_per_op"]
+red_ok = reduction >= 5.0
+print(f"replicated bytes/epoch at 10% mutation: delta "
+      f"{delta['replicated_B_per_op']:.0f} B vs full "
+      f"{full['replicated_B_per_op']:.0f} B = {reduction:.1f}x reduction "
+      f"({'ok' if red_ok else 'FAIL: need >=5x'})")
+
+chain = current.get("BenchmarkCheckpoint/restore=chain/size=8MB")
+disk = current.get("BenchmarkCheckpoint/restore=disk/size=8MB")
+if chain is None or disk is None:
+    sys.exit("missing BenchmarkCheckpoint restore chain/disk results")
+speedup = disk["ns_per_op"] / chain["ns_per_op"]
+restore_ok = speedup >= 5.0
+print(f"chain restore {chain['ns_per_op']:.0f} ns vs disk "
+      f"{disk['ns_per_op']:.0f} ns = {speedup:.0f}x "
+      f"({'ok' if restore_ok else 'FAIL: need >=5x'})")
+if not (red_ok and restore_ok):
     sys.exit(1)
 EOF
 
