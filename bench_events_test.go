@@ -1,0 +1,167 @@
+// Event-plane benchmarks. scripts/check.sh runs them and folds the results
+// into BENCH_events.json, which gates three properties of the subsystem:
+// single-node ingest stays above 100k records/s, the sealed-chunk indexes
+// buy a real speedup over brute-force chunk scans, and instrumenting the
+// 64 KiB fast-path round trip with an emitter costs no more than 2%.
+package starfish_test
+
+import (
+	"fmt"
+	"testing"
+
+	"starfish/internal/evstore"
+	"starfish/internal/vni"
+	"starfish/internal/wire"
+)
+
+// benchStore fills a store with n records shaped like a real run: a
+// cluster-formation burst of gcs view changes up front, then a long steady
+// body of rstore replication traffic. The burst fits inside the first
+// chunk, so a view-change query is the needle the sealed-chunk indexes are
+// built for: every later chunk's component value set excludes gcs.
+func benchStore(b *testing.B, n int) *evstore.Store {
+	b.Helper()
+	st := evstore.Open(evstore.Config{Node: 1})
+	b.Cleanup(st.Close)
+	for i := 0; i < n; i++ {
+		if i < n/64 {
+			r := evstore.Ev("view-change", evstore.F("view", i), evstore.F("members", 4))
+			r.Component = "gcs"
+			st.Append(r)
+			continue
+		}
+		r := evstore.EvRank("push", wire.AppID(i%8), wire.Rank(i%4),
+			evstore.F("bytes", 1<<14), evstore.F("replica", i%3))
+		r.Component = "rstore"
+		st.Append(r)
+	}
+	return st
+}
+
+// BenchmarkEvents is the event-plane suite; sub-benchmarks are selected by
+// name in scripts/check.sh and gated through BENCH_events.json.
+func BenchmarkEvents(b *testing.B) {
+	b.Run("ingest", func(b *testing.B) {
+		st := evstore.Open(evstore.Config{Node: 1})
+		defer st.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := evstore.EvRank("push", 3, 1,
+				evstore.F("bytes", 1<<14), evstore.F("replica", 2))
+			r.Component = "rstore"
+			st.Append(r)
+		}
+	})
+
+	// emit: the producer-side cost of one Emitter.Emit — record build,
+	// TryLock fast path, append, chunk-seal amortization. The fastpath gate
+	// below divides this by the 64-round-trip batch to bound what
+	// instrumentation adds per message; a direct measurement is steadier
+	// than differencing two ~4µs round-trip timings whose run-to-run noise
+	// on a loaded single-core box exceeds the 2% budget being enforced.
+	b.Run("emit", func(b *testing.B) {
+		st := evstore.Open(evstore.Config{Node: 1})
+		defer st.Close()
+		em := st.Emitter("bench")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			em.Emit(evstore.Ev("batch",
+				evstore.F("msgs", 64), evstore.F("bytes", 64*2*(64<<10))))
+		}
+	})
+
+	// query=indexed vs query=scan: the same sparse query over the same
+	// >=100k-record store, with and without sealed-index chunk pruning.
+	const queryRecords = 120_000
+	for _, mode := range []string{"indexed", "scan"} {
+		b.Run("query="+mode, func(b *testing.B) {
+			st := benchStore(b, queryRecords)
+			q, err := evstore.ParseQuery("component=gcs kind=view-change members=4")
+			if err != nil {
+				b.Fatal(err)
+			}
+			q.ForceScan = mode == "scan"
+			want := len(st.Query(q))
+			if want == 0 {
+				b.Fatal("query matches nothing")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := len(st.Query(q)); got != want {
+					b.Fatalf("query returned %d records, want %d", got, want)
+				}
+			}
+		})
+	}
+
+	// tail=8: one record landing fans out to 8 attached tails, each
+	// resuming from its own last-seen seq (the server-side cost model of
+	// 8 concurrent `starfishctl tail` clients).
+	b.Run("tail=8", func(b *testing.B) {
+		st := benchStore(b, 10_000)
+		q, err := evstore.ParseQuery("component=rstore")
+		if err != nil {
+			b.Fatal(err)
+		}
+		const tails = 8
+		last := make([]uint64, tails)
+		for i := range last {
+			last[i] = st.LastSeq()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := evstore.Ev("push", evstore.F("bytes", 1<<14))
+			r.Component = "rstore"
+			st.Append(r)
+			for t := 0; t < tails; t++ {
+				for _, rec := range st.QueryAfter(q, last[t]) {
+					last[t] = rec.Seq
+				}
+			}
+		}
+	})
+
+	// fastpath=plain vs fastpath=events: the pooled 64 KiB MPI round trip
+	// bare, then instrumented with a live emitter at control-plane
+	// density — one record per 64 round trips. No Starfish component
+	// emits per data-plane message (events mark view changes, replication
+	// passes, checkpoint epochs, lifecycle transitions); one marker per
+	// 64-message batch is denser than any real emitter. scripts/check.sh
+	// enforces the <=2% overhead budget on emit/64 against the plain
+	// round trip and keeps this A/B pair as a coarse tripwire (<=10%)
+	// that would catch a mode that actually blocks or emits per message.
+	const size = 64 << 10
+	for _, mode := range []string{"plain", "events"} {
+		b.Run(fmt.Sprintf("fastpath=%s/size=64KB", mode), func(b *testing.B) {
+			prev := wire.SetPoolGuard(false)
+			defer wire.SetPoolGuard(prev)
+			var em *evstore.Emitter
+			if mode == "events" {
+				st := evstore.Open(evstore.Config{Node: 1})
+				defer st.Close()
+				em = st.Emitter("bench")
+			}
+			c0, cleanup := fastPathWorld(b, vni.NewFastnet(0), true)
+			defer cleanup()
+			buf := make([]byte, size)
+			b.SetBytes(2 * size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c0.Send(1, 0, buf); err != nil {
+					b.Fatal(err)
+				}
+				data, mst, err := c0.Recv(1, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mst.Pooled {
+					wire.PutBuf(data)
+				}
+				if em != nil && i%64 == 0 {
+					em.Emit(evstore.Ev("batch",
+						evstore.F("msgs", 64), evstore.F("bytes", 64*2*size)))
+				}
+			}
+		})
+	}
+}

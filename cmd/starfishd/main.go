@@ -34,6 +34,7 @@ import (
 	"starfish/internal/chaosnet"
 	"starfish/internal/ckpt"
 	"starfish/internal/daemon"
+	"starfish/internal/evstore"
 	"starfish/internal/mgmt"
 	"starfish/internal/rstore"
 	"starfish/internal/svm"
@@ -59,6 +60,9 @@ func main() {
 		passwd  = flag.String("admin-password", "starfish", "management admin password")
 		verbose = flag.Bool("v", false, "log daemon diagnostics")
 
+		evChunk = flag.Int("events-chunk", evstore.DefaultChunkRecords, "event-store records per sealed chunk")
+		evMax   = flag.Int("events-chunks", evstore.DefaultMaxChunks, "event-store sealed-chunk retention (0 disables the event plane)")
+
 		chaosSeed   = flag.Int64("chaos-seed", 0, "seed a deterministic fault-injection layer over TCP (0 disables)")
 		chaosDrop   = flag.Float64("chaos-drop", 0, "per-message drop probability (requires -chaos-seed)")
 		chaosDup    = flag.Float64("chaos-dup", 0, "per-message duplication probability (requires -chaos-seed)")
@@ -81,12 +85,24 @@ func main() {
 		logf = log.Printf
 	}
 
+	// The structured event store behind the EVENTS/TAIL management verbs.
+	var events *evstore.Store
+	if *evMax > 0 {
+		events = evstore.Open(evstore.Config{
+			Node:         wire.NodeID(*node),
+			ChunkRecords: *evChunk,
+			MaxChunks:    *evMax,
+			Logf:         logf,
+		})
+	}
+
 	// The daemon's transport: real TCP, optionally wrapped in a seeded
 	// chaosnet layer so wire faults on a live deployment are reproducible
 	// from the seed (same seed, same per-link decision sequence).
 	var tr vni.Transport = vni.NewTCP()
 	if *chaosSeed != 0 {
 		cn := chaosnet.New(tr, *chaosSeed, chaosnet.Config{})
+		cn.Controller().SetEvents(events.Emitter("chaosnet"))
 		cn.Controller().SetDefaultFaults(chaosnet.Faults{
 			Drop:      *chaosDrop,
 			Dup:       *chaosDup,
@@ -112,6 +128,7 @@ func main() {
 			Addr:      *rsAddr,
 			PeerAddr:  func(id wire.NodeID) string { return peers[id] },
 			Replicas:  *rsRepl,
+			Events:    events.Emitter("rstore"),
 			Logf:      logf,
 		})
 		if err != nil {
@@ -132,6 +149,7 @@ func main() {
 		// Application processes bind ephemeral TCP ports; the addresses
 		// are exchanged through the lightweight group metadata.
 		DataAddr: func(wire.AppID, uint32, wire.Rank) string { return host + ":0" },
+		Events:   events,
 		Logf:     logf,
 	})
 	if err != nil {
@@ -157,6 +175,7 @@ func main() {
 	if mem != nil {
 		mem.Close()
 	}
+	events.Close()
 }
 
 // parsePeers parses "1=host:port,2=host:port" into a node→address map.

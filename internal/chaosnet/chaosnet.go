@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"starfish/internal/evstore"
 	"starfish/internal/vni"
 	"starfish/internal/wire"
 )
@@ -142,6 +143,7 @@ type Controller struct {
 	trcCap  int
 
 	mu          sync.Mutex
+	events      evstore.Sink
 	defFaults   Faults
 	classFaults map[string]Faults
 	linkFaults  map[link]Faults
@@ -297,6 +299,46 @@ func (c *Controller) SetDefaultFaults(f Faults) {
 	c.mu.Lock()
 	c.defFaults = f
 	c.mu.Unlock()
+	c.event(faultsEvent("default", "", f))
+}
+
+// SetEvents wires a structured-record sink (component "chaosnet" by the
+// daemon's tagging convention): every control operation and every injected
+// fault is recorded, so chaos assertions can query what was actually done
+// to the network rather than re-deriving it from seeds.
+func (c *Controller) SetEvents(s evstore.Sink) {
+	c.mu.Lock()
+	c.events = s
+	c.mu.Unlock()
+}
+
+// event forwards one record to the configured sink, outside c.mu (the
+// sink is non-blocking by contract but may take its own locks).
+func (c *Controller) event(r evstore.Record) {
+	c.mu.Lock()
+	s := c.events
+	c.mu.Unlock()
+	if s != nil {
+		s.Emit(r)
+	}
+}
+
+// faultEvent records one fired probabilistic fault on the src→dst link.
+func (c *Controller) faultEvent(kind, src, dst, class string) {
+	c.event(evstore.Ev(kind,
+		evstore.F("src", src), evstore.F("dst", dst), evstore.F("class", class)))
+}
+
+// faultsEvent summarizes one fault-rule change.
+func faultsEvent(scope, at string, f Faults) evstore.Record {
+	kv := []evstore.KV{evstore.F("scope", scope)}
+	if at != "" {
+		kv = append(kv, evstore.F("at", at))
+	}
+	kv = append(kv,
+		evstore.F("drop", f.Drop), evstore.F("dup", f.Dup),
+		evstore.F("delayp", f.DelayProb), evstore.F("delay", f.Delay))
+	return evstore.Ev("set-faults", kv...)
 }
 
 // SetClassFaults applies f to every link whose dialed address is of the
@@ -305,6 +347,7 @@ func (c *Controller) SetClassFaults(class string, f Faults) {
 	c.mu.Lock()
 	c.classFaults[class] = f
 	c.mu.Unlock()
+	c.event(faultsEvent("class", class, f))
 }
 
 // SetLinkFaults applies f to the directed node link src→dst, overriding
@@ -313,6 +356,7 @@ func (c *Controller) SetLinkFaults(src, dst string, f Faults) {
 	c.mu.Lock()
 	c.linkFaults[link{src, dst}] = f
 	c.mu.Unlock()
+	c.event(faultsEvent("link", src+">"+dst, f))
 }
 
 // ClearFaults removes every probabilistic fault rule (partitions and
@@ -323,6 +367,7 @@ func (c *Controller) ClearFaults() {
 	c.classFaults = make(map[string]Faults)
 	c.linkFaults = make(map[link]Faults)
 	c.mu.Unlock()
+	c.event(evstore.Ev("clear-faults"))
 }
 
 // Partition symmetrically cuts the links between nodes a and b: sends and
@@ -332,6 +377,7 @@ func (c *Controller) Partition(a, b string) {
 	c.blocked[link{a, b}] = true
 	c.blocked[link{b, a}] = true
 	c.mu.Unlock()
+	c.event(evstore.Ev("partition", evstore.F("a", a), evstore.F("b", b)))
 }
 
 // PartitionOneWay cuts only the direction src→dst (an asymmetric failure:
@@ -341,6 +387,7 @@ func (c *Controller) PartitionOneWay(src, dst string) {
 	c.mu.Lock()
 	c.blocked[link{src, dst}] = true
 	c.mu.Unlock()
+	c.event(evstore.Ev("partition-oneway", evstore.F("src", src), evstore.F("dst", dst)))
 }
 
 // Heal removes every partition.
@@ -348,6 +395,7 @@ func (c *Controller) Heal() {
 	c.mu.Lock()
 	c.blocked = make(map[link]bool)
 	c.mu.Unlock()
+	c.event(evstore.Ev("heal"))
 }
 
 // KillDialsTo makes every dial to the node fail until AllowDialsTo.
@@ -357,6 +405,7 @@ func (c *Controller) KillDialsTo(node string) {
 	c.mu.Lock()
 	c.killDials[node] = true
 	c.mu.Unlock()
+	c.event(evstore.Ev("kill-dials", evstore.F("node", node)))
 }
 
 // AllowDialsTo re-enables dials to the node.
@@ -364,6 +413,7 @@ func (c *Controller) AllowDialsTo(node string) {
 	c.mu.Lock()
 	delete(c.killDials, node)
 	c.mu.Unlock()
+	c.event(evstore.Ev("allow-dials", evstore.F("node", node)))
 }
 
 // ResetLink closes every live connection between nodes a and b (either
@@ -382,6 +432,8 @@ func (c *Controller) ResetLink(a, b string) int {
 		cn.Close()
 		c.resets.Add(1)
 	}
+	c.event(evstore.Ev("reset-link",
+		evstore.F("a", a), evstore.F("b", b), evstore.F("conns", len(victims))))
 	return len(victims)
 }
 
@@ -482,6 +534,7 @@ func (c *conn) Send(m *wire.Msg) error {
 		// the caller behaves exactly as if the message had gone out (pooled
 		// payloads recycle, non-pooled buffers stay with the caller).
 		c.ctl.drops.Add(1)
+		c.ctl.faultEvent("drop", c.srcNode, c.dstNode, c.class)
 		if m.Pooled {
 			m.Release()
 		}
@@ -489,6 +542,7 @@ func (c *conn) Send(m *wire.Msg) error {
 	}
 	if d&FDelay != 0 {
 		c.ctl.delays.Add(1)
+		c.ctl.faultEvent("delay", c.srcNode, c.dstNode, c.class)
 		//starfish:allow lockcheck injected latency must delay subsequent sends too — holding sendMu through the sleep is the fault model
 		time.Sleep(f.Delay)
 	}
@@ -498,6 +552,7 @@ func (c *conn) Send(m *wire.Msg) error {
 			return err
 		}
 		c.ctl.dups.Add(1)
+		c.ctl.faultEvent("dup", c.srcNode, c.dstNode, c.class)
 		//starfish:allow errdrop the duplicate is injected noise; losing it just means the duplication fault did not fire
 		_ = c.inner.Send(&dup)
 		return nil
@@ -529,16 +584,19 @@ func (c *conn) Recv() (wire.Msg, error) {
 		c.ctl.messages.Add(1)
 		if d&FDrop != 0 {
 			c.ctl.drops.Add(1)
+			c.ctl.faultEvent("drop", c.dstNode, c.srcNode, c.class)
 			m.Release()
 			continue
 		}
 		if d&FDelay != 0 {
 			c.ctl.delays.Add(1)
+			c.ctl.faultEvent("delay", c.dstNode, c.srcNode, c.class)
 			//starfish:allow lockcheck injected latency must stall the receive stream in order — holding recvMu through the sleep is the fault model
 			time.Sleep(f.Delay)
 		}
 		if d&FDup != 0 {
 			c.ctl.dups.Add(1)
+			c.ctl.faultEvent("dup", c.dstNode, c.srcNode, c.class)
 			cp := m.Clone()
 			c.heldDup = &cp
 		}

@@ -43,10 +43,33 @@ type Pipeline struct {
 	// (every epoch is a full record).
 	fullEvery int
 
+	// Observer, when non-nil, receives one EpochEvent per captured record.
+	// It must be set before the first Put and must not block (the event
+	// plane's emitters satisfy both). Defined here rather than taking an
+	// event-store type because ckpt sits below evstore in the import
+	// graph; the daemon adapts the callback onto its store.
+	Observer func(EpochEvent)
+
 	mu    sync.Mutex
 	ranks map[wire.Rank]*rankState
 
 	stats PipelineStats
+}
+
+// EpochEvent describes one captured checkpoint record.
+type EpochEvent struct {
+	App   wire.AppID
+	Rank  wire.Rank
+	Index uint64
+	// Delta marks an incremental record; Base is the index it diffs
+	// against (deltas only).
+	Delta bool
+	Base  uint64
+	// ChainLen counts records since and including the chain's full base.
+	ChainLen int
+	// RawBytes is the image size; StoredBytes the envelope plus block
+	// bytes actually written.
+	RawBytes, StoredBytes int
 }
 
 // rankState is the writer-side capture cache of one rank.
@@ -131,11 +154,20 @@ func (p *Pipeline) Put(app wire.AppID, rank wire.Rank, n uint64, img []byte, met
 		p.stats.Fulls++
 	}
 	p.stats.RawBytes += uint64(len(img))
-	p.stats.StoredBytes += uint64(len(env))
+	stored := len(env)
 	for _, b := range blocks {
-		p.stats.StoredBytes += uint64(len(b.Data))
+		stored += len(b.Data)
 	}
+	p.stats.StoredBytes += uint64(stored)
+	chainLen := st.sinceFull
 	p.mu.Unlock()
+	if p.Observer != nil {
+		p.Observer(EpochEvent{
+			App: app, Rank: rank, Index: n,
+			Delta: asDelta, Base: base, ChainLen: chainLen,
+			RawBytes: len(img), StoredBytes: stored,
+		})
+	}
 	return nil
 }
 

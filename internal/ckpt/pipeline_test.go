@@ -229,7 +229,7 @@ func TestPipelineCorruptBlockTyped(t *testing.T) {
 	for i := range bogus {
 		bogus[i] = 0xEE
 	}
-	if err := os.WriteFile(st.blockPath(refs[0].ID), sealBlock(bogus), 0o644); err != nil {
+	if err := os.WriteFile(st.blockPath(refs[0].ID), SealBlock(bogus), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	_, _, err = p.Get(1, 0, 1)
@@ -366,16 +366,16 @@ func TestPipelineRawImagePassThrough(t *testing.T) {
 func TestSealedBlocksCompress(t *testing.T) {
 	// The cold tier seals compressed: a zero block costs almost nothing.
 	zero := make([]byte, DeltaBlockSize)
-	sealed := sealBlock(zero)
+	sealed := SealBlock(zero)
 	if len(sealed) >= DeltaBlockSize/8 {
 		t.Errorf("zero block sealed to %d bytes", len(sealed))
 	}
-	back, err := unsealBlock(sealed, DeltaBlockSize)
+	back, err := UnsealBlock(sealed, DeltaBlockSize)
 	if err != nil || !bytes.Equal(back, zero) {
 		t.Fatalf("unseal: %v", err)
 	}
 	// Wrong expected length must error, not truncate.
-	if _, err := unsealBlock(sealed, DeltaBlockSize-1); err == nil {
+	if _, err := UnsealBlock(sealed, DeltaBlockSize-1); err == nil {
 		t.Error("unseal with wrong length succeeded")
 	}
 }

@@ -56,7 +56,7 @@ func (s *Store) PutRecord(app wire.AppID, rank wire.Rank, n uint64, env []byte, 
 		if _, err := os.Stat(path); err == nil {
 			continue // already sealed: deduplicated
 		}
-		if err := atomicWrite(path, sealBlock(b.Data)); err != nil {
+		if err := atomicWrite(path, SealBlock(b.Data)); err != nil {
 			return err
 		}
 	}
@@ -75,15 +75,17 @@ func (s *Store) GetBlock(_ wire.AppID, _ wire.Rank, ref BlockRef) ([]byte, error
 	if err != nil {
 		return nil, err
 	}
-	data, err := unsealBlock(sealed, int(ref.Len))
+	data, err := UnsealBlock(sealed, int(ref.Len))
 	if err != nil {
 		return nil, fmt.Errorf("%w: block %s: %v", ErrMissingBlock, ref.ID, err)
 	}
 	return data, nil
 }
 
-// sealBlock compresses a block for cold storage.
-func sealBlock(data []byte) []byte {
+// SealBlock compresses a byte block with DEFLATE (BestSpeed). It is the
+// shared cold-tier sealing primitive: the disk store seals checkpoint blocks
+// with it, and evstore seals event chunks with it.
+func SealBlock(data []byte) []byte {
 	var buf bytes.Buffer
 	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
 	if err != nil {
@@ -98,9 +100,9 @@ func sealBlock(data []byte) []byte {
 	return buf.Bytes()
 }
 
-// unsealBlock decompresses a sealed block, bounding the output at the
+// UnsealBlock decompresses a sealed block, bounding the output at the
 // expected length.
-func unsealBlock(sealed []byte, want int) ([]byte, error) {
+func UnsealBlock(sealed []byte, want int) ([]byte, error) {
 	zr := flate.NewReader(bytes.NewReader(sealed))
 	defer zr.Close()
 	out := make([]byte, 0, want)

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"starfish/internal/chaosnet"
 	"starfish/internal/ckpt"
 	"starfish/internal/daemon"
+	"starfish/internal/evstore"
 	"starfish/internal/leakcheck"
 	"starfish/internal/wire"
 )
@@ -136,6 +138,27 @@ func verifyDataTraces(t *testing.T, ctl *chaosnet.Controller, seed int64, f chao
 	}
 }
 
+// evWait polls an event store until the query matches at least min
+// records, then returns the matches. Event emission is asynchronous (a
+// component's Emit returns before the record lands in the store), so
+// at-least-N assertions must absorb the drain delay; the returned slice is
+// the settled result for exact-count checks.
+func evWait(t *testing.T, st *evstore.Store, query string, min int) []evstore.Record {
+	t.Helper()
+	q, err := evstore.ParseQuery(query)
+	if err != nil {
+		t.Fatalf("evWait %q: %v", query, err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		recs := st.Query(q)
+		if len(recs) >= min || time.Now().After(deadline) {
+			return recs
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // crashRankNode kills node 3 (host of rank 2 under the round-robin
 // placement over nodes 1..4) abruptly; the survivors must detect it and
 // restart the rank from the last committed line.
@@ -147,6 +170,10 @@ func crashRankNode(t *testing.T, c *Cluster) {
 }
 
 func chaosScenarios() []chaosScenario {
+	// Sequence-number watermarks captured by the scripts and read by the
+	// verify steps: the event plane assigns seq at receive, so "after the
+	// kill" is a seq comparison, not a wall-clock one.
+	var killSeq, healSeq uint64
 	return []chaosScenario{
 		{
 			// Randomized kill: a rank-hosting node dies mid-run with light
@@ -157,13 +184,34 @@ func chaosScenarios() []chaosScenario {
 			preset: func(ctl *chaosnet.Controller) {
 				ctl.SetClassFaults("data", dataFaults)
 			},
-			script: crashRankNode,
+			script: func(t *testing.T, c *Cluster) {
+				killSeq = c.ContactEvents().LastSeq()
+				crashRankNode(t, c)
+			},
 			verify: func(t *testing.T, c *Cluster, ctl *chaosnet.Controller) {
 				s := ctl.Stats()
 				if s.Dups == 0 {
 					t.Errorf("expected data duplication, stats = %+v", s)
 				}
 				verifyDataTraces(t, ctl, 0x5EED0001, dataFaults)
+				// The survivor's event store tells the recovery story:
+				// exactly one view change per kill (detection did not
+				// flap), preceded by a suspicion, followed by a restore
+				// from the replicated store.
+				st := c.ContactEvents()
+				vcs := evWait(t, st, fmt.Sprintf("component=gcs kind=view-change seq>%d", killSeq), 1)
+				if len(vcs) != 1 {
+					t.Errorf("%d view changes after the kill, want exactly 1:", len(vcs))
+					for _, r := range vcs {
+						t.Errorf("  %s", r.String())
+					}
+				}
+				if len(evWait(t, st, fmt.Sprintf("component=gcs kind=suspect seq>%d", killSeq), 1)) == 0 {
+					t.Error("no suspicion recorded after the kill")
+				}
+				if len(evWait(t, st, fmt.Sprintf("component=proc kind=restore seq>%d", killSeq), 1)) == 0 {
+					t.Error("no process restore recorded after the kill")
+				}
 			},
 		},
 		{
@@ -179,6 +227,7 @@ func chaosScenarios() []chaosScenario {
 					ctl.Partition("n4", peer)
 				}
 				time.Sleep(1500 * time.Millisecond)
+				healSeq = c.ContactEvents().LastSeq()
 				ctl.Heal()
 			},
 			verify: func(t *testing.T, c *Cluster, ctl *chaosnet.Controller) {
@@ -192,6 +241,21 @@ func chaosScenarios() []chaosScenario {
 				}
 				if v := d.View(); len(v.Members) != 3 || v.Contains(4) {
 					t.Errorf("survivor view = %+v, want 3 members without node 4", v)
+				}
+				// Excluding node 4 must re-replicate its shard exactly
+				// once, during the partition; the heal itself is a
+				// non-event — no new view change, no re-replication storm
+				// (rstore only re-replicates on view changes, and node 4
+				// stays excluded).
+				st := c.ContactEvents()
+				if len(evWait(t, st, fmt.Sprintf("component=rstore kind=rereplicate seq<=%d", healSeq), 1)) == 0 {
+					t.Error("no re-replication recorded while node 4 was partitioned out")
+				}
+				if recs := evWait(t, st, fmt.Sprintf("component=rstore kind=rereplicate seq>%d", healSeq), 0); len(recs) != 0 {
+					t.Errorf("%d re-replication passes after the heal, want 0 (storm)", len(recs))
+				}
+				if recs := evWait(t, st, fmt.Sprintf("component=gcs kind=view-change seq>%d", healSeq), 0); len(recs) != 0 {
+					t.Errorf("%d view changes after the heal, want 0", len(recs))
 				}
 			},
 		},

@@ -17,6 +17,7 @@ import (
 	"starfish/internal/chaosnet"
 	"starfish/internal/ckpt"
 	"starfish/internal/daemon"
+	"starfish/internal/evstore"
 	"starfish/internal/proc"
 	"starfish/internal/rstore"
 	"starfish/internal/svm"
@@ -64,11 +65,25 @@ type Cluster struct {
 	fn    *vni.Fastnet
 	chaos *chaosnet.Net // nil unless Options.ChaosSeed is set
 	store *ckpt.Store
+	// chaosEv mirrors chaosnet fault records into every node's event
+	// store; clusterEv does the same for harness actions (kill, leave,
+	// add-node), so any surviving node's store tells the whole story.
+	chaosEv   evstore.Fanout
+	clusterEv evstore.Fanout
 
 	mu      sync.Mutex
 	daemons map[wire.NodeID]*daemon.Daemon
 	mems    map[wire.NodeID]*rstore.Store
-	nextID  wire.NodeID
+	evs     map[wire.NodeID]*evstore.Store
+	// chaosEms/clusterEms remember each node's fanout membership so
+	// Crash/Leave can unregister it.
+	chaosEms   map[wire.NodeID]*evstore.Emitter
+	clusterEms map[wire.NodeID]*evstore.Emitter
+	// change is the cluster-level state generation: closed and replaced
+	// whenever any node's event store receives records, so cluster waiters
+	// can block on it instead of polling (see waitChange).
+	change chan struct{}
+	nextID wire.NodeID
 }
 
 // ErrNodeUnknown is returned for operations on nodes not in the cluster.
@@ -93,17 +108,22 @@ func New(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		opts:    opts,
-		fn:      vni.NewFastnet(0),
-		store:   store,
-		daemons: make(map[wire.NodeID]*daemon.Daemon),
-		mems:    make(map[wire.NodeID]*rstore.Store),
+		opts:       opts,
+		fn:         vni.NewFastnet(0),
+		store:      store,
+		daemons:    make(map[wire.NodeID]*daemon.Daemon),
+		mems:       make(map[wire.NodeID]*rstore.Store),
+		evs:        make(map[wire.NodeID]*evstore.Store),
+		chaosEms:   make(map[wire.NodeID]*evstore.Emitter),
+		clusterEms: make(map[wire.NodeID]*evstore.Emitter),
+		change:     make(chan struct{}),
 	}
 	if opts.ChaosSeed != 0 {
 		c.chaos = chaosnet.New(c.fn, opts.ChaosSeed, chaosnet.Config{
 			NodeOf:  chaosNodeOf,
 			ClassOf: chaosClassOf,
 		})
+		c.chaos.Controller().SetEvents(&c.chaosEv)
 	}
 	for i := 0; i < opts.Nodes; i++ {
 		if _, err := c.AddNode(); err != nil {
@@ -186,6 +206,7 @@ func (c *Cluster) AddNode() (wire.NodeID, error) {
 		reqTimeout = 400 * time.Millisecond
 		reqRetries = 4
 	}
+	ev := evstore.Open(evstore.Config{Node: id, Logf: c.opts.Logf})
 	mem, err := rstore.New(rstore.Config{
 		Node:           id,
 		Transport:      tr,
@@ -194,9 +215,11 @@ func (c *Cluster) AddNode() (wire.NodeID, error) {
 		Replicas:       c.opts.Replicas,
 		RequestTimeout: reqTimeout,
 		RequestRetries: reqRetries,
+		Events:         ev.Emitter("rstore"),
 		Logf:           c.opts.Logf,
 	})
 	if err != nil {
+		ev.Close()
 		return 0, err
 	}
 	d, err := daemon.New(daemon.Config{
@@ -210,17 +233,77 @@ func (c *Cluster) AddNode() (wire.NodeID, error) {
 		HeartbeatEvery:     c.opts.HeartbeatEvery,
 		FailAfter:          c.opts.FailAfter,
 		SuspectAfterMisses: c.opts.SuspectAfterMisses,
+		Events:             ev,
 		Logf:               c.opts.Logf,
 	})
 	if err != nil {
 		mem.Close()
+		ev.Close()
 		return 0, err
 	}
+	chaosEm := ev.Emitter("chaosnet")
+	clusterEm := ev.Emitter("cluster")
 	c.mu.Lock()
 	c.daemons[id] = d
 	c.mems[id] = mem
+	c.evs[id] = ev
+	c.chaosEms[id] = chaosEm
+	c.clusterEms[id] = clusterEm
 	c.mu.Unlock()
+	go c.watchStore(ev)
+	c.chaosEv.Add(chaosEm)
+	c.clusterEv.Add(clusterEm)
+	c.clusterEv.Emit(evstore.Ev("add-node", evstore.F("target", id)))
 	return id, nil
+}
+
+// watchStore folds one node store's generation channel into the cluster's:
+// any record landing anywhere bumps the cluster change generation. The
+// goroutine exits when the store closes.
+func (c *Cluster) watchStore(ev *evstore.Store) {
+	for {
+		select {
+		case <-ev.Changed():
+			c.bump()
+		case <-ev.Done():
+			return
+		}
+	}
+}
+
+// Changed returns the cluster-level change channel: closed the next time
+// any node's event store receives records. Take it before evaluating a
+// predicate, then block on it — same contract as daemon.Changed.
+func (c *Cluster) Changed() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.change
+}
+
+func (c *Cluster) bump() {
+	c.mu.Lock()
+	ch := c.change
+	c.change = make(chan struct{})
+	c.mu.Unlock()
+	close(ch)
+}
+
+// dropNodeEvents unregisters a departing node's fanout membership and
+// returns its store for closing (nil when unknown). Callers emit their
+// farewell record (kill, leave) before calling this so every store — the
+// departing node's included — records it.
+func (c *Cluster) dropNodeEvents(id wire.NodeID) *evstore.Store {
+	c.mu.Lock()
+	ev := c.evs[id]
+	chaosEm := c.chaosEms[id]
+	clusterEm := c.clusterEms[id]
+	delete(c.evs, id)
+	delete(c.chaosEms, id)
+	delete(c.clusterEms, id)
+	c.mu.Unlock()
+	c.chaosEv.Remove(chaosEm)
+	c.clusterEv.Remove(clusterEm)
+	return ev
 }
 
 func (c *Cluster) nodeIDsLocked() []wire.NodeID {
@@ -275,6 +358,30 @@ func (c *Cluster) MemStore(id wire.NodeID) (*rstore.Store, error) {
 	return s, nil
 }
 
+// Events returns a node's structured event store.
+func (c *Cluster) Events(id wire.NodeID) (*evstore.Store, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ev, ok := c.evs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNodeUnknown, id)
+	}
+	return ev, nil
+}
+
+// ContactEvents returns the lowest-id live node's event store (the one a
+// management client tails through the contact daemon), or nil when the
+// cluster is empty.
+func (c *Cluster) ContactEvents() *evstore.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := c.nodeIDsLocked()
+	if len(ids) == 0 {
+		return nil
+	}
+	return c.evs[ids[0]]
+}
+
 // Transport returns the cluster's shared network.
 func (c *Cluster) Transport() *vni.Fastnet { return c.fn }
 
@@ -301,6 +408,8 @@ func (c *Cluster) Crash(id wire.NodeID) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNodeUnknown, id)
 	}
+	c.clusterEv.Emit(evstore.Ev("kill", evstore.F("target", id)))
+	ev := c.dropNodeEvents(id)
 	// Sever the daemon's group-communication link first so peers see the
 	// crash even while the local teardown is in progress. The node's RAM
 	// shard dies with it — that is the failure mode the replicated store
@@ -311,6 +420,9 @@ func (c *Cluster) Crash(id wire.NodeID) error {
 		mem.Close()
 	}
 	d.Close()
+	if ev != nil {
+		ev.Close()
+	}
 	return nil
 }
 
@@ -325,9 +437,14 @@ func (c *Cluster) Leave(id wire.NodeID) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNodeUnknown, id)
 	}
+	c.clusterEv.Emit(evstore.Ev("leave", evstore.F("target", id)))
+	ev := c.dropNodeEvents(id)
 	d.Leave()
 	if mem != nil {
 		mem.Close()
+	}
+	if ev != nil {
+		ev.Close()
 	}
 	return nil
 }
@@ -343,14 +460,24 @@ func (c *Cluster) Shutdown() {
 	for _, m := range c.mems {
 		mems = append(mems, m)
 	}
+	evs := make([]*evstore.Store, 0, len(c.evs))
+	for _, ev := range c.evs {
+		evs = append(evs, ev)
+	}
 	c.daemons = map[wire.NodeID]*daemon.Daemon{}
 	c.mems = map[wire.NodeID]*rstore.Store{}
+	c.evs = map[wire.NodeID]*evstore.Store{}
+	c.chaosEms = map[wire.NodeID]*evstore.Emitter{}
+	c.clusterEms = map[wire.NodeID]*evstore.Emitter{}
 	c.mu.Unlock()
 	for _, d := range ds {
 		d.Close()
 	}
 	for _, m := range mems {
 		m.Close()
+	}
+	for _, ev := range evs {
+		ev.Close()
 	}
 	if c.chaos != nil {
 		// Cancel pending timed resets and drop per-conn state.
@@ -377,6 +504,7 @@ func (c *Cluster) WaitApp(app wire.AppID, timeout time.Duration) (daemon.AppInfo
 			return daemon.AppInfo{}, errors.New("cluster: no live daemons")
 		}
 		ch := d.Changed() // before the read: a later change closes this channel
+		cch := c.Changed()
 		info, ok := d.AppInfo(app)
 		if ok && (info.Status == daemon.StatusDone || info.Status == daemon.StatusFailed) {
 			return info, nil
@@ -385,22 +513,24 @@ func (c *Cluster) WaitApp(app wire.AppID, timeout time.Duration) (daemon.AppInfo
 			return info, fmt.Errorf("cluster: app %d not terminal after %v (status %v)",
 				app, timeout, info.Status)
 		}
-		waitChange(ch)
+		waitChange(ch, cch)
 	}
 }
 
-// waitChange parks until a daemon signals a state change. The fallback
-// timer covers edges a single daemon's generation channel cannot see —
-// the observed daemon dying, state that first becomes visible on a
-// different daemon, or checkpoint commits that land in the store rather
-// than in daemon state. It matches the 2ms poll cadence this wait
-// replaced: simulated apps run whole lifecycles in tens of milliseconds,
-// so a coarser fallback misses transient states the tests assert on.
-func waitChange(ch <-chan struct{}) {
-	t := time.NewTimer(2 * time.Millisecond)
+// waitChange parks until the observed daemon signals a state change (ch) or
+// any node's event store receives records (cch) — the latter covers edges a
+// single daemon's generation channel cannot see: the observed daemon dying,
+// state that first becomes visible on a different daemon, or checkpoint
+// commits that land in the store rather than in daemon state (the ckpt and
+// proc emitters fire on exactly those). The residual timer is a last-resort
+// safety net an order of magnitude coarser than the 2ms poll cadence the
+// event plane replaced; waits are expected to be woken by the channels.
+func waitChange(ch, cch <-chan struct{}) {
+	t := time.NewTimer(50 * time.Millisecond)
 	defer t.Stop()
 	select {
 	case <-ch:
+	case <-cch:
 	case <-t.C:
 	}
 }
@@ -414,6 +544,7 @@ func (c *Cluster) WaitStatus(app wire.AppID, want daemon.AppStatus, timeout time
 			return errors.New("cluster: no live daemons")
 		}
 		ch := d.Changed()
+		cch := c.Changed()
 		if info, ok := d.AppInfo(app); ok && info.Status == want {
 			return nil
 		}
@@ -421,7 +552,7 @@ func (c *Cluster) WaitStatus(app wire.AppID, want daemon.AppStatus, timeout time
 			info, _ := d.AppInfo(app)
 			return fmt.Errorf("cluster: app %d stuck at %v, want %v", app, info.Status, want)
 		}
-		waitChange(ch)
+		waitChange(ch, cch)
 	}
 }
 
@@ -432,6 +563,7 @@ func (c *Cluster) WaitCommittedLine(app wire.AppID, timeout time.Duration) (ckpt
 	deadline := time.Now().Add(timeout)
 	for {
 		var ch <-chan struct{}
+		cch := c.Changed()
 		if d := c.AnyDaemon(); d != nil {
 			ch = d.Changed()
 			if line, err := d.CommittedLine(app); err == nil {
@@ -441,6 +573,6 @@ func (c *Cluster) WaitCommittedLine(app wire.AppID, timeout time.Duration) (ckpt
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("cluster: no committed line for app %d after %v", app, timeout)
 		}
-		waitChange(ch)
+		waitChange(ch, cch)
 	}
 }

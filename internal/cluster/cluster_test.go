@@ -474,3 +474,26 @@ func TestTwoAppsDifferentProtocolsSideBySide(t *testing.T) {
 		}
 	}
 }
+
+// TestWaitStatusSeesTransientRunning is the transient-state regression for
+// the waitChange rewrite: Running on a tiny app lasts tens of
+// milliseconds, shorter than the 50ms last-resort fallback timer, so only
+// the change-channel wakeups (daemon.Changed plus the cluster-wide event
+// generation) can observe it reliably. Five consecutive apps make a
+// timer-poll regression effectively certain to miss at least one.
+func TestWaitStatusSeesTransientRunning(t *testing.T) {
+	c := newCluster(t, 2)
+	waitMainView(t, c, 2)
+	for i := 0; i < 5; i++ {
+		id := wire.AppID(900 + i)
+		if err := c.Submit(ringSpec(id, 2, 100)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WaitStatus(id, daemon.StatusRunning, 10*time.Second); err != nil {
+			t.Errorf("app %d: transient running state missed: %v", id, err)
+		}
+		if info, err := c.WaitApp(id, 20*time.Second); err != nil || info.Status != daemon.StatusDone {
+			t.Fatalf("app %d: %v / %+v", id, err, info)
+		}
+	}
+}

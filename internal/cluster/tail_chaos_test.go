@@ -1,0 +1,209 @@
+package cluster
+
+// The live-observability acceptance test: a `starfishctl tail`-equivalent
+// client follows a cluster's event stream over real TCP while a seeded
+// chaos soak kills a rank-hosting node underneath it. The stream must show
+// the recovery story in sequence order — kill, suspicion, view change,
+// restore — and a forced mid-stream disconnect must resume with
+// `seq><last-seen>` replaying no duplicates and dropping no records.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"starfish/internal/ckpt"
+	"starfish/internal/daemon"
+	"starfish/internal/evstore"
+	"starfish/internal/leakcheck"
+	"starfish/internal/mgmt"
+)
+
+const tailApp = chaosApp + 1
+
+// errForceDrop is the sentinel a tail callback returns to simulate an
+// abrupt client-side disconnect mid-stream.
+var errForceDrop = errors.New("forced disconnect")
+
+func TestTailUnderChaos(t *testing.T) {
+	for _, seed := range []int64{0x7A110001, 0x7A110002} {
+		t.Run(fmt.Sprintf("seed_%#x", seed), func(t *testing.T) {
+			runTailUnderChaos(t, seed)
+		})
+	}
+}
+
+func runTailUnderChaos(t *testing.T, seed int64) {
+	leakcheck.Check(t, 4)
+	c, err := New(Options{
+		Nodes:          4,
+		StoreDir:       t.TempDir(),
+		HeartbeatEvery: 10 * time.Millisecond,
+		FailAfter:      600 * time.Millisecond,
+		ChaosSeed:      seed,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	waitMainView(t, c, 4)
+
+	// A management server on node 1 (the contact daemon, which survives
+	// the kill), exactly as starfishd would run it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	//starfish:allow goleak server lives until the listener closes at cleanup
+	go mgmt.NewServer(c.AnyDaemon(), "sekrit").Serve(l)
+	addr := l.Addr().String()
+
+	// The tail client runs concurrently with the soak. It follows the
+	// whole stream (empty query), forces one abrupt disconnect the moment
+	// the kill record arrives, resumes with seq><last-seen>, and stops
+	// cleanly at the application's completion record.
+	var (
+		lines  []string
+		last   uint64
+		forced bool
+	)
+	tailDone := make(chan struct{})
+	go func() {
+		defer close(tailDone)
+		for attempt := 0; ; attempt++ {
+			if attempt > 20 {
+				t.Error("tail never reached the app-done record")
+				return
+			}
+			tc, err := mgmt.Dial(addr)
+			if err != nil {
+				t.Errorf("tail dial: %v", err)
+				return
+			}
+			if err := tc.LoginAdmin("sekrit"); err != nil {
+				tc.Close()
+				t.Errorf("tail login: %v", err)
+				return
+			}
+			query := ""
+			if last > 0 {
+				query = fmt.Sprintf("seq>%d", last)
+			}
+			err = tc.Tail(query, func(line string) error {
+				seq, ok := evstore.LineSeq(line)
+				if !ok {
+					t.Errorf("tail line without seq prefix: %q", line)
+				}
+				lines = append(lines, line)
+				last = seq
+				if !forced && strings.Contains(line, "kind=kill ") {
+					forced = true
+					return errForceDrop
+				}
+				if strings.Contains(line, "kind=app-done") {
+					return mgmt.ErrStopTail
+				}
+				return nil
+			})
+			tc.Close()
+			if err == nil {
+				if len(lines) == 0 || !strings.Contains(lines[len(lines)-1], "kind=app-done") {
+					// Server ended the stream (e.g. store closed) before
+					// completion; that is a failure, not a retry.
+					t.Errorf("tail stream ended early after %d lines", len(lines))
+				}
+				return
+			}
+			if !errors.Is(err, errForceDrop) {
+				t.Errorf("tail: %v", err)
+				return
+			}
+		}
+	}()
+
+	// The soak: same shape as the chaos kill scenario — ring job
+	// checkpointing to the replicated memory store, node 3 (rank host)
+	// killed after the first committed line.
+	spec := ringSpec(tailApp, 3, chaosRounds())
+	spec.CkptEverySteps = 1000
+	spec.Store = ckpt.StoreMemory
+	if err := c.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitCommittedLine(tailApp, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.WaitApp(tailApp, 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != daemon.StatusDone {
+		t.Fatalf("status = %v, failure = %q", info.Status, info.Failure)
+	}
+	select {
+	case <-tailDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("tail did not finish after the app completed")
+	}
+	if t.Failed() {
+		return
+	}
+	if !forced {
+		t.Fatal("kill record never arrived, disconnect path untested")
+	}
+
+	// Sequence numbers must be strictly increasing across the disconnect:
+	// no duplicates, no reordering.
+	seqs := make([]uint64, len(lines))
+	for i, l := range lines {
+		seqs[i], _ = evstore.LineSeq(l)
+		if i > 0 && seqs[i] <= seqs[i-1] {
+			t.Fatalf("line %d: seq %d after %d (dup or reorder across reconnect)", i, seqs[i], seqs[i-1])
+		}
+	}
+
+	// The recovery story reads in order: kill → suspicion → view change →
+	// process restore.
+	idx := func(after int, substr string) int {
+		for i := after + 1; i < len(lines); i++ {
+			if strings.Contains(lines[i], substr) {
+				return i
+			}
+		}
+		t.Fatalf("no %q record after line %d", substr, after)
+		return -1
+	}
+	killIdx := idx(-1, "kind=kill ")
+	suspectIdx := idx(killIdx, "component=gcs kind=suspect")
+	vcIdx := idx(suspectIdx, "component=gcs kind=view-change")
+	idx(vcIdx, "component=proc kind=restore")
+
+	// No drops: the tailed lines are exactly the store's records up to the
+	// last one seen, rendered identically.
+	want := c.ContactEvents().Query(mustQuery(t, fmt.Sprintf("seq<=%d", last)))
+	if len(want) != len(lines) {
+		t.Fatalf("tailed %d lines, store has %d records up to seq %d", len(lines), len(want), last)
+	}
+	for i, r := range want {
+		if lines[i] != r.String() {
+			t.Fatalf("line %d diverges from store:\n  tail:  %s\n  store: %s", i, lines[i], r.String())
+		}
+	}
+}
+
+func mustQuery(t *testing.T, s string) *evstore.Query {
+	t.Helper()
+	q, err := evstore.ParseQuery(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}

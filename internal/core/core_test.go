@@ -112,8 +112,13 @@ func TestManagementServiceThroughFacade(t *testing.T) {
 
 func TestAddNodeAndMigrateFacade(t *testing.T) {
 	s := newEnv(t, 2)
+	// The ring must still be running when its first checkpoint line
+	// commits, or Suspend below races app completion: the first epoch
+	// (266 KiB sync-flush + commit) takes ~20ms of wall time while the
+	// ring steps on concurrently at ~4us/step, so give it enough steps
+	// that commit lands mid-run with a wide margin.
 	job := Job{
-		ID: 5, Name: apps.RingName, Args: apps.RingArgs(5000), Ranks: 2,
+		ID: 5, Name: apps.RingName, Args: apps.RingArgs(100000), Ranks: 2,
 		CheckpointEverySteps: 50,
 	}
 	if err := s.Submit(job); err != nil {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"starfish/internal/ckpt"
+	"starfish/internal/evstore"
 	"starfish/internal/gcs"
 	"starfish/internal/lwg"
 	"starfish/internal/proc"
@@ -178,6 +179,13 @@ func (d *Daemon) applyCmd(c *Cmd) {
 		}
 		eps := d.localEndpointsLocked(c.App)
 		d.mu.Unlock()
+		if st != nil {
+			name := "suspend"
+			if c.Kind == CmdResume {
+				name = "resume"
+			}
+			d.ev.Emit(evstore.EvApp(name, c.App))
+		}
 		for _, ep := range eps {
 			ep.link.Send(wire.Msg{Type: wire.TConfiguration, Kind: kind, App: c.App})
 		}
@@ -238,9 +246,15 @@ func (d *Daemon) applySubmit(c *Cmd) {
 		st.status = StatusFailed
 		st.failure = ErrNoNodes.Error()
 		d.mu.Unlock()
+		d.ev.Emit(evstore.EvApp("app-failed", c.App, evstore.F("err", ErrNoNodes)))
 		return
 	}
 	d.mu.Unlock()
+	d.ev.Emit(evstore.EvApp("submit", c.App,
+		evstore.F("name", st.spec.Name),
+		evstore.F("ranks", st.spec.Ranks),
+		evstore.F("protocol", st.spec.Protocol),
+		evstore.F("policy", st.spec.Policy)))
 	d.spawnLocal(c.App)
 }
 
@@ -250,10 +264,14 @@ func (d *Daemon) applyDelete(c *Cmd) {
 	if st, ok := d.apps[c.App]; ok {
 		be = d.backendFor(&st.spec)
 	}
+	_, known := d.apps[c.App]
 	delete(d.apps, c.App)
 	eps := d.localEndpointsLocked(c.App)
 	delete(d.local, c.App)
 	d.mu.Unlock()
+	if known {
+		d.ev.Emit(evstore.EvApp("delete", c.App))
+	}
 	for _, ep := range eps {
 		ep.link.Send(wire.Msg{Type: wire.TConfiguration, Kind: proc.CfgAbort, App: c.App})
 		ep.link.Close()
@@ -282,6 +300,7 @@ func (d *Daemon) applyRankDone(c *Cmd) {
 		eps := d.localEndpointsLocked(c.App)
 		delete(d.local, c.App)
 		d.mu.Unlock()
+		d.ev.Emit(evstore.EvRank("app-failed", c.App, c.Rank, evstore.F("err", c.Err)))
 		// A genuine application error: tear everything down.
 		for _, ep := range eps {
 			ep.link.Send(wire.Msg{Type: wire.TConfiguration, Kind: proc.CfgAbort, App: c.App})
@@ -313,6 +332,7 @@ func (d *Daemon) checkComplete(app wire.AppID) {
 	eps := d.localEndpointsLocked(app)
 	delete(d.local, app)
 	d.mu.Unlock()
+	d.ev.Emit(evstore.EvApp("app-done", app))
 	// All ranks finished: tear down local endpoints (processes exit their
 	// serve loop when the link closes) and dissolve the group.
 	for _, ep := range eps {
@@ -346,7 +366,14 @@ func (d *Daemon) applyRestart(c *Cmd) {
 		st.status = StatusFailed
 		st.failure = ErrNoNodes.Error()
 	}
+	gen := st.gen
 	d.mu.Unlock()
+	if noNodes {
+		d.ev.Emit(evstore.EvApp("app-failed", c.App, evstore.F("err", ErrNoNodes)))
+	} else {
+		d.ev.Emit(evstore.EvApp("restarting", c.App,
+			evstore.F("gen", gen), evstore.F("line", c.Line)))
+	}
 
 	// Abort the previous incarnation's local processes.
 	for _, ep := range oldEps {
@@ -394,6 +421,7 @@ func (d *Daemon) spawnLocal(app wire.AppID) {
 				Link:       pside,
 				Transport:  d.cfg.Transport,
 				ListenAddr: d.cfg.DataAddr(app, gen, rank),
+				Events:     d.cfg.Events.Emitter("proc"),
 				Logf:       d.cfg.Logf,
 			})
 			if err != nil {
@@ -534,6 +562,7 @@ func (d *Daemon) maybeStart(app wire.AppID) {
 	size := st.spec.Ranks
 	eps := d.localEndpointsLocked(app)
 	d.mu.Unlock()
+	d.ev.Emit(evstore.EvApp("running", app, evstore.F("gen", gen)))
 
 	var next uint64 = 1
 	for _, idx := range line {
@@ -629,6 +658,10 @@ func (d *Daemon) applyFailurePolicy(app wire.AppID, gone []wire.NodeID) {
 		return
 	}
 	d.logf("app %d lost ranks %v (nodes %v); policy %v", app, lost, gone, policy)
+	d.ev.Emit(evstore.EvApp("rank-lost", app,
+		evstore.F("nodes", evstore.List(gone)),
+		evstore.F("ranks", evstore.List(lost)),
+		evstore.F("policy", policy)))
 
 	switch policy {
 	case proc.PolicyKill:

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"starfish/internal/ckpt"
+	"starfish/internal/evstore"
 	"starfish/internal/gcs"
 	"starfish/internal/lwg"
 	"starfish/internal/proc"
@@ -93,6 +94,11 @@ type Config struct {
 	// threshold as a count of consecutive missed probe intervals instead of
 	// a duration; it takes precedence over FailAfter (see gcs.Config).
 	SuspectAfterMisses int
+	// Events, when non-nil, is this node's structured event store. The
+	// daemon records application lifecycle transitions in it and hands
+	// component-tagged emitters to the subsystems it owns (gcs, proc,
+	// ckpt). nil disables the event plane.
+	Events *evstore.Store
 	// Logf receives diagnostics when non-nil.
 	Logf func(string, ...any)
 }
@@ -144,6 +150,9 @@ type Daemon struct {
 	cfg Config
 	ep  *gcs.Endpoint
 	lwm *lwg.Manager
+	// ev is the daemon-tagged event emitter (inert when no store is
+	// configured — a nil *Emitter discards).
+	ev *evstore.Emitter
 	// tiered is the memory-first backend with disk spill, built once when
 	// both tiers are configured.
 	tiered *ckpt.Tiered
@@ -188,6 +197,7 @@ func New(cfg Config) (*Daemon, error) {
 		HeartbeatEvery:     cfg.HeartbeatEvery,
 		FailAfter:          cfg.FailAfter,
 		SuspectAfterMisses: cfg.SuspectAfterMisses,
+		Events:             cfg.Events.Emitter("gcs"),
 	})
 	if err != nil {
 		return nil, err
@@ -196,6 +206,7 @@ func New(cfg Config) (*Daemon, error) {
 		cfg:       cfg,
 		ep:        ep,
 		lwm:       lwg.NewManager(cfg.Node),
+		ev:        cfg.Events.Emitter("daemon"),
 		apps:      make(map[wire.AppID]*appState),
 		disabled:  make(map[wire.NodeID]bool),
 		params:    make(map[string]string),
@@ -242,9 +253,44 @@ func (d *Daemon) backendFor(spec *proc.AppSpec) ckpt.Backend {
 	p := d.pipelines[spec.ID]
 	if p == nil {
 		p = ckpt.NewPipeline(cb, int(spec.FullEvery))
+		// Adapt the pipeline's observer callback onto the event plane
+		// (ckpt sits below evstore in the import graph, so it cannot
+		// emit records itself).
+		if em := d.cfg.Events.Emitter("ckpt"); em != nil {
+			p.Observer = func(e ckpt.EpochEvent) {
+				em.Emit(evstore.EvRank("epoch", e.App, e.Rank,
+					evstore.F("index", e.Index),
+					evstore.F("delta", e.Delta),
+					evstore.F("base", e.Base),
+					evstore.F("chain", e.ChainLen),
+					evstore.F("raw", e.RawBytes),
+					evstore.F("stored", e.StoredBytes)))
+			}
+		}
 		d.pipelines[spec.ID] = p
 	}
 	return p
+}
+
+// EventStore exposes this node's structured event store (nil when the
+// event plane is disabled). The management module serves EVENTS/TAIL
+// queries from it.
+func (d *Daemon) EventStore() *evstore.Store { return d.cfg.Events }
+
+// ResolveApp maps a registered application name to an id, so operators can
+// query events by name (`app=ring`). When several applications share the
+// name, the most recently submitted (highest id) wins.
+func (d *Daemon) ResolveApp(name string) (wire.AppID, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var best wire.AppID
+	found := false
+	for id, st := range d.apps {
+		if st.spec.Name == name && (!found || id > best) {
+			best, found = id, true
+		}
+	}
+	return best, found
 }
 
 // CommittedLine reads the last committed recovery line of an application

@@ -1,0 +1,237 @@
+package evstore
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"starfish/internal/ckpt"
+	"starfish/internal/wire"
+)
+
+// A chunk is the unit of sealing, indexing, compression and retention. The
+// active chunk is a plain []Record; sealing encodes the records with the
+// wire codec, DEFLATE-compresses the encoding with the checkpoint block
+// machinery (ckpt.SealBlock — same cold-tier primitive as the disk store),
+// and keeps a small per-chunk index so most queries never touch the
+// compressed bytes:
+//
+//   - seq range and WriteTS range (min/max), for seq>, since= and tail
+//     resume pruning;
+//   - per-key distinct-value sets for component, kind and every KV key,
+//     capped at indexValueCap values per key — past the cap the key is
+//     marked overflowed and no longer prunes.
+//
+// Sealed chunks are immutable; retention drops them whole from the old end.
+
+// indexValueCap bounds each key's distinct-value set. Event vocabularies
+// (component, kind, app ids in play) are tiny; a key that exceeds the cap
+// is effectively a unique-per-record attribute and is useless for pruning
+// anyway.
+const indexValueCap = 64
+
+type valueSet struct {
+	vals     map[string]struct{}
+	overflow bool
+}
+
+func (vs *valueSet) add(v string) {
+	if vs.overflow {
+		return
+	}
+	if vs.vals == nil {
+		vs.vals = make(map[string]struct{}, 4)
+	}
+	if _, ok := vs.vals[v]; ok {
+		return
+	}
+	if len(vs.vals) >= indexValueCap {
+		vs.overflow = true
+		vs.vals = nil
+		return
+	}
+	vs.vals[v] = struct{}{}
+}
+
+// mayContain reports whether any record in the indexed chunk can have
+// key=v. Overflowed or never-seen keys cannot prune: a record without the
+// key at all still satisfies k!=v, so absence of the key set only helps
+// equality terms.
+func (vs *valueSet) mayContain(v string) bool {
+	if vs == nil || vs.overflow {
+		return true
+	}
+	_, ok := vs.vals[v]
+	return ok
+}
+
+type sealedChunk struct {
+	minSeq, maxSeq uint64
+	minTS, maxTS   int64
+	count          int
+	// keys indexes component, kind, node, app, rank and every KV key by
+	// their formatted values.
+	keys map[string]*valueSet
+	// sealed is the DEFLATE-compressed record encoding; rawLen its
+	// uncompressed size (needed to unseal).
+	sealed []byte
+	rawLen int
+}
+
+// indexKey adds one key=value observation to the chunk index.
+func (c *sealedChunk) indexKey(k, v string) {
+	vs := c.keys[k]
+	if vs == nil {
+		vs = &valueSet{}
+		c.keys[k] = vs
+	}
+	vs.add(v)
+}
+
+// sealChunk builds a sealed chunk from the records of a full active chunk.
+// recs must be non-empty and seq-ordered.
+func sealChunk(recs []Record) *sealedChunk {
+	c := &sealedChunk{
+		minSeq: recs[0].Seq,
+		maxSeq: recs[len(recs)-1].Seq,
+		minTS:  recs[0].WriteTS,
+		maxTS:  recs[0].WriteTS,
+		count:  len(recs),
+		keys:   make(map[string]*valueSet, 8),
+	}
+	w := wire.NewWriter(len(recs) * 64)
+	w.U32(uint32(len(recs)))
+	for i := range recs {
+		r := &recs[i]
+		if r.WriteTS < c.minTS {
+			c.minTS = r.WriteTS
+		}
+		if r.WriteTS > c.maxTS {
+			c.maxTS = r.WriteTS
+		}
+		c.indexKey("component", r.Component)
+		c.indexKey("kind", r.Kind)
+		c.indexKey("node", strconv.FormatUint(uint64(r.Node), 10))
+		c.indexKey("app", strconv.FormatUint(uint64(r.App), 10))
+		w.U64(r.Seq)
+		w.I64(r.WriteTS)
+		w.U32(uint32(r.Node))
+		w.String(r.Component)
+		w.String(r.Kind)
+		w.U32(uint32(r.App))
+		w.I32(r.Rank)
+		w.U16(uint16(len(r.KV)))
+		for _, kv := range r.KV {
+			c.indexKey(kv.K, kv.V)
+			w.String(kv.K)
+			w.String(kv.V)
+		}
+	}
+	raw := w.Bytes()
+	c.rawLen = len(raw)
+	c.sealed = ckpt.SealBlock(raw)
+	return c
+}
+
+// records unseals and decodes the chunk.
+func (c *sealedChunk) records() ([]Record, error) {
+	raw, err := ckpt.UnsealBlock(c.sealed, c.rawLen)
+	if err != nil {
+		return nil, fmt.Errorf("evstore: unseal chunk [%d,%d]: %v", c.minSeq, c.maxSeq, err)
+	}
+	r := wire.NewReader(raw)
+	n := int(r.U32())
+	if n != c.count {
+		return nil, fmt.Errorf("evstore: chunk [%d,%d] holds %d records, want %d", c.minSeq, c.maxSeq, n, c.count)
+	}
+	recs := make([]Record, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		rec := Record{
+			Seq:       r.U64(),
+			WriteTS:   r.I64(),
+			Node:      wire.NodeID(r.U32()),
+			Component: r.String(),
+			Kind:      r.String(),
+			App:       wire.AppID(r.U32()),
+			Rank:      r.I32(),
+		}
+		nkv := int(r.U16())
+		if nkv > 0 {
+			rec.KV = make([]KV, 0, nkv)
+			for j := 0; j < nkv; j++ {
+				rec.KV = append(rec.KV, KV{K: r.String(), V: r.String()})
+			}
+		}
+		recs = append(recs, rec)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("evstore: decode chunk [%d,%d]: %v", c.minSeq, c.maxSeq, err)
+	}
+	return recs, nil
+}
+
+// mayMatch reports whether the chunk could hold a record matching q with
+// the given seq lower bound and since= cutoff — the index-pruning step.
+// False means the chunk is skipped without decompression.
+func (c *sealedChunk) mayMatch(q *Query, afterSeq uint64, cutoff int64, _ time.Time) bool {
+	if c.maxSeq <= afterSeq {
+		return false
+	}
+	if cutoff != 0 && c.maxTS < cutoff {
+		return false
+	}
+	if q.ForceScan {
+		return true
+	}
+	for i := range q.Preds {
+		p := &q.Preds[i]
+		switch p.Key {
+		case "since":
+			// Handled via cutoff.
+		case "seq":
+			if !rangeMayCmp(c.minSeq, c.maxSeq, p.Op, p.Num) {
+				return false
+			}
+		case "component", "kind", "node":
+			if p.Op == OpEq && !c.keys[p.Key].mayContain(p.Val) {
+				return false
+			}
+		case "app":
+			if p.Op == OpEq && p.IsNum && !c.keys["app"].mayContain(p.Val) {
+				return false
+			}
+		case "rank":
+			// Not indexed; cheap enough to filter after unsealing.
+		default:
+			// KV attribute. Every key present in the chunk is indexed, so
+			// a missing key set means no record carries the key and an
+			// equality term cannot match.
+			if p.Op == OpEq {
+				vs := c.keys[p.Key]
+				if vs == nil || !vs.mayContain(p.Val) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// rangeMayCmp reports whether any x in [lo,hi] satisfies (x op want).
+func rangeMayCmp(lo, hi uint64, op Op, want uint64) bool {
+	switch op {
+	case OpEq:
+		return want >= lo && want <= hi
+	case OpNe:
+		return lo != hi || lo != want
+	case OpGt:
+		return hi > want
+	case OpGe:
+		return hi >= want
+	case OpLt:
+		return lo < want
+	case OpLe:
+		return lo <= want
+	}
+	return false
+}

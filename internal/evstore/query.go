@@ -1,0 +1,423 @@
+package evstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The filter query language. A query is a space-separated conjunction of
+// terms:
+//
+//	component=gcs kind=view-change app=ring since=5s seq>1042 limit=100
+//
+// Each term is key OP value. Builtin keys:
+//
+//	seq, node, app, rank  — numeric; ops = != > >= < <=
+//	component, kind       — string; ops = !=
+//	since                 — =<duration>; matches records younger than that
+//	limit                 — =N; keep only the newest N matching records
+//
+// app additionally accepts a non-numeric value (an application name) with
+// = and !=; the caller resolves names to ids with Query.ResolveApps before
+// evaluation (the mgmt layer does this against the daemon's app table).
+// Any other key matches the record's KV attributes: k=v requires an
+// attribute k with value v, k!=v requires its absence or a different value.
+// Values with spaces or quotes are written Go-quoted: msg="boom now".
+
+// Op is a term's comparison operator.
+type Op uint8
+
+// Operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpGt
+	OpGe
+	OpLt
+	OpLe
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	}
+	return "?"
+}
+
+// Pred is one parsed term.
+type Pred struct {
+	Key string
+	Op  Op
+	// Val is the raw value; Num is its numeric form when IsNum.
+	Val   string
+	Num   uint64
+	IsNum bool
+	// Dur is set for since terms.
+	Dur time.Duration
+}
+
+// Query is a parsed filter: the conjunction of Preds, plus the limit term.
+type Query struct {
+	Preds []Pred
+	// Limit keeps only the newest Limit matching records (0 = unlimited).
+	Limit int
+	// ForceScan disables sealed-index chunk pruning; queries decompress
+	// and filter every chunk. Benchmarks use it to measure what the
+	// indexes buy.
+	ForceScan bool
+}
+
+// numericKey reports whether k is a builtin key with a numeric record
+// field.
+func numericKey(k string) bool {
+	switch k {
+	case "seq", "node", "app", "rank":
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+type tokKind uint8
+
+const (
+	tokKey tokKind = iota
+	tokOp
+	tokValue
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	in  string
+	pos int
+}
+
+func isKeyByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case !first && (c >= '0' && c <= '9' || c == '-' || c == '.'):
+		return true
+	}
+	return false
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.in) && (l.in[l.pos] == ' ' || l.in[l.pos] == '\t') {
+		l.pos++
+	}
+}
+
+// key scans a term key.
+func (l *lexer) key() (token, error) {
+	l.skipSpace()
+	start := l.pos
+	if start >= len(l.in) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	if !isKeyByte(l.in[l.pos], true) {
+		return token{}, fmt.Errorf("col %d: expected a key, got %q", l.pos+1, rune(l.in[l.pos]))
+	}
+	for l.pos < len(l.in) && isKeyByte(l.in[l.pos], false) {
+		l.pos++
+	}
+	return token{kind: tokKey, text: l.in[start:l.pos], pos: start}, nil
+}
+
+// op scans a comparison operator immediately after a key (no spaces
+// allowed inside a term).
+func (l *lexer) op() (token, error) {
+	start := l.pos
+	if start >= len(l.in) {
+		return token{}, fmt.Errorf("col %d: expected an operator", start+1)
+	}
+	two := ""
+	if start+2 <= len(l.in) {
+		two = l.in[start : start+2]
+	}
+	switch {
+	case two == "!=" || two == ">=" || two == "<=":
+		l.pos += 2
+		return token{kind: tokOp, text: two, pos: start}, nil
+	case l.in[start] == '=' || l.in[start] == '>' || l.in[start] == '<':
+		l.pos++
+		return token{kind: tokOp, text: l.in[start : start+1], pos: start}, nil
+	}
+	return token{}, fmt.Errorf("col %d: expected an operator, got %q", start+1, rune(l.in[start]))
+}
+
+// value scans a bare or Go-quoted value immediately after the operator.
+func (l *lexer) value() (token, error) {
+	start := l.pos
+	if start < len(l.in) && l.in[start] == '"' {
+		// Quoted: find the closing quote, honoring backslash escapes,
+		// then let strconv.Unquote handle the escape grammar.
+		i := start + 1
+		for i < len(l.in) {
+			switch l.in[i] {
+			case '\\':
+				i += 2
+				continue
+			case '"':
+				raw := l.in[start : i+1]
+				v, err := strconv.Unquote(raw)
+				if err != nil {
+					return token{}, fmt.Errorf("col %d: bad quoted value %s", start+1, raw)
+				}
+				l.pos = i + 1
+				return token{kind: tokValue, text: v, pos: start}, nil
+			}
+			i++
+		}
+		return token{}, fmt.Errorf("col %d: unterminated quoted value", start+1)
+	}
+	for l.pos < len(l.in) && l.in[l.pos] != ' ' && l.in[l.pos] != '\t' {
+		l.pos++
+	}
+	if l.pos == start {
+		return token{}, fmt.Errorf("col %d: expected a value", start+1)
+	}
+	return token{kind: tokValue, text: l.in[start:l.pos], pos: start}, nil
+}
+
+// lex tokenizes the whole query. Exposed to the golden lexer tests via
+// lexQuery.
+func lexQuery(in string) ([]token, error) {
+	l := &lexer{in: in}
+	var toks []token
+	for {
+		k, err := l.key()
+		if err != nil {
+			return nil, err
+		}
+		if k.kind == tokEOF {
+			toks = append(toks, k)
+			return toks, nil
+		}
+		o, err := l.op()
+		if err != nil {
+			return nil, err
+		}
+		v, err := l.value()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, k, o, v)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+var opByText = map[string]Op{
+	"=": OpEq, "!=": OpNe, ">": OpGt, ">=": OpGe, "<": OpLt, "<=": OpLe,
+}
+
+// ParseQuery parses a filter query. The empty query matches everything.
+func ParseQuery(in string) (*Query, error) {
+	toks, err := lexQuery(in)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for i := 0; i+2 < len(toks); i += 3 {
+		key, opTok, val := toks[i], toks[i+1], toks[i+2]
+		op := opByText[opTok.text]
+		p := Pred{Key: key.text, Op: op, Val: val.text}
+		if n, err := strconv.ParseUint(val.text, 10, 64); err == nil {
+			p.Num, p.IsNum = n, true
+		}
+		switch key.text {
+		case "limit":
+			if op != OpEq {
+				return nil, fmt.Errorf("col %d: limit takes =", opTok.pos+1)
+			}
+			n, err := strconv.Atoi(val.text)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("col %d: limit wants a positive count, got %q", val.pos+1, val.text)
+			}
+			q.Limit = n
+			continue
+		case "since":
+			if op != OpEq {
+				return nil, fmt.Errorf("col %d: since takes =", opTok.pos+1)
+			}
+			d, err := time.ParseDuration(val.text)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("col %d: since wants a positive duration, got %q", val.pos+1, val.text)
+			}
+			p.Dur = d
+		case "seq", "node", "rank":
+			if !p.IsNum {
+				return nil, fmt.Errorf("col %d: %s wants a number, got %q", val.pos+1, key.text, val.text)
+			}
+		case "app":
+			// Numbers always; names only with = and != (resolved by the
+			// caller, see ResolveApps).
+			if !p.IsNum && op != OpEq && op != OpNe {
+				return nil, fmt.Errorf("col %d: app %s wants a numeric id", val.pos+1, op)
+			}
+		case "component", "kind":
+			if op != OpEq && op != OpNe {
+				return nil, fmt.Errorf("col %d: %s supports only = and !=", opTok.pos+1, key.text)
+			}
+		default:
+			if op != OpEq && op != OpNe {
+				return nil, fmt.Errorf("col %d: attribute %s supports only = and !=", opTok.pos+1, key.text)
+			}
+		}
+		q.Preds = append(q.Preds, p)
+	}
+	return q, nil
+}
+
+// String renders the query back in canonical form (terms in parse order,
+// limit last). Parsing the result yields an equivalent query.
+func (q *Query) String() string {
+	var b strings.Builder
+	for i, p := range q.Preds {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(p.Key)
+		b.WriteString(p.Op.String())
+		appendVal(&b, p.Val)
+	}
+	if q.Limit > 0 {
+		if len(q.Preds) > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "limit=%d", q.Limit)
+	}
+	return b.String()
+}
+
+// ResolveApps rewrites app=<name> (and app!=<name>) terms to numeric ids
+// using resolve. It returns an error naming the first unknown application.
+func (q *Query) ResolveApps(resolve func(name string) (uint64, bool)) error {
+	for i := range q.Preds {
+		p := &q.Preds[i]
+		if p.Key != "app" || p.IsNum {
+			continue
+		}
+		id, ok := resolve(p.Val)
+		if !ok {
+			return fmt.Errorf("unknown application %q", p.Val)
+		}
+		p.Num, p.IsNum = id, true
+		p.Val = strconv.FormatUint(id, 10)
+	}
+	return nil
+}
+
+// sinceCutoff returns the latest since= cutoff as unix nanos, or 0.
+func (q *Query) sinceCutoff(now time.Time) int64 {
+	var cut int64
+	for _, p := range q.Preds {
+		if p.Key == "since" {
+			if c := now.Add(-p.Dur).UnixNano(); c > cut {
+				cut = c
+			}
+		}
+	}
+	return cut
+}
+
+func cmpNum(have uint64, op Op, want uint64) bool {
+	switch op {
+	case OpEq:
+		return have == want
+	case OpNe:
+		return have != want
+	case OpGt:
+		return have > want
+	case OpGe:
+		return have >= want
+	case OpLt:
+		return have < want
+	case OpLe:
+		return have <= want
+	}
+	return false
+}
+
+// match evaluates the conjunction against one record. cutoff is the
+// precomputed since= bound (0 = none).
+func (q *Query) match(r *Record, cutoff int64) bool {
+	if cutoff != 0 && r.WriteTS < cutoff {
+		return false
+	}
+	for i := range q.Preds {
+		p := &q.Preds[i]
+		switch p.Key {
+		case "since":
+			// Handled via cutoff.
+		case "seq":
+			if !cmpNum(r.Seq, p.Op, p.Num) {
+				return false
+			}
+		case "node":
+			if !cmpNum(uint64(r.Node), p.Op, p.Num) {
+				return false
+			}
+		case "app":
+			if !p.IsNum {
+				return false // unresolved name matches nothing
+			}
+			if !cmpNum(uint64(r.App), p.Op, p.Num) {
+				return false
+			}
+		case "rank":
+			if r.Rank < 0 {
+				if p.Op != OpNe {
+					return false
+				}
+			} else if !cmpNum(uint64(r.Rank), p.Op, p.Num) {
+				return false
+			}
+		case "component":
+			if (r.Component == p.Val) != (p.Op == OpEq) {
+				return false
+			}
+		case "kind":
+			if (r.Kind == p.Val) != (p.Op == OpEq) {
+				return false
+			}
+		default:
+			v, ok := r.Get(p.Key)
+			if (ok && v == p.Val) != (p.Op == OpEq) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Match reports whether the query matches r, evaluating since= terms
+// against now.
+func (q *Query) Match(r *Record, now time.Time) bool {
+	return q.match(r, q.sinceCutoff(now))
+}

@@ -1,0 +1,219 @@
+package evstore
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLexGolden pins the token stream of representative queries.
+func TestLexGolden(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []token // pos ignored when -1
+	}{
+		{"", []token{{kind: tokEOF}}},
+		{"component=gcs", []token{
+			{tokKey, "component", 0}, {tokOp, "=", 9}, {tokValue, "gcs", 10}, {kind: tokEOF},
+		}},
+		{"  kind!=view-change\tseq>=42 ", []token{
+			{tokKey, "kind", 2}, {tokOp, "!=", 6}, {tokValue, "view-change", 8},
+			{tokKey, "seq", 20}, {tokOp, ">=", 23}, {tokValue, "42", 25}, {kind: tokEOF},
+		}},
+		{`msg="boom now" err="a \"b\""`, []token{
+			{tokKey, "msg", 0}, {tokOp, "=", 3}, {tokValue, "boom now", 4},
+			{tokKey, "err", 15}, {tokOp, "=", 18}, {tokValue, `a "b"`, 19}, {kind: tokEOF},
+		}},
+	}
+	for _, tc := range cases {
+		got, err := lexQuery(tc.in)
+		if err != nil {
+			t.Fatalf("lex %q: %v", tc.in, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("lex %q: got %d tokens %v, want %d", tc.in, len(got), got, len(tc.want))
+		}
+		for i := range got {
+			w := tc.want[i]
+			if got[i].kind != w.kind || got[i].text != w.text {
+				t.Errorf("lex %q token %d: got {%d %q}, want {%d %q}",
+					tc.in, i, got[i].kind, got[i].text, w.kind, w.text)
+			}
+			if w.kind != tokEOF && got[i].pos != w.pos {
+				t.Errorf("lex %q token %d: pos %d, want %d", tc.in, i, got[i].pos, w.pos)
+			}
+		}
+	}
+}
+
+// TestParseGolden pins parse results via the canonical String form.
+func TestParseGolden(t *testing.T) {
+	cases := []struct{ in, canon string }{
+		{"", ""},
+		{"component=gcs kind=view-change", "component=gcs kind=view-change"},
+		{"  seq>10   seq<=20 ", "seq>10 seq<=20"},
+		{"node!=3 rank>=1 app=7", "node!=3 rank>=1 app=7"},
+		{"app=ring since=5s limit=100", "app=ring since=5s limit=100"},
+		{`msg="boom now"`, `msg="boom now"`},
+		{"limit=3 component=rstore", "component=rstore limit=3"},
+	}
+	for _, tc := range cases {
+		q, err := ParseQuery(tc.in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.in, err)
+		}
+		if got := q.String(); got != tc.canon {
+			t.Errorf("parse %q: canonical %q, want %q", tc.in, got, tc.canon)
+		}
+		// Canonical form must reparse to itself.
+		q2, err := ParseQuery(q.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", q.String(), err)
+		}
+		if q2.String() != q.String() {
+			t.Errorf("reparse %q: got %q", q.String(), q2.String())
+		}
+	}
+}
+
+// TestParseErrors pins rejection of malformed queries.
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"component=",        // missing value
+		"=gcs",              // missing key
+		"component gcs",     // missing operator
+		"component>gcs",     // ordering op on string key
+		"seq>abc",           // non-numeric comparison
+		"rank=x",            // non-numeric rank
+		"since=abc",         // bad duration
+		"since=-5s",         // negative duration
+		"since>5s",          // since takes =
+		"limit=0",           // limit wants >= 1
+		"limit=x",           // bad limit
+		"app>ring",          // ordering op on app name
+		`msg="unterminated`, // unterminated quote
+		"foo>bar",           // ordering op on attribute
+		"0key=v",            // key starts with digit
+	}
+	for _, in := range bad {
+		if q, err := ParseQuery(in); err == nil {
+			t.Errorf("parse %q: expected error, got %q", in, q.String())
+		}
+	}
+	// Odd but legal: a bare value may itself contain '='.
+	if _, err := ParseQuery("k==v"); err != nil {
+		t.Errorf("parse k==v: %v (bare values may contain '=')", err)
+	}
+}
+
+// TestMatch exercises the evaluator over one record.
+func TestMatch(t *testing.T) {
+	now := time.Now()
+	r := Record{
+		Seq: 42, WriteTS: now.Add(-2 * time.Second).UnixNano(), Node: 3,
+		Component: "gcs", Kind: "view-change", App: 7, Rank: 1,
+		KV: []KV{{"view", "4"}, {"coord", "1"}},
+	}
+	yes := []string{
+		"", "component=gcs", "kind=view-change", "node=3", "app=7", "rank=1",
+		"seq>41 seq<43", "seq>=42 seq<=42", "view=4", "coord!=2", "missing!=x",
+		"since=5s", "component!=rstore", "rank>=1", "app>6",
+	}
+	no := []string{
+		"component=rstore", "kind!=view-change", "node=4", "app=8", "rank=0",
+		"seq>42", "seq<42", "view=5", "coord!=1", "missing=x", "since=1s",
+		"app=ring", // unresolved name matches nothing
+	}
+	for _, in := range yes {
+		q, err := ParseQuery(in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", in, err)
+		}
+		if !q.Match(&r, now) {
+			t.Errorf("query %q should match %s", in, r.String())
+		}
+	}
+	for _, in := range no {
+		q, err := ParseQuery(in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", in, err)
+		}
+		if q.Match(&r, now) {
+			t.Errorf("query %q should not match %s", in, r.String())
+		}
+	}
+
+	// Rank-unscoped records match only rank!= terms.
+	nr := Ev("heal")
+	if q, _ := ParseQuery("rank=0"); q.Match(&nr, now) {
+		t.Error("rank=0 matched a rank-unscoped record")
+	}
+	if q, _ := ParseQuery("rank!=0"); !q.Match(&nr, now) {
+		t.Error("rank!=0 should match a rank-unscoped record")
+	}
+}
+
+// TestResolveApps checks name → id rewriting.
+func TestResolveApps(t *testing.T) {
+	q, err := ParseQuery("component=gcs app=ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.ResolveApps(func(name string) (uint64, bool) {
+		if name == "ring" {
+			return 7, true
+		}
+		return 0, false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.String(); got != "component=gcs app=7" {
+		t.Errorf("resolved query = %q", got)
+	}
+	q2, _ := ParseQuery("app=nosuch")
+	if err := q2.ResolveApps(func(string) (uint64, bool) { return 0, false }); err == nil {
+		t.Error("unknown app name should fail resolution")
+	}
+}
+
+// TestLineSeq checks the tail client's resume-point parser.
+func TestLineSeq(t *testing.T) {
+	r := EvApp("submit", 7, F("name", "ring"))
+	r.Seq = 99
+	if seq, ok := LineSeq(r.String()); !ok || seq != 99 {
+		t.Errorf("LineSeq(%q) = %d,%v", r.String(), seq, ok)
+	}
+	for _, bad := range []string{"", "ts=1", "seq=x foo", "nope"} {
+		if _, ok := LineSeq(bad); ok {
+			t.Errorf("LineSeq(%q) should fail", bad)
+		}
+	}
+}
+
+// FuzzParseQuery: the parser must never panic, and anything it accepts
+// must round-trip through the canonical form.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"", "component=gcs kind=view-change app=ring since=5s",
+		"seq>10 seq<=20 limit=5", `msg="boom now"`, "a=b c!=d",
+		"since=1h30m", "k==v", "=", "\"", `x="\"`, "app>1 rank<2 node>=3",
+		strings.Repeat("k=v ", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		q, err := ParseQuery(in)
+		if err != nil {
+			return
+		}
+		canon := q.String()
+		q2, err := ParseQuery(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, in, err)
+		}
+		if q2.String() != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q -> %q", in, canon, q2.String())
+		}
+	})
+}

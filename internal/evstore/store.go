@@ -1,0 +1,372 @@
+package evstore
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"starfish/internal/wire"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultChunkRecords = 4096
+	DefaultMaxChunks    = 64
+	DefaultEmitBuffer   = 4096
+)
+
+// Config parameterizes one per-node store.
+type Config struct {
+	// Node is stamped into every record this store receives.
+	Node wire.NodeID
+	// ChunkRecords is the active-chunk capacity; reaching it seals the
+	// chunk (default 4096).
+	ChunkRecords int
+	// MaxChunks bounds the sealed chunks retained; the oldest whole chunk
+	// is dropped past it (default 64). Retention therefore bounds both
+	// memory and how far back a reconnecting tail can resume.
+	MaxChunks int
+	// EmitBuffer is the non-blocking handoff depth between producers and
+	// the drain goroutine (default 4096).
+	EmitBuffer int
+	// Logf optionally receives store diagnostics.
+	Logf func(string, ...any)
+}
+
+// Stats is a counter snapshot.
+type Stats struct {
+	// LastSeq is the newest assigned sequence number (0 = none yet).
+	LastSeq uint64
+	// Appended counts records accepted into chunks; Dropped counts
+	// records lost to emit-buffer overflow or post-Close emits.
+	Appended, Dropped uint64
+	// ActiveRecords / SealedChunks / SealedRecords describe what is
+	// queryable; RetiredChunks / RetiredRecords what retention dropped.
+	ActiveRecords, SealedChunks, SealedRecords int
+	RetiredChunks, RetiredRecords              int
+	// CompressedBytes is the resident size of all sealed chunk payloads.
+	CompressedBytes int
+}
+
+// Store is one node's event store. See the package comment for the model.
+type Store struct {
+	cfg Config
+
+	in        chan Record
+	kick      chan struct{}
+	stop      chan struct{}
+	drained   chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	dropped   atomic.Uint64
+
+	mu      sync.Mutex
+	closed  bool
+	lastSeq uint64
+	active  []Record
+	sealed  []*sealedChunk
+	changed chan struct{}
+	stats   Stats
+}
+
+// Open creates a store and starts its drain goroutine. Close releases it.
+func Open(cfg Config) *Store {
+	if cfg.ChunkRecords <= 0 {
+		cfg.ChunkRecords = DefaultChunkRecords
+	}
+	if cfg.MaxChunks <= 0 {
+		cfg.MaxChunks = DefaultMaxChunks
+	}
+	if cfg.EmitBuffer <= 0 {
+		cfg.EmitBuffer = DefaultEmitBuffer
+	}
+	s := &Store{
+		cfg:     cfg,
+		in:      make(chan Record, cfg.EmitBuffer),
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		drained: make(chan struct{}),
+		done:    make(chan struct{}),
+		changed: make(chan struct{}),
+	}
+	go s.drain()
+	return s
+}
+
+// drain is the standby consumer: it sweeps the emit buffer only when an
+// emitter found the store mutex held (see Emit) and on Close. In the
+// uncontended steady state it sleeps and emitters append synchronously —
+// no cross-goroutine wakeup per record.
+func (s *Store) drain() {
+	defer close(s.drained)
+	for {
+		select {
+		case <-s.kick:
+			s.mu.Lock()
+			s.drainLocked()
+			s.mu.Unlock()
+		case <-s.stop:
+			s.mu.Lock()
+			s.drainLocked()
+			s.mu.Unlock()
+			return
+		}
+	}
+}
+
+// drainLocked appends every record currently buffered in the emit channel.
+// Caller holds mu.
+func (s *Store) drainLocked() {
+	for {
+		select {
+		case r := <-s.in:
+			s.appendLocked(r)
+		default:
+			return
+		}
+	}
+}
+
+// Emit hands a record to the store without blocking (Sink). When the store
+// mutex is free the emitter appends synchronously — one TryLock, no
+// channel hop, no goroutine wakeup — after first flushing any records
+// parked in the emit buffer, which keeps per-producer emit order equal to
+// seq order. When the mutex is held — a seal compressing a chunk, a query
+// taking its snapshot — the record is enqueued and the standby drain
+// goroutine is kicked; the producer returns immediately either way.
+// Overflow drops the record and counts it in Stats.Dropped. Safe on a nil
+// store.
+func (s *Store) Emit(r Record) {
+	if s == nil {
+		return
+	}
+	if s.mu.TryLock() {
+		s.drainLocked()
+		s.appendLocked(r)
+		s.mu.Unlock()
+		return
+	}
+	select {
+	case s.in <- r:
+	default:
+		s.dropped.Add(1)
+		return
+	}
+	select {
+	case s.kick <- struct{}{}:
+	default: // a sweep is already pending; it will pick this record up too
+	}
+}
+
+// Emitter returns a component-tagged Sink writing to this store. Safe on a
+// nil store (records are discarded).
+func (s *Store) Emitter(component string) *Emitter {
+	if s == nil {
+		return nil
+	}
+	return &Emitter{st: s, comp: component}
+}
+
+// Append assigns the next seq and receive timestamp and stores the record.
+// It is the synchronous ingest path (the drain goroutine calls it for
+// emitted records); appends on a closed store are dropped. The assigned
+// seq is returned (0 when dropped).
+func (s *Store) Append(r Record) uint64 {
+	s.mu.Lock()
+	seq := s.appendLocked(r)
+	s.mu.Unlock()
+	return seq
+}
+
+// appendLocked stamps and stores one record and wakes Changed waiters.
+// Caller holds mu.
+func (s *Store) appendLocked(r Record) uint64 {
+	if s.closed {
+		s.dropped.Add(1)
+		return 0
+	}
+	s.lastSeq++
+	r.Seq = s.lastSeq
+	r.WriteTS = time.Now().UnixNano()
+	r.Node = s.cfg.Node
+	s.active = append(s.active, r)
+	s.stats.Appended++
+	if len(s.active) >= s.cfg.ChunkRecords {
+		s.sealLocked()
+	}
+	// Wake waiters: swap the generation channel (same pattern as
+	// daemon.Changed).
+	close(s.changed)
+	s.changed = make(chan struct{})
+	return r.Seq
+}
+
+// sealLocked seals the active chunk and applies retention. Caller holds mu.
+func (s *Store) sealLocked() {
+	if len(s.active) == 0 {
+		return
+	}
+	c := sealChunk(s.active)
+	s.sealed = append(s.sealed, c)
+	s.active = nil
+	for len(s.sealed) > s.cfg.MaxChunks {
+		old := s.sealed[0]
+		s.sealed = s.sealed[1:]
+		s.stats.RetiredChunks++
+		s.stats.RetiredRecords += old.count
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("[evstore %d] retired chunk seq [%d,%d] (%d records)",
+				s.cfg.Node, old.minSeq, old.maxSeq, old.count)
+		}
+	}
+}
+
+// Changed returns a channel closed on the next append (one generation; call
+// again after it fires). Take the channel before reading state the append
+// would change.
+func (s *Store) Changed() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.changed
+}
+
+// Done is closed when the store closes; tail loops select on it so they
+// unblock when the node shuts down.
+func (s *Store) Done() <-chan struct{} { return s.done }
+
+// LastSeq returns the newest assigned sequence number.
+func (s *Store) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
+}
+
+// Stats returns a counter snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.LastSeq = s.lastSeq
+	st.Dropped = s.dropped.Load()
+	st.ActiveRecords = len(s.active)
+	st.SealedChunks = len(s.sealed)
+	for _, c := range s.sealed {
+		st.SealedRecords += c.count
+		st.CompressedBytes += len(c.sealed)
+	}
+	return st
+}
+
+// Query evaluates q over the sealed chunks (index-pruned) and the active
+// chunk, returning matches in seq order. With q.Limit set, only the newest
+// Limit matches are kept.
+func (s *Store) Query(q *Query) []Record {
+	return s.QueryAfter(q, 0)
+}
+
+// QueryAfter is Query restricted to records with Seq > afterSeq — the tail
+// resume primitive.
+func (s *Store) QueryAfter(q *Query, afterSeq uint64) []Record {
+	now := time.Now()
+	cutoff := q.sinceCutoff(now)
+
+	// Snapshot under the lock; sealed chunks are immutable and records
+	// already written into the active backing array never mutate, so the
+	// scan below runs without the lock.
+	s.mu.Lock()
+	chunks := make([]*sealedChunk, len(s.sealed))
+	copy(chunks, s.sealed)
+	active := s.active[:len(s.active):len(s.active)]
+	s.mu.Unlock()
+
+	var out []Record
+	for _, c := range chunks {
+		if !c.mayMatch(q, afterSeq, cutoff, now) {
+			continue
+		}
+		recs, err := c.records()
+		if err != nil {
+			if s.cfg.Logf != nil {
+				s.cfg.Logf("[evstore %d] %v", s.cfg.Node, err)
+			}
+			continue
+		}
+		for i := range recs {
+			if recs[i].Seq > afterSeq && q.match(&recs[i], cutoff) {
+				out = append(out, recs[i])
+			}
+		}
+	}
+	for i := range active {
+		if active[i].Seq > afterSeq && q.match(&active[i], cutoff) {
+			out = append(out, active[i])
+		}
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[len(out)-q.Limit:]
+	}
+	return out
+}
+
+// Close stops the drain goroutine (flushing anything already emitted),
+// wakes every Changed waiter and closes Done. Emits after Close are
+// dropped. Close is idempotent.
+func (s *Store) Close() {
+	if s == nil {
+		return
+	}
+	s.closeOnce.Do(func() {
+		// Stop the drain first so its final flush still lands (Append
+		// refuses records only after closed is set below).
+		close(s.stop)
+		<-s.drained
+
+		s.mu.Lock()
+		s.closed = true
+		close(s.changed)
+		s.changed = make(chan struct{}) // never closed again: re-arming waiters see Done
+		s.mu.Unlock()
+		close(s.done)
+	})
+}
+
+// Fanout is a Sink multiplexer: every emitted record goes to all added
+// sinks. The cluster harness uses one to mirror chaos and harness events
+// into every node's store.
+type Fanout struct {
+	mu    sync.Mutex
+	sinks []Sink
+}
+
+// Add registers a sink.
+func (f *Fanout) Add(s Sink) {
+	if s == nil {
+		return
+	}
+	f.mu.Lock()
+	f.sinks = append(f.sinks, s)
+	f.mu.Unlock()
+}
+
+// Remove unregisters a previously added sink (interface equality).
+func (f *Fanout) Remove(s Sink) {
+	f.mu.Lock()
+	for i, have := range f.sinks {
+		if have == s {
+			f.sinks = append(f.sinks[:i], f.sinks[i+1:]...)
+			break
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Emit forwards the record to every registered sink.
+func (f *Fanout) Emit(r Record) {
+	f.mu.Lock()
+	sinks := make([]Sink, len(f.sinks))
+	copy(sinks, f.sinks)
+	f.mu.Unlock()
+	for _, s := range sinks {
+		s.Emit(r)
+	}
+}

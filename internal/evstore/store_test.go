@@ -1,0 +1,310 @@
+package evstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"starfish/internal/leakcheck"
+)
+
+func mustQuery(t testing.TB, in string) *Query {
+	t.Helper()
+	q, err := ParseQuery(in)
+	if err != nil {
+		t.Fatalf("parse %q: %v", in, err)
+	}
+	return q
+}
+
+// TestAppendSeqAndStamp checks seq/timestamp/node assignment at receive.
+func TestAppendSeqAndStamp(t *testing.T) {
+	defer leakcheck.Check(t, 0)
+	s := Open(Config{Node: 9})
+	defer s.Close()
+	before := time.Now().UnixNano()
+	for i := 0; i < 5; i++ {
+		r := Record{Seq: 777, WriteTS: -5, Node: 1} // producer fields are overwritten
+		if got := s.Append(r); got != uint64(i+1) {
+			t.Fatalf("append %d assigned seq %d", i, got)
+		}
+	}
+	recs := s.Query(mustQuery(t, ""))
+	if len(recs) != 5 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) || r.Node != 9 || r.WriteTS < before {
+			t.Errorf("record %d: seq=%d node=%d ts=%d", i, r.Seq, r.Node, r.WriteTS)
+		}
+	}
+}
+
+// TestEmitterPath checks the non-blocking emitter: component stamping,
+// drain into the store, overflow accounting after Close.
+func TestEmitterPath(t *testing.T) {
+	defer leakcheck.Check(t, 0)
+	s := Open(Config{Node: 2})
+	em := s.Emitter("gcs")
+	em.Emit(Ev("view-change", F("view", 4)))
+	em.Emit(Record{Component: "custom", Kind: "x", Rank: NoRank})
+	// Wait for the drain goroutine to land both.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.LastSeq() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	recs := s.Query(mustQuery(t, ""))
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Component != "gcs" || recs[1].Component != "custom" {
+		t.Errorf("components = %q, %q", recs[0].Component, recs[1].Component)
+	}
+	if v, ok := recs[0].Get("view"); !ok || v != "4" {
+		t.Errorf("view attr = %q,%v", v, ok)
+	}
+	s.Close()
+	em.Emit(Ev("late"))
+	// A nil emitter and nil store are inert.
+	var nilEm *Emitter
+	nilEm.Emit(Ev("x"))
+	(*Store)(nil).Emit(Ev("x"))
+	(*Store)(nil).Close()
+}
+
+// TestSealRetentionAndQuery fills several chunks, checks sealing, whole-
+// chunk retention, and that queries agree with a forced full scan.
+func TestSealRetentionAndQuery(t *testing.T) {
+	defer leakcheck.Check(t, 0)
+	s := Open(Config{Node: 1, ChunkRecords: 10, MaxChunks: 3})
+	defer s.Close()
+	for i := 0; i < 55; i++ {
+		s.Append(EvApp("tick", 7, F("i", i), F("mod", i%4)))
+	}
+	st := s.Stats()
+	if st.SealedChunks != 3 || st.RetiredChunks != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ActiveRecords != 5 || st.SealedRecords != 30 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.LastSeq != 55 || st.Appended != 55 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Retention dropped seqs 1..20; the rest must be intact and ordered.
+	recs := s.Query(mustQuery(t, ""))
+	if len(recs) != 35 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(21+i) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+	// Index-pruned results must equal a full scan for a spread of queries.
+	for _, in := range []string{"", "mod=2", "seq>30 seq<=40", "kind=tick", "kind=nope", "app=7 mod=0 limit=3"} {
+		q := mustQuery(t, in)
+		indexed := s.Query(q)
+		q.ForceScan = true
+		scanned := s.Query(q)
+		if len(indexed) != len(scanned) {
+			t.Fatalf("query %q: indexed %d vs scan %d", in, len(indexed), len(scanned))
+		}
+		for i := range indexed {
+			if indexed[i].Seq != scanned[i].Seq {
+				t.Fatalf("query %q: row %d seq %d vs %d", in, i, indexed[i].Seq, scanned[i].Seq)
+			}
+		}
+	}
+	// Limit keeps the newest matches.
+	got := s.Query(mustQuery(t, "limit=4"))
+	if len(got) != 4 || got[0].Seq != 52 || got[3].Seq != 55 {
+		t.Fatalf("limit query = %+v", got)
+	}
+	// QueryAfter is the tail resume primitive.
+	after := s.QueryAfter(mustQuery(t, "kind=tick"), 50)
+	if len(after) != 5 || after[0].Seq != 51 {
+		t.Fatalf("QueryAfter = %d records, first %d", len(after), after[0].Seq)
+	}
+}
+
+// TestChunkPruning proves sealed-index pruning skips chunks (mayMatch
+// false) while returning identical results.
+func TestChunkPruning(t *testing.T) {
+	defer leakcheck.Check(t, 0)
+	s := Open(Config{Node: 1, ChunkRecords: 8, MaxChunks: 100})
+	defer s.Close()
+	for i := 0; i < 80; i++ {
+		kind := "common"
+		if i == 70 {
+			kind = "rare"
+		}
+		s.Append(Ev(kind, F("i", i)))
+	}
+	q := mustQuery(t, "kind=rare")
+	s.mu.Lock()
+	chunks := append([]*sealedChunk(nil), s.sealed...)
+	s.mu.Unlock()
+	kept := 0
+	for _, c := range chunks {
+		if c.mayMatch(q, 0, 0, time.Now()) {
+			kept++
+		}
+	}
+	if kept != 1 {
+		t.Fatalf("pruning kept %d of %d chunks, want 1", kept, len(chunks))
+	}
+	recs := s.Query(q)
+	if len(recs) != 1 {
+		t.Fatalf("got %d rare records", len(recs))
+	}
+	if v, _ := recs[0].Get("i"); v != "70" {
+		t.Fatalf("rare record = %s", recs[0].String())
+	}
+}
+
+// TestChangedWakeup checks the generation-channel contract.
+func TestChangedWakeup(t *testing.T) {
+	defer leakcheck.Check(t, 0)
+	s := Open(Config{Node: 1})
+	ch := s.Changed()
+	select {
+	case <-ch:
+		t.Fatal("changed fired before any append")
+	default:
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ch
+	}()
+	s.Append(Ev("x"))
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Changed waiter not woken by append")
+	}
+	// Close wakes current waiters and closes Done.
+	ch = s.Changed()
+	s.Close()
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Close did not wake Changed waiters")
+	}
+	select {
+	case <-s.Done():
+	default:
+		t.Fatal("Done not closed after Close")
+	}
+	s.Close() // idempotent
+}
+
+// TestConcurrentEmitQuery hammers the store from many goroutines while
+// querying; run under -race this is the data-race check for the snapshot
+// scan path.
+func TestConcurrentEmitQuery(t *testing.T) {
+	defer leakcheck.Check(t, 0)
+	s := Open(Config{Node: 1, ChunkRecords: 64})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			em := s.Emitter(fmt.Sprintf("c%d", g))
+			for i := 0; i < 500; i++ {
+				em.Emit(Ev("spin", F("i", i)))
+			}
+		}(g)
+	}
+	q := mustQuery(t, "kind=spin")
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Query(q)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	qwg.Wait()
+	// Everything emitted must eventually land (buffer is 4096 > 2000).
+	deadline := time.Now().Add(5 * time.Second)
+	for s.LastSeq() < 2000 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Stats(); st.LastSeq != 2000 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Seqs are strictly increasing with no gaps or dups.
+	recs := s.Query(mustQuery(t, ""))
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq != recs[i-1].Seq+1 {
+			t.Fatalf("seq gap: %d then %d", recs[i-1].Seq, recs[i].Seq)
+		}
+	}
+}
+
+// TestFanout checks the harness-side sink multiplexer.
+func TestFanout(t *testing.T) {
+	defer leakcheck.Check(t, 0)
+	a := Open(Config{Node: 1})
+	b := Open(Config{Node: 2})
+	defer a.Close()
+	defer b.Close()
+	var f Fanout
+	f.Add(a)
+	f.Add(b.Emitter("cluster"))
+	f.Add(nil) // inert
+	f.Emit(Ev("kill", F("target", 3)))
+	for _, s := range []*Store{a, b} {
+		deadline := time.Now().Add(2 * time.Second)
+		for s.LastSeq() < 1 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if got := s.Query(mustQuery(t, "kind=kill")); len(got) != 1 {
+			t.Fatalf("node %d got %d kill records", s.cfg.Node, len(got))
+		}
+	}
+	f.Remove(a)
+	f.Emit(Ev("second"))
+	waitSeq(t, b, 2)
+	if got := a.Query(mustQuery(t, "kind=second")); len(got) != 0 {
+		t.Fatal("removed sink still receiving")
+	}
+}
+
+func waitSeq(t testing.TB, s *Store, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.LastSeq() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("store stuck at seq %d, want %d", s.LastSeq(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCloseFlushesEmitted: records emitted before Close are drained, not
+// lost.
+func TestCloseFlushesEmitted(t *testing.T) {
+	defer leakcheck.Check(t, 0)
+	s := Open(Config{Node: 1})
+	em := s.Emitter("x")
+	for i := 0; i < 100; i++ {
+		em.Emit(Ev("e", F("i", i)))
+	}
+	s.Close()
+	if got := len(s.Query(mustQuery(t, "kind=e"))); got != 100 {
+		t.Fatalf("after close: %d records, want 100", got)
+	}
+}

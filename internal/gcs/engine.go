@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"starfish/internal/evstore"
 	"starfish/internal/vni"
 	"starfish/internal/wire"
 )
@@ -79,6 +80,10 @@ type engine struct {
 	// member-side failure detection
 	lastCoordHeard time.Time
 	suspected      map[wire.NodeID]bool
+	// announced dedups suspicion event records (per suspect, per view) so
+	// the 10ms tick loop does not flood the event plane while a removal
+	// is quorum-blocked.
+	announced map[wire.NodeID]bool
 
 	// failover candidate state
 	syncing      bool
@@ -317,6 +322,28 @@ func (e *engine) run() {
 
 func (e *engine) isCoord() bool { return e.view.Coord == e.cfg.Node }
 
+// event forwards a structured record to the configured sink. All calls run
+// on the engine goroutine; the sink is non-blocking by contract.
+func (e *engine) event(r evstore.Record) {
+	if e.cfg.Events != nil {
+		e.cfg.Events.Emit(r)
+	}
+}
+
+// suspectEvent announces one suspicion, deduplicated per suspect per view.
+func (e *engine) suspectEvent(n wire.NodeID, role string) {
+	if e.announced[n] {
+		return
+	}
+	if e.announced == nil {
+		e.announced = make(map[wire.NodeID]bool)
+	}
+	e.announced[n] = true
+	e.event(evstore.Ev("suspect",
+		evstore.F("target", n), evstore.F("role", role),
+		evstore.F("view", e.view.ID)))
+}
+
 // cast is best-effort delivery of group-protocol traffic (heartbeats,
 // sequencer casts, sync and retransmission messages). The protocol is
 // self-healing: a lost send is recovered by retransmission requests, and
@@ -455,6 +482,7 @@ func (e *engine) confirmPending(senderSeq uint64) {
 func (e *engine) applyView(v View) {
 	e.view = v
 	e.suspected = make(map[wire.NodeID]bool)
+	e.announced = nil
 	e.syncing = false
 	e.failoverWait = time.Time{}
 	e.lastCoordHeard = time.Now()
@@ -470,9 +498,13 @@ func (e *engine) applyView(v View) {
 	}
 	if !v.Contains(e.cfg.Node) {
 		// Excluded (false suspicion or forced removal): shut down.
+		e.event(evstore.Ev("excluded", evstore.F("view", v.ID)))
 		e.left = true
 		return
 	}
+	e.event(evstore.Ev("view-change",
+		evstore.F("view", v.ID), evstore.F("coord", v.Coord),
+		evstore.F("members", evstore.List(v.Members))))
 	e.ep.evq.push(Event{Kind: EView, View: v.Clone()})
 	// Re-route unconfirmed casts to the (possibly new) coordinator.
 	for _, p := range e.pendingCasts {
@@ -560,6 +592,10 @@ func (e *engine) noteAlive(n wire.NodeID) {
 // abortSync cancels an in-progress failover election without installing a
 // view; late kSyncResp messages are ignored because syncTargets is cleared.
 func (e *engine) abortSync() {
+	if e.syncing {
+		e.event(evstore.Ev("election-abort",
+			evstore.F("for", e.syncFor), evstore.F("view", e.view.ID)))
+	}
 	e.syncing = false
 	e.syncResps = nil
 	e.syncTargets = nil
@@ -659,6 +695,7 @@ func (e *engine) tick() {
 			e.cast(e.view.Addrs[member], &hb)
 			if last, ok := e.lastHeard[member]; ok && now.Sub(last) > e.cfg.FailAfter {
 				gone = append(gone, member)
+				e.suspectEvent(member, "member")
 			}
 		}
 		// Primary-partition rule: a crash-driven view change must retain
@@ -697,6 +734,7 @@ func (e *engine) tick() {
 
 	if now.Sub(e.lastCoordHeard) > e.cfg.FailAfter {
 		e.suspected[e.view.Coord] = true
+		e.suspectEvent(e.view.Coord, "coord")
 	}
 	if !e.suspected[e.view.Coord] {
 		return
@@ -713,6 +751,7 @@ func (e *engine) tick() {
 		e.failoverWait = now
 	} else if now.Sub(e.failoverWait) > 2*e.cfg.FailAfter {
 		e.suspected[candidate] = true
+		e.suspectEvent(candidate, "candidate")
 		e.failoverWait = now
 	}
 }
@@ -731,6 +770,8 @@ func (e *engine) lowestSurvivor() wire.NodeID {
 func (e *engine) startSync() {
 	e.syncing = true
 	e.syncFor = e.view.Coord
+	e.event(evstore.Ev("election-start",
+		evstore.F("for", e.syncFor), evstore.F("view", e.view.ID)))
 	e.syncStarted = time.Now()
 	e.syncResps = make(map[wire.NodeID]syncResp)
 	e.syncTargets = make(map[wire.NodeID]bool)
@@ -815,8 +856,14 @@ func (e *engine) finishSync() {
 	// failure detector clears transient suspicions, and a later tick
 	// retries the sync if they persist.
 	if !hasQuorum(len(responders)+1, len(e.view.Members)) {
+		e.event(evstore.Ev("election-stalled",
+			evstore.F("for", e.syncFor), evstore.F("view", e.view.ID),
+			evstore.F("responders", len(responders))))
 		return
 	}
+	e.event(evstore.Ev("election-win",
+		evstore.F("for", e.syncFor), evstore.F("view", e.view.ID),
+		evstore.F("responders", len(responders))))
 
 	// Merge all known sequenced messages.
 	all := make(map[uint64]seqMsg)

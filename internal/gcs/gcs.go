@@ -23,6 +23,7 @@ import (
 	"sort"
 	"time"
 
+	"starfish/internal/evstore"
 	"starfish/internal/vni"
 	"starfish/internal/wire"
 )
@@ -123,6 +124,10 @@ type Config struct {
 	// member joins; its snapshot is handed to the joiner with its first
 	// view (state transfer).
 	StateProvider func() []byte
+	// Events optionally receives structured records about view changes,
+	// suspicions and elections. The sink is expected to tag the component
+	// (the daemon passes its store's "gcs" emitter).
+	Events evstore.Sink
 }
 
 func (c *Config) withDefaults() Config {

@@ -1,0 +1,243 @@
+package mgmt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"starfish/internal/apps"
+	"starfish/internal/ckpt"
+	"starfish/internal/daemon"
+	"starfish/internal/evstore"
+	"starfish/internal/leakcheck"
+	"starfish/internal/proc"
+)
+
+// waitStoreCount polls a store until a query matches want records (the
+// emit path is asynchronous).
+func waitStoreCount(t *testing.T, st *evstore.Store, query string, want int) []evstore.Record {
+	t.Helper()
+	q, err := evstore.ParseQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		recs := st.Query(q)
+		if len(recs) >= want {
+			return recs
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("store has %d records for %q, want %d", len(recs), query, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestEventsVerb covers the EVENTS query verb: results, empty results,
+// admin gating, and the ERR path for malformed queries.
+func TestEventsVerb(t *testing.T) {
+	leakcheck.Check(t, 4)
+	cl, addr := startServer(t, 2)
+	c := dial(t, addr)
+	if err := c.LoginAdmin("sekrit"); err != nil {
+		t.Fatal(err)
+	}
+	// Cluster formation recorded at least one gcs view change on node 1.
+	waitStoreCount(t, cl.ContactEvents(), "component=gcs kind=view-change", 1)
+	lines, err := c.Events("component=gcs kind=view-change")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no view-change records over EVENTS")
+	}
+	for _, l := range lines {
+		if _, ok := evstore.LineSeq(l); !ok {
+			t.Errorf("record line without seq prefix: %q", l)
+		}
+		if !strings.Contains(l, "component=gcs") {
+			t.Errorf("record line escaped the filter: %q", l)
+		}
+	}
+	// No matches is an empty (not error) response.
+	if lines, err = c.Events("kind=no-such-kind"); err != nil || len(lines) != 0 {
+		t.Errorf("empty query = %v, %v", lines, err)
+	}
+	// Malformed queries are ERRs, not dropped sessions.
+	for _, bad := range []string{"kind=", "foo~bar", "limit=0", "since=banana", "seq=x"} {
+		if _, err := c.Events(bad); err == nil {
+			t.Errorf("EVENTS %q succeeded, want ERR", bad)
+		}
+	}
+	if _, err := c.Do("NODES"); err != nil {
+		t.Fatalf("session dead after ERR: %v", err)
+	}
+	// EVENTS and TAIL are management verbs.
+	u := dial(t, addr)
+	if err := u.LoginUser("mallory"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Events(""); err == nil {
+		t.Error("user session may read EVENTS")
+	}
+	if err := u.Tail("", func(string) error { return nil }); err == nil {
+		t.Error("user session may TAIL")
+	}
+}
+
+// TestEventsAppNameResolution checks `app=<name>` queries resolve through
+// the daemon's app table.
+func TestEventsAppNameResolution(t *testing.T) {
+	leakcheck.Check(t, 4)
+	cl, addr := startServer(t, 2)
+	c := dial(t, addr)
+	if err := c.LoginAdmin("sekrit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(proc.AppSpec{
+		ID: 3, Name: apps.RingName, Args: apps.RingArgs(40), Ranks: 2,
+		Protocol: ckpt.StopAndSync, Encoder: ckpt.Portable, Policy: proc.PolicyRestart,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := cl.WaitApp(3, 20*time.Second); err != nil || info.Status != daemon.StatusDone {
+		t.Fatalf("app: %v / %+v", err, info)
+	}
+	byName, err := c.Events("component=daemon app=" + apps.RingName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID, err := c.Events("component=daemon app=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byName) == 0 || len(byName) != len(byID) {
+		t.Fatalf("app=%s gave %d records, app=3 gave %d", apps.RingName, len(byName), len(byID))
+	}
+	// Unknown names are an ERR, not silence.
+	if _, err := c.Events("app=no-such-app"); err == nil {
+		t.Error("unknown app name accepted")
+	}
+}
+
+// TestTailStreamStopResume is the seq-streaming contract test over real
+// TCP: a tail stream delivers records in seq order, STOP ends it with the
+// session intact, and a second tail resuming with seq><last-seen> delivers
+// the remainder — no gaps, no duplicates.
+func TestTailStreamStopResume(t *testing.T) {
+	leakcheck.Check(t, 4)
+	cl, addr := startServer(t, 2)
+	st := cl.ContactEvents()
+	em := st.Emitter("test")
+	for i := 0; i < 5; i++ {
+		em.Emit(evstore.Ev("tick", evstore.F("i", i)))
+	}
+	waitStoreCount(t, st, "component=test", 5)
+
+	tc := dial(t, addr)
+	if err := tc.LoginAdmin("sekrit"); err != nil {
+		t.Fatal(err)
+	}
+	// TAIL rejects limit (it would silently drop records mid-stream).
+	if err := tc.Tail("limit=5", func(string) error { return nil }); err == nil {
+		t.Error("TAIL with limit accepted")
+	}
+	var seqs []uint64
+	err := tc.Tail("component=test", func(line string) error {
+		seq, ok := evstore.LineSeq(line)
+		if !ok {
+			t.Errorf("unparseable tail line %q", line)
+		}
+		seqs = append(seqs, seq)
+		if len(seqs) == 3 {
+			return ErrStopTail
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("tail: %v", err)
+	}
+	if len(seqs) != 3 {
+		t.Fatalf("collected %d lines, want 3", len(seqs))
+	}
+	// The session survives a stopped tail.
+	if _, err := tc.Do("NODES"); err != nil {
+		t.Fatalf("session dead after tail: %v", err)
+	}
+
+	// Records keep landing while no tail is attached.
+	for i := 5; i < 10; i++ {
+		em.Emit(evstore.Ev("tick", evstore.F("i", i)))
+	}
+	all := waitStoreCount(t, st, "component=test", 10)
+	last := all[len(all)-1].Seq
+
+	// Resume from a fresh connection exactly after the last line seen.
+	tc2 := dial(t, addr)
+	if err := tc2.LoginAdmin("sekrit"); err != nil {
+		t.Fatal(err)
+	}
+	query := fmt.Sprintf("component=test seq>%d", seqs[len(seqs)-1])
+	err = tc2.Tail(query, func(line string) error {
+		seq, _ := evstore.LineSeq(line)
+		seqs = append(seqs, seq)
+		if seq == last {
+			return ErrStopTail
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("resumed tail: %v", err)
+	}
+	if len(seqs) != len(all) {
+		t.Fatalf("stop+resume saw %d records, store has %d", len(seqs), len(all))
+	}
+	for i, r := range all {
+		if seqs[i] != r.Seq {
+			t.Fatalf("record %d: tailed seq %d, store seq %d", i, seqs[i], r.Seq)
+		}
+	}
+}
+
+// TestTailLiveDelivery checks a tail attached BEFORE the records exist
+// receives them as they land (the wakeup path, not just the catch-up scan).
+func TestTailLiveDelivery(t *testing.T) {
+	leakcheck.Check(t, 4)
+	cl, addr := startServer(t, 1)
+	st := cl.ContactEvents()
+	tc := dial(t, addr)
+	if err := tc.LoginAdmin("sekrit"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	var got []string
+	go func() {
+		done <- tc.Tail("component=livetest", func(line string) error {
+			got = append(got, line)
+			if len(got) == 3 {
+				return ErrStopTail
+			}
+			return nil
+		})
+	}()
+	em := st.Emitter("livetest")
+	for i := 0; i < 3; i++ {
+		em.Emit(evstore.Ev("ping", evstore.F("i", i)))
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("tail: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("live tail never saw its records")
+	}
+	for i, l := range got {
+		if want := fmt.Sprintf("i=%d", i); !strings.Contains(l, want) {
+			t.Errorf("line %d = %q, want %s", i, l, want)
+		}
+	}
+}

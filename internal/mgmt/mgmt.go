@@ -17,12 +17,24 @@
 //	SUBMIT <app> <name> <ranks> <protocol> <encoder> <policy> <every> <hexargs> [store] [delta[:N]]
 //	SUSPEND <app>  RESUME <app>  DELETE <app>  CHECKPOINT <app>  MIGRATE <app>
 //	RSTORE                      (replicated-memory store health counters)
+//	EVENTS <query>              (structured event records matching the
+//	                            evstore filter query; newest-biased,
+//	                            default limit 1000)
+//	TAIL <query>                (streams matching records as they happen;
+//	                            any client line — say STOP — ends the
+//	                            stream, which the server closes with ".")
 //	QUIT
+//
+// Every TAIL record line starts with "seq=<n>"; a disconnected client
+// resumes without gaps or duplicates by reconnecting and issuing
+// `TAIL <query> seq><last-seen>` (sequence numbers are assigned once, at
+// record receive time, and never reused).
 package mgmt
 
 import (
 	"bufio"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -32,6 +44,7 @@ import (
 
 	"starfish/internal/ckpt"
 	"starfish/internal/daemon"
+	"starfish/internal/evstore"
 	"starfish/internal/gcs"
 	"starfish/internal/proc"
 	"starfish/internal/rstore"
@@ -56,6 +69,12 @@ type Cluster interface {
 	// StoreStats reports the node's replicated-memory checkpoint store
 	// counters; ok is false when no memory store is configured.
 	StoreStats() (rstore.Stats, bool)
+	// EventStore is the node's structured event store; nil disables the
+	// EVENTS and TAIL verbs.
+	EventStore() *evstore.Store
+	// ResolveApp maps a registered application name to an id, so event
+	// queries can say `app=ring` instead of `app=7`.
+	ResolveApp(name string) (wire.AppID, bool)
 }
 
 var _ Cluster = (*daemon.Daemon)(nil)
@@ -134,6 +153,16 @@ func (s *Server) session(conn net.Conn) {
 			reply("ERR login required")
 			continue
 		}
+		if verb == "TAIL" {
+			if !admin {
+				reply("ERR management connection required")
+				continue
+			}
+			if !s.tail(r, w, reply, fields) {
+				return // client disconnected mid-stream
+			}
+			continue
+		}
 		out, err := s.dispatch(admin, user, verb, fields)
 		if err != nil {
 			reply("ERR %v", err)
@@ -152,6 +181,86 @@ func (s *Server) session(conn net.Conn) {
 			reply("%s", l)
 		}
 		reply(".")
+	}
+}
+
+// parseEventQuery parses and app-resolves the query text after an EVENTS
+// or TAIL verb.
+func (s *Server) parseEventQuery(fields []string) (*evstore.Store, *evstore.Query, error) {
+	st := s.cluster.EventStore()
+	if st == nil {
+		return nil, nil, fmt.Errorf("no event store on this node")
+	}
+	q, err := evstore.ParseQuery(strings.Join(fields[1:], " "))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := q.ResolveApps(func(name string) (uint64, bool) {
+		id, ok := s.cluster.ResolveApp(name)
+		return uint64(id), ok
+	}); err != nil {
+		return nil, nil, err
+	}
+	return st, q, nil
+}
+
+// tail streams records matching the query until the client sends any line
+// (conventionally STOP) or disconnects; the stream is closed with a lone
+// ".". It returns false when the client is gone and the session should end.
+//
+// No gaps, no duplicates: the loop re-queries everything after the last
+// streamed seq whenever the store's change generation fires, so delivery is
+// pull-based — there is no per-subscriber buffer to overflow. Taking the
+// generation channel before the query closes the race between the two.
+func (s *Server) tail(r *bufio.Scanner, w *bufio.Writer, reply func(string, ...any), fields []string) bool {
+	st, q, err := s.parseEventQuery(fields)
+	if err != nil {
+		reply("ERR %v", err)
+		return true
+	}
+	if q.Limit > 0 {
+		reply("ERR limit is not meaningful for TAIL")
+		return true
+	}
+	reply("OK tailing")
+	// One Scan owns the connection's read side until the client speaks
+	// (or leaves); its result is always consumed before returning.
+	stopped := make(chan bool, 1)
+	//starfish:allow goleak single Scan, consumed by the select below before tail returns
+	go func() {
+		stopped <- r.Scan()
+	}()
+	var last uint64
+	for {
+		ch := st.Changed()
+		for _, rec := range st.QueryAfter(q, last) {
+			fmt.Fprintf(w, "%s\r\n", rec.String())
+			last = rec.Seq
+		}
+		if w.Flush() != nil {
+			// Dead connection: the pending Scan fails promptly; consume it.
+			<-stopped
+			return false
+		}
+		select {
+		case alive := <-stopped:
+			reply(".")
+			return alive
+		case <-ch:
+		case <-st.Done():
+			// Store closed (node shutting down). Drain records that raced
+			// with the close, then go quiet — the read side still belongs
+			// to the pending Scan, so wait for the client to stop or
+			// disconnect before handing the session loop back.
+			for _, rec := range st.QueryAfter(q, last) {
+				fmt.Fprintf(w, "%s\r\n", rec.String())
+				last = rec.Seq
+			}
+			w.Flush()
+			alive := <-stopped
+			reply(".")
+			return alive
+		}
 	}
 }
 
@@ -355,6 +464,26 @@ func (s *Server) dispatch(admin bool, user, verb string, fields []string) ([]str
 			DeltaCkpt: delta, FullEvery: fullEvery,
 		})
 
+	case "EVENTS":
+		if !admin {
+			return nil, fmt.Errorf("management connection required")
+		}
+		st, q, err := s.parseEventQuery(fields)
+		if err != nil {
+			return nil, err
+		}
+		if q.Limit == 0 {
+			q.Limit = 1000 // newest 1000 unless the query says otherwise
+		}
+		recs := st.Query(q)
+		out := make([]string, 0, len(recs))
+		for i := range recs {
+			// A lone record rides the single-line OK framing: its "seq="
+			// prefix cannot be mistaken for an "N lines" header.
+			out = append(out, recs[i].String())
+		}
+		return out, nil
+
 	case "SUSPEND", "RESUME", "DELETE", "CHECKPOINT", "MIGRATE":
 		if len(fields) != 2 {
 			return nil, fmt.Errorf("usage: %s <app>", verb)
@@ -548,6 +677,66 @@ func (c *Client) LoginAdmin(password string) error {
 func (c *Client) LoginUser(name string) error {
 	_, err := c.Do("LOGIN USER " + name)
 	return err
+}
+
+// Events fetches stored event records matching an evstore filter query.
+func (c *Client) Events(query string) ([]string, error) {
+	return c.Do(strings.TrimSpace("EVENTS " + query))
+}
+
+// ErrStopTail is returned by a Tail callback to end the stream cleanly.
+var ErrStopTail = errors.New("mgmt: stop tail")
+
+// Tail streams event records matching the query, invoking fn for each
+// record line until fn returns an error or the server ends the stream.
+// Returning ErrStopTail stops tailing cleanly (remaining in-flight lines
+// are discarded); any other fn error is returned as-is, with the session
+// left mid-stream — the caller should close the connection. Each line
+// starts with "seq=<n>" (see evstore.LineSeq); resume after a disconnect
+// by adding `seq><last-seen>` to the query of the next Tail.
+func (c *Client) Tail(query string, fn func(line string) error) error {
+	if _, err := fmt.Fprintf(c.w, "%s\r\n", strings.TrimSpace("TAIL "+query)); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	first, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if strings.HasPrefix(first, "ERR ") {
+		return fmt.Errorf("%s", strings.TrimPrefix(first, "ERR "))
+	}
+	if !strings.HasPrefix(first, "OK") {
+		return fmt.Errorf("mgmt: malformed response %q", first)
+	}
+	stopping := false
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return err
+		}
+		if line == "." {
+			return nil
+		}
+		if stopping {
+			continue // drain in-flight lines after STOP
+		}
+		switch err := fn(line); {
+		case err == nil:
+		case errors.Is(err, ErrStopTail):
+			if _, werr := fmt.Fprintf(c.w, "STOP\r\n"); werr != nil {
+				return werr
+			}
+			if werr := c.w.Flush(); werr != nil {
+				return werr
+			}
+			stopping = true
+		default:
+			return err
+		}
+	}
 }
 
 // Submit sends a SUBMIT command for the given spec.

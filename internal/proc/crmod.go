@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"starfish/internal/ckpt"
+	"starfish/internal/evstore"
 	"starfish/internal/mpi"
 	"starfish/internal/wire"
 )
@@ -274,6 +275,9 @@ func (cr *crModule) finalizeCL() {
 		cr.p.logff("store checkpoint %d: %v", id, err)
 		return
 	}
+	cr.p.event(evstore.EvRank("checkpoint", cr.p.spec.ID, cr.p.rank,
+		evstore.F("index", id), evstore.F("protocol", "chandy-lamport"),
+		evstore.F("bytes", len(img))))
 	cr.sendAck(id)
 }
 
@@ -314,6 +318,7 @@ func (cr *crModule) onAck(from wire.Rank, id uint64) {
 		cr.p.logff("commit line %d: %v", id, err)
 		return
 	}
+	cr.p.event(evstore.EvApp("commit", cr.p.spec.ID, evstore.F("line", id)))
 	w := wire.NewWriter(8)
 	w.U64(id)
 	cr.p.sendToDaemon(wire.Msg{
@@ -351,6 +356,9 @@ func (cr *crModule) takeLocal() error {
 	if err := cr.p.store.Put(cr.p.spec.ID, cr.p.rank, idx, img, meta); err != nil {
 		return err
 	}
+	cr.p.event(evstore.EvRank("checkpoint", cr.p.spec.ID, cr.p.rank,
+		evstore.F("index", idx), evstore.F("protocol", "independent"),
+		evstore.F("bytes", len(img))))
 
 	cr.mu.Lock()
 	cr.lastIndex = idx
@@ -510,6 +518,9 @@ func (cr *crModule) sfsPoll() {
 		cr.p.logff("store checkpoint %d: %v", idx, err)
 		return
 	}
+	cr.p.event(evstore.EvRank("checkpoint", cr.p.spec.ID, cr.p.rank,
+		evstore.F("index", idx), evstore.F("protocol", "sync-flush"),
+		evstore.F("bytes", len(img))))
 	cr.sendAck(idx)
 }
 

