@@ -800,12 +800,19 @@ func table1() {
 	// lightweight-membership messages (view upcalls) and coordination
 	// messages (the survivors' repartition announcements).
 	if err := env.Submit(core.Job{
-		ID: 2, Name: apps.PartitionName, Args: apps.PartitionArgs(600, 200000),
+		// Enough work per chunk that the survivors are still stepping when
+		// the failure is detected — a finished rank has nothing to announce.
+		ID: 2, Name: apps.PartitionName, Args: apps.PartitionArgs(600, 1000000),
 		Ranks: 3, Policy: core.PolicyNotify,
 	}); err != nil {
 		log.Fatal(err)
 	}
-	time.Sleep(30 * time.Millisecond)
+	// Crash only once the app runs: a kill during the formation handshake
+	// folds the lost ranks into the start info instead, and the survivors
+	// then have nothing to announce.
+	if err := env.Cluster().WaitStatus(2, daemon.StatusRunning, 15*time.Second); err != nil {
+		log.Fatal(err)
+	}
 	if err := env.Crash(3); err != nil {
 		log.Fatal(err)
 	}

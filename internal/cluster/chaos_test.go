@@ -209,6 +209,15 @@ func chaosScenarios() []chaosScenario {
 				if len(evWait(t, st, fmt.Sprintf("component=gcs kind=suspect seq>%d", killSeq), 1)) == 0 {
 					t.Error("no suspicion recorded after the kill")
 				}
+				// The SWIM detector drives that suspicion: its own records
+				// must show the probe-level story — a suspicion raised and,
+				// with no refutation from the dead node, a confirmation.
+				if len(evWait(t, st, fmt.Sprintf("component=gossip kind=suspect seq>%d", killSeq), 1)) == 0 {
+					t.Error("no gossip-level suspicion recorded after the kill")
+				}
+				if len(evWait(t, st, fmt.Sprintf("component=gossip kind=confirm-dead seq>%d", killSeq), 1)) == 0 {
+					t.Error("no gossip confirm-dead recorded after the kill")
+				}
 				if len(evWait(t, st, fmt.Sprintf("component=proc kind=restore seq>%d", killSeq), 1)) == 0 {
 					t.Error("no process restore recorded after the kill")
 				}
@@ -257,18 +266,28 @@ func chaosScenarios() []chaosScenario {
 				if recs := evWait(t, st, fmt.Sprintf("component=gcs kind=view-change seq>%d", healSeq), 0); len(recs) != 0 {
 					t.Errorf("%d view changes after the heal, want 0", len(recs))
 				}
+				// Node 4 left the survivors' gossip membership with the view
+				// change, so the healed link must not resurrect probe traffic
+				// that reads as a fresh death.
+				if recs := evWait(t, st, fmt.Sprintf("component=gossip kind=confirm-dead seq>%d", healSeq), 0); len(recs) != 0 {
+					t.Errorf("%d gossip confirm-dead records after the heal, want 0", len(recs))
+				}
 			},
 		},
 		{
-			// 5% loss on both control planes while a rank-hosting node dies:
-			// gcs recovers casts and views through sequenced-stream
-			// retransmission, rstore through request retries. The miss-count
-			// detector keeps random heartbeat loss from reading as death.
+			// 5% loss on every control plane — the main sequencer, the
+			// per-group sequencer streams and the replicated store — while a
+			// rank-hosting node dies: gcs recovers casts and views through
+			// sequenced-stream retransmission (the per-group streams are gcs
+			// engines too, so scoped casts ride the same machinery), rstore
+			// through request retries. The miss-count detector keeps random
+			// probe loss from reading as death.
 			name:   "loss5pct",
 			seed:   0x5EED0003,
 			misses: 60,
 			preset: func(ctl *chaosnet.Controller) {
 				ctl.SetClassFaults("gcs", chaosnet.Faults{Drop: 0.05})
+				ctl.SetClassFaults("lwg", chaosnet.Faults{Drop: 0.05})
 				ctl.SetClassFaults("rstore", chaosnet.Faults{Drop: 0.05})
 				ctl.SetClassFaults("data", dataFaults)
 			},

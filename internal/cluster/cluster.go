@@ -47,6 +47,13 @@ type Options struct {
 	// precedence over FailAfter. Chaos runs with delay spikes use it to
 	// tune tolerance without recomputing durations.
 	SuspectAfterMisses int
+	// GossipEvery/GossipFanout/SuspectAfter tune the main group's SWIM
+	// gossip membership (zero values take the gcs defaults: probe every
+	// heartbeat interval, three indirect proxies, confirm-dead after half
+	// the detection budget stays unrefuted).
+	GossipEvery  time.Duration
+	GossipFanout int
+	SuspectAfter time.Duration
 	// Replicas is the in-memory replication factor of each node's
 	// replicated checkpoint store (default 2: survive one node loss).
 	Replicas int
@@ -144,8 +151,9 @@ func rstoreAddr(id wire.NodeID) string { return fmt.Sprintf("rstore-n%d", id) }
 func chaosNode(id wire.NodeID) string { return fmt.Sprintf("n%d", id) }
 
 // chaosNodeOf maps a cluster address to its node label: "gcs-node3",
-// "rstore-n3", and "data-n3-a1-g2-r0" all belong to node "n3". Chaosnet uses
-// this so a partition of a node severs all three traffic classes at once.
+// "rstore-n3", "data-n3-a1-g2-r0" and "lwg-a1-g2-n3" all belong to node
+// "n3". Chaosnet uses this so a partition of a node severs all four
+// traffic classes at once.
 func chaosNodeOf(addr string) string {
 	switch {
 	case strings.HasPrefix(addr, "gcs-node"):
@@ -158,6 +166,10 @@ func chaosNodeOf(addr string) string {
 			return rest[:i]
 		}
 		return rest
+	case strings.HasPrefix(addr, "lwg-"):
+		if i := strings.LastIndex(addr, "-n"); i >= 0 {
+			return addr[i+1:]
+		}
 	}
 	return addr
 }
@@ -233,6 +245,9 @@ func (c *Cluster) AddNode() (wire.NodeID, error) {
 		HeartbeatEvery:     c.opts.HeartbeatEvery,
 		FailAfter:          c.opts.FailAfter,
 		SuspectAfterMisses: c.opts.SuspectAfterMisses,
+		GossipEvery:        c.opts.GossipEvery,
+		GossipFanout:       c.opts.GossipFanout,
+		SuspectAfter:       c.opts.SuspectAfter,
 		Events:             ev,
 		Logf:               c.opts.Logf,
 	})

@@ -189,6 +189,36 @@ func TestCrashAutoRestart(t *testing.T) {
 	}
 }
 
+// TestCrashDuringLaunch kills a rank-hosting node immediately after the
+// submit, racing the crash against the app's formation handshake. The
+// placed node may die before its lightweight join ever sequences; failure
+// handling must key off rank placement, not just lightweight membership,
+// or no restart fires and the app waits forever for the dead node's join.
+func TestCrashDuringLaunch(t *testing.T) {
+	c := newCluster(t, 4)
+	waitMainView(t, c, 4)
+	spec := ringSpec(5, 3, 5000)
+	if err := c.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	// No waiting: the whole point is to hit the launch window.
+	if err := c.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.WaitApp(5, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != daemon.StatusDone {
+		t.Fatalf("status = %v, failure = %q", info.Status, info.Failure)
+	}
+	for r, n := range info.Placement {
+		if n == 3 {
+			t.Errorf("rank %d finished on crashed node", r)
+		}
+	}
+}
+
 func TestCrashAutoRestartIndependent(t *testing.T) {
 	c := newCluster(t, 3)
 	waitMainView(t, c, 3)

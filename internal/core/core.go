@@ -134,10 +134,11 @@ func (j Job) spec() proc.AppSpec {
 // Status is an application status snapshot.
 type Status = daemon.AppInfo
 
-// Terminal application states.
+// Application states.
 const (
-	StatusDone   = daemon.StatusDone
-	StatusFailed = daemon.StatusFailed
+	StatusRunning = daemon.StatusRunning
+	StatusDone    = daemon.StatusDone
+	StatusFailed  = daemon.StatusFailed
 )
 
 // Starfish is a running Starfish environment: a simulated cluster of

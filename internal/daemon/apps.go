@@ -272,6 +272,7 @@ func (d *Daemon) applyDelete(c *Cmd) {
 	if known {
 		d.ev.Emit(evstore.EvApp("delete", c.App))
 	}
+	d.router.Drop(c.App)
 	for _, ep := range eps {
 		ep.link.Send(wire.Msg{Type: wire.TConfiguration, Kind: proc.CfgAbort, App: c.App})
 		ep.link.Close()
@@ -301,6 +302,7 @@ func (d *Daemon) applyRankDone(c *Cmd) {
 		delete(d.local, c.App)
 		d.mu.Unlock()
 		d.ev.Emit(evstore.EvRank("app-failed", c.App, c.Rank, evstore.F("err", c.Err)))
+		d.router.Drop(c.App)
 		// A genuine application error: tear everything down.
 		for _, ep := range eps {
 			ep.link.Send(wire.Msg{Type: wire.TConfiguration, Kind: proc.CfgAbort, App: c.App})
@@ -333,6 +335,7 @@ func (d *Daemon) checkComplete(app wire.AppID) {
 	delete(d.local, app)
 	d.mu.Unlock()
 	d.ev.Emit(evstore.EvApp("app-done", app))
+	d.router.Drop(app)
 	// All ranks finished: tear down local endpoints (processes exit their
 	// serve loop when the link closes) and dissolve the group.
 	for _, ep := range eps {
@@ -375,7 +378,9 @@ func (d *Daemon) applyRestart(c *Cmd) {
 			evstore.F("gen", gen), evstore.F("line", c.Line)))
 	}
 
-	// Abort the previous incarnation's local processes.
+	// Abort the previous incarnation's local processes and drop its
+	// sequencer streams; the new generation forms fresh ones in spawnLocal.
+	d.router.Drop(c.App)
 	for _, ep := range oldEps {
 		ep.link.Send(wire.Msg{Type: wire.TConfiguration, Kind: proc.CfgAbort, App: c.App})
 		ep.link.Close()
@@ -400,13 +405,19 @@ func (d *Daemon) spawnLocal(app wire.AppID) {
 	gen := st.gen
 	spec := st.spec
 	var myRanks []wire.Rank
+	hosts := make(map[wire.NodeID]bool)
 	for r, node := range st.placement {
+		hosts[node] = true
 		if node == d.cfg.Node {
 			myRanks = append(myRanks, r)
 		}
 	}
 	sort.Slice(myRanks, func(i, j int) bool { return myRanks[i] < myRanks[j] })
 	d.mu.Unlock()
+	groupNodes := make([]wire.NodeID, 0, len(hosts))
+	for n := range hosts {
+		groupNodes = append(groupNodes, n)
+	}
 
 	meta := lwMeta{Gen: gen, Addrs: make(map[wire.Rank]string, len(myRanks))}
 	if len(myRanks) > 0 {
@@ -439,13 +450,23 @@ func (d *Daemon) spawnLocal(app wire.AppID) {
 		d.mu.Unlock()
 	}
 	// Join the lightweight group (even with zero local ranks a daemon may
-	// skip joining; only hosting daemons are members).
+	// skip joining; only hosting daemons are members). The hosting daemons
+	// also form the app's per-group sequencer stream: the router announces
+	// our OpJoin only once the local stream endpoint exists (creator first,
+	// carrying its contact address in the metadata), so by the time every
+	// member's join has sequenced — the condition maybeStart gates on —
+	// every member's stream endpoint is up and scoped casts can bypass the
+	// main group entirely.
 	if len(myRanks) > 0 {
-		if err := d.castLW(&lwg.Op{
-			Kind: lwg.OpJoin, App: app, Node: d.cfg.Node, Meta: encodeLWMeta(&meta),
-		}); err != nil {
-			d.logf("lw join app %d: %v", app, err)
-		}
+		d.router.Ensure(app, gen, groupNodes, func(gcsAddr string) {
+			m := meta
+			m.GCS = gcsAddr
+			if err := d.castLW(&lwg.Op{
+				Kind: lwg.OpJoin, App: app, Node: d.cfg.Node, Meta: encodeLWMeta(&m),
+			}); err != nil {
+				d.logf("lw join app %d: %v", app, err)
+			}
+		})
 	} else {
 		// Not hosting this generation: leave the group if we were in it.
 		d.castLW(&lwg.Op{Kind: lwg.OpLeave, App: app, Node: d.cfg.Node})
@@ -481,11 +502,17 @@ func (d *Daemon) handleProcessMsg(im inboxMsg) {
 			})
 		}
 	case wire.TCheckpoint, wire.TCoordination:
-		// Relay through the lightweight group: reliable, ordered, scoped
-		// to the daemons hosting this application. The message itself is
-		// opaque to us.
-		d.castLW(&lwg.Op{Kind: lwg.OpCast, App: im.app, Node: d.cfg.Node,
-			Payload: encodeRelay(&im.m)})
+		// Relay through the app's own sequencer stream: reliable, ordered,
+		// scoped to the daemons hosting this application, and independent
+		// of every other app's traffic. The message itself is opaque to us.
+		// When this node has no stream for the generation (formation
+		// fallback), the cast rides the main group instead — exactly one
+		// path either way.
+		payload := encodeRelay(&im.m)
+		if err := d.router.Cast(im.app, im.gen, payload); err != nil {
+			d.castLW(&lwg.Op{Kind: lwg.OpCast, App: im.app, Node: d.cfg.Node,
+				Payload: payload})
+		}
 	}
 }
 
@@ -497,8 +524,12 @@ func (d *Daemon) applyLWOp(op lwg.Op, from wire.NodeID) {
 		d.handleLWNotification(n)
 	}
 	// Joins can complete an app's address map even if we produce no local
-	// notification payload changes.
+	// notification payload changes. A creator's join also carries the
+	// per-group stream contact the other members' routers are waiting on.
 	if op.Kind == lwg.OpJoin {
+		if meta, err := decodeLWMeta(op.Meta); err == nil && meta.GCS != "" {
+			d.router.SetContact(op.App, meta.Gen, meta.GCS)
+		}
 		d.maybeStart(op.App)
 	}
 }
@@ -609,6 +640,7 @@ func (d *Daemon) handleMainView(v gcs.View) {
 		d.cfg.Memory.UpdateView(v.Members)
 	}
 	d.mu.Lock()
+	prev := d.view
 	d.view = v
 	affected := map[wire.AppID][]wire.NodeID{}
 	for _, app := range d.lwm.Groups() {
@@ -622,7 +654,35 @@ func (d *Daemon) handleMainView(v gcs.View) {
 			affected[app] = gone
 		}
 	}
+	// Placement counts too, not just lightweight membership: a node can
+	// die after ranks were placed on it but before its (handshake-deferred)
+	// lightweight join sequenced. The app would otherwise wait forever for
+	// a join that is never coming.
+	for app, st := range d.apps {
+		if st.status == StatusDone || st.status == StatusFailed {
+			continue
+		}
+		for _, node := range st.placement {
+			if v.Contains(node) || containsNode(affected[app], node) {
+				continue
+			}
+			affected[app] = append(affected[app], node)
+		}
+	}
 	d.mu.Unlock()
+
+	// Forward the main group's failure verdicts into the per-group
+	// sequencer streams: their engines run no detector of their own and
+	// only remove members the main group has confirmed dead. Re-admitted
+	// nodes (a departed id rejoining) get their tombstone retracted.
+	for _, n := range prev.Members {
+		if !v.Contains(n) {
+			d.router.ReportDead(n)
+		}
+	}
+	for _, n := range v.Members {
+		d.router.ReportAlive(n)
+	}
 
 	// Update lightweight membership (deterministic at every daemon).
 	d.lwm.HandleMainView(v.Members)
@@ -630,6 +690,15 @@ func (d *Daemon) handleMainView(v gcs.View) {
 	for app, gone := range affected {
 		d.applyFailurePolicy(app, gone)
 	}
+}
+
+func containsNode(nodes []wire.NodeID, n wire.NodeID) bool {
+	for _, m := range nodes {
+		if m == n {
+			return true
+		}
+	}
+	return false
 }
 
 // applyFailurePolicy handles the loss of nodes hosting an application.
@@ -671,6 +740,7 @@ func (d *Daemon) applyFailurePolicy(app wire.AppID, gone []wire.NodeID) {
 		eps := d.localEndpointsLocked(app)
 		delete(d.local, app)
 		d.mu.Unlock()
+		d.router.Drop(app)
 		for _, ep := range eps {
 			ep.link.Send(wire.Msg{Type: wire.TConfiguration, Kind: proc.CfgAbort, App: app})
 			ep.link.Close()

@@ -154,15 +154,18 @@ func envelope(tag uint8, payload []byte) []byte {
 }
 
 // lwMeta is the metadata a daemon attaches when joining an application's
-// lightweight group: the ranks it hosts and their data-path addresses.
+// lightweight group: the ranks it hosts and their data-path addresses,
+// plus — when this daemon created the app's per-group sequencer stream —
+// the stream's contact address for the other members to join through.
 type lwMeta struct {
 	Gen   uint32
+	GCS   string // per-group stream contact (creator only; "" otherwise)
 	Addrs map[wire.Rank]string
 }
 
 func encodeLWMeta(m *lwMeta) []byte {
 	w := wire.NewWriter(16)
-	w.U32(m.Gen)
+	w.U32(m.Gen).String(m.GCS)
 	w.U32(uint32(len(m.Addrs)))
 	for _, p := range sortedAddrPairs(m.Addrs) {
 		w.U32(uint32(p.rank)).String(p.addr)
@@ -190,7 +193,7 @@ func sortedAddrPairs(m map[wire.Rank]string) []addrPair {
 
 func decodeLWMeta(b []byte) (lwMeta, error) {
 	r := wire.NewReader(b)
-	m := lwMeta{Gen: r.U32()}
+	m := lwMeta{Gen: r.U32(), GCS: r.String()}
 	n := r.U32()
 	m.Addrs = make(map[wire.Rank]string, n)
 	for i := uint32(0); i < n && r.Err() == nil; i++ {

@@ -87,6 +87,11 @@ type Config struct {
 	// DataAddr names the data-path listen address for a local process;
 	// nil uses a deterministic fastnet-style name.
 	DataAddr func(app wire.AppID, gen uint32, rank wire.Rank) string
+	// GroupAddr names this node's listen address for one application's
+	// per-group sequencer stream; nil uses a deterministic fastnet-style
+	// name (TCP deployments return host:0 — peers learn the concrete
+	// address from the creator's announce).
+	GroupAddr func(app wire.AppID, gen uint32) string
 	// HeartbeatEvery/FailAfter tune the failure detector.
 	HeartbeatEvery time.Duration
 	FailAfter      time.Duration
@@ -94,6 +99,14 @@ type Config struct {
 	// threshold as a count of consecutive missed probe intervals instead of
 	// a duration; it takes precedence over FailAfter (see gcs.Config).
 	SuspectAfterMisses int
+	// GossipEvery/GossipFanout/SuspectAfter tune the SWIM gossip membership
+	// the main group runs instead of all-to-coordinator heartbeats. Zero
+	// values take the gcs defaults: probe every heartbeat interval, three
+	// indirect-probe proxies, confirm-dead after half the detection budget
+	// stays unrefuted.
+	GossipEvery  time.Duration
+	GossipFanout int
+	SuspectAfter time.Duration
 	// Events, when non-nil, is this node's structured event store. The
 	// daemon records application lifecycle transitions in it and hands
 	// component-tagged emitters to the subsystems it owns (gcs, proc,
@@ -150,6 +163,10 @@ type Daemon struct {
 	cfg Config
 	ep  *gcs.Endpoint
 	lwm *lwg.Manager
+	// router runs the per-application sequencer streams: scoped casts of
+	// disjoint apps ride independent per-group coordinators instead of all
+	// ordering through the main group (the sharded control plane).
+	router *lwg.Router
 	// ev is the daemon-tagged event emitter (inert when no store is
 	// configured — a nil *Emitter discards).
 	ev *evstore.Emitter
@@ -189,6 +206,12 @@ func New(cfg Config) (*Daemon, error) {
 			return fmt.Sprintf("data-n%d-a%d-g%d-r%d", node, app, gen, rank)
 		}
 	}
+	if cfg.GroupAddr == nil {
+		node := cfg.Node
+		cfg.GroupAddr = func(app wire.AppID, gen uint32) string {
+			return fmt.Sprintf("lwg-a%d-g%d-n%d", app, gen, node)
+		}
+	}
 	ep, err := gcs.Join(gcs.Config{
 		Node:               cfg.Node,
 		Transport:          cfg.Transport,
@@ -197,6 +220,11 @@ func New(cfg Config) (*Daemon, error) {
 		HeartbeatEvery:     cfg.HeartbeatEvery,
 		FailAfter:          cfg.FailAfter,
 		SuspectAfterMisses: cfg.SuspectAfterMisses,
+		UseGossip:          true,
+		GossipEvery:        cfg.GossipEvery,
+		GossipFanout:       cfg.GossipFanout,
+		SuspectAfter:       cfg.SuspectAfter,
+		GossipEvents:       cfg.Events.Emitter("gossip"),
 		Events:             cfg.Events.Emitter("gcs"),
 	})
 	if err != nil {
@@ -220,6 +248,15 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Memory != nil && cfg.Store != nil {
 		d.tiered = ckpt.NewTiered(cfg.Memory, cfg.Store, cfg.Logf)
 	}
+	d.router = lwg.NewRouter(lwg.RouterConfig{
+		Self:           cfg.Node,
+		Transport:      cfg.Transport,
+		GroupAddr:      cfg.GroupAddr,
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		FailAfter:      cfg.FailAfter,
+		Events:         cfg.Events.Emitter("lwg"),
+		Logf:           cfg.Logf,
+	})
 	go d.run()
 	return d, nil
 }
@@ -356,6 +393,7 @@ func (d *Daemon) run() {
 			ep.link.Send(wire.Msg{Type: wire.TConfiguration, Kind: proc.CfgAbort})
 			ep.link.Close()
 		}
+		d.router.Close()
 		d.ep.Close()
 		if d.tiered != nil {
 			d.tiered.Close() // drain pending disk spills
@@ -373,10 +411,39 @@ func (d *Daemon) run() {
 			}
 			d.handleGCS(ev)
 			d.bump()
+		case ge := <-d.router.Events():
+			d.handleGroupEvent(ge)
+			d.bump()
 		case im := <-d.inbox:
 			d.handleProcessMsg(im)
 			d.bump()
 		}
+	}
+}
+
+// handleGroupEvent dispatches one event from a per-application sequencer
+// stream. A scoped cast carries exactly the relay payload the main-group
+// OpCast path would have delivered — hand it to the local endpoints of the
+// matching generation. Stream view changes need no action here: group
+// membership stays anchored in the main group (applyLWOp), and failure
+// policy runs off main-group views.
+func (d *Daemon) handleGroupEvent(ge lwg.GroupEvent) {
+	if ge.Ev.Kind != gcs.ECast {
+		return
+	}
+	m, err := decodeRelay(ge.Ev.Payload)
+	if err != nil {
+		d.logf("bad stream relay payload (app %d): %v", ge.App, err)
+		return
+	}
+	d.mu.Lock()
+	var eps []*endpoint
+	if st := d.apps[ge.App]; st != nil && st.gen == ge.Gen {
+		eps = d.localEndpointsLocked(ge.App)
+	}
+	d.mu.Unlock()
+	for _, ep := range eps {
+		ep.link.Send(m)
 	}
 }
 

@@ -51,11 +51,11 @@ type Record struct {
 	// Node is the node whose store received the record (stamped by the
 	// store; producers need not set it).
 	Node wire.NodeID
-	// Component names the emitting subsystem: daemon, gcs, chaosnet,
-	// rstore, ckpt, proc, cluster.
+	// Component names the emitting subsystem: daemon, gcs, gossip, lwg,
+	// chaosnet, rstore, ckpt, proc, cluster.
 	Component string
 	// Kind is the event type within the component (view-change, suspect,
-	// drop, rereplicate, epoch, ...).
+	// confirm-dead, drop, rereplicate, epoch, ...).
 	Kind string
 	// App is the application the event concerns; 0 when not app-scoped.
 	App wire.AppID

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"starfish/internal/evstore"
+	"starfish/internal/gossip"
 	"starfish/internal/vni"
 	"starfish/internal/wire"
 )
@@ -26,6 +27,23 @@ func hasQuorum(remaining, total int) bool {
 	return 2*remaining > total
 }
 
+// chooseCoord elects the coordinator of a new view: the previous
+// coordinator keeps the role while it survives, otherwise the lowest-id
+// surviving member takes over. Sticking with the survivor (rather than
+// always re-electing the lowest global id) keeps per-app group
+// coordinators where their groups put them — a group whose lowest-id
+// member departed, or that was created by a high-id node, still elects
+// deterministically from its own view instead of thrashing the sequencer
+// role on every membership change.
+func chooseCoord(prev wire.NodeID, members []wire.NodeID) wire.NodeID {
+	for _, m := range members { // sorted ascending
+		if m == prev {
+			return m
+		}
+	}
+	return members[0]
+}
+
 // Endpoint is one member of a process group.
 type Endpoint struct {
 	cfg Config
@@ -44,6 +62,8 @@ const (
 	cmdSend
 	cmdLeave
 	cmdView
+	cmdReportDead
+	cmdReportAlive
 )
 
 type command struct {
@@ -95,6 +115,16 @@ type engine struct {
 
 	// gap repair
 	lastRetransReq time.Time
+
+	// gossip failure detection (UseGossip): replaces the heartbeat timers
+	// above; e.suspected is recomputed from fd verdicts each tick.
+	fd *gossip.Detector
+	// gap beacon (gossip/external modes): the coordinator re-advertises its
+	// highest sequenced slot for a bounded window after sequencing activity,
+	// so a member that lost the final kDeliver of a burst still notices the
+	// gap. lastSeqAt tracks the activity window; lastBeacon rate-limits.
+	lastSeqAt  time.Time
+	lastBeacon time.Time
 }
 
 type syncResp struct {
@@ -129,6 +159,18 @@ func Join(cfg Config) (*Endpoint, error) {
 		lastHeard:  make(map[wire.NodeID]time.Time),
 		suspected:  make(map[wire.NodeID]bool),
 	}
+	if cfg.UseGossip {
+		eng.fd = gossip.New(gossip.Config{
+			Self: cfg.Node,
+			Seed: cfg.GossipSeed,
+			Params: gossip.Params{
+				ProbeEvery:     cfg.GossipEvery,
+				SuspectAfter:   cfg.SuspectAfter,
+				IndirectFanout: cfg.GossipFanout,
+			},
+			Events: cfg.GossipEvents,
+		})
+	}
 
 	if cfg.Contact == "" {
 		// Create a new singleton group.
@@ -142,6 +184,9 @@ func Join(cfg Config) (*Endpoint, error) {
 		eng.delivered = 1
 		eng.nextSeq = 2
 		eng.lastCoordHeard = time.Now()
+		if eng.fd != nil {
+			eng.fd.SetMembers(v.Members)
+		}
 		ep.evq.push(Event{Kind: EView, View: v.Clone()})
 	} else if err := eng.joinExisting(); err != nil {
 		nic.Close()
@@ -215,6 +260,9 @@ func (e *engine) applyWelcome(m wire.Msg) error {
 	e.view = v
 	e.delivered = seq
 	e.lastCoordHeard = time.Now()
+	if e.fd != nil {
+		e.fd.SetMembers(v.Members)
+	}
 	ev := Event{Kind: EView, View: v.Clone()}
 	if len(state) > 0 {
 		ev.State = state
@@ -261,6 +309,20 @@ func (ep *Endpoint) View() View {
 	}
 }
 
+// ReportDead injects an external failure verdict: the member is treated
+// as crashed and removed from the view (coordinator) or counted against
+// the coordinator for failover (member). Meaningful with Config.ExternalFD,
+// where the endpoint runs no failure detection of its own.
+func (ep *Endpoint) ReportDead(n wire.NodeID) error {
+	return ep.do(command{kind: cmdReportDead, to: n})
+}
+
+// ReportAlive retracts an injected verdict before it was acted on, and
+// aborts a failover election the verdict may have started.
+func (ep *Endpoint) ReportAlive(n wire.NodeID) error {
+	return ep.do(command{kind: cmdReportAlive, to: n})
+}
+
 // Leave announces departure to the group and shuts the endpoint down.
 func (ep *Endpoint) Leave() error {
 	err := ep.do(command{kind: cmdLeave})
@@ -292,7 +354,11 @@ func (ep *Endpoint) do(c command) error {
 // ---- engine loop ----
 
 func (e *engine) run() {
-	ticker := time.NewTicker(e.cfg.HeartbeatEvery)
+	tickEvery := e.cfg.HeartbeatEvery
+	if e.fd != nil && e.cfg.GossipEvery < tickEvery {
+		tickEvery = e.cfg.GossipEvery
+	}
+	ticker := time.NewTicker(tickEvery)
 	defer ticker.Stop()
 	defer func() {
 		e.nic.Close()
@@ -374,6 +440,21 @@ func (e *engine) handleCmd(c command) {
 		}
 		m := wire.Msg{Type: wire.TControl, Kind: kP2P, Src: wire.Rank(e.cfg.Node), Payload: c.payload}
 		c.reply <- e.nic.Send(addr, &m)
+	case cmdReportDead:
+		if c.to != e.cfg.Node && e.view.Contains(c.to) {
+			e.suspected[c.to] = true
+			e.suspectEvent(c.to, "external")
+		}
+		c.reply <- nil
+	case cmdReportAlive:
+		delete(e.suspected, c.to)
+		if e.syncing && e.syncFor == c.to {
+			e.abortSync()
+		}
+		if c.to == e.view.Coord {
+			e.failoverWait = time.Time{}
+		}
+		c.reply <- nil
 	case cmdLeave:
 		if e.isCoord() {
 			// Sequence our own removal before going away.
@@ -408,6 +489,9 @@ func (e *engine) sequence(sm seqMsg) {
 	}
 	sm.Seq = e.nextSeq
 	e.nextSeq++
+	if e.fd != nil || e.cfg.ExternalFD {
+		e.lastSeqAt = time.Now() // opens the gap-beacon window
+	}
 	e.broadcast(sm)
 	e.deliver(sm)
 }
@@ -481,7 +565,21 @@ func (e *engine) confirmPending(senderSeq uint64) {
 
 func (e *engine) applyView(v View) {
 	e.view = v
-	e.suspected = make(map[wire.NodeID]bool)
+	if e.cfg.ExternalFD {
+		// Injected verdicts outlive view changes that don't remove their
+		// subject (e.g. a join sequenced while a removal is still pending);
+		// only the supervisor retracts them.
+		for n := range e.suspected {
+			if !v.Contains(n) {
+				delete(e.suspected, n)
+			}
+		}
+	} else {
+		e.suspected = make(map[wire.NodeID]bool)
+	}
+	if e.fd != nil {
+		e.fd.SetMembers(v.Members)
+	}
 	e.announced = nil
 	e.syncing = false
 	e.failoverWait = time.Time{}
@@ -567,10 +665,23 @@ func (e *engine) handleMsg(m wire.Msg) {
 		e.handleSyncReq(m)
 	case kSyncResp:
 		e.handleSyncResp(m)
+
+	case kGossip:
+		if e.fd != nil {
+			if outs, err := e.fd.Handle(time.Now(), m.Payload); err == nil {
+				e.sendGossip(outs)
+			}
+		}
+		m.Release() // the detector decodes into its own structures
 	}
 }
 
 func (e *engine) noteAlive(n wire.NodeID) {
+	if e.fd != nil || e.cfg.ExternalFD {
+		// Liveness is owned by the gossip detector or the external
+		// supervisor; incidental protocol traffic must not clear verdicts.
+		return
+	}
 	now := time.Now()
 	if n == e.view.Coord {
 		e.lastCoordHeard = now
@@ -626,7 +737,7 @@ func (e *engine) handleJoin(m wire.Msg) {
 	nv.Members = append(nv.Members, node)
 	sortMembers(nv.Members)
 	nv.Addrs[node] = addr
-	nv.Coord = nv.Members[0]
+	nv.Coord = chooseCoord(e.view.Coord, nv.Members)
 
 	seq := e.nextSeq // the slot the view message will take
 	sm := seqMsg{Kind: dView, Sender: e.cfg.Node, Payload: encodeView(&nv)}
@@ -671,14 +782,98 @@ func (e *engine) installViewWithout(gone []wire.NodeID) {
 		return
 	}
 	sortMembers(nv.Members)
-	nv.Coord = nv.Members[0]
+	nv.Coord = chooseCoord(e.view.Coord, nv.Members)
 	sm := seqMsg{Kind: dView, Sender: e.cfg.Node, Payload: encodeView(&nv)}
 	e.sequence(sm)
 }
 
 // ---- timers ----
 
+// tick dispatches on the failure-detection mode: legacy all-to-coordinator
+// heartbeats (the default), SWIM gossip (UseGossip), or none at all with
+// verdicts injected by a supervisor (ExternalFD).
 func (e *engine) tick() {
+	switch {
+	case e.cfg.ExternalFD:
+		e.tickExternal()
+	case e.fd != nil:
+		e.tickGossip()
+	default:
+		e.tickLegacy()
+	}
+}
+
+// tickGossip drives the SWIM detector and derives suspicion from its
+// confirmed-dead verdicts: a merely-Suspect peer may still refute itself,
+// so only Dead drives view changes — keeping "exactly one view change per
+// kill" intact under gossip.
+func (e *engine) tickGossip() {
+	now := time.Now()
+	e.sendGossip(e.fd.Tick(now))
+	e.fd.Changes() // drain; statuses are read below, records flow via GossipEvents
+
+	for _, member := range e.view.Members {
+		if member == e.cfg.Node {
+			continue
+		}
+		if e.fd.Status(member) == gossip.Dead {
+			e.suspected[member] = true
+			role := "member"
+			if member == e.view.Coord {
+				role = "coord"
+			}
+			e.suspectEvent(member, role)
+		} else {
+			delete(e.suspected, member)
+		}
+	}
+	// A resurrected coordinator (alive at a higher incarnation) cancels an
+	// in-flight failover election.
+	if e.syncing && e.fd.Status(e.syncFor) == gossip.Alive {
+		e.abortSync()
+	}
+	e.beacon(now)
+
+	if e.isCoord() {
+		var gone []wire.NodeID
+		for _, member := range e.view.Members {
+			if member != e.cfg.Node && e.suspected[member] {
+				gone = append(gone, member)
+			}
+		}
+		if len(gone) > 0 && hasQuorum(len(e.view.Members)-len(gone), len(e.view.Members)) {
+			e.installViewWithout(gone)
+		}
+		return
+	}
+	e.memberMaintenance()
+	e.failoverTick(now)
+}
+
+// tickExternal runs no failure detection of its own: e.suspected changes
+// only through ReportDead/ReportAlive. Crash-driven view changes skip the
+// quorum rule because the injected verdicts already carry the
+// supervisor's agreement.
+func (e *engine) tickExternal() {
+	now := time.Now()
+	e.beacon(now)
+	if e.isCoord() {
+		var gone []wire.NodeID
+		for _, member := range e.view.Members {
+			if member != e.cfg.Node && e.suspected[member] {
+				gone = append(gone, member)
+			}
+		}
+		if len(gone) > 0 {
+			e.installViewWithout(gone)
+		}
+		return
+	}
+	e.memberMaintenance()
+	e.failoverTick(now)
+}
+
+func (e *engine) tickLegacy() {
 	now := time.Now()
 	if e.isCoord() {
 		// Probe members, detect member crashes. The heartbeat carries the
@@ -724,17 +919,36 @@ func (e *engine) tick() {
 		e.requestRetrans()
 	}
 
+	if !e.syncing && now.Sub(e.lastCoordHeard) > e.cfg.FailAfter {
+		e.suspected[e.view.Coord] = true
+		e.suspectEvent(e.view.Coord, "coord")
+	}
+	e.failoverTick(now)
+}
+
+// memberMaintenance re-forwards unconfirmed casts and repairs delivery
+// gaps; shared by the gossip and external-FD modes (the legacy mode does
+// the same inline in tickLegacy).
+func (e *engine) memberMaintenance() {
+	for _, p := range e.pendingCasts {
+		e.forwardCast(p)
+	}
+	// A buffered out-of-order delivery means an earlier kDeliver was lost:
+	// ask the coordinator to repair the gap from its retransmission log.
+	if !e.syncing && len(e.pendingDel) > 0 && !e.suspected[e.view.Coord] {
+		e.requestRetrans()
+	}
+}
+
+// failoverTick is the member-side failover state machine, shared by all
+// FD modes; callers decide how e.suspected gets populated.
+func (e *engine) failoverTick(now time.Time) {
 	if e.syncing {
 		if now.Sub(e.syncStarted) > e.cfg.FailAfter {
 			// Non-responders are dropped; finish with what we have.
 			e.finishSync()
 		}
 		return
-	}
-
-	if now.Sub(e.lastCoordHeard) > e.cfg.FailAfter {
-		e.suspected[e.view.Coord] = true
-		e.suspectEvent(e.view.Coord, "coord")
 	}
 	if !e.suspected[e.view.Coord] {
 		return
@@ -753,6 +967,46 @@ func (e *engine) tick() {
 		e.suspected[candidate] = true
 		e.suspectEvent(candidate, "candidate")
 		e.failoverWait = now
+	}
+}
+
+// beacon re-advertises the coordinator's highest sequenced slot for a
+// bounded window after sequencing activity. The gossip and external-FD
+// modes have no per-tick heartbeat to carry that horizon, so without the
+// beacon a member that lost the *final* kDeliver of a burst would never
+// notice the gap. Outside the activity window the beacon is silent,
+// keeping the idle control-plane load O(1).
+func (e *engine) beacon(now time.Time) {
+	if !e.isCoord() || len(e.view.Members) <= 1 {
+		return
+	}
+	if e.lastSeqAt.IsZero() || now.Sub(e.lastSeqAt) > 2*e.cfg.FailAfter {
+		return
+	}
+	if now.Sub(e.lastBeacon) < e.cfg.FailAfter/4 {
+		return
+	}
+	e.lastBeacon = now
+	hbPayload := wire.NewWriter(8).U64(e.nextSeq - 1).Bytes()
+	for _, member := range e.view.Members {
+		if member == e.cfg.Node {
+			continue
+		}
+		hb := wire.Msg{Type: wire.TControl, Kind: kHeartbeat, Src: wire.Rank(e.cfg.Node), Payload: hbPayload}
+		e.cast(e.view.Addrs[member], &hb)
+	}
+}
+
+// sendGossip transmits detector envelopes over the group transport,
+// resolving member ids through the current view.
+func (e *engine) sendGossip(envs []gossip.Envelope) {
+	for _, env := range envs {
+		addr, ok := e.view.Addrs[env.To]
+		if !ok {
+			continue
+		}
+		m := wire.Msg{Type: wire.TControl, Kind: kGossip, Src: wire.Rank(e.cfg.Node), Payload: env.Payload}
+		e.cast(addr, &m)
 	}
 }
 
@@ -854,8 +1108,10 @@ func (e *engine) finishSync() {
 	// its responders form a strict majority of the current view. A
 	// minority side (real partition or false suspicion) waits — the
 	// failure detector clears transient suspicions, and a later tick
-	// retries the sync if they persist.
-	if !hasQuorum(len(responders)+1, len(e.view.Members)) {
+	// retries the sync if they persist. External-FD groups skip the rule:
+	// their verdicts were agreed in the main group, so a lone survivor of
+	// an app group may legitimately take over.
+	if !e.cfg.ExternalFD && !hasQuorum(len(responders)+1, len(e.view.Members)) {
 		e.event(evstore.Ev("election-stalled",
 			evstore.F("for", e.syncFor), evstore.F("view", e.view.ID),
 			evstore.F("responders", len(responders))))
@@ -955,7 +1211,10 @@ func (e *engine) finishSync() {
 		e.left = true
 		return
 	}
-	nv.Coord = nv.Members[0]
+	// The candidate that ran the sync self-elects: it already holds the
+	// merged suffix, so handing the sequencer role elsewhere would only
+	// force an immediate second view change.
+	nv.Coord = chooseCoord(e.cfg.Node, nv.Members)
 	sm := seqMsg{Seq: e.nextSeq, Kind: dView, Sender: e.cfg.Node, Payload: encodeView(&nv)}
 	e.nextSeq++
 	payload := encodeSeqMsg(&sm)

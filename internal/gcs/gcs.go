@@ -128,6 +128,41 @@ type Config struct {
 	// suspicions and elections. The sink is expected to tag the component
 	// (the daemon passes its store's "gcs" emitter).
 	Events evstore.Sink
+
+	// UseGossip replaces the all-to-coordinator heartbeat failure detector
+	// with a SWIM-style gossip detector (internal/gossip) multiplexed over
+	// this endpoint's transport: O(1) probe load per member per round
+	// instead of O(n) fan-in at the coordinator. View changes still require
+	// the gossip detector's *confirmed-dead* verdict, so transient silence
+	// is refuted, not punished.
+	UseGossip bool
+	// GossipEvery is the gossip protocol round length (default
+	// HeartbeatEvery). Only meaningful with UseGossip.
+	GossipEvery time.Duration
+	// GossipFanout is k, the number of proxies an unanswered direct ping is
+	// retried through before suspicion (default 3).
+	GossipFanout int
+	// SuspectAfter is how long a gossip suspicion may stay unrefuted before
+	// the member is confirmed dead (default FailAfter/2, so probing plus
+	// the refutation grace period together stay within the heartbeat
+	// mode's detection budget).
+	SuspectAfter time.Duration
+	// GossipSeed seeds the detector's probe-order randomness; zero derives
+	// a per-node seed from Node.
+	GossipSeed uint64
+	// GossipEvents receives the detector's ping-timeout / suspect / refute /
+	// confirm-dead records (the daemon passes its store's "gossip" emitter;
+	// nil discards them).
+	GossipEvents evstore.Sink
+
+	// ExternalFD disables the endpoint's own failure detection entirely:
+	// membership verdicts are injected through ReportDead/ReportAlive by a
+	// supervisor that already agreed on them elsewhere (the lwg router
+	// forwards the main group's verdicts into each per-app group). Because
+	// injected verdicts carry that external agreement, crash-driven view
+	// changes skip the local quorum rule — a two-member app group may lose
+	// both members' "majority" without wedging.
+	ExternalFD bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -140,6 +175,22 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.FailAfter <= 0 {
 		out.FailAfter = 8 * out.HeartbeatEvery
+	}
+	if out.GossipEvery <= 0 {
+		out.GossipEvery = out.HeartbeatEvery
+	}
+	if out.GossipFanout <= 0 {
+		out.GossipFanout = 3
+	}
+	if out.SuspectAfter <= 0 {
+		// Half the detection budget goes to probing and indirect-probe
+		// escalation, half to the refutation grace period, keeping
+		// end-to-end detection latency comparable to the heartbeat mode's
+		// FailAfter silence window.
+		out.SuspectAfter = out.FailAfter / 2
+	}
+	if out.GossipSeed == 0 {
+		out.GossipSeed = uint64(out.Node)*0x9e3779b97f4a7c15 + 1
 	}
 	return out
 }
@@ -168,6 +219,9 @@ const (
 	// the sender's delivered horizon — the gap-repair path that lets the
 	// group make progress when kDeliver traffic is lost on the wire.
 	kRetransReq uint16 = 0x19 // member -> coordinator (payload: delivered)
+	// kGossip carries a SWIM gossip protocol message (gossip.Message)
+	// multiplexed over the group endpoint's transport when UseGossip is set.
+	kGossip uint16 = 0x20 // member <-> member (payload: gossip message)
 )
 
 // retransBatch bounds how many log entries one kRetransReq resends, so a

@@ -1,0 +1,274 @@
+package gcs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"starfish/internal/evstore"
+	"starfish/internal/vni"
+	"starfish/internal/wire"
+)
+
+// collector is a thread-safe evstore.Sink for asserting on emitted records.
+type collector struct {
+	mu   sync.Mutex
+	recs []evstore.Record
+}
+
+func (c *collector) Emit(r evstore.Record) {
+	c.mu.Lock()
+	c.recs = append(c.recs, r)
+	c.mu.Unlock()
+}
+
+func (c *collector) count(kind string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, r := range c.recs {
+		if r.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestElectionFromSurvivingView is the regression test for coordinator
+// election: the coordinator role must stay with the previous coordinator
+// while it survives (even when lower ids join), and fall back to the
+// lowest *surviving* member only when it departs. Before the fix the
+// sequencer role thrashed to the lowest global id on every join.
+func TestElectionFromSurvivingView(t *testing.T) {
+	fn := vni.NewFastnet(0)
+	mk := func(id wire.NodeID, contact string) *Endpoint {
+		ep, err := Join(Config{
+			Node:           id,
+			Transport:      fn,
+			Addr:           fmt.Sprintf("node%d", id),
+			Contact:        contact,
+			HeartbeatEvery: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("Join node%d: %v", id, err)
+		}
+		t.Cleanup(ep.Close)
+		return ep
+	}
+	// A high-id node creates the group; lower ids join it.
+	ep5 := mk(5, "")
+	ep3 := mk(3, "node5")
+	ep7 := mk(7, "node5")
+
+	v, _ := waitForView(t, ep5, 3, 5, 7)
+	if v.Coord != 5 {
+		t.Fatalf("after joins coord = %d, want creator 5 to keep the role", v.Coord)
+	}
+	waitForView(t, ep3, 3, 5, 7)
+	waitForView(t, ep7, 3, 5, 7)
+
+	// The coordinator leaves: the lowest survivor takes over.
+	if err := ep5.Leave(); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	v, _ = waitForView(t, ep3, 3, 7)
+	if v.Coord != 3 {
+		t.Fatalf("after coordinator left coord = %d, want lowest survivor 3", v.Coord)
+	}
+	waitForView(t, ep7, 3, 7)
+
+	// The new coordinator crashes: the remaining member self-elects.
+	ep3.Close()
+	v, _ = waitForView(t, ep7, 7)
+	if v.Coord != 7 {
+		t.Fatalf("after coordinator crash coord = %d, want survivor 7", v.Coord)
+	}
+}
+
+// gossipGroup spins up n endpoints in gossip-FD mode on one fastnet.
+func gossipGroup(t *testing.T, n int, sink evstore.Sink) []*Endpoint {
+	t.Helper()
+	fn := vni.NewFastnet(0)
+	eps := make([]*Endpoint, n)
+	for i := 0; i < n; i++ {
+		cfg := Config{
+			Node:           wire.NodeID(i + 1),
+			Transport:      fn,
+			Addr:           fmt.Sprintf("node%d", i+1),
+			HeartbeatEvery: 5 * time.Millisecond,
+			UseGossip:      true,
+			SuspectAfter:   40 * time.Millisecond,
+			GossipEvents:   sink,
+		}
+		if i > 0 {
+			cfg.Contact = "node1"
+		}
+		ep, err := Join(cfg)
+		if err != nil {
+			t.Fatalf("Join node%d: %v", i+1, err)
+		}
+		eps[i] = ep
+		t.Cleanup(ep.Close)
+	}
+	return eps
+}
+
+// TestGossipModeDetectsCrash checks the SWIM path end to end: a crashed
+// member is suspected, confirmed dead and removed from the view, with the
+// detector's records visible on the gossip sink — and casts keep flowing
+// through the same endpoints afterwards.
+func TestGossipModeDetectsCrash(t *testing.T) {
+	sink := &collector{}
+	eps := gossipGroup(t, 5, sink)
+	all := []wire.NodeID{1, 2, 3, 4, 5}
+	for _, ep := range eps {
+		waitForView(t, ep, all...)
+	}
+
+	eps[4].Close() // crash node 5
+	survivors := []wire.NodeID{1, 2, 3, 4}
+	var casts []Event
+	for _, ep := range eps[:4] {
+		v, c := waitForView(t, ep, survivors...)
+		if v.Contains(5) {
+			t.Fatalf("node %d: view still contains crashed member", ep.Node())
+		}
+		casts = append(casts, c...)
+	}
+	if len(casts) != 0 {
+		t.Fatalf("unexpected casts before any were sent: %d", len(casts))
+	}
+	if sink.count("suspect") == 0 {
+		t.Fatal("no gossip suspect record emitted for the crash")
+	}
+	if sink.count("confirm-dead") == 0 {
+		t.Fatal("no gossip confirm-dead record emitted for the crash")
+	}
+
+	// The surviving group still sequences casts.
+	if err := eps[1].Cast([]byte("after-crash")); err != nil {
+		t.Fatalf("cast after crash: %v", err)
+	}
+	for _, ep := range eps[:4] {
+		for {
+			e := nextEvent(t, ep)
+			if e.Kind == ECast {
+				if string(e.Payload) != "after-crash" {
+					t.Fatalf("node %d: wrong cast payload %q", ep.Node(), e.Payload)
+				}
+				break
+			}
+		}
+	}
+}
+
+// TestGossipModeCoordinatorFailover kills the sequencer itself under the
+// gossip detector: the survivors must confirm it dead, elect the lowest
+// survivor and install exactly one new view.
+func TestGossipModeCoordinatorFailover(t *testing.T) {
+	eps := gossipGroup(t, 4, nil)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3, 4)
+	}
+	eps[0].Close() // crash the coordinator
+	for _, ep := range eps[1:] {
+		v, _ := waitForView(t, ep, 2, 3, 4)
+		if v.Coord != 2 {
+			t.Fatalf("node %d: coord = %d after failover, want 2", ep.Node(), v.Coord)
+		}
+	}
+}
+
+// externalGroup spins up n endpoints with no failure detection of their
+// own (ExternalFD): removals only happen through ReportDead.
+func externalGroup(t *testing.T, n int) []*Endpoint {
+	t.Helper()
+	fn := vni.NewFastnet(0)
+	eps := make([]*Endpoint, n)
+	for i := 0; i < n; i++ {
+		cfg := Config{
+			Node:           wire.NodeID(i + 1),
+			Transport:      fn,
+			Addr:           fmt.Sprintf("node%d", i+1),
+			HeartbeatEvery: 5 * time.Millisecond,
+			ExternalFD:     true,
+		}
+		if i > 0 {
+			cfg.Contact = "node1"
+		}
+		ep, err := Join(cfg)
+		if err != nil {
+			t.Fatalf("Join node%d: %v", i+1, err)
+		}
+		eps[i] = ep
+		t.Cleanup(ep.Close)
+	}
+	return eps
+}
+
+// TestExternalFDWaitsForVerdict checks both halves of the injected-FD
+// contract: a silent (crashed) member is NOT removed until the supervisor
+// says so, and once reported dead it is removed promptly.
+func TestExternalFDWaitsForVerdict(t *testing.T) {
+	eps := externalGroup(t, 3)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3)
+	}
+
+	eps[2].Close() // crash node 3 — nobody is watching
+	time.Sleep(100 * time.Millisecond)
+	if v := eps[0].View(); !v.Contains(3) {
+		t.Fatal("external-FD group removed a member without a verdict")
+	}
+
+	for _, ep := range eps[:2] {
+		if err := ep.ReportDead(3); err != nil {
+			t.Fatalf("node %d ReportDead: %v", ep.Node(), err)
+		}
+	}
+	for _, ep := range eps[:2] {
+		v, _ := waitForView(t, ep, 1, 2)
+		if v.Contains(3) {
+			t.Fatalf("node %d: view still contains reported-dead member", ep.Node())
+		}
+	}
+}
+
+// TestExternalFDCoordinatorFailover injects a verdict against the
+// sequencer: the surviving members must run the failover sync and elect a
+// new coordinator, even though the two survivors of a three-member view
+// are driven purely by external reports.
+func TestExternalFDCoordinatorFailover(t *testing.T) {
+	eps := externalGroup(t, 3)
+	for _, ep := range eps {
+		waitForView(t, ep, 1, 2, 3)
+	}
+	eps[0].Close() // crash the coordinator
+	for _, ep := range eps[1:] {
+		if err := ep.ReportDead(1); err != nil {
+			t.Fatalf("node %d ReportDead: %v", ep.Node(), err)
+		}
+	}
+	for _, ep := range eps[1:] {
+		v, _ := waitForView(t, ep, 2, 3)
+		if v.Coord != 2 {
+			t.Fatalf("node %d: coord = %d after failover, want 2", ep.Node(), v.Coord)
+		}
+	}
+	// The re-formed group still sequences casts through the new coordinator.
+	if err := eps[2].Cast([]byte("post-failover")); err != nil {
+		t.Fatalf("cast: %v", err)
+	}
+	for _, ep := range eps[1:] {
+		for {
+			e := nextEvent(t, ep)
+			if e.Kind == ECast {
+				if string(e.Payload) != "post-failover" {
+					t.Fatalf("node %d: wrong payload %q", ep.Node(), e.Payload)
+				}
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,376 @@
+package lwg
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"starfish/internal/gcs"
+	"starfish/internal/vni"
+	"starfish/internal/wire"
+)
+
+// The router property test simulates the daemon layer around a set of
+// Routers: a single totally-ordered "main stream" (the bus) carries the
+// OpJoin announces exactly as main-group casts would, and each node's
+// harness applies them in order. The properties checked, per app and per
+// member: every scoped cast is delivered exactly once, and every member
+// settles on the same final stream view.
+
+// mainMsg is one simulated main-group cast.
+type mainMsg struct {
+	op   OpKind
+	app  wire.AppID
+	node wire.NodeID
+	addr string // creator contact for OpJoin
+	body string // payload for OpCast (fallback path)
+}
+
+// rtHarness wires n routers to one fastnet plus the simulated main bus.
+type rtHarness struct {
+	t       *testing.T
+	nodes   []wire.NodeID
+	routers map[wire.NodeID]*Router
+	apps    map[wire.AppID][]wire.NodeID
+
+	bus chan mainMsg
+
+	mu    sync.Mutex
+	seen  map[wire.NodeID]map[wire.AppID]map[string]int // node -> app -> payload -> count
+	joins map[wire.AppID]map[wire.NodeID]bool           // announced OpJoins (any node's view: total order)
+	views map[wire.NodeID]map[wire.AppID]gcs.View       // latest stream view per node per app
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newRtHarness(t *testing.T, n int, apps map[wire.AppID][]wire.NodeID) *rtHarness {
+	t.Helper()
+	fn := vni.NewFastnet(0)
+	h := &rtHarness{
+		t:       t,
+		routers: make(map[wire.NodeID]*Router),
+		apps:    apps,
+		bus:     make(chan mainMsg, 4096),
+		seen:    make(map[wire.NodeID]map[wire.AppID]map[string]int),
+		joins:   make(map[wire.AppID]map[wire.NodeID]bool),
+		views:   make(map[wire.NodeID]map[wire.AppID]gcs.View),
+		stop:    make(chan struct{}),
+	}
+	for i := 1; i <= n; i++ {
+		id := wire.NodeID(i)
+		h.nodes = append(h.nodes, id)
+		h.seen[id] = make(map[wire.AppID]map[string]int)
+		h.views[id] = make(map[wire.AppID]gcs.View)
+		r := NewRouter(RouterConfig{
+			Self:      id,
+			Transport: fn,
+			GroupAddr: func(app wire.AppID, gen uint32) string {
+				return fmt.Sprintf("lwg-a%d-g%d-n%d", app, gen, id)
+			},
+			HeartbeatEvery: 2 * time.Millisecond,
+			FailAfter:      20 * time.Millisecond,
+		})
+		h.routers[id] = r
+		h.wg.Add(1)
+		go h.pumpRouter(id, r)
+	}
+	h.wg.Add(1)
+	go h.pumpBus()
+	t.Cleanup(func() {
+		for _, r := range h.routers {
+			r.Close()
+		}
+		close(h.stop)
+		h.wg.Wait()
+	})
+	return h
+}
+
+// pumpRouter drains one router's merged group events.
+func (h *rtHarness) pumpRouter(id wire.NodeID, r *Router) {
+	defer h.wg.Done()
+	for ge := range r.Events() {
+		switch ge.Ev.Kind {
+		case gcs.ECast:
+			h.record(id, ge.App, string(ge.Ev.Payload))
+		case gcs.EView:
+			h.mu.Lock()
+			h.views[id][ge.App] = ge.Ev.View
+			h.mu.Unlock()
+		}
+	}
+}
+
+// pumpBus applies the totally ordered main stream: SetContact fan-out for
+// OpJoin, scoped fallback delivery for OpCast.
+func (h *rtHarness) pumpBus() {
+	defer h.wg.Done()
+	for {
+		select {
+		case m := <-h.bus:
+			switch m.op {
+			case OpJoin:
+				h.mu.Lock()
+				if h.joins[m.app] == nil {
+					h.joins[m.app] = make(map[wire.NodeID]bool)
+				}
+				h.joins[m.app][m.node] = true
+				h.mu.Unlock()
+				if m.addr != "" {
+					for _, id := range h.nodes {
+						h.routers[id].SetContact(m.app, 1, m.addr)
+					}
+				}
+			case OpCast:
+				// Receiver-side scoping, like Manager.HandleOp does for
+				// main-stream casts.
+				for _, member := range h.apps[m.app] {
+					h.record(member, m.app, m.body)
+				}
+			}
+		case <-h.stop:
+			return
+		}
+	}
+}
+
+func (h *rtHarness) record(node wire.NodeID, app wire.AppID, payload string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.seen[node] == nil {
+		return // crashed node: deliveries after close are not asserted on
+	}
+	byApp := h.seen[node]
+	if byApp[app] == nil {
+		byApp[app] = make(map[string]int)
+	}
+	byApp[app][payload]++
+}
+
+// ensureAll starts every member's endpoint for every app and waits until
+// all OpJoins appeared on the bus (the daemon's maybeStart gate).
+func (h *rtHarness) ensureAll() {
+	h.t.Helper()
+	for app, members := range h.apps {
+		app, members := app, members
+		for _, node := range members {
+			node := node
+			h.routers[node].Ensure(app, 1, members, func(gcsAddr string) {
+				h.bus <- mainMsg{op: OpJoin, app: app, node: node, addr: gcsAddr}
+			})
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+		h.mu.Lock()
+		for app, members := range h.apps {
+			for _, node := range members {
+				if !h.joins[app][node] {
+					done = false
+				}
+			}
+		}
+		h.mu.Unlock()
+		if done {
+			return
+		}
+		if time.Now().After(deadline) {
+			h.t.Fatal("timed out waiting for all OpJoin announces")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// castAll sends k tagged casts per member per app, in a seed-shuffled
+// order, routing through the stream with main-path fallback.
+func (h *rtHarness) castAll(seed uint64, k int, round string, members func(wire.AppID) []wire.NodeID) {
+	h.t.Helper()
+	type job struct {
+		app  wire.AppID
+		node wire.NodeID
+		i    int
+	}
+	var jobs []job
+	for app := range h.apps {
+		for _, node := range members(app) {
+			for i := 0; i < k; i++ {
+				jobs = append(jobs, job{app, node, i})
+			}
+		}
+	}
+	// Deterministic shuffle: interleaving differs per seed.
+	rng := seed*6364136223846793005 + 1442695040888963407
+	for i := len(jobs) - 1; i > 0; i-- {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		j := int((rng >> 33) % uint64(i+1))
+		jobs[i], jobs[j] = jobs[j], jobs[i]
+	}
+	for _, jb := range jobs {
+		payload := fmt.Sprintf("%s-a%d-n%d-%d", round, jb.app, jb.node, jb.i)
+		if err := h.routers[jb.node].Cast(jb.app, 1, []byte(payload)); err != nil {
+			// No stream on this node: the daemon would fall back to an
+			// OpCast on the main group. Exactly one path per cast.
+			h.bus <- mainMsg{op: OpCast, app: jb.app, node: jb.node, body: payload}
+		}
+	}
+}
+
+// waitExactlyOnce blocks until every member of every app saw every
+// expected payload of the round, then asserts none arrived twice.
+func (h *rtHarness) waitExactlyOnce(k int, round string, members func(wire.AppID) []wire.NodeID) {
+	h.t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		missing := ""
+		h.mu.Lock()
+		for app := range h.apps {
+			ms := members(app)
+			for _, receiver := range ms {
+				for _, sender := range ms {
+					for i := 0; i < k; i++ {
+						payload := fmt.Sprintf("%s-a%d-n%d-%d", round, app, sender, i)
+						if h.seen[receiver][app][payload] == 0 {
+							missing = fmt.Sprintf("node %d app %d payload %s", receiver, app, payload)
+						}
+					}
+				}
+			}
+		}
+		h.mu.Unlock()
+		if missing == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			h.t.Fatalf("cast never delivered: %s", missing)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for app := range h.apps {
+		ms := members(app)
+		for _, receiver := range ms {
+			for payload, n := range h.seen[receiver][app] {
+				if n > 1 {
+					h.t.Fatalf("node %d app %d: payload %q delivered %d times", receiver, app, payload, n)
+				}
+			}
+		}
+	}
+}
+
+// waitViewAgreement blocks until every listed member's latest stream view
+// for every app has exactly the expected member set, then asserts the
+// views agree (same id, coordinator, members).
+func (h *rtHarness) waitViewAgreement(members func(wire.AppID) []wire.NodeID) {
+	h.t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ok := true
+		h.mu.Lock()
+		for app := range h.apps {
+			ms := members(app)
+			var ref gcs.View
+			for i, node := range ms {
+				v := h.views[node][app]
+				if !sameIDs(v.Members, ms) {
+					ok = false
+					break
+				}
+				if i == 0 {
+					ref = v
+				} else if v.ID != ref.ID || v.Coord != ref.Coord {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		h.mu.Unlock()
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			h.mu.Lock()
+			state := fmt.Sprintf("%v", h.views)
+			h.mu.Unlock()
+			h.t.Fatalf("stream views never converged: %s", state)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func sameIDs(a, b []wire.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	in := make(map[wire.NodeID]bool, len(a))
+	for _, x := range a {
+		in[x] = true
+	}
+	for _, x := range b {
+		if !in[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func without(ms []wire.NodeID, gone wire.NodeID) []wire.NodeID {
+	var out []wire.NodeID
+	for _, m := range ms {
+		if m != gone {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// TestRouterPropertySeeded is the concurrent-streams property test: four
+// apps with overlapping member sets run independent sequencer streams on
+// four nodes; every member must agree on every stream view and deliver
+// every scoped cast exactly once — including across a member crash whose
+// verdict arrives from the (simulated) main group, which for app 5 kills
+// the stream's own coordinator.
+func TestRouterPropertySeeded(t *testing.T) {
+	for _, seed := range []uint64{1, 2} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			apps := map[wire.AppID][]wire.NodeID{
+				1: {1, 2, 3, 4},
+				2: {1, 2},
+				3: {2, 3, 4},
+				5: {1, 2, 4}, // Creator(5, {1,2,4}) == 4: the crash below kills its coordinator
+			}
+			h := newRtHarness(t, 4, apps)
+			h.ensureAll()
+
+			all := func(app wire.AppID) []wire.NodeID { return apps[app] }
+			h.castAll(seed, 20, "r1", all)
+			h.waitExactlyOnce(20, "r1", all)
+			h.waitViewAgreement(all)
+
+			// Crash node 4; the main group's verdict flows in via ReportDead.
+			victim := wire.NodeID(4)
+			h.mu.Lock()
+			delete(h.seen, victim) // stop asserting on the dead node's deliveries
+			h.mu.Unlock()
+			h.routers[victim].Close()
+			for _, id := range h.nodes {
+				if id != victim {
+					h.routers[id].ReportDead(victim)
+				}
+			}
+
+			survivors := func(app wire.AppID) []wire.NodeID { return without(apps[app], victim) }
+			h.waitViewAgreement(survivors)
+			h.castAll(seed+7, 10, "r2", survivors)
+			h.waitExactlyOnce(10, "r2", survivors)
+		})
+	}
+}

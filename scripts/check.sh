@@ -13,7 +13,11 @@
 #   chain-restore-vs-disk bar), and the event-plane benchmarks (folded into
 #   BENCH_events.json, which enforces >=100k records/s ingest, >=2x
 #   indexed-query-vs-scan, and <=2% emitter overhead on the 64 KiB
-#   fast-path round trip).
+#   fast-path round trip), and the control-plane benchmarks (folded into
+#   BENCH_controlplane.json, which enforces the >=4x sharded-vs-single
+#   sequencer bar on 8-app scoped-cast throughput and the O(1)
+#   gossip-load and bounded-detection-latency bars out to 1024 simulated
+#   nodes).
 #
 # Usage: scripts/check.sh [--quick]
 #   --quick   skip -race and the benchmarks (vet/build/test only)
@@ -73,6 +77,9 @@ go test -race ./internal/wire/ ./internal/vni/ ./internal/mpi/
 
 echo "== go test -race (checkpoint-storage packages) =="
 go test -race ./internal/ckpt/ ./internal/rstore/ ./internal/daemon/ ./internal/cluster/
+
+echo "== go test -race (control-plane packages) =="
+go test -race ./internal/gcs/ ./internal/gossip/ ./internal/lwg/
 
 echo "== chaos soak (short, fixed seeds: kill + 5% loss) =="
 # Two seeds of the fault matrix under -race with reduced round counts
@@ -385,6 +392,88 @@ print(f"fastpath A/B tripwire: events {events['ns_per_op']:.0f} ns vs plain "
       f"{plain['ns_per_op']:.0f} ns = {(ab - 1) * 100:+.1f}% "
       f"({'ok' if ab_ok else 'FAIL: emit path is blocking the data path'})")
 if not (ingest_ok and query_ok and emit_ok and ab_ok):
+    sys.exit(1)
+EOF
+
+echo "== starfish-vet (control plane focus) =="
+# Re-run the analyzers scoped to the sharded control plane before trusting
+# its benchmark gate: the per-group engines multiplex gossip payloads over
+# pooled wire buffers (poolcheck), the router spawns one lifecycle
+# goroutine per group stream (goleak), and the engine tick paths take the
+# endpoint mutex by hand (lockcheck).
+go run ./cmd/starfish-vet ./internal/gossip/ ./internal/gcs/ ./internal/lwg/
+
+echo "== control-plane benchmarks =="
+PBENCH_OUT=$(mktemp)
+trap 'rm -f "$BENCH_OUT" "$RBENCH_OUT" "$CBENCH_OUT" "$KBENCH_OUT" "$EBENCH_OUT" "$PBENCH_OUT"' EXIT
+# Fixed iteration counts: the cast pair re-forms a 32-endpoint group per
+# invocation (adaptive b.N ramping would re-pay that setup several times),
+# and the gossip sims are deterministic so one virtual-time run per count
+# is exact. -count=3 with min folding, as for the event plane.
+go test -run XXX -bench 'BenchmarkControlPlane/casts=' -benchtime 100x -count=3 . | tee "$PBENCH_OUT"
+go test -run XXX -bench 'BenchmarkControlPlane/gossip/' -benchtime 1x -count=3 . | tee -a "$PBENCH_OUT"
+
+echo "== BENCH_controlplane.json =="
+# Fold the control-plane benchmark lines (min over the 3 runs of each
+# sub-benchmark) into BENCH_controlplane.json and enforce the sharding
+# acceptance bars: per-group sequencers beat the single shared sequencer
+# >=4x on 8-app scoped-cast throughput; gossip failure-detection load is
+# O(1) per node per round out to 1024 simulated nodes; and confirmed-dead
+# latency at 1024 nodes stays within the rumor-spread log factor of the
+# 64-node figure.
+python3 - "$PBENCH_OUT" <<'EOF'
+import json, re, sys
+
+lines = open(sys.argv[1]).read().splitlines()
+current = {}
+for ln in lines:
+    m = re.match(r'^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$', ln)
+    if not m:
+        continue
+    name, _, ns, rest = m.groups()
+    entry = {"ns_per_op": float(ns)}
+    for val, unit in re.findall(r'([\d.]+) (\S+)', rest):
+        key = unit.replace('/op', '_per_op').replace('-', '_').replace('/', '_')
+        entry[key] = float(val)
+    if name not in current or entry["ns_per_op"] < current[name]["ns_per_op"]:
+        current[name] = entry
+
+path = "BENCH_controlplane.json"
+with open(path) as f:
+    doc = json.load(f)
+doc["current"] = current
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"updated {path}: {len(current)} benchmark entries")
+
+def need(name):
+    entry = current.get(name)
+    if entry is None:
+        sys.exit(f"missing {name} results")
+    return entry
+
+single = need("BenchmarkControlPlane/casts=single/apps=8")
+sharded = need("BenchmarkControlPlane/casts=sharded/apps=8")
+speedup = single["ns_per_op"] / sharded["ns_per_op"]
+speed_ok = speedup >= 4.0
+print(f"8-app scoped casts: sharded {sharded['ns_per_op'] / 1e3:.0f} us vs "
+      f"single-sequencer {single['ns_per_op'] / 1e3:.0f} us = {speedup:.2f}x "
+      f"({'ok' if speed_ok else 'FAIL: need >=4x'})")
+
+g64 = need("BenchmarkControlPlane/gossip/nodes=64")
+g1024 = need("BenchmarkControlPlane/gossip/nodes=1024")
+load_ok = (g1024["msgs_node_round"] <= 8.0
+           and g1024["msgs_node_round"] <= 2.0 * g64["msgs_node_round"])
+print(f"gossip load: {g64['msgs_node_round']:.1f} msgs/node/round at 64 nodes, "
+      f"{g1024['msgs_node_round']:.1f} at 1024 "
+      f"({'ok' if load_ok else 'FAIL: need O(1) — <=8 absolute and <=2x the 64-node figure'})")
+
+detect_ok = g1024["detect_ms"] <= 4.0 * g64["detect_ms"]
+print(f"confirmed-dead latency: {g64['detect_ms']:.0f} ms at 64 nodes, "
+      f"{g1024['detect_ms']:.0f} ms at 1024 "
+      f"({'ok' if detect_ok else 'FAIL: need <=4x the 64-node figure'})")
+if not (speed_ok and load_ok and detect_ok):
     sys.exit(1)
 EOF
 
