@@ -14,7 +14,9 @@ quick:
 
 # Static gates: gofmt, go vet, and the repo's own starfish-vet analyzers
 # (pooled-buffer ownership, lock discipline, goroutine lifecycle, error
-# drops on write paths). See DESIGN.md "Static invariants".
+# drops on write paths, the //starfish:deterministic contract, global
+# lock-acquisition order, and the event-kind registry), run as one
+# interprocedural program. See DESIGN.md "Static invariants".
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
@@ -29,6 +31,7 @@ test:
 race:
 	$(GO) test -race ./internal/wire/ ./internal/vni/ ./internal/mpi/
 	$(GO) test -race ./internal/ckpt/ ./internal/rstore/ ./internal/daemon/ ./internal/cluster/
+	$(GO) test -race ./internal/gossip/ ./internal/lwg/ ./internal/gcs/ ./internal/evstore/
 
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkWireCodec|BenchmarkFastPathRoundTrip' -benchmem -benchtime 2s .

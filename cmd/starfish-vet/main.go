@@ -1,30 +1,44 @@
 // Command starfish-vet runs the repo's custom static checks — poolcheck,
-// lockcheck, goleak, errdrop — over module packages (test files excluded).
+// lockcheck, goleak, errdrop, detcheck, lockorder, evcheck — over module
+// packages (test files excluded).
 //
 // Usage:
 //
-//	starfish-vet [-checks poolcheck,lockcheck] [packages...]
+//	starfish-vet [-checks poolcheck,lockcheck] [-json] [-stats file] [packages...]
 //	starfish-vet -dir path/to/bare/dir
 //
 // Exit status is 1 when any diagnostic is reported. The -dir mode
 // analyzes a directory of Go files outside the module package graph (used
 // by scripts/check.sh to prove each analyzer still fires on a seeded
-// violation). Suppress an individual finding with a
+// violation). -json switches the findings to one JSON record per line
+// (file/line/col/check/message); -stats writes a JSON summary (packages,
+// functions summarized, findings by check, wall time) to a file for the
+// bench-tracking harness. Suppress an individual finding with a
 // `//starfish:allow <check> <reason>` comment on or above the line.
+//
+// All packages are loaded and analyzed as one program: the analyzers see
+// cross-package call-graph summaries, and per-package passes run on a
+// bounded worker pool.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"starfish/internal/analysis"
+	"starfish/internal/analysis/detcheck"
 	"starfish/internal/analysis/errdrop"
+	"starfish/internal/analysis/evcheck"
 	"starfish/internal/analysis/goleak"
 	"starfish/internal/analysis/lockcheck"
+	"starfish/internal/analysis/lockorder"
 	"starfish/internal/analysis/poolcheck"
 )
 
@@ -33,13 +47,19 @@ var all = []*analysis.Analyzer{
 	lockcheck.Analyzer,
 	goleak.Analyzer,
 	errdrop.Analyzer,
+	detcheck.Analyzer,
+	lockorder.Analyzer,
+	evcheck.Analyzer,
 }
 
 func main() {
 	dir := flag.String("dir", "", "analyze the .go files of one bare directory instead of module packages")
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON records, one per line")
+	statsFile := flag.String("stats", "", "write a JSON run summary (packages, functions, findings, wall time) to this file")
+	workers := flag.Int("workers", 0, "max packages analyzed concurrently (default: GOMAXPROCS, capped at 8)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: starfish-vet [-checks names] [packages...] | starfish-vet -dir path\n\nchecks:\n")
+		fmt.Fprintf(os.Stderr, "usage: starfish-vet [-checks names] [-json] [-stats file] [packages...] | starfish-vet -dir path\n\nchecks:\n")
 		for _, a := range all {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
 		}
@@ -64,7 +84,14 @@ func main() {
 			}
 		}
 	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+		if *workers > 8 {
+			*workers = 8
+		}
+	}
 
+	start := time.Now()
 	root, err := moduleRoot()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "starfish-vet: %v\n", err)
@@ -73,6 +100,7 @@ func main() {
 	loader := analysis.NewLoader(root)
 
 	var pkgs []*analysis.Package
+	progRoot := root
 	if *dir != "" {
 		p, err := loader.LoadDir(*dir)
 		if err != nil {
@@ -80,6 +108,7 @@ func main() {
 			os.Exit(2)
 		}
 		pkgs = []*analysis.Package{p}
+		progRoot = "" // bare directory: no repo-wide cross-references
 	} else {
 		patterns := flag.Args()
 		if len(patterns) == 0 {
@@ -92,24 +121,53 @@ func main() {
 		}
 	}
 
-	bad := false
-	for _, pkg := range pkgs {
-		diags, err := analysis.Check(pkg, enabled)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "starfish-vet: %v\n", err)
-			os.Exit(2)
+	prog := analysis.BuildProgram(progRoot, pkgs)
+	diags, err := analysis.CheckProgram(prog, enabled, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "starfish-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	byCheck := make(map[string]int)
+	fset := prog.Fset()
+	for _, d := range diags {
+		byCheck[d.Check]++
+		pos := fset.Position(d.Pos)
+		rel := pos.Filename
+		if r, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
 		}
-		for _, d := range diags {
-			bad = true
-			pos := pkg.Fset.Position(d.Pos)
-			rel := pos.Filename
-			if r, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-				rel = r
-			}
+		if *jsonOut {
+			//starfish:allow errdrop marshaling a map of strings and ints cannot fail
+			rec, _ := json.Marshal(map[string]any{
+				"file": rel, "line": pos.Line, "col": pos.Column,
+				"check": d.Check, "message": d.Message,
+			})
+			fmt.Println(string(rec))
+		} else {
 			fmt.Printf("%s:%d:%d: [%s] %s\n", rel, pos.Line, pos.Column, d.Check, d.Message)
 		}
 	}
-	if bad {
+
+	if *statsFile != "" {
+		findings := make(map[string]int, len(enabled))
+		for _, a := range enabled {
+			findings[a.Name] = byCheck[a.Name]
+		}
+		//starfish:allow errdrop marshaling a map of strings and ints cannot fail
+		stats, _ := json.MarshalIndent(map[string]any{
+			"packages_analyzed":    len(pkgs),
+			"functions_summarized": prog.NumFuncs(),
+			"findings_by_check":    findings,
+			"findings_total":       len(diags),
+			"wall_ms":              time.Since(start).Milliseconds(),
+		}, "", "  ")
+		if err := os.WriteFile(*statsFile, append(stats, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "starfish-vet: writing stats: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(diags) > 0 {
 		os.Exit(1)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"starfish/internal/evstore"
 	"starfish/internal/wire"
 )
 
@@ -32,4 +33,37 @@ func goroutineViolation() {
 
 func errViolation(f func() error) {
 	_ = f() // errdrop: error silently discarded
+}
+
+//starfish:deterministic
+func detViolation() int64 {
+	return time.Now().UnixNano() // detcheck: wall clock under the determinism contract
+}
+
+type smokeA struct{ mu sync.Mutex }
+type smokeB struct{ mu sync.Mutex }
+
+var (
+	sa smokeA
+	sb smokeB
+)
+
+// orderViolationAB and orderViolationBA take the pair in opposite orders:
+// a lock-order cycle (lockorder).
+func orderViolationAB() {
+	sa.mu.Lock()
+	sb.mu.Lock()
+	sb.mu.Unlock()
+	sa.mu.Unlock()
+}
+
+func orderViolationBA() {
+	sb.mu.Lock()
+	sa.mu.Lock()
+	sa.mu.Unlock()
+	sb.mu.Unlock()
+}
+
+func evViolation() evstore.Record {
+	return evstore.Ev("bogus-kind") // evcheck: kind not declared in the Registry
 }

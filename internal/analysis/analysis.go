@@ -1,12 +1,23 @@
 // Package analysis is a minimal, dependency-free reimplementation of the
 // golang.org/x/tools/go/analysis vocabulary, used by the starfish-vet
-// static checkers (poolcheck, lockcheck, goleak, errdrop).
+// static checkers (poolcheck, lockcheck, goleak, errdrop, detcheck,
+// lockorder, evcheck).
 //
 // The x/tools module is deliberately not vendored: the repo builds with the
 // standard library alone. This package keeps the same shape — an Analyzer
 // with a Run func over a Pass carrying the package's syntax and type
 // information — so the checkers could be ported to the real framework by
 // swapping import paths.
+//
+// # Interprocedural model
+//
+// On top of the per-package passes, the runner builds a Program: every
+// analyzed package, an index of all function declarations, and a bottom-up
+// Summary per function (pool-ownership effects per parameter, lock deltas,
+// blocking and determinism evidence, global lock classes). Per-package
+// analyzers reach it through Pass.Prog to see through helper calls;
+// program-level analyzers (Analyzer.ProgRun) run once over the whole
+// Program.
 //
 // # Suppression pragma
 //
@@ -26,9 +37,11 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
 )
 
-// Analyzer describes one static check.
+// Analyzer describes one static check. Exactly one of Run (per-package)
+// and ProgRun (whole-program) is set.
 type Analyzer struct {
 	// Name identifies the check in diagnostics and in //starfish:allow
 	// pragmas. Lower-case, no spaces.
@@ -38,6 +51,10 @@ type Analyzer struct {
 	// Run performs the check on one package and reports findings through
 	// pass.Report.
 	Run func(pass *Pass) error
+	// ProgRun performs the check once over the whole program (lockorder's
+	// cross-package cycle detection, detcheck's transitive taint check,
+	// evcheck's registry validation).
+	ProgRun func(pass *ProgPass) error
 }
 
 // Pass carries the per-package inputs to an Analyzer.Run and collects its
@@ -48,6 +65,9 @@ type Pass struct {
 	Files     []*ast.File // parsed non-test sources, with comments
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Prog is the whole-program view: function summaries let the analyzer
+	// see through calls into helpers (including cross-package ones).
+	Prog *Program
 	// Report records one finding. Safe to call multiple times; the runner
 	// sorts and pragma-filters afterwards.
 	Report func(Diagnostic)
@@ -58,6 +78,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Check: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
 }
 
+// ProgPass carries the whole-program inputs to an Analyzer.ProgRun.
+type ProgPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Fset     *token.FileSet
+	Report   func(Diagnostic)
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *ProgPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Check: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
 // Diagnostic is one finding of one check.
 type Diagnostic struct {
 	Pos     token.Pos
@@ -65,34 +98,102 @@ type Diagnostic struct {
 	Message string
 }
 
-// Check runs each analyzer over pkg, applies //starfish:allow suppression,
-// and returns the surviving diagnostics in file/line order.
+// Check runs the analyzers over a single package (building a one-package
+// Program for the interprocedural parts), applies //starfish:allow
+// suppression, and returns the surviving diagnostics in file/line order.
+// It is the analysistest entry point; the vet driver uses CheckProgram.
 func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
+	return CheckProgram(BuildProgram("", []*Package{pkg}), analyzers, 1)
+}
+
+// CheckProgram runs per-package analyzers over every package of the
+// program — with up to workers packages in flight at once — and
+// program-level analyzers once, applies //starfish:allow suppression, and
+// returns the surviving diagnostics in file/line order.
+//
+// Summaries are computed eagerly by BuildProgram, so concurrent analyzer
+// runs only ever read the Program.
+func CheckProgram(prog *Program, analyzers []*Analyzer, workers int) ([]Diagnostic, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		mu    sync.Mutex
+		diags []Diagnostic
+		errs  []error
+	)
+	report := func(d Diagnostic) {
+		mu.Lock()
+		diags = append(diags, d)
+		mu.Unlock()
+	}
+
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, pkg := range prog.Pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pkg *Package) {
+			defer func() { <-sem; wg.Done() }()
+			for _, a := range analyzers {
+				if a.Run == nil {
+					continue
+				}
+				pass := &Pass{
+					Analyzer:  a,
+					Fset:      pkg.Fset,
+					Files:     pkg.Files,
+					Pkg:       pkg.Types,
+					TypesInfo: pkg.Info,
+					Prog:      prog,
+					Report:    report,
+				}
+				if err := a.Run(pass); err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err))
+					mu.Unlock()
+				}
+			}
+		}(pkg)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+
+	fset := prog.Fset()
 	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
+		if a.ProgRun == nil {
+			continue
 		}
-		pass.Report = func(d Diagnostic) { diags = append(diags, d) }
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		pass := &ProgPass{Analyzer: a, Prog: prog, Fset: fset, Report: report}
+		if err := a.ProgRun(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
-	allows, bad := collectAllows(pkg.Fset, pkg.Files)
-	diags = append(filterAllowed(pkg.Fset, diags, allows), bad...)
+
+	allows := make(map[allowKey]bool)
+	var bad []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		al, b := collectAllows(pkg.Fset, pkg.Files)
+		for k := range al {
+			allows[k] = true
+		}
+		bad = append(bad, b...)
+	}
+	diags = append(filterAllowed(fset, diags, allows), bad...)
 	sort.Slice(diags, func(i, j int) bool {
-		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
 		if pi.Line != pj.Line {
 			return pi.Line < pj.Line
 		}
-		return diags[i].Check < diags[j].Check
+		if diags[i].Check != diags[j].Check {
+			return diags[i].Check < diags[j].Check
+		}
+		return diags[i].Message < diags[j].Message
 	})
 	return diags, nil
 }

@@ -1,0 +1,59 @@
+// Package detcheck enforces the //starfish:deterministic contract: a
+// function carrying the marker on its doc comment — or any function of a
+// package whose package doc carries it — must produce identical results
+// given identical inputs, run after run and replica after replica. That is
+// the property hot-rank replication leans on: a replica consuming the same
+// message stream as the primary must arrive at the same state.
+//
+// A marked function must not reach, directly or transitively through the
+// program call graph:
+//
+//   - wall-clock reads (time.Now/Since/Until/After/Tick, timer and ticker
+//     construction, time.Sleep) or os.Getpid;
+//   - the unseeded global math/rand source, or crypto/rand (seeded
+//     generators built with rand.New(rand.NewSource(seed)) are fine —
+//     their methods are deterministic given the seed);
+//   - goroutine spawns (results then depend on scheduling);
+//   - map iteration with order-sensitive effects. Ranging over a map is
+//     permitted when the body's effects are per-key (map writes, deletes,
+//     scalar accumulation), or when every slice appended to inside the
+//     loop is passed to sort.Slice/sort.Sort/sort.Strings/... later in the
+//     same block; anything else — sends, early returns, breaks, calls into
+//     functions that observe ordering — taints the function.
+//
+// Calls through interfaces are not followed: injected observers (an
+// evstore.Sink, a logger) sit outside the deterministic core by design,
+// and the runtime wires them explicitly. Taints that sit inside a callee
+// that is itself marked deterministic are reported at the callee only, so
+// one bug yields one diagnostic.
+package detcheck
+
+import (
+	"starfish/internal/analysis"
+)
+
+// Analyzer is the detcheck check.
+var Analyzer = &analysis.Analyzer{
+	Name:    "detcheck",
+	Doc:     "functions marked //starfish:deterministic must not reach clocks, unseeded randomness, goroutine spawns, or order-sensitive map iteration",
+	ProgRun: run,
+}
+
+func run(pass *analysis.ProgPass) error {
+	for _, fn := range pass.Prog.MarkedDeterministic() {
+		sum := pass.Prog.Summary(fn)
+		if sum == nil {
+			continue
+		}
+		for _, t := range sum.Taints {
+			// A taint inherited from a callee that is itself marked is
+			// reported at the callee, where the evidence lives.
+			if t.Via != nil && pass.Prog.IsMarkedDeterministic(t.Via) {
+				continue
+			}
+			pass.Reportf(t.Pos, "%s is marked //starfish:deterministic but reaches %s",
+				fn.Name(), analysis.DescribeSite(t))
+		}
+	}
+	return nil
+}

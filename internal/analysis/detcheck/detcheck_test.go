@@ -1,0 +1,11 @@
+package detcheck
+
+import (
+	"testing"
+
+	"starfish/internal/analysis/analysistest"
+)
+
+func TestDetcheckFixture(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata")
+}

@@ -1,0 +1,82 @@
+// Package det is the detcheck golden fixture: functions under the
+// //starfish:deterministic contract paired with `// want` expectations.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// clock is unmarked: free to read the wall clock. Marked callers that
+// reach it are tainted through the summary, with the evidence attributed
+// via the callee.
+func clock() time.Time { return time.Now() }
+
+// seedOf only builds a generator: deterministic given its argument.
+//
+//starfish:deterministic
+func seedOf(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+//starfish:deterministic
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "reaches time.Now"
+}
+
+//starfish:deterministic
+func viaHelper() time.Time {
+	return clock() // want "reaches time.Now (via clock)"
+}
+
+//starfish:deterministic
+func globalRand() int {
+	return rand.Int() // want "unseeded math/rand.Int"
+}
+
+//starfish:deterministic
+func spawns(ch chan int) {
+	go func() { ch <- 1 }() // want "goroutine spawn"
+}
+
+//starfish:deterministic
+func leakOrder(m map[string]int, ch chan string) {
+	for k := range m { // want "map iteration order reaches a channel send"
+		ch <- k
+	}
+}
+
+//starfish:deterministic
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "without a subsequent sort"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeys is the blessed pattern: collect, then sort in the same block.
+//
+//starfish:deterministic
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// perKeyWrites never observes iteration order: map writes are per-key.
+//
+//starfish:deterministic
+func perKeyWrites(m map[string]int) {
+	for k, v := range m {
+		m[k] = v + 1
+	}
+}
+
+// drawSeeded draws from a caller-provided generator: deterministic given
+// the generator's state.
+//
+//starfish:deterministic
+func drawSeeded(r *rand.Rand) int { return r.Intn(10) }

@@ -1,0 +1,335 @@
+// Package evcheck keeps the event plane honest: every event kind the
+// runtime emits must be declared in the evstore Registry, every kind the
+// Registry declares must actually be emitted somewhere, and every kind a
+// query references — chaos-soak assertions, EXPERIMENTS.md transcripts,
+// the starfishctl usage docs — must be emitted under the component the
+// query names. A typo'd kind in a query does not error at runtime; it
+// just matches nothing, forever, which in a soak assertion means a check
+// that can never fail. This analyzer turns that silence into a build
+// failure.
+//
+// Emit sites are calls to evstore.Ev/EvApp/EvRank. The kind argument is
+// resolved statically at three levels: a string literal at the call; a
+// local variable whose every assignment is a string literal (the daemon's
+// suspend/resume toggle); or a parameter of the enclosing function, in
+// which case every call site of that function must pass a literal (the
+// chaosnet faultEvent helper). Anything else is reported — event kinds
+// must stay statically analyzable.
+//
+// The query-side and registry-completeness checks need the whole repo to
+// be loaded (the emitted set must be complete), so they only run when the
+// analyzed program contains starfish/internal/cluster.
+package evcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"starfish/internal/analysis"
+	"starfish/internal/evstore"
+)
+
+// Analyzer is the evcheck check.
+var Analyzer = &analysis.Analyzer{
+	Name:    "evcheck",
+	Doc:     "event kinds must be declared in the evstore Registry, emitted kinds and query-referenced kinds must agree",
+	ProgRun: run,
+}
+
+// emitConstructors are the evstore record constructors whose first
+// argument is the event kind.
+var emitConstructors = map[string]bool{
+	"starfish/internal/evstore.Ev":     true,
+	"starfish/internal/evstore.EvApp":  true,
+	"starfish/internal/evstore.EvRank": true,
+}
+
+// queryFiles are the repo files whose kind=/component= references are
+// validated, relative to the repo root.
+var queryFiles = []string{
+	"internal/cluster/chaos_test.go",
+	"internal/cluster/tail_chaos_test.go",
+	"cmd/starfishctl/main.go",
+	"EXPERIMENTS.md",
+}
+
+func run(pass *analysis.ProgPass) error {
+	ec := &checker{pass: pass, emitted: make(map[string]bool)}
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if emitConstructors[analysis.CalleeName(pkg.Info, call)] {
+					ec.emitSite(pkg, call)
+				}
+				return true
+			})
+		}
+	}
+	// The cross-referencing checks need the full emitted set, which only a
+	// whole-repo load provides.
+	repoMode := pass.Prog.RepoRoot != ""
+	if repoMode {
+		repoMode = false
+		for _, pkg := range pass.Prog.Pkgs {
+			if pkg.PkgPath == "starfish/internal/cluster" {
+				repoMode = true
+			}
+		}
+	}
+	if repoMode {
+		ec.queryScan()
+		ec.completeness()
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.ProgPass
+	emitted map[string]bool
+}
+
+// emitSite resolves the kind argument of one Ev/EvApp/EvRank call and
+// checks each resolved kind against the Registry.
+func (ec *checker) emitSite(pkg *analysis.Package, call *ast.CallExpr) {
+	arg := ast.Unparen(call.Args[0])
+	if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		ec.kindAt(lit.Pos(), unquote(lit))
+		return
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		ec.pass.Reportf(arg.Pos(), "event kind is not statically resolvable (want a string literal, a literal-assigned local, or a parameter passed literals)")
+		return
+	}
+	v, _ := pkg.Info.Uses[id].(*types.Var)
+	if v == nil {
+		ec.pass.Reportf(arg.Pos(), "event kind is not statically resolvable")
+		return
+	}
+	if fn, idx := ec.paramOwner(v); fn != nil {
+		ec.paramKinds(fn, idx)
+		return
+	}
+	ec.localKinds(pkg, v, arg.Pos())
+}
+
+// kindAt records one resolved emitted kind and validates it against the
+// declared Registry.
+func (ec *checker) kindAt(pos token.Pos, kind string) {
+	ec.emitted[kind] = true
+	if !evstore.KnownKind(kind) {
+		ec.pass.Reportf(pos, "event kind %q is not declared in the evstore Registry", kind)
+	}
+}
+
+// paramOwner finds the program function declaring v as a parameter.
+func (ec *checker) paramOwner(v *types.Var) (*types.Func, int) {
+	for _, fn := range ec.pass.Prog.FuncsSorted() {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil {
+			continue
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == v {
+				return fn, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// paramKinds resolves a kind that arrives as a function parameter: every
+// call site of the function must pass a string literal at that position.
+func (ec *checker) paramKinds(fn *types.Func, idx int) {
+	for _, pkg := range ec.pass.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || analysis.Callee(pkg.Info, call) != fn || idx >= len(call.Args) {
+					return true
+				}
+				a := ast.Unparen(call.Args[idx])
+				if lit, ok := a.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					ec.kindAt(lit.Pos(), unquote(lit))
+				} else {
+					ec.pass.Reportf(a.Pos(), "event kind passed to %s is not a string literal: the kind cannot be validated against the Registry", fn.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// localKinds resolves a kind held in a local variable: every assignment to
+// it must be a string literal.
+func (ec *checker) localKinds(pkg *analysis.Package, v *types.Var, at token.Pos) {
+	found := false
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if pkg.Info.Defs[id] != v && pkg.Info.Uses[id] != v {
+					continue
+				}
+				found = true
+				if i >= len(as.Rhs) {
+					ec.pass.Reportf(at, "event kind variable %s has a non-literal assignment", v.Name())
+					continue
+				}
+				if lit, ok := ast.Unparen(as.Rhs[i]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					ec.kindAt(lit.Pos(), unquote(lit))
+				} else {
+					ec.pass.Reportf(as.Rhs[i].Pos(), "event kind variable %s is assigned a non-literal value: the kind cannot be validated against the Registry", v.Name())
+				}
+			}
+			return true
+		})
+	}
+	if !found {
+		ec.pass.Reportf(at, "event kind is not statically resolvable")
+	}
+}
+
+func unquote(lit *ast.BasicLit) string {
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return lit.Value
+	}
+	return s
+}
+
+// ---- query-side validation ----
+
+// queryScan reads the known query surfaces (soak assertions, docs) as
+// text, extracts component=/kind= references, and checks each against the
+// Registry and the emitted set.
+func (ec *checker) queryScan() {
+	for _, rel := range queryFiles {
+		path := filepath.Join(ec.pass.Prog.RepoRoot, rel)
+		content, err := os.ReadFile(path)
+		if err != nil {
+			continue // surface moved or absent: nothing to validate
+		}
+		tf := ec.pass.Fset.AddFile(path, -1, len(content))
+		tf.SetLinesForContent(content)
+		for _, ref := range extractRefs(string(content)) {
+			pos := tf.Pos(ref.off)
+			if !ec.emitted[ref.kind] {
+				ec.pass.Reportf(pos, "query references event kind %q, which no code emits — it can only ever match nothing", ref.kind)
+				continue
+			}
+			if ref.component != "" && !evstore.KnownFor(ref.component, ref.kind) {
+				ec.pass.Reportf(pos, "query pairs component=%s with kind=%s, but the Registry declares no such event for that component", ref.component, ref.kind)
+			}
+		}
+	}
+}
+
+type queryRef struct {
+	component, kind string
+	off             int // byte offset of the kind= token
+}
+
+// extractRefs pulls component=/kind= pairs out of text, line by line. A
+// kind pairs with the nearest component= on its own line, when present.
+func extractRefs(content string) []queryRef {
+	var refs []queryRef
+	off := 0
+	for _, line := range strings.SplitAfter(content, "\n") {
+		component := ""
+		if i := strings.Index(line, "component="); i >= 0 {
+			component = tokenValue(line[i+len("component="):])
+		}
+		rest, base := line, 0
+		for {
+			i := strings.Index(rest, "kind=")
+			if i < 0 {
+				break
+			}
+			val := tokenValue(rest[i+len("kind="):])
+			if val != "" {
+				refs = append(refs, queryRef{
+					component: component,
+					kind:      val,
+					off:       off + base + i,
+				})
+			}
+			base += i + len("kind=")
+			rest = line[base:]
+		}
+		off += len(line)
+	}
+	return refs
+}
+
+// tokenValue takes the leading run of kind-name characters; placeholders
+// and empty values yield "".
+func tokenValue(s string) string {
+	end := 0
+	for end < len(s) {
+		c := s[end]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' {
+			end++
+			continue
+		}
+		break
+	}
+	return s[:end]
+}
+
+// completeness reports Registry kinds that no code emits, positioned at
+// the Registry declaration.
+func (ec *checker) completeness() {
+	pos := token.NoPos
+	for _, pkg := range ec.pass.Prog.Pkgs {
+		if pkg.PkgPath != "starfish/internal/evstore" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				vs, ok := n.(*ast.ValueSpec)
+				if !ok {
+					return true
+				}
+				for _, name := range vs.Names {
+					if name.Name == "Registry" {
+						pos = name.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+	if pos == token.NoPos {
+		return // evstore not part of this program
+	}
+	var missing []string
+	for comp, kinds := range evstore.Registry {
+		for _, k := range kinds {
+			if !ec.emitted[k] {
+				missing = append(missing, comp+"/"+k)
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		ec.pass.Reportf(pos, "Registry declares %s but no code emits that kind", m)
+	}
+}

@@ -1,0 +1,11 @@
+package evcheck
+
+import (
+	"testing"
+
+	"starfish/internal/analysis/analysistest"
+)
+
+func TestEvcheckFixture(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata")
+}

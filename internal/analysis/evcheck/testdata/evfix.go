@@ -1,0 +1,48 @@
+// Package evfix is the evcheck golden fixture: emit sites whose kind
+// argument resolves (or fails to resolve) at the three supported levels —
+// literal, literal-assigned local, parameter with literal call sites. The
+// query-side checks need a whole-repo load and are exercised by the repo
+// run itself, not here.
+package evfix
+
+import "starfish/internal/evstore"
+
+func literalOK() evstore.Record {
+	return evstore.Ev("view-change")
+}
+
+func literalBogus() evstore.Record {
+	return evstore.Ev("bogus-kind") // want "not declared in the evstore Registry"
+}
+
+func localOK() evstore.Record {
+	kind := "suspend"
+	if len(kind) > 0 {
+		kind = "resume"
+	}
+	return evstore.EvApp(kind, 1)
+}
+
+func localBad(s string) evstore.Record {
+	kind := "suspect"
+	kind = s // want "assigned a non-literal value"
+	return evstore.Ev(kind)
+}
+
+// viaParam forwards its kind parameter to the constructor: every call
+// site must pass a literal so the kind stays statically checkable.
+func viaParam(kind string) evstore.Record {
+	return evstore.Ev(kind)
+}
+
+func someKind() string { return "drop" }
+
+func callers() {
+	viaParam("drop")
+	viaParam("oops-kind") // want "not declared in the evstore Registry"
+	viaParam(someKind())  // want "not a string literal"
+}
+
+func unresolvable(m map[string]string) evstore.Record {
+	return evstore.Ev(m["k"]) // want "not statically resolvable"
+}

@@ -19,6 +19,12 @@
 // arriving path holds it, so conditional unlocks do not produce false
 // positives. Deliberate blocking under a lock (e.g. a transport
 // serializing writes on purpose) is annotated //starfish:allow lockcheck.
+//
+// The checker is interprocedural through Pass.Prog: calling a lock helper
+// (a function whose summary says it leaves a receiver-rooted mutex held)
+// updates the held set exactly like an inline mu.Lock(), and calling a
+// function that may block transitively is reported like a direct blocking
+// call, with the callee named in the diagnostic.
 package lockcheck
 
 import (
@@ -36,22 +42,9 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// blockingCalls are callees that park or sleep the goroutine for an
-// unbounded or scheduling-visible time.
-var blockingCalls = map[string]string{
-	"time.Sleep":                            "time.Sleep",
-	"(*sync.WaitGroup).Wait":                "sync.WaitGroup.Wait",
-	"net.Dial":                              "net.Dial",
-	"net.DialTimeout":                       "net.DialTimeout",
-	"(*net.Dialer).Dial":                    "net.Dialer.Dial",
-	"(*net.Dialer).DialContext":             "net.Dialer.DialContext",
-	"(*starfish/internal/vni.NIC).Dial":     "vni.NIC.Dial",
-	"starfish/internal/wire.ReadMsg":        "wire.ReadMsg",
-	"starfish/internal/wire.ReadMsgBuf":     "wire.ReadMsgBuf",
-	"(*starfish/internal/mpi.Comm).Recv":    "mpi.Comm.Recv",
-	"(*starfish/internal/mpi.Comm).Send":    "mpi.Comm.Send",
-	"(*starfish/internal/mpi.Request).Wait": "mpi.Request.Wait",
-}
+// The table of known-blocking callees lives in the analysis package
+// (BlockingCalls), shared with the interprocedural summary builder.
+var blockingCalls = analysis.BlockingCalls
 
 type lockEnv struct {
 	held map[string]token.Pos // lock expr (e.g. "c.mu") -> Lock() position
@@ -163,6 +156,9 @@ func (c *checker) stmt(s ast.Stmt, e *lockEnv) *lockEnv {
 			}
 		}
 		c.exprOps(s.X, e)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			c.applyLockDeltas(call, e)
+		}
 		return e
 	case *ast.DeferStmt:
 		// `defer mu.Unlock()` keeps the lock held to function end — that
@@ -340,10 +336,70 @@ func (c *checker) exprOps(x ast.Expr, e *lockEnv) {
 			name := analysis.CalleeName(c.info(), n)
 			if desc, ok := blockingCalls[name]; ok {
 				c.reportHeld(e, n.Pos(), "call to "+desc)
+				return true
+			}
+			// Interprocedural: a summarized program callee that may park the
+			// goroutine is as bad as a direct blocking call.
+			if c.pass.Prog != nil {
+				fn := analysis.Callee(c.info(), n)
+				if sum := c.pass.Prog.Summary(fn); sum != nil && len(sum.Blocks) > 0 {
+					c.reportHeld(e, n.Pos(), analysis.DescribeSite(analysis.Site{
+						What: sum.Blocks[0].What, Via: fn,
+					}))
+				}
 			}
 		}
 		return true
 	})
+}
+
+// applyLockDeltas updates the held set for a top-level call into a lock or
+// unlock helper: the callee's summarized receiver/parameter-rooted lock
+// deltas are substituted through the call's receiver and arguments, so
+// `c.lockState()` counts as `c.mu.Lock()` at the call site.
+func (c *checker) applyLockDeltas(call *ast.CallExpr, e *lockEnv) {
+	if c.pass.Prog == nil {
+		return
+	}
+	fn := analysis.Callee(c.info(), call)
+	sum := c.pass.Prog.Summary(fn)
+	if sum == nil {
+		return
+	}
+	for _, ref := range sum.UnLocks {
+		if k := substLockKey(call, ref); k != "" {
+			delete(e.held, k)
+		}
+	}
+	for _, ref := range sum.NetLocks {
+		if k := substLockKey(call, ref); k != "" {
+			e.held[k] = call.Pos()
+		}
+	}
+}
+
+// substLockKey renders the caller-side lock expression for a callee lock
+// ref: receiver-rooted refs use the call's receiver expression, parameter-
+// rooted refs the corresponding argument.
+func substLockKey(call *ast.CallExpr, ref analysis.LockRef) string {
+	var root ast.Expr
+	if ref.Param < 0 {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		root = sel.X
+	} else {
+		if ref.Param >= len(call.Args) {
+			return ""
+		}
+		root = call.Args[ref.Param]
+	}
+	key := types.ExprString(ast.Unparen(root))
+	if ref.Path != "" {
+		key += "." + ref.Path
+	}
+	return key
 }
 
 func (c *checker) reportHeld(e *lockEnv, pos token.Pos, what string) {

@@ -126,3 +126,39 @@ func deliberateSleep(g *guarded) {
 	time.Sleep(time.Millisecond)
 	g.mu.Unlock()
 }
+
+// ---- interprocedural: helpers wrapping the lock API ----
+
+// lockState is a lock helper: its summary leaves g.mu held for the caller.
+func (g *guarded) lockState() {
+	g.mu.Lock()
+}
+
+// unlockState is the matching unlock helper.
+func (g *guarded) unlockState() {
+	g.mu.Unlock()
+}
+
+// drain parks the goroutine: callers holding a lock must not call it.
+func drain(ch chan int) int {
+	return <-ch
+}
+
+func sleepUnderHelperLock(g *guarded) {
+	g.lockState()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding"
+	g.unlockState()
+}
+
+func helperUnlockClears(g *guarded) {
+	g.lockState()
+	g.n++
+	g.unlockState()
+	time.Sleep(time.Millisecond) // lock released through the helper: clean
+}
+
+func blockingCalleeUnderLock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n = drain(ch) // want "channel receive (via drain) while holding"
+}

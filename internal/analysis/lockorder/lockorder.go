@@ -1,0 +1,425 @@
+// Package lockorder detects potential deadlocks from inconsistent lock
+// acquisition order. It builds a global graph over lock classes — a class
+// is the named struct type owning a mutex field ("gcs.Engine.mu") or a
+// package-level mutex variable — with an edge A -> B whenever some
+// function acquires a B-class lock while holding an A-class lock, either
+// directly or through a summarized callee. Any cycle in that graph means
+// two goroutines can each hold one lock of the cycle while waiting for
+// the next: a deadlock waiting for the right interleaving.
+//
+// Each cycle is reported once, with a witness per edge: the function, the
+// position the held lock was taken, and the position (and callee, when
+// interprocedural) of the conflicting acquisition. Self-edges (re-entry
+// on the same class) are skipped — they are instance-level recursion, a
+// different bug class with too many false positives across distinct
+// instances of one type.
+//
+// The per-function walk is source-order and path-insensitive: branch-local
+// lock/unlock pairs cancel out, and deferred unlocks keep the class held
+// to the end of the body (which is exactly when the lock is released).
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"starfish/internal/analysis"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name:    "lockorder",
+	Doc:     "report cycles in the global lock-acquisition-order graph (potential deadlocks), with a witness path per edge",
+	ProgRun: run,
+}
+
+// edge is one observed acquisition order: `to` acquired while `from` held.
+type edge struct {
+	from, to string
+	fn       *types.Func // function the acquisition happens in
+	holdPos  token.Pos   // where the held (from) lock was taken
+	acqPos   token.Pos   // where the to lock was acquired (or the call site)
+	via      *types.Func // non-nil when the acquisition is inside a callee
+}
+
+func run(pass *analysis.ProgPass) error {
+	edges := make(map[[2]string]edge) // first witness per ordered pair
+	for _, fn := range pass.Prog.FuncsSorted() {
+		c := &collector{
+			pass: pass,
+			info: pass.Prog.PackageOf(fn).Info,
+			fn:   fn,
+			held: make(map[string]token.Pos),
+			out:  edges,
+		}
+		c.stmts(pass.Prog.Decl(fn).Body.List)
+	}
+	report(pass, edges)
+	return nil
+}
+
+type collector struct {
+	pass *analysis.ProgPass
+	info *types.Info
+	fn   *types.Func
+	held map[string]token.Pos
+	out  map[[2]string]edge
+}
+
+func (c *collector) addEdges(to string, acqPos token.Pos, via *types.Func) {
+	for from, holdPos := range c.held {
+		if from == to {
+			continue // self-edge: instance recursion, not order inversion
+		}
+		key := [2]string{from, to}
+		if _, ok := c.out[key]; !ok {
+			c.out[key] = edge{from: from, to: to, fn: c.fn,
+				holdPos: holdPos, acqPos: acqPos, via: via}
+		}
+	}
+}
+
+func (c *collector) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *collector) stmt(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			c.expr(r)
+		}
+		for _, l := range s.Lhs {
+			c.expr(l)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		c.stmt(s.Init)
+		c.expr(s.Cond)
+		c.stmt(s.Body)
+		c.stmt(s.Else)
+	case *ast.ForStmt:
+		c.stmt(s.Init)
+		c.expr(s.Cond)
+		c.stmt(s.Body)
+		c.stmt(s.Post)
+	case *ast.RangeStmt:
+		c.expr(s.X)
+		c.stmt(s.Body)
+	case *ast.SwitchStmt:
+		c.stmt(s.Init)
+		c.expr(s.Tag)
+		c.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init)
+		c.stmt(s.Assign)
+		c.stmt(s.Body)
+	case *ast.SelectStmt:
+		c.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, x := range s.List {
+			c.expr(x)
+		}
+		c.stmts(s.Body)
+	case *ast.CommClause:
+		c.stmt(s.Comm)
+		c.stmts(s.Body)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.expr(r)
+		}
+	case *ast.SendStmt:
+		c.expr(s.Chan)
+		c.expr(s.Value)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	case *ast.IncDecStmt:
+		c.expr(s.X)
+	case *ast.GoStmt:
+		// The spawned call runs with fresh locks; its body (if a literal)
+		// is walked as its own root below via expr -> FuncLit handling.
+		c.expr(s.Call.Fun)
+	case *ast.DeferStmt:
+		// Deferred unlocks release at return, so the class stays held for
+		// the rest of the body — which is what the linear walk models by
+		// doing nothing here.
+	}
+}
+
+func (c *collector) expr(x ast.Expr) {
+	if x == nil {
+		return
+	}
+	ast.Inspect(x, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure runs on its own schedule with its own held set.
+			sub := &collector{pass: c.pass, info: c.info, fn: c.fn,
+				held: make(map[string]token.Pos), out: c.out}
+			sub.stmts(n.Body.List)
+			return false
+		case *ast.CallExpr:
+			c.call(n)
+		}
+		return true
+	})
+}
+
+func (c *collector) call(call *ast.CallExpr) {
+	if m := mutexRecv(c.info, call, "Lock", "RLock"); m != nil {
+		if class := analysis.LockClassOf(c.info, m); class != "" {
+			c.addEdges(class, call.Pos(), nil)
+			if _, ok := c.held[class]; !ok {
+				c.held[class] = call.Pos()
+			}
+		}
+		return
+	}
+	if m := mutexRecv(c.info, call, "Unlock", "RUnlock"); m != nil {
+		if class := analysis.LockClassOf(c.info, m); class != "" {
+			delete(c.held, class)
+		}
+		return
+	}
+	fn := analysis.Callee(c.info, call)
+	sum := c.pass.Prog.Summary(fn)
+	if sum == nil || fn == c.fn {
+		return
+	}
+	// Locks the callee may take anywhere inside order after everything
+	// currently held here.
+	for _, cs := range sum.LockClasses {
+		via := cs.Via
+		if via == nil {
+			via = fn
+		}
+		c.addEdges(cs.Class, call.Pos(), via)
+	}
+	// Lock/unlock helpers change what this frame holds.
+	for _, ref := range sum.UnLocks {
+		if class := c.classOfRef(call, ref); class != "" {
+			delete(c.held, class)
+		}
+	}
+	for _, ref := range sum.NetLocks {
+		if class := c.classOfRef(call, ref); class != "" {
+			if _, ok := c.held[class]; !ok {
+				c.held[class] = call.Pos()
+			}
+		}
+	}
+}
+
+// mutexRecv returns the mutex expression of a call to one of the named
+// sync.Mutex/RWMutex methods, or nil.
+func mutexRecv(info *types.Info, call *ast.CallExpr, methods ...string) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	match := false
+	for _, m := range methods {
+		if sel.Sel.Name == m {
+			match = true
+		}
+	}
+	if !match {
+		return nil
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !analysis.IsMutex(tv.Type) {
+		return nil
+	}
+	return sel.X
+}
+
+// classOfRef maps a callee's receiver/parameter-rooted lock ref to its
+// global class by resolving the field path against the caller-side
+// receiver or argument type.
+func (c *collector) classOfRef(call *ast.CallExpr, ref analysis.LockRef) string {
+	var root ast.Expr
+	if ref.Param < 0 {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		root = sel.X
+	} else {
+		if ref.Param >= len(call.Args) {
+			return ""
+		}
+		root = call.Args[ref.Param]
+	}
+	tv, ok := c.info.Types[root]
+	if !ok {
+		return ""
+	}
+	return classOfPath(tv.Type, ref.Path)
+}
+
+// classOfPath walks the field path from t and names the owner type of the
+// final mutex field: classOfPath(*Engine, "state.mu") is the class of the
+// mu field on the type of Engine.state.
+func classOfPath(t types.Type, path string) string {
+	if path == "" {
+		return "" // the root value itself is the mutex: no global class
+	}
+	parts := strings.Split(path, ".")
+	cur := t
+	for _, p := range parts[:len(parts)-1] {
+		obj, _, _ := types.LookupFieldOrMethod(cur, true, typePkg(cur), p)
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return ""
+		}
+		cur = v.Type()
+	}
+	if ptr, ok := cur.(*types.Pointer); ok {
+		cur = ptr.Elem()
+	}
+	named, ok := cur.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + parts[len(parts)-1]
+}
+
+func typePkg(t types.Type) *types.Package {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Pkg()
+	}
+	return nil
+}
+
+// ---- cycle detection and reporting ----
+
+func report(pass *analysis.ProgPass, edges map[[2]string]edge) {
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+		nodes[key[0]], nodes[key[1]] = true, true
+	}
+	for _, scc := range tarjan(nodes, adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		in := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			in[n] = true
+		}
+		var witness []edge
+		for key, e := range edges {
+			if in[key[0]] && in[key[1]] {
+				witness = append(witness, e)
+			}
+		}
+		sort.Slice(witness, func(i, j int) bool {
+			if witness[i].from != witness[j].from {
+				return witness[i].from < witness[j].from
+			}
+			return witness[i].to < witness[j].to
+		})
+		classes := append([]string(nil), scc...)
+		sort.Strings(classes)
+		var b strings.Builder
+		fmt.Fprintf(&b, "lock-order cycle among [%s]:", strings.Join(classes, ", "))
+		for _, e := range witness {
+			fmt.Fprintf(&b, " %s -> %s (%s holds %s since %s, acquires %s at %s",
+				e.from, e.to, e.fn.Name(), e.from,
+				pass.Fset.Position(e.holdPos), e.to, pass.Fset.Position(e.acqPos))
+			if e.via != nil {
+				fmt.Fprintf(&b, " via %s", e.via.Name())
+			}
+			b.WriteString(");")
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos:     witness[0].acqPos,
+			Check:   "lockorder",
+			Message: strings.TrimSuffix(b.String(), ";"),
+		})
+	}
+}
+
+// tarjan returns the strongly connected components of the class graph in
+// deterministic order.
+func tarjan(nodes map[string]bool, adj map[string][]string) [][]string {
+	sorted := make([]string, 0, len(nodes))
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, vs := range adj {
+		sort.Strings(vs)
+	}
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range sorted {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}

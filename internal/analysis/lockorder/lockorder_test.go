@@ -1,0 +1,11 @@
+package lockorder
+
+import (
+	"testing"
+
+	"starfish/internal/analysis/analysistest"
+)
+
+func TestLockorderFixture(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata")
+}

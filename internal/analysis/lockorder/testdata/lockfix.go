@@ -1,0 +1,85 @@
+// Package lockfix is the lockorder golden fixture: lock classes acquired
+// in conflicting orders across functions, with `// want` expectations on
+// the reported witness positions.
+package lockfix
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+var (
+	ga A
+	gb B
+	gc C
+	gd D
+	ge E
+	gf F
+)
+
+// abPath and baPath acquire the A/B pair in opposite orders: a cycle. The
+// diagnostic lands on the first witness in (from, to) order — the B
+// acquisition under A.
+func abPath() {
+	ga.mu.Lock()
+	gb.mu.Lock() // want "lock-order cycle among [lockfix.A.mu, lockfix.B.mu]"
+	gb.mu.Unlock()
+	ga.mu.Unlock()
+}
+
+func baPath() {
+	gb.mu.Lock()
+	ga.mu.Lock()
+	ga.mu.Unlock()
+	gb.mu.Unlock()
+}
+
+// lockD acquires D internally; cdPath reaches it while holding C, so the
+// C -> D edge is interprocedural (witness names the callee).
+func lockD() {
+	gd.mu.Lock()
+	gd.mu.Unlock()
+}
+
+func cdPath() {
+	gc.mu.Lock()
+	lockD() // want "lock-order cycle among [lockfix.C.mu, lockfix.D.mu]"
+	gc.mu.Unlock()
+}
+
+func dcPath() {
+	gd.mu.Lock()
+	gc.mu.Lock()
+	gc.mu.Unlock()
+	gd.mu.Unlock()
+}
+
+// consistentOne/consistentTwo take the E/F pair in the same order
+// everywhere: an edge, but no cycle, so nothing is reported.
+func consistentOne() {
+	ge.mu.Lock()
+	gf.mu.Lock()
+	gf.mu.Unlock()
+	ge.mu.Unlock()
+}
+
+func consistentTwo() {
+	ge.mu.Lock()
+	defer ge.mu.Unlock() // deferred: E stays held to the end of the body
+	gf.mu.Lock()
+	gf.mu.Unlock()
+}
+
+// reentrant self-edges (same class; think two instances of one type) are
+// deliberately not reported: that is recursion on an instance, not an
+// order inversion between classes.
+func reentrant(x, y *A) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}

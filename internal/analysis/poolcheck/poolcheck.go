@@ -19,6 +19,12 @@
 //     exempt);
 //   - use-after-release: any read of a released buffer, or of a released
 //     message's Payload.
+//
+// The checker is interprocedural through Pass.Prog: calls into summarized
+// program functions apply the callee's per-parameter ownership effects, so
+// a helper that wraps wire.GetBuf is an acquire site, a helper that wraps
+// PutBuf is a release site, and a helper that only inspects its argument
+// leaves tracking intact instead of conservatively ending it.
 package poolcheck
 
 import (
@@ -36,41 +42,12 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// acquire sites: callee full name -> index of the result that carries the
-// pooled value, and whether that result is a wire.Msg (vs a []byte).
-type acquireSpec struct {
-	result int
-	msg    bool
-}
+// The acquire/release/terminator fact tables live in the analysis package
+// (PoolAcquires, PoolReleases, MsgRelease, Terminators), shared with the
+// interprocedural summary builder.
+var releases = analysis.PoolReleases
 
-var acquires = map[string]acquireSpec{
-	"starfish/internal/wire.GetBuf":              {0, false},
-	"(*starfish/internal/wire.BufPool).Get":      {0, false},
-	"(*starfish/internal/wire.BufPool).GetAlloc": {0, false},
-	"starfish/internal/wire.ReadMsgBuf":          {0, true},
-}
-
-// release sites: callee full name -> index of the argument whose ownership
-// the call consumes. SendOwned/IsendOwned take ownership even on error.
-var releases = map[string]int{
-	"starfish/internal/wire.PutBuf":            0,
-	"(*starfish/internal/wire.BufPool).Put":    0,
-	"(*starfish/internal/mpi.Comm).SendOwned":  2,
-	"(*starfish/internal/mpi.Comm).IsendOwned": 2,
-}
-
-// msgRelease is the idempotent pooled-payload release method on wire.Msg.
-const msgRelease = "(*starfish/internal/wire.Msg).Release"
-
-// terminators never return to the caller; a path through one is dead.
-var terminators = map[string]bool{
-	"os.Exit":              true,
-	"runtime.Goexit":       true,
-	"log.Fatal":            true,
-	"log.Fatalf":           true,
-	"log.Fatalln":          true,
-	"(*log.Logger).Fatalf": true,
-}
+const msgRelease = analysis.MsgRelease
 
 type status int
 
@@ -82,7 +59,7 @@ const (
 
 type varState struct {
 	st             status
-	kind           acquireSpec // msg or buf
+	kind           analysis.PoolAcquireSpec // msg or buf
 	acquirePos     token.Pos
 	acquireName    string // short callee name for messages
 	releasePos     token.Pos
@@ -194,7 +171,7 @@ func (ip *interp) stmt(s ast.Stmt, e *env) *env {
 	case *ast.ExprStmt:
 		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
 			name := analysis.CalleeName(ip.info(), call)
-			if _, ok := acquires[name]; ok {
+			if _, ok := analysis.AcquireSpecFor(ip.info(), ip.pass.Prog, call); ok {
 				ip.pass.Reportf(call.Pos(), "result of %s is discarded: the pooled buffer leaks immediately", shortCallee(ip.info(), call))
 				ip.callArgs(call, e)
 				return e
@@ -204,7 +181,7 @@ func (ip *interp) stmt(s ast.Stmt, e *env) *env {
 				e.dead = true
 				return e
 			}
-			if terminators[name] {
+			if analysis.Terminators[name] {
 				ip.expr(s.X, e, false)
 				e.dead = true
 				return e
@@ -385,17 +362,18 @@ func (ip *interp) assign(s *ast.AssignStmt, e *env) *env {
 		}
 	}
 
-	// Acquire: single call RHS whose callee is a pool acquire.
+	// Acquire: single call RHS whose callee is a pool acquire — a table
+	// entry or a program function summarized as returning a fresh buffer.
 	if len(s.Rhs) == 1 {
 		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
-			if spec, ok := acquires[analysis.CalleeName(ip.info(), call)]; ok {
+			if spec, ok := analysis.AcquireSpecFor(ip.info(), ip.pass.Prog, call); ok {
 				ip.callArgs(call, e)
 				for i, lhs := range s.Lhs {
 					id, ok := ast.Unparen(lhs).(*ast.Ident)
 					if !ok {
 						continue
 					}
-					if i != spec.result {
+					if i != spec.Result {
 						continue
 					}
 					if id.Name == "_" {
@@ -505,6 +483,44 @@ func (ip *interp) deferStmt(s *ast.DeferStmt, e *env) {
 		ip.escapeFreeVars(lit, e, relVars)
 		return
 	}
+	// Deferred call into a summarized releaser: `defer freeFrame(b)`
+	// covers b at every exit, exactly like `defer PutBuf(b)`.
+	if ip.pass.Prog != nil {
+		if sum := ip.pass.Prog.Summary(analysis.Callee(ip.info(), call)); sum != nil {
+			markExit := func(x ast.Expr) {
+				if v := analysis.UsedVar(ip.info(), x); v != nil {
+					if st, ok := e.vars[v]; ok {
+						st.releasedAtExit = true
+					}
+				}
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				switch sum.Recv {
+				case analysis.ParamReleases:
+					markExit(sel.X)
+				case analysis.ParamEscapes:
+					ip.expr(sel.X, e, true)
+				}
+			}
+			for i, a := range call.Args {
+				eff := analysis.ParamEscapes
+				if len(sum.Params) > 0 {
+					j := i
+					if j >= len(sum.Params) {
+						j = len(sum.Params) - 1
+					}
+					eff = sum.Params[j]
+				}
+				switch eff {
+				case analysis.ParamReleases:
+					markExit(a)
+				case analysis.ParamEscapes:
+					ip.expr(a, e, true)
+				}
+			}
+			return
+		}
+	}
 	// Unknown deferred call: args escape.
 	for _, a := range call.Args {
 		ip.expr(a, e, true)
@@ -582,7 +598,7 @@ func (ip *interp) expr(x ast.Expr, e *env, aliasing bool) {
 // just walk their receiver.
 func (ip *interp) selector(x *ast.SelectorExpr, e *env, aliasing bool) {
 	if v := analysis.UsedVar(ip.info(), x.X); v != nil {
-		if st, ok := e.vars[v]; ok && st.kind.msg {
+		if st, ok := e.vars[v]; ok && st.kind.Msg {
 			if st.st == released && x.Sel.Name == "Payload" {
 				ip.reportUse(x.Pos(), v, st)
 				delete(e.vars, v)
@@ -636,6 +652,11 @@ func (ip *interp) call(call *ast.CallExpr, e *env) {
 		}
 		return
 	}
+	// Summarized program callee: apply its per-parameter ownership effects
+	// instead of conservatively escaping (the interprocedural upgrade).
+	if ip.applySummary(call, e) {
+		return
+	}
 	// Unknown call: reads the receiver, and argument values may be
 	// retained — ownership of tracked args conservatively escapes.
 	ip.receiverRead(call, e)
@@ -648,6 +669,51 @@ func (ip *interp) call(call *ast.CallExpr, e *env) {
 	}
 }
 
+// applySummary handles a call to a program function with a computed
+// interprocedural summary: each argument (and the receiver) gets the
+// callee's effect — read keeps tracking, release transitions the state,
+// escape ends tracking. Returns false when no summary is available so the
+// caller can fall back to the conservative path.
+func (ip *interp) applySummary(call *ast.CallExpr, e *env) bool {
+	if ip.pass.Prog == nil {
+		return false
+	}
+	fn := analysis.Callee(ip.info(), call)
+	sum := ip.pass.Prog.Summary(fn)
+	if sum == nil {
+		return false
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sum.Recv {
+		case analysis.ParamReleases:
+			ip.releaseArg(call, sel.X, e)
+		case analysis.ParamRead:
+			ip.expr(sel.X, e, false)
+		default:
+			ip.expr(sel.X, e, true)
+		}
+	}
+	for i, a := range call.Args {
+		eff := analysis.ParamEscapes
+		if len(sum.Params) > 0 {
+			j := i
+			if j >= len(sum.Params) {
+				j = len(sum.Params) - 1 // variadic tail
+			}
+			eff = sum.Params[j]
+		}
+		switch eff {
+		case analysis.ParamReleases:
+			ip.releaseArg(call, a, e)
+		case analysis.ParamRead:
+			ip.expr(a, e, false)
+		default:
+			ip.expr(a, e, true)
+		}
+	}
+	return true
+}
+
 // releaseArg applies a release transition to the argument if it is a
 // tracked var (or a tracked message's .Payload), with double-release
 // detection for byte buffers.
@@ -655,7 +721,7 @@ func (ip *interp) releaseArg(call *ast.CallExpr, arg ast.Expr, e *env) {
 	// PutBuf(m.Payload): releases the message's payload.
 	if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok && sel.Sel.Name == "Payload" {
 		if v := analysis.UsedVar(ip.info(), sel.X); v != nil {
-			if st, ok := e.vars[v]; ok && st.kind.msg {
+			if st, ok := e.vars[v]; ok && st.kind.Msg {
 				ip.transitionRelease(call, v, st, e)
 				return
 			}
@@ -712,7 +778,7 @@ func (ip *interp) receiverRead(call *ast.CallExpr, e *env) {
 
 func (ip *interp) reportUse(pos token.Pos, v *types.Var, st *varState) {
 	what := "pooled buffer"
-	if st.kind.msg {
+	if st.kind.Msg {
 		what = "released message payload"
 	}
 	ip.pass.Reportf(pos, "use of %s %q after release at %s",

@@ -69,6 +69,45 @@ func payloadAfterRelease(r io.Reader) int {
 	return len(m.Payload) // want "after release"
 }
 
+// ---- interprocedural: helpers wrapping the pool API ----
+
+// freeFrame is a release helper: its summary says the parameter is
+// released, so calls to it count as release sites.
+func freeFrame(b []byte) {
+	wire.PutBuf(b)
+}
+
+// getFrame is an acquire helper: every return yields a fresh pooled
+// buffer, so its callers own the result.
+func getFrame(n int) []byte {
+	return wire.GetBuf(n + 8)
+}
+
+func helperDoubleRelease() {
+	b := wire.GetBuf(64)
+	freeFrame(b)
+	wire.PutBuf(b) // want "double release"
+}
+
+func helperAcquireLeaks(fail bool) error {
+	b := getFrame(64) // want "leaks on the return"
+	if fail {
+		return errBoom
+	}
+	wire.PutBuf(b)
+	return nil
+}
+
+func helperAcquireDiscarded() {
+	getFrame(8) // want "discarded"
+}
+
+func useAfterHelperRelease() byte {
+	b := wire.GetBuf(64)
+	freeFrame(b)
+	return b[0] // want "after release"
+}
+
 // ---- compliant ----
 
 func balancedBranches(fail bool) error {
@@ -94,6 +133,22 @@ func ownershipTransfer(c *mpi.Comm, to wire.Rank) error {
 	return c.SendOwned(to, 1, b)
 }
 
+func helperBalanced(fail bool) error {
+	b := getFrame(64)
+	if fail {
+		freeFrame(b)
+		return errBoom
+	}
+	wire.PutBuf(b)
+	return nil
+}
+
+func helperDeferredRelease() {
+	b := getFrame(64)
+	defer freeFrame(b)
+	b[0] = 1
+}
+
 func selfSliceKeepsOwnership(n int) {
 	b := wire.GetBuf(64)
 	b = b[:n]
@@ -106,12 +161,24 @@ func msgReleaseIdempotent(r io.Reader) {
 	m.Release() // Msg.Release is documented idempotent: not a double release
 }
 
-func escapesToCallee(b []byte) {}
+func readsOnly(b []byte) int { return len(b) }
+
+func retains(b []byte) { sink = b }
+
+var sink []byte
 
 func escapeEndsTracking() {
 	b := wire.GetBuf(64)
-	// Ownership may move into the callee; tracking ends conservatively.
-	escapesToCallee(b)
+	// The callee stores its argument; ownership may have moved, so
+	// tracking ends conservatively and nothing is reported.
+	retains(b)
+}
+
+func readCalleeKeepsTracking() {
+	b := wire.GetBuf(64) // want "leaks on the return"
+	// Interprocedural: readsOnly is summarized as read-only, so the buffer
+	// is still owned here — and leaks. The per-function engine missed this.
+	_ = readsOnly(b)
 }
 
 func allowedLeak(fail bool) error {

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Program is the whole-analysis view: every loaded package plus the
+// cross-package function index and the bottom-up summaries computed over
+// it. Per-package analyzers reach it through Pass.Prog to see through
+// helper functions; program-level analyzers (lockorder, detcheck, evcheck)
+// run over it directly.
+type Program struct {
+	Pkgs []*Package
+	// RepoRoot is the module root, used by analyzers that consult files
+	// outside the package graph (evcheck's query scan). Empty for bare
+	// fixture programs.
+	RepoRoot string
+
+	decls   map[*types.Func]*ast.FuncDecl
+	declPkg map[*types.Func]*Package
+	sums    map[*types.Func]*Summary
+	busy    map[*types.Func]bool
+}
+
+// BuildProgram indexes every function declaration of the packages and
+// computes their interprocedural summaries bottom-up.
+func BuildProgram(repoRoot string, pkgs []*Package) *Program {
+	p := &Program{
+		Pkgs:     pkgs,
+		RepoRoot: repoRoot,
+		decls:    make(map[*types.Func]*ast.FuncDecl),
+		declPkg:  make(map[*types.Func]*Package),
+		sums:     make(map[*types.Func]*Summary),
+		busy:     make(map[*types.Func]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					p.decls[fn] = fd
+					p.declPkg[fn] = pkg
+				}
+			}
+		}
+	}
+	for _, fn := range p.FuncsSorted() {
+		p.Summary(fn)
+	}
+	return p
+}
+
+// NumFuncs is the number of function bodies summarized.
+func (p *Program) NumFuncs() int { return len(p.decls) }
+
+// Fset returns the FileSet shared by the program's packages (the Loader
+// parses everything into one).
+func (p *Program) Fset() *token.FileSet {
+	if len(p.Pkgs) > 0 {
+		return p.Pkgs[0].Fset
+	}
+	return token.NewFileSet()
+}
+
+// Decl returns the declaration of a program function, or nil when fn is
+// external to the analyzed packages (or has no body).
+func (p *Program) Decl(fn *types.Func) *ast.FuncDecl { return p.decls[fn] }
+
+// PackageOf returns the package a program function is declared in.
+func (p *Program) PackageOf(fn *types.Func) *Package { return p.declPkg[fn] }
+
+// FuncsSorted returns every program function in deterministic
+// (package path, source position) order.
+func (p *Program) FuncsSorted() []*types.Func {
+	out := make([]*types.Func, 0, len(p.decls))
+	for fn := range p.decls {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := p.declPkg[out[i]], p.declPkg[out[j]]
+		if pi.PkgPath != pj.PkgPath {
+			return pi.PkgPath < pj.PkgPath
+		}
+		return p.decls[out[i]].Pos() < p.decls[out[j]].Pos()
+	})
+	return out
+}
+
+// Summary returns fn's interprocedural summary, computing it on first use.
+// It returns nil for external functions and for functions currently being
+// summarized (recursion cycles), which callers must treat as "unknown":
+// arguments escape, nothing blocks, nothing taints.
+func (p *Program) Summary(fn *types.Func) *Summary {
+	if fn == nil {
+		return nil
+	}
+	if s, ok := p.sums[fn]; ok {
+		return s
+	}
+	decl := p.decls[fn]
+	if decl == nil || p.busy[fn] {
+		return nil
+	}
+	p.busy[fn] = true
+	s := summarize(p, fn, decl, p.declPkg[fn])
+	delete(p.busy, fn)
+	p.sums[fn] = s
+	return s
+}
+
+// DeterministicMarker is the annotation claiming a function (on its doc
+// comment) or a whole package (on the package doc of any of its files)
+// never depends on wall clocks, unseeded randomness, goroutine scheduling,
+// or map iteration order. detcheck enforces it transitively.
+const DeterministicMarker = "//starfish:deterministic"
+
+func commentsMarked(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == DeterministicMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkedDeterministic returns every program function required to be
+// deterministic: functions whose doc carries the marker, plus all
+// functions of packages whose package doc carries it.
+func (p *Program) MarkedDeterministic() []*types.Func {
+	pkgMarked := make(map[*Package]bool)
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			if commentsMarked(f.Doc) {
+				pkgMarked[pkg] = true
+			}
+		}
+	}
+	var out []*types.Func
+	for _, fn := range p.FuncsSorted() {
+		if pkgMarked[p.declPkg[fn]] || commentsMarked(p.decls[fn].Doc) {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// IsMarkedDeterministic reports whether one specific function is under the
+// determinism contract (directly or via its package).
+func (p *Program) IsMarkedDeterministic(fn *types.Func) bool {
+	decl := p.decls[fn]
+	if decl == nil {
+		return false
+	}
+	if commentsMarked(decl.Doc) {
+		return true
+	}
+	pkg := p.declPkg[fn]
+	for _, f := range pkg.Files {
+		if commentsMarked(f.Doc) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,1237 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ParamEffect classifies what a function does with one of its parameters
+// (or its receiver), as far as pooled-buffer ownership is concerned.
+type ParamEffect int
+
+const (
+	// ParamEscapes: the parameter may be retained, stored, conditionally
+	// released, or otherwise leave the function's control. Callers must
+	// stop tracking the argument (the pre-interprocedural behavior).
+	ParamEscapes ParamEffect = iota
+	// ParamRead: the parameter is only inspected; ownership stays with the
+	// caller, which keeps tracking the argument across the call.
+	ParamRead
+	// ParamReleases: the parameter is released exactly once,
+	// unconditionally (top-level or deferred release). The call is a
+	// release site for the argument.
+	ParamReleases
+)
+
+func (e ParamEffect) String() string {
+	switch e {
+	case ParamRead:
+		return "read"
+	case ParamReleases:
+		return "releases"
+	default:
+		return "escapes"
+	}
+}
+
+// Site is one piece of located evidence: a blocking operation, a
+// determinism taint. Via is nil when the evidence sits directly in the
+// summarized function, else the callee through which it is reached.
+type Site struct {
+	What string
+	Pos  token.Pos
+	Via  *types.Func
+}
+
+// LockRef names a mutex reachable from a function's receiver or
+// parameters: Param -1 is the receiver, Path the field chain ("mu",
+// "state.mu", "" when the root itself is the mutex).
+type LockRef struct {
+	Param int
+	Path  string
+	Pos   token.Pos
+}
+
+// ClassSite records that a function may acquire a mutex of the given
+// class (pkg.Type.field or pkg.var) somewhere inside, possibly through
+// callees (Via).
+type ClassSite struct {
+	Class string
+	Pos   token.Pos
+	Via   *types.Func
+}
+
+// Summary is the bottom-up interprocedural abstraction of one function:
+// everything the analyzers need to see through a call to it without
+// re-walking its body.
+type Summary struct {
+	Fn   *types.Func
+	Recv ParamEffect
+	// Params has one effect per declared parameter (variadic callers clamp
+	// trailing arguments to the last entry).
+	Params []ParamEffect
+	// AcquiresResult: every return path yields a freshly acquired pooled
+	// value in result 0, so callers own it. ResultMsg tells wire.Msg from
+	// []byte.
+	AcquiresResult bool
+	ResultMsg      bool
+	// Blocks is non-empty when the function may park the goroutine
+	// (channel ops, sleeps, dials, waits), directly or transitively.
+	Blocks []Site
+	// NetLocks are mutexes still held when the function returns (lock
+	// helpers); UnLocks are mutexes it releases (unlock helpers). Both are
+	// receiver/parameter-rooted and cover unconditional top-level
+	// operations only.
+	NetLocks []LockRef
+	UnLocks  []LockRef
+	// LockClasses are the global lock classes the function may acquire
+	// anywhere inside, transitively. lockorder builds its graph from them.
+	LockClasses []ClassSite
+	// Taints is non-empty when the function is not deterministic: wall
+	// clock, unseeded randomness, goroutine spawns, order-sensitive map
+	// iteration — direct or transitive.
+	Taints []Site
+}
+
+// maxSites bounds evidence lists: summaries carry witnesses, not
+// exhaustive listings.
+const maxSites = 4
+
+type builder struct {
+	prog *Program
+	pkg  *Package
+	fn   *types.Func
+	decl *ast.FuncDecl
+}
+
+func (b *builder) info() *types.Info { return b.pkg.Info }
+
+func summarize(p *Program, fn *types.Func, decl *ast.FuncDecl, pkg *Package) *Summary {
+	b := &builder{prog: p, pkg: pkg, fn: fn, decl: decl}
+	s := &Summary{Fn: fn}
+
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return s
+	}
+	if recv := sig.Recv(); recv != nil {
+		s.Recv = b.classifyVar(recv, false)
+	}
+	s.Params = make([]ParamEffect, sig.Params().Len())
+	for i := range s.Params {
+		s.Params[i] = b.classifyVar(sig.Params().At(i), false)
+	}
+	s.AcquiresResult, s.ResultMsg = b.acquireResult(sig)
+	s.NetLocks, s.UnLocks = b.lockDeltas(sig)
+	s.Blocks = b.blockSites()
+	s.LockClasses = b.lockClasses()
+	s.Taints = b.detTaints()
+	return s
+}
+
+// paramIndex resolves v to the summarized function's receiver (-1) or
+// parameter index, or (0, false).
+func (b *builder) paramIndex(sig *types.Signature, v *types.Var) (int, bool) {
+	if recv := sig.Recv(); recv != nil && recv == v {
+		return -1, true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ---- parameter ownership classification ---------------------------------
+
+// useScan accumulates how one variable is used across the body.
+type useScan struct {
+	b      *builder
+	target *types.Var
+	// returnsOK treats `return target` as a plain read (used when
+	// classifying a locally-acquired variable for AcquiresResult).
+	returnsOK bool
+
+	depth       int // conditional nesting; releases above 0 are not definite
+	escaped     bool
+	releases    int // definite (depth-0, incl. deferred-at-top) releases
+	condRelease bool
+}
+
+// classifyVar classifies how the function treats one incoming variable.
+func (b *builder) classifyVar(v *types.Var, returnsOK bool) ParamEffect {
+	u := &useScan{b: b, target: v, returnsOK: returnsOK}
+	u.stmt(b.decl.Body)
+	switch {
+	case u.escaped, u.condRelease, u.releases > 1:
+		return ParamEscapes
+	case u.releases == 1:
+		return ParamReleases
+	default:
+		return ParamRead
+	}
+}
+
+func (u *useScan) isTarget(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return u.b.info().Uses[id] == u.target || u.b.info().Defs[id] == u.target
+}
+
+func (u *useScan) release() {
+	if u.depth > 0 {
+		u.condRelease = true
+		return
+	}
+	u.releases++
+}
+
+func (u *useScan) stmt(s ast.Stmt) {
+	if s == nil || u.escaped {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			u.stmt(st)
+		}
+	case *ast.ExprStmt:
+		u.expr(s.X, false)
+	case *ast.AssignStmt:
+		// Self-slicing keeps ownership: p = p[:n].
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 && u.isTarget(s.Lhs[0]) {
+			if sl, ok := ast.Unparen(s.Rhs[0]).(*ast.SliceExpr); ok && u.isTarget(sl.X) {
+				u.expr(sl.Low, false)
+				u.expr(sl.High, false)
+				u.expr(sl.Max, false)
+				return
+			}
+		}
+		for _, r := range s.Rhs {
+			u.expr(r, true)
+		}
+		for _, l := range s.Lhs {
+			if u.isTarget(l) {
+				u.escaped = true // reassigned: no longer the caller's value
+				continue
+			}
+			u.expr(l, false)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						u.expr(val, true)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		u.stmt(s.Init)
+		u.expr(s.Cond, false)
+		u.depth++
+		u.stmt(s.Body)
+		u.stmt(s.Else)
+		u.depth--
+	case *ast.ForStmt:
+		u.stmt(s.Init)
+		u.expr(s.Cond, false)
+		u.depth++
+		u.stmt(s.Body)
+		u.stmt(s.Post)
+		u.depth--
+	case *ast.RangeStmt:
+		u.expr(s.X, false)
+		u.depth++
+		u.stmt(s.Body)
+		u.depth--
+	case *ast.SwitchStmt:
+		u.stmt(s.Init)
+		u.expr(s.Tag, false)
+		u.depth++
+		u.stmt(s.Body)
+		u.depth--
+	case *ast.TypeSwitchStmt:
+		u.stmt(s.Init)
+		u.depth++
+		u.stmt(s.Assign)
+		u.stmt(s.Body)
+		u.depth--
+	case *ast.SelectStmt:
+		u.depth++
+		u.stmt(s.Body)
+		u.depth--
+	case *ast.CaseClause:
+		for _, x := range s.List {
+			u.expr(x, false)
+		}
+		for _, st := range s.Body {
+			u.stmt(st)
+		}
+	case *ast.CommClause:
+		u.stmt(s.Comm)
+		for _, st := range s.Body {
+			u.stmt(st)
+		}
+	case *ast.ReturnStmt:
+		for i, r := range s.Results {
+			if u.returnsOK && i == 0 && u.isTarget(r) {
+				continue
+			}
+			u.expr(r, true)
+		}
+	case *ast.SendStmt:
+		u.expr(s.Chan, false)
+		u.expr(s.Value, true)
+	case *ast.DeferStmt:
+		u.deferCall(s.Call)
+	case *ast.GoStmt:
+		u.expr(s.Call.Fun, true)
+		for _, a := range s.Call.Args {
+			u.expr(a, true)
+		}
+	case *ast.LabeledStmt:
+		u.stmt(s.Stmt)
+	case *ast.IncDecStmt:
+		u.expr(s.X, false)
+	}
+}
+
+// deferCall treats a deferred release of the target as a definite release
+// (it runs on every exit); any other deferred reference escapes.
+func (u *useScan) deferCall(call *ast.CallExpr) {
+	name := CalleeName(u.b.info(), call)
+	if idx, ok := PoolReleases[name]; ok && idx < len(call.Args) && u.isTarget(call.Args[idx]) {
+		if u.depth > 0 {
+			u.condRelease = true
+		} else {
+			u.releases++
+		}
+		return
+	}
+	if name == MsgRelease {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && u.isTarget(sel.X) {
+			if u.depth > 0 {
+				u.condRelease = true
+			} else {
+				u.releases++
+			}
+			return
+		}
+	}
+	u.expr(call.Fun, true)
+	for _, a := range call.Args {
+		u.expr(a, true)
+	}
+}
+
+func (u *useScan) expr(x ast.Expr, aliasing bool) {
+	if x == nil || u.escaped {
+		return
+	}
+	switch x := x.(type) {
+	case *ast.Ident:
+		if u.isTarget(x) && aliasing {
+			u.escaped = true
+		}
+	case *ast.ParenExpr:
+		u.expr(x.X, aliasing)
+	case *ast.CallExpr:
+		u.call(x)
+	case *ast.UnaryExpr:
+		u.expr(x.X, x.Op == token.AND || aliasing)
+	case *ast.StarExpr:
+		u.expr(x.X, false)
+	case *ast.SliceExpr:
+		u.expr(x.X, aliasing)
+		u.expr(x.Low, false)
+		u.expr(x.High, false)
+		u.expr(x.Max, false)
+	case *ast.IndexExpr:
+		u.expr(x.X, false)
+		u.expr(x.Index, false)
+	case *ast.SelectorExpr:
+		u.expr(x.X, aliasing)
+	case *ast.BinaryExpr:
+		u.expr(x.X, false)
+		u.expr(x.Y, false)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			u.expr(el, true)
+		}
+	case *ast.KeyValueExpr:
+		u.expr(x.Key, false)
+		u.expr(x.Value, aliasing)
+	case *ast.TypeAssertExpr:
+		u.expr(x.X, aliasing)
+	case *ast.FuncLit:
+		ast.Inspect(x.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && u.isTarget(id) {
+				u.escaped = true
+			}
+			return !u.escaped
+		})
+	}
+}
+
+func (u *useScan) call(call *ast.CallExpr) {
+	info := u.b.info()
+	name := CalleeName(info, call)
+
+	if idx, ok := PoolReleases[name]; ok {
+		for i, a := range call.Args {
+			if i == idx && u.isTarget(a) {
+				u.release()
+				continue
+			}
+			u.expr(a, i == idx || true)
+		}
+		u.recvRead(call)
+		return
+	}
+	if name == MsgRelease {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && u.isTarget(sel.X) {
+			u.release()
+			return
+		}
+	}
+
+	// Builtins: append may retain any argument; the rest only inspect.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := info.Uses[id].(*types.Builtin); isB {
+			aliasing := id.Name == "append"
+			for _, a := range call.Args {
+				u.expr(a, aliasing)
+			}
+			return
+		}
+	}
+	// Type conversions inspect only.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		for _, a := range call.Args {
+			u.expr(a, false)
+		}
+		return
+	}
+
+	// Summarized program callee: apply its per-parameter effects.
+	fn := Callee(info, call)
+	if sum := u.b.prog.Summary(fn); sum != nil && fn != u.b.fn {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if u.isTarget(sel.X) {
+				switch sum.Recv {
+				case ParamReleases:
+					u.release()
+				case ParamEscapes:
+					u.escaped = true
+				}
+			} else {
+				u.expr(sel.X, false)
+			}
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		for i, a := range call.Args {
+			eff := ParamEscapes
+			if sig != nil && sig.Params().Len() > 0 {
+				j := i
+				if j >= len(sum.Params) {
+					j = len(sum.Params) - 1
+				}
+				eff = sum.Params[j]
+			}
+			if u.isTarget(a) {
+				switch eff {
+				case ParamReleases:
+					u.release()
+				case ParamEscapes:
+					u.escaped = true
+				}
+				continue
+			}
+			u.expr(a, eff == ParamEscapes)
+		}
+		return
+	}
+
+	// Unknown callee: method receivers are treated as reads (matching
+	// poolcheck), arguments conservatively escape.
+	u.recvRead(call)
+	for _, a := range call.Args {
+		u.expr(a, true)
+	}
+}
+
+func (u *useScan) recvRead(call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		u.expr(sel.X, false)
+	}
+}
+
+// ---- acquire-through-return classification ------------------------------
+
+// IsPooledType reports whether t is a type poolcheck tracks: []byte or
+// wire.Msg (possibly via pointer). The bool result mirrors
+// PoolAcquireSpec.Msg.
+func IsPooledType(t types.Type) (msg, ok bool) {
+	if sl, isSlice := t.Underlying().(*types.Slice); isSlice {
+		if bt, isBasic := sl.Elem().Underlying().(*types.Basic); isBasic && bt.Kind() == types.Byte {
+			return false, true
+		}
+	}
+	if IsNamed(t, "starfish/internal/wire", "Msg") {
+		return true, true
+	}
+	return false, false
+}
+
+// AcquireSpecFor resolves a call to a pool-acquire site: either a direct
+// entry of PoolAcquires or a program function summarized as returning a
+// fresh pooled value.
+func AcquireSpecFor(info *types.Info, prog *Program, call *ast.CallExpr) (PoolAcquireSpec, bool) {
+	name := CalleeName(info, call)
+	if spec, ok := PoolAcquires[name]; ok {
+		return spec, true
+	}
+	if prog == nil {
+		return PoolAcquireSpec{}, false
+	}
+	if sum := prog.Summary(Callee(info, call)); sum != nil && sum.AcquiresResult {
+		return PoolAcquireSpec{Result: 0, Msg: sum.ResultMsg}, true
+	}
+	return PoolAcquireSpec{}, false
+}
+
+func (b *builder) acquireResult(sig *types.Signature) (bool, bool) {
+	if sig.Results().Len() == 0 {
+		return false, false
+	}
+	msg, pooled := IsPooledType(sig.Results().At(0).Type())
+	if !pooled {
+		return false, false
+	}
+	var returns []*ast.ReturnStmt
+	ast.Inspect(b.decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, r)
+		}
+		return true
+	})
+	if len(returns) == 0 {
+		return false, false
+	}
+	for _, r := range returns {
+		if len(r.Results) == 0 {
+			return false, false // named results: not modeled
+		}
+		e := ast.Unparen(r.Results[0])
+		if call, ok := e.(*ast.CallExpr); ok {
+			if _, ok := AcquireSpecFor(b.info(), b.prog, call); ok {
+				continue
+			}
+			return false, false
+		}
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false, false
+		}
+		v, _ := b.info().Uses[id].(*types.Var)
+		if v == nil || !b.localOwnedReturn(v) {
+			return false, false
+		}
+	}
+	return true, msg
+}
+
+// localOwnedReturn reports whether local v is bound from a pool acquire
+// and neither escapes nor is released before being returned.
+func (b *builder) localOwnedReturn(v *types.Var) bool {
+	acquired := false
+	ast.Inspect(b.decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		spec, ok := AcquireSpecFor(b.info(), b.prog, call)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i != spec.Result {
+				continue
+			}
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if b.info().Defs[id] == v || b.info().Uses[id] == v {
+					acquired = true
+				}
+			}
+		}
+		return true
+	})
+	if !acquired {
+		return false
+	}
+	u := &useScan{b: b, target: v, returnsOK: true}
+	u.stmt(b.decl.Body)
+	return !u.escaped && u.releases == 0 && !u.condRelease
+}
+
+// ---- lock acquisition deltas --------------------------------------------
+
+// lockRootRef resolves a mutex expression rooted at the function's
+// receiver or a parameter: c.mu -> (-1, "mu"), st.inner.mu ->
+// (paramIdx(st), "inner.mu").
+func (b *builder) lockRootRef(sig *types.Signature, m ast.Expr) (LockRef, bool) {
+	var path []string
+	for {
+		switch e := ast.Unparen(m).(type) {
+		case *ast.SelectorExpr:
+			path = append([]string{e.Sel.Name}, path...)
+			m = e.X
+		case *ast.Ident:
+			v, _ := b.info().Uses[e].(*types.Var)
+			if v == nil {
+				return LockRef{}, false
+			}
+			idx, ok := b.paramIndex(sig, v)
+			if !ok {
+				return LockRef{}, false
+			}
+			return LockRef{Param: idx, Path: joinPath(path)}, true
+		default:
+			return LockRef{}, false
+		}
+	}
+}
+
+func joinPath(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "."
+		}
+		out += p
+	}
+	return out
+}
+
+// mutexMethodRecv returns the mutex expression of a call to one of the
+// named sync.Mutex/RWMutex methods, or nil.
+func mutexMethodRecv(info *types.Info, call *ast.CallExpr, methods ...string) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	match := false
+	for _, m := range methods {
+		if sel.Sel.Name == m {
+			match = true
+		}
+	}
+	if !match {
+		return nil
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !IsMutex(tv.Type) {
+		return nil
+	}
+	return sel.X
+}
+
+// lockDeltas computes the unconditional top-level lock effects: mutexes
+// held at return (lock helpers) and mutexes released (unlock helpers).
+func (b *builder) lockDeltas(sig *types.Signature) (net, un []LockRef) {
+	add := func(list []LockRef, r LockRef) []LockRef {
+		for _, x := range list {
+			if x.Param == r.Param && x.Path == r.Path {
+				return list
+			}
+		}
+		return append(list, r)
+	}
+	remove := func(list []LockRef, r LockRef) ([]LockRef, bool) {
+		for i, x := range list {
+			if x.Param == r.Param && x.Path == r.Path {
+				return append(list[:i], list[i+1:]...), true
+			}
+		}
+		return list, false
+	}
+	lock := func(r LockRef) {
+		var hit bool
+		if un, hit = remove(un, r); !hit {
+			net = add(net, r)
+		}
+	}
+	unlock := func(r LockRef) {
+		var hit bool
+		if net, hit = remove(net, r); !hit {
+			un = add(un, r)
+		}
+	}
+	// substRef maps a callee lock ref into this function's frame, when the
+	// corresponding receiver/argument is itself rooted here.
+	substRef := func(call *ast.CallExpr, ref LockRef) (LockRef, bool) {
+		var root ast.Expr
+		if ref.Param < 0 {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return LockRef{}, false
+			}
+			root = sel.X
+		} else {
+			if ref.Param >= len(call.Args) {
+				return LockRef{}, false
+			}
+			root = call.Args[ref.Param]
+		}
+		base, ok := b.lockRootRef(sig, root)
+		if !ok {
+			return LockRef{}, false
+		}
+		path := base.Path
+		if ref.Path != "" {
+			if path != "" {
+				path += "."
+			}
+			path += ref.Path
+		}
+		return LockRef{Param: base.Param, Path: path, Pos: call.Pos()}, true
+	}
+	applyCall := func(call *ast.CallExpr, deferred bool) {
+		if m := mutexMethodRecv(b.info(), call, "Lock", "RLock"); m != nil {
+			if ref, ok := b.lockRootRef(sig, m); ok && !deferred {
+				ref.Pos = call.Pos()
+				lock(ref)
+			}
+			return
+		}
+		if m := mutexMethodRecv(b.info(), call, "Unlock", "RUnlock"); m != nil {
+			if ref, ok := b.lockRootRef(sig, m); ok {
+				ref.Pos = call.Pos()
+				if deferred {
+					// Released on every exit: not held from the caller's
+					// point of view.
+					net, _ = remove(net, ref)
+				} else {
+					unlock(ref)
+				}
+			}
+			return
+		}
+		fn := Callee(b.info(), call)
+		if sum := b.prog.Summary(fn); sum != nil && fn != b.fn {
+			for _, ref := range sum.NetLocks {
+				if r, ok := substRef(call, ref); ok {
+					if deferred {
+						continue
+					}
+					lock(r)
+				}
+			}
+			for _, ref := range sum.UnLocks {
+				if r, ok := substRef(call, ref); ok {
+					if deferred {
+						net, _ = remove(net, r)
+					} else {
+						unlock(r)
+					}
+				}
+			}
+		}
+	}
+	for _, s := range b.decl.Body.List {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				applyCall(call, false)
+			}
+		case *ast.DeferStmt:
+			applyCall(s.Call, true)
+		}
+	}
+	return net, un
+}
+
+// ---- blocking evidence --------------------------------------------------
+
+func (b *builder) blockSites() []Site {
+	var out []Site
+	b.blockStmt(b.decl.Body, &out)
+	return out
+}
+
+func (b *builder) blockAdd(out *[]Site, s Site) {
+	if len(*out) < maxSites {
+		*out = append(*out, s)
+	}
+}
+
+func (b *builder) blockStmt(s ast.Stmt, out *[]Site) {
+	if s == nil {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.blockStmt(st, out)
+		}
+	case *ast.ExprStmt:
+		b.blockExpr(s.X, out)
+	case *ast.SendStmt:
+		b.blockAdd(out, Site{What: "channel send", Pos: s.Pos()})
+		b.blockExpr(s.Value, out)
+	case *ast.SelectStmt:
+		if !selectHasDefault(s.Body) {
+			b.blockAdd(out, Site{What: "blocking select", Pos: s.Pos()})
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				for _, st := range cc.Body {
+					b.blockStmt(st, out)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if tv, ok := b.info().Types[s.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				b.blockAdd(out, Site{What: "range over channel", Pos: s.X.Pos()})
+			}
+		}
+		b.blockExpr(s.X, out)
+		b.blockStmt(s.Body, out)
+	case *ast.IfStmt:
+		b.blockStmt(s.Init, out)
+		b.blockExpr(s.Cond, out)
+		b.blockStmt(s.Body, out)
+		b.blockStmt(s.Else, out)
+	case *ast.ForStmt:
+		b.blockStmt(s.Init, out)
+		b.blockExpr(s.Cond, out)
+		b.blockStmt(s.Body, out)
+		b.blockStmt(s.Post, out)
+	case *ast.SwitchStmt:
+		b.blockStmt(s.Init, out)
+		b.blockExpr(s.Tag, out)
+		b.blockStmt(s.Body, out)
+	case *ast.TypeSwitchStmt:
+		b.blockStmt(s.Init, out)
+		b.blockStmt(s.Assign, out)
+		b.blockStmt(s.Body, out)
+	case *ast.CaseClause:
+		for _, x := range s.List {
+			b.blockExpr(x, out)
+		}
+		for _, st := range s.Body {
+			b.blockStmt(st, out)
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			b.blockExpr(r, out)
+		}
+		for _, l := range s.Lhs {
+			b.blockExpr(l, out)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						b.blockExpr(v, out)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			b.blockExpr(r, out)
+		}
+	case *ast.LabeledStmt:
+		b.blockStmt(s.Stmt, out)
+	}
+	// Defer and go statements are deliberately skipped: deferred calls run
+	// at return and goroutines on their own stack, matching lockcheck.
+}
+
+func selectHasDefault(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *builder) blockExpr(x ast.Expr, out *[]Site) {
+	if x == nil {
+		return
+	}
+	ast.Inspect(x, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				b.blockAdd(out, Site{What: "channel receive", Pos: n.Pos()})
+			}
+		case *ast.CallExpr:
+			name := CalleeName(b.info(), n)
+			if desc, ok := BlockingCalls[name]; ok {
+				b.blockAdd(out, Site{What: "call to " + desc, Pos: n.Pos()})
+				return true
+			}
+			fn := Callee(b.info(), n)
+			if sum := b.prog.Summary(fn); sum != nil && fn != b.fn && len(sum.Blocks) > 0 {
+				b.blockAdd(out, Site{What: sum.Blocks[0].What, Pos: n.Pos(), Via: fn})
+			}
+		}
+		return true
+	})
+}
+
+// ---- global lock classes ------------------------------------------------
+
+// LockClassOf names the global class of a mutex expression: the named
+// struct type owning the mutex field ("gcs.Engine.mu") or a package-level
+// variable ("wire.poolMu"). Locals and unclassifiable expressions return
+// "".
+func LockClassOf(info *types.Info, m ast.Expr) string {
+	switch e := ast.Unparen(m).(type) {
+	case *ast.SelectorExpr:
+		tv, ok := info.Types[e.X]
+		if !ok {
+			return ""
+		}
+		t := tv.Type
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + e.Sel.Name
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		if v == nil || v.Pkg() == nil {
+			return ""
+		}
+		if v.Parent() != v.Pkg().Scope() {
+			return "" // local: no global identity
+		}
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return ""
+}
+
+func (b *builder) lockClasses() []ClassSite {
+	seen := make(map[string]ClassSite)
+	ast.Inspect(b.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false // runs on another goroutine's schedule
+		case *ast.CallExpr:
+			if m := mutexMethodRecv(b.info(), n, "Lock", "RLock"); m != nil {
+				if class := LockClassOf(b.info(), m); class != "" {
+					if _, ok := seen[class]; !ok {
+						seen[class] = ClassSite{Class: class, Pos: n.Pos()}
+					}
+				}
+				return true
+			}
+			fn := Callee(b.info(), n)
+			if sum := b.prog.Summary(fn); sum != nil && fn != b.fn {
+				for _, cs := range sum.LockClasses {
+					if _, ok := seen[cs.Class]; !ok {
+						seen[cs.Class] = ClassSite{Class: cs.Class, Pos: n.Pos(), Via: fn}
+					}
+				}
+			}
+		}
+		return true
+	})
+	out := make([]ClassSite, 0, len(seen))
+	for _, cs := range seen {
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// ---- determinism taints -------------------------------------------------
+
+func (b *builder) detTaints() []Site {
+	var out []Site
+	b.detBlock(b.decl.Body.List, &out)
+	return out
+}
+
+func (b *builder) detAdd(out *[]Site, s Site) {
+	if len(*out) < maxSites {
+		*out = append(*out, s)
+	}
+}
+
+func (b *builder) detBlock(list []ast.Stmt, out *[]Site) {
+	for i, s := range list {
+		b.detStmt(s, list, i, out)
+	}
+}
+
+func (b *builder) detStmt(s ast.Stmt, blk []ast.Stmt, idx int, out *[]Site) {
+	if s == nil {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.detBlock(s.List, out)
+	case *ast.GoStmt:
+		b.detAdd(out, Site{What: "goroutine spawn (scheduling-dependent)", Pos: s.Pos()})
+	case *ast.RangeStmt:
+		b.detExpr(s.X, out)
+		if tv, ok := b.info().Types[s.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				if what, bad := b.mapRangeTaint(s, blk, idx); bad {
+					b.detAdd(out, Site{What: what, Pos: s.Pos()})
+				}
+			}
+		}
+		b.detBlock(s.Body.List, out)
+	case *ast.IfStmt:
+		b.detStmt(s.Init, blk, idx, out)
+		b.detExpr(s.Cond, out)
+		b.detBlock(s.Body.List, out)
+		b.detStmt(s.Else, blk, idx, out)
+	case *ast.ForStmt:
+		b.detStmt(s.Init, blk, idx, out)
+		b.detExpr(s.Cond, out)
+		b.detBlock(s.Body.List, out)
+		b.detStmt(s.Post, blk, idx, out)
+	case *ast.SwitchStmt:
+		b.detStmt(s.Init, blk, idx, out)
+		b.detExpr(s.Tag, out)
+		b.detBlock(s.Body.List, out)
+	case *ast.TypeSwitchStmt:
+		b.detStmt(s.Init, blk, idx, out)
+		b.detStmt(s.Assign, blk, idx, out)
+		b.detBlock(s.Body.List, out)
+	case *ast.SelectStmt:
+		b.detBlock(s.Body.List, out)
+	case *ast.CaseClause:
+		for _, x := range s.List {
+			b.detExpr(x, out)
+		}
+		b.detBlock(s.Body, out)
+	case *ast.CommClause:
+		b.detStmt(s.Comm, blk, idx, out)
+		b.detBlock(s.Body, out)
+	case *ast.ExprStmt:
+		b.detExpr(s.X, out)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			b.detExpr(r, out)
+		}
+		for _, l := range s.Lhs {
+			b.detExpr(l, out)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						b.detExpr(v, out)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			b.detExpr(r, out)
+		}
+	case *ast.SendStmt:
+		b.detExpr(s.Chan, out)
+		b.detExpr(s.Value, out)
+	case *ast.DeferStmt:
+		b.detExpr(s.Call, out)
+	case *ast.LabeledStmt:
+		b.detStmt(s.Stmt, blk, idx, out)
+	case *ast.IncDecStmt:
+		b.detExpr(s.X, out)
+	}
+}
+
+func (b *builder) detExpr(x ast.Expr, out *[]Site) {
+	if x == nil {
+		return
+	}
+	ast.Inspect(x, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			b.detBlock(n.Body.List, out)
+			return false
+		case *ast.CallExpr:
+			fn := Callee(b.info(), n)
+			if fn != nil {
+				pkgPath := ""
+				if fn.Pkg() != nil {
+					pkgPath = fn.Pkg().Path()
+				}
+				sig, _ := fn.Type().(*types.Signature)
+				hasRecv := sig != nil && sig.Recv() != nil
+				if desc, bad := NondetCallee(fn.FullName(), pkgPath, fn.Name(), hasRecv); bad {
+					b.detAdd(out, Site{What: desc, Pos: n.Pos()})
+					return true
+				}
+			}
+			if sum := b.prog.Summary(fn); sum != nil && fn != b.fn && len(sum.Taints) > 0 {
+				b.detAdd(out, Site{What: sum.Taints[0].What, Pos: n.Pos(), Via: fn})
+			}
+		}
+		return true
+	})
+}
+
+// sortCalls recognize the stdlib sorters that canonicalize a slice
+// collected from a map range.
+var sortCalls = map[string]bool{
+	"sort.Slice":            true,
+	"sort.SliceStable":      true,
+	"sort.Sort":             true,
+	"sort.Stable":           true,
+	"sort.Strings":          true,
+	"sort.Ints":             true,
+	"slices.Sort":           true,
+	"slices.SortFunc":       true,
+	"slices.SortStableFunc": true,
+}
+
+// mapRangeTaint decides whether ranging over a map leaks iteration order:
+// per-key effects (map writes, deletes, scalar updates) are order-free;
+// slice appends are accepted when the destination is sorted later in the
+// same block; anything else (sends, calls, early exits) is order-sensitive.
+func (b *builder) mapRangeTaint(rs *ast.RangeStmt, blk []ast.Stmt, idx int) (string, bool) {
+	var dests []string
+	bad := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if bad != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			bad = "map iteration captures a closure"
+			return false
+		case *ast.SendStmt:
+			bad = "map iteration order reaches a channel send"
+		case *ast.ReturnStmt:
+			bad = "map iteration order decides an early return"
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				bad = "map iteration order decides a break"
+			}
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				if call, ok := ast.Unparen(r).(*ast.CallExpr); ok && isAppendCall(b.info(), call) && i < len(n.Lhs) {
+					dests = append(dests, types.ExprString(n.Lhs[i]))
+				}
+			}
+		case *ast.CallExpr:
+			if isOrderFreeCall(b.info(), n) {
+				return true
+			}
+			bad = "map iteration order reaches a call to " + calleeShort(b.info(), n)
+		}
+		return true
+	})
+	if bad != "" {
+		return bad, true
+	}
+	if len(dests) == 0 {
+		return "", false
+	}
+	sorted := make(map[string]bool)
+	for _, s := range blk[idx+1:] {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		if sortCalls[CalleeName(b.info(), call)] {
+			sorted[types.ExprString(call.Args[0])] = true
+		}
+	}
+	for _, d := range dests {
+		if !sorted[d] {
+			return "map iteration order reaches " + d + " without a subsequent sort", true
+		}
+	}
+	return "", false
+}
+
+func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isB := info.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// pureCalls are known value-pure functions: no state, no observable effect
+// beyond the return value, so calling them per key cannot leak iteration
+// order.
+var pureCalls = map[string]bool{
+	"(time.Time).Sub":             true,
+	"(time.Time).Before":          true,
+	"(time.Time).After":           true,
+	"(time.Time).Equal":           true,
+	"(time.Time).Compare":         true,
+	"(time.Time).IsZero":          true,
+	"(time.Duration).Seconds":     true,
+	"(time.Duration).Nanoseconds": true,
+}
+
+// isOrderFreeCall accepts builtins, type conversions, and known-pure
+// functions inside a map-range body: they cannot observe iteration order
+// beyond their per-key inputs.
+func isOrderFreeCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := info.Uses[id].(*types.Builtin); isB {
+			return true
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	return pureCalls[CalleeName(info, call)]
+}
+
+func calleeShort(info *types.Info, call *ast.CallExpr) string {
+	if fn := Callee(info, call); fn != nil {
+		return fn.Name()
+	}
+	return "an unresolved function"
+}
+
+// DescribeSite renders evidence with its via-chain for diagnostics:
+// "channel send (via drainLoop)".
+func DescribeSite(s Site) string {
+	if s.Via == nil {
+		return s.What
+	}
+	return s.What + " (via " + s.Via.Name() + ")"
+}

@@ -121,6 +121,11 @@ type stream struct {
 	cap  int
 }
 
+// next draws the decision byte for this stream's next message and records
+// it in the bounded trace. Pure in (seed, index, rates) modulo the trace
+// append, so a recorded trace replays exactly.
+//
+//starfish:deterministic
 func (s *stream) next(f Faults) byte {
 	s.mu.Lock()
 	b := decideAt(s.seed, s.n, f)
@@ -621,6 +626,8 @@ func (c *conn) RemoteAddr() string { return c.inner.RemoteAddr() }
 // the pure function of (seed, stream id, index, fault rates) that the live
 // path also uses. A recorded Trace must equal Replay over its length as
 // long as the stream's fault rates were constant while it ran.
+//
+//starfish:deterministic
 func Replay(seed int64, id StreamID, n int, f Faults) []byte {
 	s := streamSeed(seed, id)
 	out := make([]byte, n)
@@ -632,6 +639,8 @@ func Replay(seed int64, id StreamID, n int, f Faults) []byte {
 
 // streamSeed derives a stream's PRNG seed from the net seed and the stream
 // identity via FNV-1a over a canonical encoding.
+//
+//starfish:deterministic
 func streamSeed(seed int64, id StreamID) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -663,6 +672,8 @@ func streamSeed(seed int64, id StreamID) uint64 {
 
 // decideAt computes the decision byte for message i of a stream: three
 // chained splitmix64 draws compared against the configured rates.
+//
+//starfish:deterministic
 func decideAt(streamSeed, i uint64, f Faults) byte {
 	r := splitmix64(streamSeed ^ (i+1)*0x9E3779B97F4A7C15)
 	var b byte

@@ -35,6 +35,8 @@ type Delta struct {
 }
 
 // ComputeDelta returns the block delta that turns base into next.
+//
+//starfish:deterministic
 func ComputeDelta(base, next []byte) *Delta {
 	d := &Delta{BaseLen: len(base), NewLen: len(next), Blocks: map[int][]byte{}}
 	nBlocks := (len(next) + DeltaBlockSize - 1) / DeltaBlockSize
@@ -66,6 +68,8 @@ type ByteSpan struct {
 // change of the shared tail block). The hints must be sound — a span list
 // missing a genuinely changed byte produces an incorrect delta; callers
 // derive spans from write tracking (see svm's dirty segments).
+//
+//starfish:deterministic
 func ComputeDeltaHinted(base, next []byte, spans []ByteSpan) *Delta {
 	if spans == nil {
 		return ComputeDelta(base, next)

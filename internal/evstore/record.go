@@ -181,6 +181,57 @@ func LineSeq(line string) (uint64, bool) {
 	return seq, err == nil
 }
 
+// Registry declares every (component, kind) pair the runtime emits. It is
+// the contract between producers and queries: the evcheck analyzer derives
+// the kinds actually passed to Ev/EvApp/EvRank and rejects any that are
+// not declared here, and checks every kind referenced by a query (chaos
+// soak assertions, EXPERIMENTS.md transcripts, starfishctl docs) against
+// this table — a typo'd kind otherwise fails silently as an eternally
+// empty query result.
+//
+// The lwg component re-emits the gcs engine kinds: each lightweight group
+// runs its own gcs engine instance whose records are stamped "lwg" by the
+// group's emitter.
+var Registry = map[string][]string{
+	"daemon": {"submit", "delete", "app-done", "app-failed", "rank-lost",
+		"restarting", "running", "suspend", "resume"},
+	"ckpt": {"epoch"},
+	"gcs": {"suspect", "excluded", "view-change", "election-start",
+		"election-win", "election-abort", "election-stalled"},
+	"lwg": {"suspect", "excluded", "view-change", "election-start",
+		"election-win", "election-abort", "election-stalled"},
+	"gossip": {"ping-timeout", "suspect", "confirm-dead", "refute"},
+	"proc":   {"start", "done", "restore", "checkpoint", "commit"},
+	"rstore": {"view", "push-failure", "gc", "rereplicate"},
+	"chaosnet": {"set-faults", "clear-faults", "partition",
+		"partition-oneway", "heal", "kill-dials", "allow-dials",
+		"reset-link", "drop", "delay", "dup"},
+	"cluster": {"add-node", "kill", "leave"},
+}
+
+// KnownKind reports whether kind is declared in the Registry for any
+// component.
+func KnownKind(kind string) bool {
+	for _, kinds := range Registry {
+		for _, k := range kinds {
+			if k == kind {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// KnownFor reports whether kind is declared for the given component.
+func KnownFor(component, kind string) bool {
+	for _, k := range Registry[component] {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
 // Sink accepts records. Store and Emitter implement it; instrumented
 // components hold a Sink so tests can wire any collector, and a nil Sink
 // (or nil *Emitter inside one) means "event plane disabled".

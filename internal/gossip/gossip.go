@@ -17,6 +17,8 @@
 // `now` explicitly, and transmits the Envelopes it returns. That makes the
 // protocol deterministic under a seed and benchmarkable at thousands of
 // simulated nodes without wall-clock sleeping.
+//
+//starfish:deterministic
 package gossip
 
 import (
@@ -494,11 +496,7 @@ func (d *Detector) pickProxies(target wire.NodeID) []wire.NodeID {
 		}
 	}
 	// Deterministic pool order (map iteration is not), then partial shuffle.
-	for i := 1; i < len(pool); i++ {
-		for j := i; j > 0 && pool[j] < pool[j-1]; j-- {
-			pool[j], pool[j-1] = pool[j-1], pool[j]
-		}
-	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
 	k := d.cfg.IndirectFanout
 	if k > len(pool) {
 		k = len(pool)

@@ -63,19 +63,27 @@ func (c *Comm) Bcast(root wire.Rank, buf []byte) ([]byte, error) {
 	if c.collVrank(root) != 0 {
 		return c.bcastRecv(root)
 	}
-	t := c.CollTuning()
-	algo, seg := collAlgNaive, 0
-	switch {
-	case t.ForceNaive:
-	case len(buf) >= t.BcastVdGMin && len(buf) >= n:
-		algo = collAlgVdG
-	case len(buf) >= t.BcastSegMin && len(buf) > t.BcastSegSize:
-		algo, seg = collAlgSeg, t.BcastSegSize
-	}
+	algo, seg := bcastAlgo(c.CollTuning(), len(buf), n)
 	if err := c.bcastRoot(root, buf, algo, seg); err != nil {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// bcastAlgo picks the broadcast algorithm and segment size for a message of
+// size bytes on n ranks: a pure function of the tuning table, so replicas
+// replaying the same broadcast schedule the same messages.
+//
+//starfish:deterministic
+func bcastAlgo(t CollTuning, size, n int) (algo byte, seg int) {
+	switch {
+	case t.ForceNaive:
+	case size >= t.BcastVdGMin && size >= n:
+		return collAlgVdG, 0
+	case size >= t.BcastSegMin && size > t.BcastSegSize:
+		return collAlgSeg, t.BcastSegSize
+	}
+	return collAlgNaive, 0
 }
 
 // bcastRoot runs the root side of the chosen algorithm (split out so tests

@@ -321,8 +321,7 @@ func (c *Comm) Allreduce(contrib []byte, fn ReduceFunc) ([]byte, error) {
 		return contrib, nil
 	}
 	t := c.CollTuning()
-	if !t.ForceNaive && len(contrib) >= t.AllreduceRabMin &&
-		len(contrib)%t.ElemAlign == 0 && len(contrib)/t.ElemAlign >= n {
+	if allreduceUseRab(t, len(contrib), n) {
 		return c.allreduceRab(contrib, fn, t)
 	}
 	acc, err := c.Reduce(0, contrib, fn)
@@ -330,6 +329,16 @@ func (c *Comm) Allreduce(contrib []byte, fn ReduceFunc) ([]byte, error) {
 		return nil, err
 	}
 	return c.Bcast(0, acc)
+}
+
+// allreduceUseRab decides whether a size-byte allreduce on n ranks takes
+// the Rabenseifner path: a pure function of the tuning table, identical on
+// every rank (ranks disagreeing would deadlock in mismatched schedules).
+//
+//starfish:deterministic
+func allreduceUseRab(t CollTuning, size, n int) bool {
+	return !t.ForceNaive && size >= t.AllreduceRabMin &&
+		size%t.ElemAlign == 0 && size/t.ElemAlign >= n
 }
 
 func (c *Comm) allreduceRab(contrib []byte, fn ReduceFunc, t CollTuning) ([]byte, error) {

@@ -80,6 +80,8 @@ func (d *dirtyState) markMem(addr int) {
 // DirtyByteSpans returns the byte ranges of the current EncodeImage output
 // that may differ from the baseline image, or nil when tracking is disabled
 // (nil tells ckpt.ComputeDeltaHinted to fall back to a full diff).
+//
+//starfish:deterministic
 func (m *VM) DirtyByteSpans() []Span {
 	d := m.dirty
 	if d == nil {

@@ -17,7 +17,8 @@
 #   BENCH_controlplane.json, which enforces the >=4x sharded-vs-single
 #   sequencer bar on 8-app scoped-cast throughput and the O(1)
 #   gossip-load and bounded-detection-latency bars out to 1024 simulated
-#   nodes).
+#   nodes). The starfish-vet step also folds its run profile (packages,
+#   functions summarized, findings by check, wall time) into BENCH_vet.json.
 #
 # Usage: scripts/check.sh [--quick]
 #   --quick   skip -race and the benchmarks (vet/build/test only)
@@ -42,10 +43,37 @@ echo "== go build =="
 go build ./...
 
 echo "== starfish-vet =="
-# The repo's own analyzers: pooled-buffer ownership (poolcheck), lock
-# discipline (lockcheck), goroutine lifecycle (goleak), discarded errors
-# (errdrop). See DESIGN.md "Static invariants".
-go run ./cmd/starfish-vet ./...
+# The repo's own analyzers over one interprocedural program: pooled-buffer
+# ownership (poolcheck), lock discipline (lockcheck), goroutine lifecycle
+# (goleak), discarded errors (errdrop), the //starfish:deterministic
+# contract (detcheck), global lock-acquisition order (lockorder), and the
+# event-kind registry (evcheck). See DESIGN.md "Static invariants".
+# -stats folds the run profile into BENCH_vet.json below.
+VET_STATS=$(mktemp)
+go run ./cmd/starfish-vet -stats "$VET_STATS" ./...
+
+echo "== BENCH_vet.json =="
+# Fold the analyzer run profile (packages analyzed, functions summarized,
+# findings by check, wall time) into the "current" section of
+# BENCH_vet.json, keeping the checked-in reference run intact.
+python3 - "$VET_STATS" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    current = json.load(f)
+
+path = "BENCH_vet.json"
+with open(path) as f:
+    doc = json.load(f)
+doc["current"] = current
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"updated {path}: {current['packages_analyzed']} packages, "
+      f"{current['functions_summarized']} functions summarized, "
+      f"{current['findings_total']} findings, {current['wall_ms']} ms")
+EOF
+rm -f "$VET_STATS"
 
 echo "== starfish-vet smoke (seeded violations must still fire) =="
 set +e
@@ -57,7 +85,7 @@ if [[ $SMOKE_RC -eq 0 ]]; then
     echo "smoke FAIL: starfish-vet exited 0 on seeded violations"
     exit 1
 fi
-for check in poolcheck lockcheck goleak errdrop; do
+for check in poolcheck lockcheck goleak errdrop detcheck lockorder evcheck; do
     if ! grep -q "\[$check\]" <<<"$SMOKE_OUT"; then
         echo "smoke FAIL: $check did not fire on its seeded violation"
         exit 1
